@@ -1,0 +1,126 @@
+package repro
+
+// Ablation (DESIGN.md §5): the two choice-group representations the paper
+// weighs in §3 — Fig. 5's union/discriminant struct vs Fig. 6's sealed
+// interface. The paper rejects the union on software-engineering grounds
+// (every consumer needs a new case arm per added alternative); this
+// ablation measures the runtime side so the trade-off is complete.
+
+import (
+	"testing"
+
+	"repro/internal/dom"
+)
+
+// --- Fig. 5 style: union with a discriminant ------------------------------
+
+type addrKind int
+
+const (
+	kindSing addrKind = iota
+	kindTwo
+)
+
+// unionAddr is the singAddrORtwoAddrGroup union of Fig. 5.
+type unionAddr struct {
+	kind addrKind
+	sing *singAddr
+	two  *twoAddr
+}
+
+type singAddr struct{ city string }
+type twoAddr struct{ first, second string }
+
+func (u *unionAddr) buildInto(doc *dom.Document, parent dom.Node) error {
+	switch u.kind {
+	case kindSing:
+		el := doc.CreateElement("singAddr")
+		_, _ = el.AppendChild(doc.CreateTextNode(u.sing.city))
+		_, err := parent.AppendChild(el)
+		return err
+	default:
+		el := doc.CreateElement("twoAddr")
+		_, _ = el.AppendChild(doc.CreateTextNode(u.two.first + u.two.second))
+		_, err := parent.AppendChild(el)
+		return err
+	}
+}
+
+// --- Fig. 6 style: sealed interface ----------------------------------------
+
+type addrChoice interface {
+	isAddrChoice()
+	buildInto(doc *dom.Document, parent dom.Node) error
+}
+
+type singAddrElem struct{ city string }
+type twoAddrElem struct{ first, second string }
+
+func (*singAddrElem) isAddrChoice() {}
+func (*twoAddrElem) isAddrChoice()  {}
+
+func (s *singAddrElem) buildInto(doc *dom.Document, parent dom.Node) error {
+	el := doc.CreateElement("singAddr")
+	_, _ = el.AppendChild(doc.CreateTextNode(s.city))
+	_, err := parent.AppendChild(el)
+	return err
+}
+
+func (s *twoAddrElem) buildInto(doc *dom.Document, parent dom.Node) error {
+	el := doc.CreateElement("twoAddr")
+	_, _ = el.AppendChild(doc.CreateTextNode(s.first + s.second))
+	_, err := parent.AppendChild(el)
+	return err
+}
+
+// BenchmarkAblation_ChoiceUnion measures the rejected Fig. 5 design.
+func BenchmarkAblation_ChoiceUnion(b *testing.B) {
+	values := []*unionAddr{
+		{kind: kindSing, sing: &singAddr{city: "Mill Valley"}},
+		{kind: kindTwo, two: &twoAddr{first: "a", second: "b"}},
+	}
+	for i := 0; i < b.N; i++ {
+		doc := dom.NewDocument()
+		root := doc.CreateElement("po")
+		_, _ = doc.AppendChild(root)
+		if err := values[i%2].buildInto(doc, root); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation_ChoiceInterface measures the adopted Fig. 6 design.
+func BenchmarkAblation_ChoiceInterface(b *testing.B) {
+	values := []addrChoice{
+		&singAddrElem{city: "Mill Valley"},
+		&twoAddrElem{first: "a", second: "b"},
+	}
+	for i := 0; i < b.N; i++ {
+		doc := dom.NewDocument()
+		root := doc.CreateElement("po")
+		_, _ = doc.AppendChild(root)
+		if err := values[i%2].buildInto(doc, root); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestAblationChoiceEquivalent: both representations produce identical
+// documents — the choice between them is about evolution and dispatch,
+// not output.
+func TestAblationChoiceEquivalent(t *testing.T) {
+	build := func(f func(doc *dom.Document, parent dom.Node) error) string {
+		doc := dom.NewDocument()
+		root := doc.CreateElement("po")
+		_, _ = doc.AppendChild(root)
+		if err := f(doc, root); err != nil {
+			t.Fatal(err)
+		}
+		return dom.ToString(root)
+	}
+	u := &unionAddr{kind: kindSing, sing: &singAddr{city: "x"}}
+	i := &singAddrElem{city: "x"}
+	if build(u.buildInto) != build(i.buildInto) {
+		t.Error("representations diverge")
+	}
+}

@@ -1,0 +1,71 @@
+// Command pxmlc is the generated P-XML preprocessor of the paper's Fig. 9:
+// it validates the XML constructors in a Go-like source file against an
+// XML Schema — statically, without running the program — and rewrites them
+// into V-DOM construction calls (Fig. 10 -> Fig. 11).
+//
+// Usage:
+//
+//	pxmlc -schema po.xsd -package pogen -doc d [-o out.go] input.go.pxml
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/normalize"
+	"repro/internal/pxml"
+)
+
+func main() {
+	var (
+		schemaPath = flag.String("schema", "", "path to the XML Schema (required)")
+		pkg        = flag.String("package", "", "Go package identifier of the generated bindings")
+		docExpr    = flag.String("doc", "", "expression of the *Document factory in scope")
+		out        = flag.String("o", "", "output file (default: stdout)")
+		checkOnly  = flag.Bool("check", false, "validate constructors without emitting output")
+	)
+	flag.Parse()
+	if *schemaPath == "" || flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: pxmlc -schema s.xsd [-package p -doc d] [-check] [-o out.go] input")
+		os.Exit(2)
+	}
+	schemaSrc, err := os.ReadFile(*schemaPath)
+	if err != nil {
+		fatal(err)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	pp, err := pxml.New(pxml.Options{
+		SchemaSource: string(schemaSrc),
+		Scheme:       normalize.SchemePaper,
+		Package:      *pkg,
+		DocExpr:      *docExpr,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	rewritten, err := pp.Rewrite(string(src))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pxmlc: %s: %v\n", flag.Arg(0), err)
+		os.Exit(1)
+	}
+	if *checkOnly {
+		fmt.Fprintf(os.Stderr, "pxmlc: %s: all constructors valid\n", flag.Arg(0))
+		return
+	}
+	if *out == "" {
+		fmt.Print(rewritten)
+		return
+	}
+	if err := os.WriteFile(*out, []byte(rewritten), 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pxmlc:", err)
+	os.Exit(1)
+}

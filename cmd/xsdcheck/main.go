@@ -1,0 +1,72 @@
+// Command xsdcheck validates XML documents against an XML Schema at
+// runtime — the paper's baseline workflow that V-DOM renders unnecessary
+// for generated documents.
+//
+// Usage:
+//
+//	xsdcheck -schema po.xsd doc1.xml [doc2.xml ...]
+//
+// The exit status is 0 when every document is valid, 1 otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dom"
+	"repro/internal/validator"
+	"repro/internal/xsd"
+)
+
+func main() {
+	schemaPath := flag.String("schema", "", "path to the XML Schema (required)")
+	quiet := flag.Bool("q", false, "suppress per-violation output")
+	flag.Parse()
+	if *schemaPath == "" || flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: xsdcheck -schema s.xsd doc.xml...")
+		os.Exit(2)
+	}
+	schemaSrc, err := os.ReadFile(*schemaPath)
+	if err != nil {
+		fatal(err)
+	}
+	schema, err := xsd.Parse(schemaSrc, nil)
+	if err != nil {
+		fatal(err)
+	}
+	v := validator.New(schema, nil)
+	exit := 0
+	for _, path := range flag.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xsdcheck: %v\n", err)
+			exit = 1
+			continue
+		}
+		doc, err := dom.Parse(src)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: not well-formed: %v\n", path, err)
+			exit = 1
+			continue
+		}
+		res := v.ValidateDocument(doc)
+		if res.OK() {
+			fmt.Printf("%s: valid\n", path)
+			continue
+		}
+		exit = 1
+		fmt.Printf("%s: INVALID (%d violations)\n", path, len(res.Violations))
+		if !*quiet {
+			for _, viol := range res.Violations {
+				fmt.Printf("  %s\n", viol.Error())
+			}
+		}
+	}
+	os.Exit(exit)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xsdcheck:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,117 @@
+package repro
+
+// Smoke tests for the four CLI tools: each binary is exercised through
+// `go run` on the paper's artifacts. They prove the Fig. 9 pipeline works
+// from the command line, not just through library calls.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/schemas"
+)
+
+// runCmd executes `go run ./cmd/<tool> args...` from the repo root.
+func runCmd(t *testing.T, wantExitZero bool, tool string, args ...string) string {
+	t.Helper()
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not available")
+	}
+	cmd := exec.Command("go", append([]string{"run", "./cmd/" + tool}, args...)...)
+	out, err := cmd.CombinedOutput()
+	if wantExitZero && err != nil {
+		t.Fatalf("%s %v: %v\n%s", tool, args, err, out)
+	}
+	if !wantExitZero && err == nil {
+		t.Fatalf("%s %v: expected non-zero exit\n%s", tool, args, out)
+	}
+	return string(out)
+}
+
+// writeTemp materializes test data on disk for the CLIs.
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCmdXsdcheck(t *testing.T) {
+	schema := writeTemp(t, "po.xsd", schemas.PurchaseOrderXSD)
+	good := writeTemp(t, "good.xml", schemas.PurchaseOrderDoc)
+	bad := writeTemp(t, "bad.xml", strings.Replace(schemas.PurchaseOrderDoc, "<quantity>1</quantity>", "<quantity>9999</quantity>", 1))
+
+	out := runCmd(t, true, "xsdcheck", "-schema", schema, good)
+	if !strings.Contains(out, "valid") {
+		t.Errorf("xsdcheck good: %s", out)
+	}
+	out = runCmd(t, false, "xsdcheck", "-schema", schema, bad)
+	if !strings.Contains(out, "INVALID") {
+		t.Errorf("xsdcheck bad: %s", out)
+	}
+}
+
+func TestCmdVdomgen(t *testing.T) {
+	schema := writeTemp(t, "po.xsd", schemas.PurchaseOrderXSD)
+	out := runCmd(t, true, "vdomgen", "-schema", schema, "-package", "mygen")
+	for _, want := range []string{"package mygen", "type PurchaseOrderTypeType struct", "func (d *Document) CreateShipTo"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("vdomgen output missing %q", want)
+		}
+	}
+	// Unknown scheme is rejected.
+	runCmd(t, false, "vdomgen", "-schema", schema, "-scheme", "bogus")
+}
+
+func TestCmdPxmlc(t *testing.T) {
+	schema := writeTemp(t, "po.xsd", schemas.PurchaseOrderXSD)
+	goodSrc := writeTemp(t, "good.pxml", `package p
+//pxml:package pogen
+//pxml:doc d
+func f(d *pogen.Document) {
+	c := <comment>hello</comment>;
+	_ = c
+}
+`)
+	out := runCmd(t, true, "pxmlc", "-schema", schema, goodSrc)
+	if !strings.Contains(out, `d.CreateComment("hello")`) {
+		t.Errorf("pxmlc output: %s", out)
+	}
+	// -check mode reports success without emitting.
+	out = runCmd(t, true, "pxmlc", "-schema", schema, "-check", goodSrc)
+	if !strings.Contains(out, "all constructors valid") {
+		t.Errorf("pxmlc -check: %s", out)
+	}
+	// Static rejection exits non-zero.
+	badSrc := writeTemp(t, "bad.pxml", `package p
+//pxml:package pogen
+//pxml:doc d
+func f(d *pogen.Document) {
+	q := <quantity>100</quantity>;
+	_ = q
+}
+`)
+	out = runCmd(t, false, "pxmlc", "-schema", schema, badSrc)
+	if !strings.Contains(out, "must be < 100") {
+		t.Errorf("pxmlc rejection message: %s", out)
+	}
+}
+
+func TestCmdXmlfmt(t *testing.T) {
+	doc := writeTemp(t, "po.xml", schemas.PurchaseOrderDoc)
+	out := runCmd(t, true, "xmlfmt", doc)
+	if !strings.Contains(out, "<purchaseOrder") {
+		t.Errorf("xmlfmt: %s", out)
+	}
+	out = runCmd(t, true, "xmlfmt", "-dump", doc)
+	if !strings.Contains(out, "Element purchaseOrder") {
+		t.Errorf("xmlfmt -dump: %s", out)
+	}
+	badDoc := writeTemp(t, "bad.xml", "<a><b></a>")
+	runCmd(t, false, "xmlfmt", badDoc)
+}

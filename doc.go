@@ -1,0 +1,10 @@
+// Package repro reproduces "XML-Based Applications Using XML Schema"
+// (Kempa & Linnemann, EDBT 2002 Workshops): V-DOM, a strictly typed
+// document object model generated from an XML Schema, and P-XML, a
+// preprocessor for literal XML constructors that are validated statically.
+//
+// The library lives under internal/ (see DESIGN.md for the module map);
+// runnable binaries are under cmd/ and examples/. This root package holds
+// the experiment harness: bench_test.go and exp_*_test.go regenerate every
+// figure and quantitative claim catalogued in EXPERIMENTS.md.
+package repro

@@ -1,0 +1,110 @@
+// Purchase order example: build the paper's Figure 1 document through the
+// generated V-DOM API (one distinct Go type per schema construct), print
+// the Fig. 7 typed view next to the Fig. 4 untyped view, and demonstrate
+// which mistakes have become impossible to write.
+//
+// Run with: go run ./examples/purchaseorder
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/dom"
+	"repro/internal/gen/pogen"
+	"repro/internal/validator"
+	"repro/internal/vdom"
+)
+
+func main() {
+	d := pogen.NewDocument()
+
+	// The paper's §4 example, as typed constructor calls (the code the
+	// P-XML preprocessor would emit from literal XML).
+	shipTo := d.CreateShipTo(d.CreateUSAddressType(
+		d.CreateName("Alice Smith"),
+		d.CreateStreet("123 Maple Street"),
+		d.CreateCity("Mill Valley"),
+		d.CreateState("CA"),
+		d.MustZip("90952"),
+	))
+	billTo := d.CreateBillTo(d.CreateUSAddressType(
+		d.CreateName("Robert Smith"),
+		d.CreateStreet("8 Oak Avenue"),
+		d.CreateCity("Old Town"),
+		d.CreateState("PA"),
+		d.MustZip("95819"),
+	))
+
+	lawnmower := d.CreateItemTypeType(
+		d.CreateProductName("Lawnmower"),
+		d.MustQuantity("1"),
+		d.MustUSPrice("148.95"),
+	)
+	lawnmower.SetComment(d.CreateComment("Confirm this is electric"))
+	if err := lawnmower.SetPartNum("872-AA"); err != nil {
+		log.Fatal(err)
+	}
+
+	monitor := d.CreateItemTypeType(
+		d.CreateProductName("Baby Monitor"),
+		d.MustQuantity("1"),
+		d.MustUSPrice("39.98"),
+	)
+	monitor.SetShipDate(d.MustShipDate("1999-05-21"))
+	if err := monitor.SetPartNum("926-AA"); err != nil {
+		log.Fatal(err)
+	}
+
+	items := d.CreateItemsType().
+		AddItem(d.CreateItem(lawnmower)).
+		AddItem(d.CreateItem(monitor))
+
+	order := d.CreatePurchaseOrderTypeType(shipTo, billTo, d.CreateItems(items))
+	order.SetComment(d.CreateComment("Hurry, my lawn is going wild"))
+	if err := order.SetOrderDate("1999-10-20"); err != nil {
+		log.Fatal(err)
+	}
+	root := d.CreatePurchaseOrder(order)
+
+	// Mistakes that no longer compile (each line is a real compile
+	// error if uncommented — the paper's "no test runs needed"):
+	//
+	//   d.CreatePurchaseOrderTypeType(billTo, shipTo, items)   // wrong member types? No: both are address elements —
+	//                                                          // but swapping shipTo/billTo *is* caught: the params are
+	//                                                          // *ShipToElement and *BillToElement, distinct types.
+	//   d.CreateShipTo(items)                 // items is not a USAddressType
+	//   order.SetComment(shipTo)              // shipTo is not a CommentElement
+	//   items.AddItem(d.CreateComment("x"))   // a comment is not an item
+
+	// What stays dynamic (exactly the paper's rule-5/§3 concessions):
+	if _, err := d.CreateQuantity("100"); err != nil {
+		fmt.Printf("facet check at creation:  %v\n", err)
+	}
+	if err := order.SetOrderDate("not a date"); err != nil {
+		fmt.Printf("attribute check at set:   %v\n\n", err)
+	}
+
+	// Fig. 7: the typed object hierarchy.
+	fmt.Println("=== V-DOM view (paper Fig. 7: one interface per schema construct) ===")
+	fmt.Print(vdom.Dump(root))
+
+	// Fig. 4: the same tree, seen through plain DOM.
+	doc, err := vdom.Marshal(root)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n=== DOM view (paper Fig. 4: every node is just an Element) ===")
+	fmt.Print(dom.Dump(doc.DocumentElement()))
+
+	// The central theorem, checked empirically: marshal + validate.
+	res := validator.New(pogen.RT.Schema, nil).ValidateDocument(doc)
+	fmt.Printf("\nvalidator agrees the V-DOM output is valid: %v\n", res.OK())
+
+	fmt.Println("\n=== serialized document ===")
+	out, err := vdom.MarshalIndent(root)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(out)
+}

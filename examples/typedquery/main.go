@@ -1,0 +1,72 @@
+// Typed query example — the paper's §8 future work: "extensions to ...
+// XQuery in such a way that a query which is applied to appropriate
+// VDOM-objects can be guaranteed to result only in documents which are
+// valid according to an underlying Xml schema."
+//
+// Queries are compiled against the schema: paths the schema makes
+// impossible are rejected before any document is touched, and results
+// carry their static type.
+//
+// Run with: go run ./examples/typedquery
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/dom"
+	"repro/internal/query"
+	"repro/internal/schemas"
+	"repro/internal/xsd"
+)
+
+func main() {
+	schema, err := xsd.ParseString(schemas.PurchaseOrderXSD, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	doc, err := dom.ParseString(schemas.PurchaseOrderDoc)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Statically valid queries.
+	for _, path := range []string{
+		"/purchaseOrder/shipTo/name",
+		"/purchaseOrder//productName",
+		"/purchaseOrder/items/item/@partNum",
+		"/purchaseOrder/items/item[@partNum='872-AA']/USPrice",
+		"/purchaseOrder/items/item[2]/productName",
+	} {
+		q, err := query.Compile(schema, path)
+		if err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+		typeLabel := "?"
+		if d := q.ResultElement(); d != nil {
+			typeLabel = "element <" + d.Name.Local + ">"
+		} else if a := q.ResultAttribute(); a != nil {
+			typeLabel = "attribute :" + a.Type.Name.Local
+		}
+		results, err := q.EvaluateStrings(doc)
+		if err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+		fmt.Printf("%-55s -> %-22s %v\n", path, typeLabel, results)
+	}
+
+	// Statically impossible queries: rejected at compile time, with no
+	// document in sight.
+	fmt.Println("\nstatically rejected (the schema admits no such path):")
+	for _, path := range []string{
+		"/purchaseOrder/nayme",             // typo
+		"/purchaseOrder/items/productName", // skipped a level
+		"/purchaseOrder/shipTo/@postcode",  // undeclared attribute
+	} {
+		if _, err := query.Compile(schema, path); err != nil {
+			fmt.Printf("  %-45s %v\n", path, err)
+		} else {
+			log.Fatalf("%s should have been rejected", path)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+// WML example (paper §5): the media-archive directory browser page, shown
+// three ways:
+//
+//  1. the Fig. 8 string-template version (compiles even when broken),
+//  2. the Fig. 10 P-XML source, preprocessed to Fig. 11 V-DOM code, and
+//  3. the Fig. 11 typed construction executed directly.
+//
+// Run with: go run ./examples/wml
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/gen/wmlgen"
+	"repro/internal/normalize"
+	"repro/internal/pxml"
+	"repro/internal/stringgen"
+	"repro/internal/vdom"
+	"repro/internal/wml"
+)
+
+// fig10 is the paper's Fig. 10 page in P-XML notation.
+const fig10 = `package pages
+
+//pxml:package wmlgen
+//pxml:doc d
+
+func directoryPage(d *wmlgen.Document, currentDir, parentDir, subDir string, subDirs []string) *wmlgen.PElement {
+	var p *wmlgen.PElement
+	var s *wmlgen.SelectElement
+	var o *wmlgen.OptionElement
+
+	s = <select name="directories">
+		<option value=$parentDir$>..</option>
+	</select>;
+	o = <option value=$subDir$>$subDirs[0]$</option>;
+	p = <p>
+		<b>$currentDir$</b>
+		<br/>
+		$s$
+		<br/>
+	</p>;
+	return p
+}
+`
+
+func main() {
+	currentDir, parentDir := "/workspace/media", "/workspace"
+	subDirs := []string{"audio", "video", "images"}
+
+	// --- 1. Fig. 8: string templates. The broken twin compiles too. ---
+	fmt.Println("=== Fig. 8: string-template page (runtime-checked only) ===")
+	fmt.Print(stringgen.DirectoryPageWML(currentDir, parentDir, subDirs))
+	fmt.Println("\n(the broken variant BrokenDirectoryPageWML compiles identically;")
+	fmt.Println(" only parsing its output at runtime reveals the typo)")
+
+	// --- 2. Fig. 10 -> Fig. 11: the P-XML preprocessor. ---
+	pp, err := pxml.New(pxml.Options{
+		SchemaSource: wml.Schema,
+		Scheme:       normalize.SchemePaper,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rewritten, err := pp.Rewrite(fig10)
+	if err != nil {
+		log.Fatalf("preprocess: %v", err)
+	}
+	fmt.Println("\n=== Fig. 10 source preprocessed to Fig. 11 V-DOM code ===")
+	fmt.Print(rewritten)
+
+	// A constructor with an invalid page is rejected before any run:
+	broken := `package pages
+//pxml:package wmlgen
+//pxml:doc d
+func bad(d *wmlgen.Document) {
+	p := <p><option value="x">misplaced</option></p>;
+	_ = p
+}
+`
+	if _, err := pp.Rewrite(broken); err != nil {
+		fmt.Printf("\nstatic rejection of an invalid constructor:\n  %v\n", err)
+	}
+
+	// --- 3. Fig. 11 executed: the typed construction. ---
+	d := wmlgen.NewDocument()
+	opt, err := d.CreateOptionType("..")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := opt.SetValue2(parentDir); err != nil {
+		log.Fatal(err)
+	}
+	sel := d.CreateSelectType().AddOption(d.CreateOption(opt))
+	if err := sel.SetName("directories"); err != nil {
+		log.Fatal(err)
+	}
+	for _, sub := range subDirs {
+		o, err := d.CreateOptionType(sub)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := o.SetValue2(currentDir + "/" + sub); err != nil {
+			log.Fatal(err)
+		}
+		sel.AddOption(d.CreateOption(o))
+	}
+	p := d.CreatePType()
+	p.Add(d.CreateB(currentDir))
+	p.Add(d.CreateBr(d.CreateBrType()))
+	p.Add(d.CreateSelect(sel))
+	p.Add(d.CreateBr(d.CreateBrType()))
+
+	deckCard := d.CreateCardType().AddP(d.CreateP(p))
+	if err := deckCard.SetId("dirs"); err != nil {
+		log.Fatal(err)
+	}
+	deck := d.CreateWml(d.CreateWmlType().AddCard(d.CreateCard(deckCard)))
+
+	out, err := vdom.MarshalIndent(deck)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n=== Fig. 11 executed: schema-valid WML by construction ===")
+	fmt.Println(out)
+	if err := wmlgen.RT.Verify(deck); err != nil {
+		log.Fatalf("impossible: V-DOM output failed validation: %v", err)
+	}
+	fmt.Println("(validator re-check: valid)")
+}

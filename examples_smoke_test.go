@@ -1,0 +1,87 @@
+package repro
+
+// Smoke tests for the example applications: each runs to completion and
+// prints its key artifacts.
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func runExample(t *testing.T, name string) string {
+	t.Helper()
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not available")
+	}
+	cmd := exec.Command("go", "run", "./examples/"+name)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("example %s: %v\n%s", name, err, out)
+	}
+	return string(out)
+}
+
+func TestExampleQuickstart(t *testing.T) {
+	out := runExample(t, "quickstart")
+	for _, want := range []string{
+		"validation of Fig. 1: ok=true",
+		"caught at runtime",
+		"maxExclusive",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("quickstart output missing %q", want)
+		}
+	}
+}
+
+func TestExamplePurchaseOrder(t *testing.T) {
+	out := runExample(t, "purchaseorder")
+	for _, want := range []string{
+		"purchaseOrderElement",  // Fig. 7 view
+		"Element purchaseOrder", // Fig. 4 view
+		"validator agrees the V-DOM output is valid: true",
+		`<item partNum="872-AA">`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("purchaseorder output missing %q", want)
+		}
+	}
+}
+
+func TestExampleWML(t *testing.T) {
+	out := runExample(t, "wml")
+	for _, want := range []string{
+		"=== Fig. 10 source preprocessed to Fig. 11 V-DOM code ===",
+		"d.CreateSelectType()",
+		"static rejection of an invalid constructor",
+		"(validator re-check: valid)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("wml output missing %q", want)
+		}
+	}
+}
+
+func TestExampleMediaArchive(t *testing.T) {
+	out := runExample(t, "mediaarchive")
+	if !strings.Contains(out, "0 invalid (by construction)") {
+		t.Errorf("mediaarchive output missing the validity line:\n%s", out)
+	}
+	if !strings.Contains(out, `<option value="/workspace">..</option>`) {
+		t.Errorf("mediaarchive deck missing parent option")
+	}
+}
+
+func TestExampleTypedQuery(t *testing.T) {
+	out := runExample(t, "typedquery")
+	for _, want := range []string{
+		"[Alice Smith]",
+		"attribute :SKU",
+		"statically rejected",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("typedquery output missing %q", want)
+		}
+	}
+}

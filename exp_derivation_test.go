@@ -1,0 +1,133 @@
+package repro
+
+// E7 — the §3 derivation-feature matrix: for each XML Schema feature the
+// paper maps onto inheritance (type extension, type restriction,
+// substitution groups, abstract elements, abstract types), check the
+// accept/reject behaviour on both the instance side (validator) and the
+// generator side (V-DOM bindings, covered in internal/gen/derivgen).
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dom"
+	"repro/internal/validator"
+	"repro/internal/xsd"
+)
+
+// e7Schema bundles every derivation feature in one vocabulary.
+const e7Schema = `<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+
+  <xsd:complexType name="Address">
+    <xsd:sequence>
+      <xsd:element name="name" type="xsd:string"/>
+      <xsd:element name="city" type="xsd:string"/>
+    </xsd:sequence>
+  </xsd:complexType>
+
+  <xsd:complexType name="USAddress">
+    <xsd:complexContent>
+      <xsd:extension base="Address">
+        <xsd:sequence>
+          <xsd:element name="zip" type="xsd:string"/>
+        </xsd:sequence>
+      </xsd:extension>
+    </xsd:complexContent>
+  </xsd:complexType>
+
+  <xsd:complexType name="AbstractBase" abstract="true">
+    <xsd:sequence>
+      <xsd:element name="tag" type="xsd:string"/>
+    </xsd:sequence>
+  </xsd:complexType>
+  <xsd:complexType name="Concrete">
+    <xsd:complexContent>
+      <xsd:extension base="AbstractBase">
+        <xsd:sequence/>
+      </xsd:extension>
+    </xsd:complexContent>
+  </xsd:complexType>
+
+  <xsd:simpleType name="SmallInt">
+    <xsd:restriction base="xsd:integer">
+      <xsd:maxInclusive value="10"/>
+    </xsd:restriction>
+  </xsd:simpleType>
+
+  <xsd:element name="address" type="Address"/>
+  <xsd:element name="thing" type="AbstractBase"/>
+  <xsd:element name="small" type="SmallInt"/>
+
+  <xsd:element name="comment" type="xsd:string"/>
+  <xsd:element name="shipComment" type="xsd:string" substitutionGroup="comment"/>
+  <xsd:complexType name="Block">
+    <xsd:sequence>
+      <xsd:element ref="comment" maxOccurs="unbounded"/>
+    </xsd:sequence>
+  </xsd:complexType>
+  <xsd:element name="block" type="Block"/>
+
+</xsd:schema>`
+
+// TestE7DerivationMatrix validates the accept/reject matrix.
+func TestE7DerivationMatrix(t *testing.T) {
+	schema, err := xsd.ParseString(e7Schema, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := validator.New(schema, nil)
+	xsi := `xmlns:xsi="http://www.w3.org/2001/XMLSchema-instance"`
+	cases := []struct {
+		name  string
+		doc   string
+		valid bool
+	}{
+		// Type extension: base content in a base slot.
+		{"base in base slot", `<address><name>n</name><city>c</city></address>`, true},
+		// Derived content requires xsi:type.
+		{"derived without xsi:type", `<address><name>n</name><city>c</city><zip>1</zip></address>`, false},
+		{"derived with xsi:type", `<address ` + xsi + ` xsi:type="USAddress"><name>n</name><city>c</city><zip>1</zip></address>`, true},
+		{"xsi:type to unrelated type", `<address ` + xsi + ` xsi:type="Block"><comment>x</comment></address>`, false},
+		// Abstract type: the element cannot appear with its declared
+		// abstract type...
+		{"abstract type directly", `<thing><tag>x</tag></thing>`, false},
+		// ...but can with a concrete derived xsi:type.
+		{"abstract via concrete xsi:type", `<thing ` + xsi + ` xsi:type="Concrete"><tag>x</tag></thing>`, true},
+		// Simple type restriction stays dynamic.
+		{"restriction within bounds", `<small>9</small>`, true},
+		{"restriction violated", `<small>11</small>`, false},
+		// Substitution groups.
+		{"head element", `<block><comment>x</comment></block>`, true},
+		{"substituted member", `<block><shipComment>x</shipComment></block>`, true},
+		{"mixed head and member", `<block><comment>x</comment><shipComment>y</shipComment></block>`, true},
+		{"non-member element", `<block><address><name>n</name><city>c</city></address></block>`, false},
+	}
+	t.Logf("%-34s %-8s %-8s", "case", "want", "got")
+	for _, c := range cases {
+		doc, derr := dom.ParseString(c.doc)
+		if derr != nil {
+			t.Fatalf("%s: %v", c.name, derr)
+		}
+		res := v.ValidateDocument(doc)
+		t.Logf("%-34s %-8v %-8v", c.name, c.valid, res.OK())
+		if res.OK() != c.valid {
+			t.Errorf("%s: valid=%v, want %v (%v)", c.name, res.OK(), c.valid, res.Err())
+		}
+	}
+}
+
+// TestE7RestrictionIsRuntimeChecked pins the paper's §3 statement: "to
+// enforce the restricted values validation checks at runtime are
+// necessary" — the restriction type accepts and rejects by value, which no
+// static Go type distinguishes.
+func TestE7RestrictionIsRuntimeChecked(t *testing.T) {
+	schema, _ := xsd.ParseString(e7Schema, nil)
+	small := schema.Types[xsd.QName{Local: "SmallInt"}].(*xsd.SimpleType)
+	if err := small.Validate("10"); err != nil {
+		t.Errorf("boundary: %v", err)
+	}
+	err := small.Validate("11")
+	if err == nil || !strings.Contains(err.Error(), "<= 10") {
+		t.Errorf("restriction check: %v", err)
+	}
+}

@@ -1,0 +1,123 @@
+package repro
+
+// E8 (addendum) — DTD vs XML Schema on the same vocabulary: the paper's
+// §1 motivation for leaving the authors' DTD-based system [14]. The test
+// shows the expressiveness gap (the DTD accepts every facet violation the
+// XSD rejects); the benchmark shows the runtime cost of each validator.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dom"
+	"repro/internal/dtd"
+	"repro/internal/schemas"
+	"repro/internal/validator"
+	"repro/internal/xsd"
+)
+
+// poDTDSubset is the purchase-order vocabulary as a DTD.
+const poDTDSubset = `
+<!ELEMENT purchaseOrder (shipTo, billTo, comment?, items)>
+<!ATTLIST purchaseOrder orderDate CDATA #IMPLIED>
+<!ELEMENT shipTo (name, street, city, state, zip)>
+<!ATTLIST shipTo country NMTOKEN #FIXED "US">
+<!ELEMENT billTo (name, street, city, state, zip)>
+<!ATTLIST billTo country NMTOKEN #FIXED "US">
+<!ELEMENT comment (#PCDATA)>
+<!ELEMENT items (item*)>
+<!ELEMENT item (productName, quantity, USPrice, comment?, shipDate?)>
+<!ATTLIST item partNum CDATA #REQUIRED>
+<!ELEMENT productName (#PCDATA)>
+<!ELEMENT quantity (#PCDATA)>
+<!ELEMENT USPrice (#PCDATA)>
+<!ELEMENT shipDate (#PCDATA)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT street (#PCDATA)>
+<!ELEMENT city (#PCDATA)>
+<!ELEMENT state (#PCDATA)>
+<!ELEMENT zip (#PCDATA)>
+`
+
+// TestE8ExpressivenessGap: the same invalid values pass the DTD and fail
+// the XSD — the paper's reason for upgrading.
+func TestE8ExpressivenessGap(t *testing.T) {
+	d, err := dtd.Parse("purchaseOrder", poDTDSubset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema, err := xsd.ParseString(schemas.PurchaseOrderXSD, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A structurally correct order with facet violations everywhere.
+	src := strings.NewReplacer(
+		"<quantity>1</quantity>", "<quantity>99999</quantity>",
+		`partNum="872-AA"`, `partNum="NOT-A-SKU"`,
+		"<zip>90952</zip>", "<zip>letters</zip>",
+	).Replace(schemas.PurchaseOrderDoc)
+	doc, err := dom.ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dtdRes := dtd.Validate(d, doc)
+	xsdRes := validator.New(schema, nil).ValidateDocument(doc)
+	t.Logf("facet-violating order: DTD valid=%v, XSD valid=%v (%d XSD violations)",
+		dtdRes.OK(), xsdRes.OK(), len(xsdRes.Violations))
+	if !dtdRes.OK() {
+		t.Errorf("the DTD should accept facet violations it cannot express: %v", dtdRes.Err())
+	}
+	if xsdRes.OK() {
+		t.Error("the XSD must reject the facet violations")
+	}
+	// Structural errors are caught by both.
+	broken := strings.Replace(schemas.PurchaseOrderDoc, "<billTo", "<XbillTo", 1)
+	broken = strings.Replace(broken, "</billTo>", "</XbillTo>", 1)
+	doc2, err := dom.ParseString(broken)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dtd.Validate(d, doc2).OK() {
+		t.Error("DTD should catch the structural error")
+	}
+	if validator.New(schema, nil).ValidateDocument(doc2).OK() {
+		t.Error("XSD should catch the structural error")
+	}
+}
+
+// BenchmarkE8_DTDValidate vs BenchmarkE8_XSDValidate: the price of the
+// richer checks.
+func BenchmarkE8_DTDValidate(b *testing.B) {
+	d, err := dtd.Parse("purchaseOrder", poDTDSubset)
+	if err != nil {
+		b.Fatal(err)
+	}
+	doc, err := dom.ParseString(schemas.PurchaseOrderDoc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := dtd.Validate(d, doc); !res.OK() {
+			b.Fatal(res.Err())
+		}
+	}
+}
+
+func BenchmarkE8_XSDValidate(b *testing.B) {
+	schema, err := xsd.ParseString(schemas.PurchaseOrderXSD, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	doc, err := dom.ParseString(schemas.PurchaseOrderDoc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := validator.New(schema, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := v.ValidateDocument(doc); !res.OK() {
+			b.Fatal(res.Err())
+		}
+	}
+}

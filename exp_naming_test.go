@@ -1,0 +1,172 @@
+package repro
+
+// E6 — naming-scheme stability under schema evolution (paper §3). For the
+// three evolutions the paper walks through we count how many generated
+// group names change under each scheme:
+//
+//   evolution                     synthesized  inherited  paper(merged)
+//   add a choice alternative      changes      stable     stable
+//   append to a sequence          changes      stable(*)  changes
+//   insert mid-sequence           changes      changes    changes
+//   named group (explicit)        stable       stable     stable
+//
+// (*) the paper argues a changed sequence SHOULD change its name — the
+// type's value space really changed — which is why it merges the schemes.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/normalize"
+	"repro/internal/xsd"
+)
+
+// namesUnder normalizes a schema and returns its generated group names.
+func namesUnder(t *testing.T, src string, scheme normalize.Scheme) map[string]bool {
+	t.Helper()
+	s, err := xsd.ParseString(src, nil)
+	if err != nil {
+		t.Fatalf("schema: %v", err)
+	}
+	n, err := normalize.Normalize(s, scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]bool{}
+	for _, g := range n.Groups {
+		out[g.Name] = true
+	}
+	return out
+}
+
+// stability compares before/after name sets: kept is the count of names
+// surviving the evolution.
+func stability(before, after map[string]bool) (kept, lost int) {
+	for n := range before {
+		if after[n] {
+			kept++
+		} else {
+			lost++
+		}
+	}
+	return
+}
+
+const e6Base = `<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="T">
+    <xsd:sequence>
+      <xsd:element name="head" type="xsd:string"/>
+      <xsd:choice>
+        <xsd:element name="a" type="xsd:string"/>
+        <xsd:element name="b" type="xsd:string"/>
+      </xsd:choice>
+      <xsd:sequence minOccurs="0" maxOccurs="unbounded">
+        <xsd:element name="k" type="xsd:string"/>
+        <xsd:element name="v" type="xsd:string"/>
+      </xsd:sequence>
+    </xsd:sequence>
+  </xsd:complexType>
+</xsd:schema>`
+
+// TestE6NamingStability reproduces the §3 argument quantitatively.
+func TestE6NamingStability(t *testing.T) {
+	evolutions := []struct {
+		name     string
+		old, new string
+	}{
+		{
+			name: "add choice alternative",
+			old:  `<xsd:element name="b" type="xsd:string"/>`,
+			new: `<xsd:element name="b" type="xsd:string"/>
+        <xsd:element name="c" type="xsd:string"/>`,
+		},
+		{
+			name: "append to repeated sequence",
+			old:  `<xsd:element name="v" type="xsd:string"/>`,
+			new: `<xsd:element name="v" type="xsd:string"/>
+        <xsd:element name="w" type="xsd:string"/>`,
+		},
+		{
+			name: "insert before the choice",
+			old:  `<xsd:element name="head" type="xsd:string"/>`,
+			new: `<xsd:element name="head" type="xsd:string"/>
+      <xsd:element name="inserted" type="xsd:string"/>`,
+		},
+	}
+	schemes := []normalize.Scheme{normalize.SchemeSynthesized, normalize.SchemeInherited, normalize.SchemePaper}
+
+	t.Logf("%-30s %-14s %-8s %-8s", "evolution", "scheme", "kept", "lost")
+	type key struct {
+		evo    string
+		scheme normalize.Scheme
+	}
+	results := map[key]int{} // lost counts
+	for _, evo := range evolutions {
+		after := strings.Replace(e6Base, evo.old, evo.new, 1)
+		if after == e6Base {
+			t.Fatalf("evolution %q did not apply", evo.name)
+		}
+		for _, scheme := range schemes {
+			before := namesUnder(t, e6Base, scheme)
+			post := namesUnder(t, after, scheme)
+			kept, lost := stability(before, post)
+			results[key{evo.name, scheme}] = lost
+			t.Logf("%-30s %-14s %-8d %-8d", evo.name, scheme.String(), kept, lost)
+		}
+	}
+
+	// The §3 claims, as assertions:
+	// 1. Synthesized naming breaks on an added choice alternative...
+	if results[key{"add choice alternative", normalize.SchemeSynthesized}] == 0 {
+		t.Error("synthesized naming should lose the choice name when an alternative is added")
+	}
+	// ...inherited (and the merged paper scheme) keep it.
+	if results[key{"add choice alternative", normalize.SchemeInherited}] != 0 {
+		t.Error("inherited naming should keep the choice name when an alternative is added")
+	}
+	if results[key{"add choice alternative", normalize.SchemePaper}] != 0 {
+		t.Error("the merged scheme should keep the choice name when an alternative is added")
+	}
+	// 2. Appending to a sequence: synthesized (and merged) change the
+	// sequence's name — the desired behaviour per the paper.
+	if results[key{"append to repeated sequence", normalize.SchemeSynthesized}] == 0 {
+		t.Error("synthesized naming should rename an extended sequence")
+	}
+	if results[key{"append to repeated sequence", normalize.SchemePaper}] == 0 {
+		t.Error("the merged scheme should rename an extended sequence")
+	}
+	// 3. Mid-sequence insertion shifts inherited positional names (the
+	// limitation the paper solves with explicit named groups).
+	if results[key{"insert before the choice", normalize.SchemeInherited}] == 0 {
+		t.Error("inherited naming should shift positional names on mid-sequence insertion")
+	}
+}
+
+// TestE6ExplicitNamingFixesInsertion shows the paper's remedy: pulling the
+// choice into a named xs:group keeps its name across every evolution.
+func TestE6ExplicitNamingFixesInsertion(t *testing.T) {
+	base := `<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:group name="ABChoice">
+    <xsd:choice>
+      <xsd:element name="a" type="xsd:string"/>
+      <xsd:element name="b" type="xsd:string"/>
+    </xsd:choice>
+  </xsd:group>
+  <xsd:complexType name="T">
+    <xsd:sequence>
+      <xsd:element name="head" type="xsd:string"/>
+      <xsd:group ref="ABChoice"/>
+    </xsd:sequence>
+  </xsd:complexType>
+</xsd:schema>`
+	evolved := strings.Replace(base, `<xsd:element name="head" type="xsd:string"/>`,
+		`<xsd:element name="head" type="xsd:string"/>
+      <xsd:element name="inserted" type="xsd:string"/>`, 1)
+	for _, scheme := range []normalize.Scheme{normalize.SchemeSynthesized, normalize.SchemeInherited, normalize.SchemePaper} {
+		before := namesUnder(t, base, scheme)
+		after := namesUnder(t, evolved, scheme)
+		if _, lost := stability(before, after); lost != 0 {
+			t.Errorf("%v: explicit group name lost on insertion (before %v, after %v)", scheme, before, after)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package repro
+
+// The central theorem as a property test: EVERY tree expressible through
+// the generated V-DOM API marshals to a document the independent runtime
+// validator accepts. The generator below drives the whole purchase-order
+// API surface randomly (optional members present or absent, item counts,
+// attribute presence, valid random values) — if any reachable program
+// produced an invalid document, this test would find it.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen/pogen"
+	"repro/internal/gen/wmlgen"
+	"repro/internal/validator"
+	"repro/internal/vdom"
+)
+
+// randWord produces a short random token.
+func randWord(r *rand.Rand) string {
+	n := 1 + r.Intn(10)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('a' + r.Intn(26))
+	}
+	return string(b)
+}
+
+// randSKU produces a valid SKU (\d{3}-[A-Z]{2}).
+func randSKU(r *rand.Rand) string {
+	return fmt.Sprintf("%03d-%c%c", r.Intn(1000), 'A'+r.Intn(26), 'A'+r.Intn(26))
+}
+
+// randOrder builds a random purchase order through the typed API.
+func randOrder(r *rand.Rand, d *pogen.Document) (*pogen.PurchaseOrderElement, error) {
+	addr := func() (*pogen.USAddressType, error) {
+		a := d.CreateUSAddressType(
+			d.CreateName(randWord(r)),
+			d.CreateStreet(randWord(r)),
+			d.CreateCity(randWord(r)),
+			d.CreateState(randWord(r)),
+			d.MustZip(fmt.Sprintf("%d", r.Intn(100000))),
+		)
+		if r.Intn(2) == 0 {
+			if err := a.SetCountry("US"); err != nil {
+				return nil, err
+			}
+		}
+		return a, nil
+	}
+	items := d.CreateItemsType()
+	for i := 0; i < r.Intn(6); i++ {
+		it := d.CreateItemTypeType(
+			d.CreateProductName(randWord(r)),
+			d.MustQuantity(fmt.Sprintf("%d", 1+r.Intn(99))),
+			d.MustUSPrice(fmt.Sprintf("%d.%02d", r.Intn(1000), r.Intn(100))),
+		)
+		if err := it.SetPartNum(randSKU(r)); err != nil {
+			return nil, err
+		}
+		if r.Intn(2) == 0 {
+			it.SetComment(d.CreateComment(randWord(r)))
+		}
+		if r.Intn(2) == 0 {
+			it.SetShipDate(d.MustShipDate(fmt.Sprintf("%04d-%02d-%02d", 1900+r.Intn(200), 1+r.Intn(12), 1+r.Intn(28))))
+		}
+		items.AddItem(d.CreateItem(it))
+	}
+	shipAddr, err := addr()
+	if err != nil {
+		return nil, err
+	}
+	billAddr, err := addr()
+	if err != nil {
+		return nil, err
+	}
+	po := d.CreatePurchaseOrderTypeType(d.CreateShipTo(shipAddr), d.CreateBillTo(billAddr), d.CreateItems(items))
+	if r.Intn(2) == 0 {
+		po.SetComment(d.CreateComment(randWord(r)))
+	}
+	if r.Intn(2) == 0 {
+		if err := po.SetOrderDate(fmt.Sprintf("%04d-%02d-%02d", 1900+r.Intn(200), 1+r.Intn(12), 1+r.Intn(28))); err != nil {
+			return nil, err
+		}
+	}
+	return d.CreatePurchaseOrder(po), nil
+}
+
+// TestPropertyVDOMAlwaysValid: 500 random typed programs, zero invalid
+// documents.
+func TestPropertyVDOMAlwaysValid(t *testing.T) {
+	r := rand.New(rand.NewSource(20020101))
+	d := pogen.NewDocument()
+	v := validator.New(pogen.RT.Schema, nil)
+	for i := 0; i < 500; i++ {
+		root, err := randOrder(r, d)
+		if err != nil {
+			t.Fatalf("iteration %d: build: %v", i, err)
+		}
+		doc, err := vdom.Marshal(root)
+		if err != nil {
+			t.Fatalf("iteration %d: marshal: %v", i, err)
+		}
+		if res := v.ValidateDocument(doc); !res.OK() {
+			out, _ := vdom.MarshalString(root)
+			t.Fatalf("iteration %d: THE THEOREM IS BROKEN:\n%v\n%s", i, res.Err(), out)
+		}
+	}
+}
+
+// TestPropertyVDOMWmlAlwaysValid: the same property over the WML bindings
+// (mixed content, choices, simple content with attributes).
+func TestPropertyVDOMWmlAlwaysValid(t *testing.T) {
+	r := rand.New(rand.NewSource(2002))
+	d := wmlgen.NewDocument()
+	v := validator.New(wmlgen.RT.Schema, nil)
+	for i := 0; i < 300; i++ {
+		deck := d.CreateWmlType()
+		for c := 0; c < 1+r.Intn(3); c++ {
+			card := d.CreateCardType()
+			if r.Intn(2) == 0 {
+				if err := card.SetId(randWord(r)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for pi := 0; pi < r.Intn(3); pi++ {
+				p := d.CreatePType()
+				for k := 0; k < r.Intn(5); k++ {
+					switch r.Intn(4) {
+					case 0:
+						p.Text(randWord(r))
+					case 1:
+						p.Add(d.CreateB(randWord(r)))
+					case 2:
+						p.Add(d.CreateBr(d.CreateBrType()))
+					case 3:
+						sel := d.CreateSelectType()
+						for o := 0; o < 1+r.Intn(3); o++ {
+							opt, err := d.CreateOptionType(randWord(r))
+							if err != nil {
+								t.Fatal(err)
+							}
+							sel.AddOption(d.CreateOption(opt))
+						}
+						p.Add(d.CreateSelect(sel))
+					}
+				}
+				card.AddP(d.CreateP(p))
+			}
+			deck.AddCard(d.CreateCard(card))
+		}
+		root := d.CreateWml(deck)
+		doc, err := vdom.Marshal(root)
+		if err != nil {
+			t.Fatalf("iteration %d: marshal: %v", i, err)
+		}
+		if res := v.ValidateDocument(doc); !res.OK() {
+			out, _ := vdom.MarshalString(root)
+			t.Fatalf("iteration %d: WML theorem broken:\n%v\n%s", i, res.Err(), out)
+		}
+	}
+}

@@ -1,0 +1,229 @@
+package codegen
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/normalize"
+	"repro/internal/xsd"
+)
+
+// IDLStyle selects between the paper's two representations of choice
+// groups.
+type IDLStyle int
+
+// Styles.
+const (
+	// IDLInheritance is the adopted design (paper Fig. 6, Appendix A):
+	// a super-interface per choice, alternatives inherit from it.
+	IDLInheritance IDLStyle = iota
+	// IDLUnion is the rejected design (paper Fig. 5): a union type with
+	// a discriminant enum per choice.
+	IDLUnion
+)
+
+// GenerateIDL renders the V-DOM interfaces in the paper's IDL notation —
+// the exact artifact of its Figures 5 and 6 and Appendix A. It exists to
+// regenerate those figures; Go programs use Generate instead.
+func GenerateIDL(schemaSource string, style IDLStyle, scheme normalize.Scheme) (string, error) {
+	schema, err := xsd.ParseString(schemaSource, nil)
+	if err != nil {
+		return "", err
+	}
+	norm, err := normalize.Normalize(schema, scheme)
+	if err != nil {
+		return "", err
+	}
+	w := &idlWriter{schema: schema, norm: norm, style: style}
+	// Global elements first (Appendix A order: purchaseOrderElement,
+	// commentElement, then the types).
+	for _, decl := range norm.Elements {
+		w.globalElement(decl)
+	}
+	for _, ti := range norm.Types {
+		// Promoted anonymous types render as top-level interfaces too —
+		// the paper nests them inside their owner, but the member lines
+		// are identical.
+		if ct, ok := ti.Type.(*xsd.ComplexType); ok {
+			w.complexType(ti.Name, ct)
+		}
+	}
+	for _, ti := range norm.Types {
+		if st, ok := ti.Type.(*xsd.SimpleType); ok && !ti.Promoted && st.Base != nil {
+			fmt.Fprintf(&w.b, "interface %s: %s { ... }\n\n", ti.Name, w.simpleName(st.Base))
+		}
+	}
+	return w.b.String(), nil
+}
+
+type idlWriter struct {
+	schema *xsd.Schema
+	norm   *normalize.Result
+	style  IDLStyle
+	b      strings.Builder
+}
+
+// simpleName renders a simple type's IDL name (built-ins become primitive
+// names as in the paper: string, decimal, date, NMToken...).
+func (w *idlWriter) simpleName(st *xsd.SimpleType) string {
+	if name, ok := w.norm.TypeName(st); ok {
+		return name
+	}
+	if st.Builtin != nil {
+		switch st.Builtin.Name {
+		case "date":
+			return "Date"
+		case "NMTOKEN":
+			return "NMToken"
+		default:
+			return st.Builtin.Name
+		}
+	}
+	return "string"
+}
+
+func (w *idlWriter) typeName(t xsd.Type) string {
+	switch x := t.(type) {
+	case *xsd.SimpleType:
+		return w.simpleName(x)
+	case *xsd.ComplexType:
+		if name, ok := w.norm.TypeName(x); ok {
+			return name + "Type"
+		}
+		return "anyType"
+	}
+	return "anyType"
+}
+
+// globalElement renders "interface xElement { attribute T content; }".
+func (w *idlWriter) globalElement(decl *xsd.ElementDecl) {
+	fmt.Fprintf(&w.b, "interface %sElement {\n", lowerFirst(normalizeLocal(decl.Name.Local)))
+	fmt.Fprintf(&w.b, "  attribute %s content;\n", w.typeName(decl.Type))
+	w.b.WriteString("}\n\n")
+}
+
+// complexType renders the type interface with nested element interfaces
+// (the paper nests local element interfaces inside the type, Appendix A).
+func (w *idlWriter) complexType(name string, ct *xsd.ComplexType) {
+	fmt.Fprintf(&w.b, "interface %sType {\n", name)
+	if ct.Particle != nil {
+		w.particleBody(ct.Particle, name)
+	}
+	for _, use := range ct.AttributeUses {
+		if use.Prohibited {
+			continue
+		}
+		fmt.Fprintf(&w.b, "  attribute %s %s;\n", w.simpleName(use.Decl.Type), use.Decl.Name.Local)
+	}
+	w.b.WriteString("}\n\n")
+}
+
+// particleBody renders nested interfaces and member attributes.
+func (w *idlWriter) particleBody(p *xsd.Particle, owner string) {
+	g := p.Group
+	if g == nil {
+		w.memberLines([]*xsd.Particle{p}, owner)
+		return
+	}
+	if g.Kind == xsd.Choice {
+		w.choiceBody(p, owner)
+		return
+	}
+	if p.Max == xsd.Unbounded || p.Max > 1 {
+		// List expression: one generated list attribute (paper rule 5).
+		inner := w.groupMemberType(p, owner)
+		fmt.Fprintf(&w.b, "  attribute list<%s> %sList;\n", inner, lowerFirst(inner))
+		return
+	}
+	w.memberLines(g.Particles, owner)
+}
+
+// memberLines renders one nested interface + attribute per member.
+func (w *idlWriter) memberLines(children []*xsd.Particle, owner string) {
+	// First the nested interfaces for locally used elements.
+	for _, c := range children {
+		if c.Element == nil {
+			continue
+		}
+		if !c.Element.Global {
+			w.nestedElementInterface(c.Element, "")
+		}
+	}
+	w.b.WriteString("\n")
+	for _, c := range children {
+		switch {
+		case c.Element != nil:
+			local := c.Element.Name.Local
+			if c.Max == xsd.Unbounded || c.Max > 1 {
+				fmt.Fprintf(&w.b, "  attribute list<%sElement> %sList;\n", lowerFirst(normalizeLocal(local)), lowerFirst(normalizeLocal(local)))
+			} else {
+				fmt.Fprintf(&w.b, "  attribute %sElement %s;\n", lowerFirst(normalizeLocal(local)), local)
+			}
+		case c.Group != nil && c.Group.Kind == xsd.Choice:
+			w.choiceBody(c, owner)
+		case c.Group != nil:
+			gname, _ := w.norm.GroupName(c.Group)
+			fmt.Fprintf(&w.b, "  attribute %s %s;\n", gname, lowerFirst(gname))
+		case c.Wildcard != nil:
+			w.b.WriteString("  attribute any anyContent;\n")
+		}
+	}
+}
+
+// nestedElementInterface renders "interface xElement: Super {...}".
+func (w *idlWriter) nestedElementInterface(decl *xsd.ElementDecl, super string) {
+	name := lowerFirst(normalizeLocal(decl.Name.Local)) + "Element"
+	if super != "" {
+		fmt.Fprintf(&w.b, "  interface %s: %s { attribute %s content;}\n", name, super, w.typeName(decl.Type))
+	} else {
+		fmt.Fprintf(&w.b, "  interface %s { attribute %s content;}\n", name, w.typeName(decl.Type))
+	}
+}
+
+// choiceBody renders the choice in the selected style.
+func (w *idlWriter) choiceBody(p *xsd.Particle, owner string) {
+	g := p.Group
+	gname, ok := w.norm.GroupName(g)
+	if !ok {
+		gname = owner + "CGroup"
+	}
+	var altNames []string
+	for _, alt := range g.Particles {
+		if alt.Element != nil {
+			altNames = append(altNames, alt.Element.Name.Local)
+		}
+	}
+	switch w.style {
+	case IDLUnion:
+		// Fig. 5: a union with a discriminant enum.
+		fmt.Fprintf(&w.b, "  typedef union %s\n", gname)
+		fmt.Fprintf(&w.b, "  switch (enum %sST(%s)){\n", strings.TrimSuffix(gname, "Group"), strings.Join(altNames, ","))
+		for _, alt := range g.Particles {
+			if alt.Element == nil {
+				continue
+			}
+			local := alt.Element.Name.Local
+			fmt.Fprintf(&w.b, "    case %s: %sElement %s;\n", local, lowerFirst(normalizeLocal(local)), local)
+		}
+		w.b.WriteString("  }\n")
+		fmt.Fprintf(&w.b, "  attribute %s %s;\n", gname, strings.TrimSuffix(gname, "Group"))
+	default:
+		// Fig. 6: an empty super-interface, alternatives inherit.
+		fmt.Fprintf(&w.b, "  interface %s {}\n", gname)
+		for _, alt := range g.Particles {
+			if alt.Element == nil {
+				continue
+			}
+			w.nestedElementInterface(alt.Element, gname)
+		}
+		fmt.Fprintf(&w.b, "  attribute %s %s;\n", gname, strings.TrimSuffix(gname, "Group"))
+	}
+}
+
+// groupMemberType names the element type of a repeating group member.
+func (w *idlWriter) groupMemberType(p *xsd.Particle, owner string) string {
+	if gname, ok := w.norm.GroupName(p.Group); ok {
+		return gname
+	}
+	return owner + "Item"
+}

@@ -1,0 +1,378 @@
+package contentmodel
+
+import (
+	"fmt"
+)
+
+// Glushkov is a position automaton over leaf particles, built with the
+// Aho–Sethi–Ullman followpos construction. Each position is one occurrence
+// of a leaf in the (count-expanded) content model.
+type Glushkov struct {
+	leaves   []*Leaf // position -> leaf
+	first    []int
+	last     map[int]bool
+	follow   [][]int
+	nullable bool
+}
+
+// ErrTooComplex is returned when count expansion would exceed the position
+// budget (callers fall back to the interpreter).
+var ErrTooComplex = fmt.Errorf("contentmodel: content model too large for position automaton")
+
+// expansion limits for the Glushkov construction.
+const (
+	maxPositions        = 4096
+	allPermutationLimit = 4
+)
+
+// gnode is the internal expanded regex tree.
+type gnode interface{ isG() }
+
+type gleaf struct{ pos int }
+type gseq struct{ items []gnode }
+type galt struct{ alts []gnode }
+type gstar struct{ sub gnode }
+type gempty struct{}
+
+func (gleaf) isG()  {}
+func (gseq) isG()   {}
+func (galt) isG()   {}
+func (gstar) isG()  {}
+func (gempty) isG() {}
+
+type gbuilder struct {
+	leaves []*Leaf
+}
+
+func (b *gbuilder) newLeaf(l *Leaf) (gnode, error) {
+	if len(b.leaves) >= maxPositions {
+		return nil, ErrTooComplex
+	}
+	b.leaves = append(b.leaves, l)
+	return gleaf{pos: len(b.leaves) - 1}, nil
+}
+
+// convert expands a particle into the internal tree, allocating fresh
+// positions per occurrence copy.
+func (b *gbuilder) convert(p *Particle) (gnode, error) {
+	if p == nil || (p.Leaf == nil && p.Group == nil) || p.Max == 0 {
+		return gempty{}, nil
+	}
+	one := func() (gnode, error) {
+		if p.Leaf != nil {
+			return b.newLeaf(p.Leaf)
+		}
+		return b.convertGroup(p.Group)
+	}
+	min, max := p.Min, p.Max
+	if min > maxPositions {
+		return nil, ErrTooComplex
+	}
+	var items []gnode
+	for i := 0; i < min; i++ {
+		n, err := one()
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, n)
+	}
+	switch {
+	case max == Unbounded:
+		n, err := one()
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, gstar{sub: n})
+	case max > min:
+		if max-min > maxPositions {
+			return nil, ErrTooComplex
+		}
+		for i := min; i < max; i++ {
+			n, err := one()
+			if err != nil {
+				return nil, err
+			}
+			items = append(items, galt{alts: []gnode{n, gempty{}}})
+		}
+	}
+	switch len(items) {
+	case 0:
+		return gempty{}, nil
+	case 1:
+		return items[0], nil
+	default:
+		return gseq{items: items}, nil
+	}
+}
+
+func (b *gbuilder) convertGroup(g *Group) (gnode, error) {
+	switch g.Kind {
+	case Sequence:
+		var items []gnode
+		for _, c := range g.Children {
+			n, err := b.convert(c)
+			if err != nil {
+				return nil, err
+			}
+			items = append(items, n)
+		}
+		if len(items) == 0 {
+			return gempty{}, nil
+		}
+		return gseq{items: items}, nil
+	case Choice:
+		var alts []gnode
+		for _, c := range g.Children {
+			n, err := b.convert(c)
+			if err != nil {
+				return nil, err
+			}
+			alts = append(alts, n)
+		}
+		if len(alts) == 0 {
+			return gempty{}, nil
+		}
+		return galt{alts: alts}, nil
+	default: // All: expand to a choice of permutations for small groups
+		n := len(g.Children)
+		if n > allPermutationLimit {
+			return nil, ErrTooComplex
+		}
+		perm := make([]int, n)
+		for i := range perm {
+			perm[i] = i
+		}
+		var alts []gnode
+		var build func(depth int) error
+		used := make([]bool, n)
+		order := make([]int, 0, n)
+		build = func(depth int) error {
+			if depth == n {
+				var items []gnode
+				for _, idx := range order {
+					cn, err := b.convert(g.Children[idx])
+					if err != nil {
+						return err
+					}
+					items = append(items, cn)
+				}
+				alts = append(alts, gseq{items: items})
+				return nil
+			}
+			for i := 0; i < n; i++ {
+				if used[i] {
+					continue
+				}
+				used[i] = true
+				order = append(order, i)
+				if err := build(depth + 1); err != nil {
+					return err
+				}
+				order = order[:len(order)-1]
+				used[i] = false
+			}
+			return nil
+		}
+		if n == 0 {
+			return gempty{}, nil
+		}
+		if err := build(0); err != nil {
+			return nil, err
+		}
+		return galt{alts: alts}, nil
+	}
+}
+
+// ginfo is the nullable/firstpos/lastpos triple.
+type ginfo struct {
+	nullable bool
+	first    []int
+	last     []int
+}
+
+// analyze computes nullable/first/last and fills follow.
+func analyze(n gnode, follow [][]int) ginfo {
+	switch x := n.(type) {
+	case gempty:
+		return ginfo{nullable: true}
+	case gleaf:
+		return ginfo{first: []int{x.pos}, last: []int{x.pos}}
+	case gseq:
+		cur := analyze(x.items[0], follow)
+		for _, item := range x.items[1:] {
+			next := analyze(item, follow)
+			for _, p := range cur.last {
+				follow[p] = append(follow[p], next.first...)
+			}
+			merged := ginfo{nullable: cur.nullable && next.nullable}
+			if cur.nullable {
+				merged.first = append(append([]int{}, cur.first...), next.first...)
+			} else {
+				merged.first = cur.first
+			}
+			if next.nullable {
+				merged.last = append(append([]int{}, next.last...), cur.last...)
+			} else {
+				merged.last = next.last
+			}
+			cur = merged
+		}
+		return cur
+	case galt:
+		out := ginfo{}
+		for _, alt := range x.alts {
+			ai := analyze(alt, follow)
+			out.nullable = out.nullable || ai.nullable
+			out.first = append(out.first, ai.first...)
+			out.last = append(out.last, ai.last...)
+		}
+		return out
+	case gstar:
+		inner := analyze(x.sub, follow)
+		for _, p := range inner.last {
+			follow[p] = append(follow[p], inner.first...)
+		}
+		return ginfo{nullable: true, first: inner.first, last: inner.last}
+	default:
+		panic("contentmodel: unknown gnode")
+	}
+}
+
+// CompileGlushkov builds the position automaton. It returns ErrTooComplex
+// for content models whose expansion exceeds the position budget; callers
+// should then use NewInterp.
+func CompileGlushkov(root *Particle) (*Glushkov, error) {
+	b := &gbuilder{}
+	tree, err := b.convert(root)
+	if err != nil {
+		return nil, err
+	}
+	follow := make([][]int, len(b.leaves))
+	info := analyze(tree, follow)
+	g := &Glushkov{
+		leaves:   b.leaves,
+		first:    dedupInts(info.first),
+		follow:   follow,
+		nullable: info.nullable,
+		last:     map[int]bool{},
+	}
+	for i := range follow {
+		g.follow[i] = dedupInts(follow[i])
+	}
+	for _, p := range info.last {
+		g.last[p] = true
+	}
+	return g, nil
+}
+
+func dedupInts(xs []int) []int {
+	if len(xs) == 0 {
+		return xs
+	}
+	seen := map[int]bool{}
+	out := xs[:0]
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// NumPositions returns the number of automaton positions (for tests).
+func (g *Glushkov) NumPositions() int { return len(g.leaves) }
+
+// Match runs the automaton over the child-name sequence. On success it
+// returns the leaf each child matched; on failure, a MatchError.
+func (g *Glushkov) Match(input []Symbol) ([]*Leaf, *MatchError) {
+	if len(input) == 0 {
+		if g.nullable {
+			return nil, nil
+		}
+		return nil, &MatchError{Index: 0, Premature: true, Expected: g.expectedLabels(g.first, false)}
+	}
+	assigned := make([]*Leaf, len(input))
+	cand := g.first // positions that may match the next symbol
+	var matched []int
+	for i, sym := range input {
+		matched = matched[:0]
+		var leaf *Leaf
+		for _, p := range cand {
+			if g.leaves[p].Accepts(sym) {
+				if leaf == nil {
+					leaf = g.leaves[p]
+				}
+				matched = append(matched, p)
+			}
+		}
+		if leaf == nil {
+			return nil, &MatchError{Index: i, Got: sym, Expected: g.expectedLabels(cand, i == 0 && g.nullable)}
+		}
+		assigned[i] = leaf
+		var nxt []int
+		for _, p := range matched {
+			nxt = append(nxt, g.follow[p]...)
+		}
+		cand = dedupInts(nxt)
+	}
+	// Accept iff a position matched by the final symbol is a last
+	// position of the augmented expression.
+	for _, p := range matched {
+		if g.last[p] {
+			return assigned, nil
+		}
+	}
+	return nil, &MatchError{Index: len(input), Premature: true, Expected: g.expectedLabels(cand, false)}
+}
+
+func (g *Glushkov) expectedLabels(positions []int, orEnd bool) []string {
+	var out []string
+	for _, p := range positions {
+		out = append(out, g.leaves[p].label())
+	}
+	if orEnd || len(positions) == 0 {
+		out = append(out, "end of content")
+	}
+	return dedupStrings(out)
+}
+
+// UPAViolation describes a Unique Particle Attribution conflict.
+type UPAViolation struct {
+	A, B string // labels of the conflicting particles
+}
+
+// Error implements the error interface.
+func (v *UPAViolation) Error() string {
+	return fmt.Sprintf("content model violates unique particle attribution: %s and %s can match the same element", v.A, v.B)
+}
+
+// CheckUPA verifies the Unique Particle Attribution constraint: no two
+// distinct particles may compete for the same element at any point.
+// Positions expanded from the same schema particle (the same *Leaf) do not
+// conflict.
+func (g *Glushkov) CheckUPA() error {
+	check := func(set []int) error {
+		for i := 0; i < len(set); i++ {
+			for j := i + 1; j < len(set); j++ {
+				a, b := g.leaves[set[i]], g.leaves[set[j]]
+				if a == b {
+					continue
+				}
+				if a.overlaps(b) {
+					return &UPAViolation{A: a.label(), B: b.label()}
+				}
+			}
+		}
+		return nil
+	}
+	if err := check(g.first); err != nil {
+		return err
+	}
+	for _, f := range g.follow {
+		if err := check(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,177 @@
+package contentmodel
+
+// Interp is a backtracking content-model interpreter. Unlike the Glushkov
+// automaton it handles arbitrary occurrence bounds and all-groups natively
+// (no count expansion), at the cost of potential backtracking on ambiguous
+// models; a step budget guards against pathological cases.
+type Interp struct {
+	root *Particle
+}
+
+// NewInterp wraps a particle for interpretation.
+func NewInterp(root *Particle) *Interp { return &Interp{root: root} }
+
+// interpRun carries the per-match state.
+type interpRun struct {
+	input    []Symbol
+	assigned []*Leaf
+	steps    int
+	// furthest tracks the deepest failure point for error reporting.
+	furthest int
+	expected []string
+}
+
+// maxInterpSteps bounds backtracking work per match.
+const maxInterpSteps = 1 << 22
+
+// Match checks the child-name sequence and returns per-child leaf
+// assignments, like Glushkov.Match.
+func (it *Interp) Match(input []Symbol) ([]*Leaf, *MatchError) {
+	run := &interpRun{input: input, assigned: make([]*Leaf, len(input))}
+	ok := run.particle(it.root, 0, func(pos int) bool { return pos == len(input) })
+	if ok {
+		return run.assigned, nil
+	}
+	me := &MatchError{Index: run.furthest, Expected: dedupStrings(run.expected)}
+	if run.furthest >= len(input) {
+		me.Premature = true
+	} else {
+		me.Got = input[run.furthest]
+	}
+	return nil, me
+}
+
+// fail records an expectation at the failure frontier.
+func (r *interpRun) fail(pos int, l *Leaf) bool {
+	if pos > r.furthest {
+		r.furthest = pos
+		r.expected = r.expected[:0]
+	}
+	if pos == r.furthest {
+		r.expected = append(r.expected, l.label())
+	}
+	return false
+}
+
+// particle matches p starting at pos and calls k with every reachable end
+// position until k returns true.
+func (r *interpRun) particle(p *Particle, pos int, k func(int) bool) bool {
+	r.steps++
+	if r.steps > maxInterpSteps {
+		return false
+	}
+	if p == nil || (p.Leaf == nil && p.Group == nil) || p.Max == 0 {
+		return k(pos)
+	}
+	var term func(pos int, k func(int) bool) bool
+	if p.Leaf != nil {
+		term = func(pos int, k func(int) bool) bool {
+			if pos >= len(r.input) || !p.Leaf.Accepts(r.input[pos]) {
+				return r.fail(pos, p.Leaf)
+			}
+			r.assigned[pos] = p.Leaf
+			return k(pos + 1)
+		}
+	} else {
+		term = func(pos int, k func(int) bool) bool {
+			return r.group(p.Group, pos, k)
+		}
+	}
+	// rep matches the term count more times (greedy, with backtracking
+	// into fewer repetitions down to Min).
+	var rep func(count, pos int) bool
+	rep = func(count, pos int) bool {
+		r.steps++
+		if r.steps > maxInterpSteps {
+			return false
+		}
+		if p.Max != Unbounded && count == p.Max {
+			return k(pos)
+		}
+		// Greedy: try one more occurrence first.
+		if term(pos, func(next int) bool {
+			if next == pos && count >= p.Min {
+				// The term matched empty; looping again cannot make
+				// progress, so stop here.
+				return false
+			}
+			return rep(count+1, next)
+		}) {
+			return true
+		}
+		if count >= p.Min {
+			return k(pos)
+		}
+		return false
+	}
+	return rep(0, pos)
+}
+
+// group matches a model group at pos.
+func (r *interpRun) group(g *Group, pos int, k func(int) bool) bool {
+	switch g.Kind {
+	case Sequence:
+		var seq func(idx, pos int) bool
+		seq = func(idx, pos int) bool {
+			if idx == len(g.Children) {
+				return k(pos)
+			}
+			return r.particle(g.Children[idx], pos, func(next int) bool {
+				return seq(idx+1, next)
+			})
+		}
+		return seq(0, pos)
+	case Choice:
+		for _, c := range g.Children {
+			if r.particle(c, pos, k) {
+				return true
+			}
+		}
+		return false
+	default: // All: match children in any order, each per its own bounds
+		n := len(g.Children)
+		used := make([]bool, n)
+		var all func(done, pos int) bool
+		all = func(done, pos int) bool {
+			r.steps++
+			if r.steps > maxInterpSteps {
+				return false
+			}
+			if done == n {
+				return k(pos)
+			}
+			for i := 0; i < n; i++ {
+				if used[i] {
+					continue
+				}
+				used[i] = true
+				ok := r.particle(g.Children[i], pos, func(next int) bool {
+					return all(done+1, next)
+				})
+				used[i] = false
+				if ok {
+					return true
+				}
+			}
+			return false
+		}
+		return all(0, pos)
+	}
+}
+
+// Matcher is the common interface of the two content-model matchers.
+type Matcher interface {
+	// Match checks a child-name sequence, returning the leaf particle
+	// each child matched, or a MatchError.
+	Match(input []Symbol) ([]*Leaf, *MatchError)
+}
+
+// Compile returns the best matcher for the particle: the Glushkov position
+// automaton when the model fits the position budget, otherwise the
+// interpreter.
+func Compile(p *Particle) Matcher {
+	if g, err := CompileGlushkov(p); err == nil {
+		return g
+	}
+	return NewInterp(p)
+}

@@ -1,0 +1,351 @@
+package dom
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *Document {
+	t.Helper()
+	d, err := ParseString(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return d
+}
+
+func TestParseBuildsTree(t *testing.T) {
+	d := mustParse(t, `<a x="1"><b>hi</b><c/></a>`)
+	root := d.DocumentElement()
+	if root == nil || root.TagName() != "a" {
+		t.Fatalf("root: %v", root)
+	}
+	if root.GetAttribute("x") != "1" {
+		t.Errorf("attr x: %q", root.GetAttribute("x"))
+	}
+	kids := root.ChildElements()
+	if len(kids) != 2 || kids[0].TagName() != "b" || kids[1].TagName() != "c" {
+		t.Fatalf("children: %v", kids)
+	}
+	if kids[0].TextContent() != "hi" {
+		t.Errorf("text content: %q", kids[0].TextContent())
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	cases := []string{
+		`<a><b x="1">text</b><c/></a>`,
+		`<a>one<b/>two</a>`,
+		`<r><!--c--><?pi data?><![CDATA[raw <markup>]]></r>`,
+		`<p:a xmlns:p="urn:x" p:k="v"><p:b/></p:a>`,
+	}
+	for _, src := range cases {
+		d := mustParse(t, src)
+		var sb strings.Builder
+		if err := Serialize(&sb, d, &SerializeOptions{OmitXMLDecl: true}); err != nil {
+			t.Fatalf("serialize: %v", err)
+		}
+		// Reparse the output and compare canonical dumps.
+		d2 := mustParse(t, sb.String())
+		if Dump(d) != Dump(d2) {
+			t.Errorf("round trip changed tree for %q:\nfirst:\n%s\nsecond:\n%s", src, Dump(d), Dump(d2))
+		}
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	d := NewDocument()
+	e := d.CreateElement("e")
+	e.SetAttribute("a", `<&">`)
+	_, _ = e.AppendChild(d.CreateTextNode(`a<b & c>d`))
+	_, _ = d.AppendChild(e)
+	got := ToString(e)
+	want := `<e a="&lt;&amp;&quot;>">a&lt;b &amp; c&gt;d</e>`
+	if got != want {
+		t.Errorf("escaping:\ngot  %s\nwant %s", got, want)
+	}
+	// The output must reparse to the same values.
+	d2 := mustParse(t, got)
+	r := d2.DocumentElement()
+	if r.GetAttribute("a") != `<&">` || r.TextContent() != `a<b & c>d` {
+		t.Errorf("reparse: attr=%q text=%q", r.GetAttribute("a"), r.TextContent())
+	}
+}
+
+func TestCDATASplitting(t *testing.T) {
+	d := NewDocument()
+	e := d.CreateElement("e")
+	_, _ = e.AppendChild(d.CreateCDATASection("a]]>b"))
+	_, _ = d.AppendChild(e)
+	out := ToString(e)
+	d2 := mustParse(t, out)
+	if got := d2.DocumentElement().TextContent(); got != "a]]>b" {
+		t.Errorf("cdata round trip: %q (serialized %q)", got, out)
+	}
+}
+
+func TestSingleRootEnforced(t *testing.T) {
+	d := NewDocument()
+	_, _ = d.AppendChild(d.CreateElement("a"))
+	_, err := d.AppendChild(d.CreateElement("b"))
+	if !errors.Is(err, ErrHierarchy) {
+		t.Errorf("second root: got %v", err)
+	}
+	// Comments and PIs are fine.
+	if _, err := d.AppendChild(d.CreateComment("ok")); err != nil {
+		t.Errorf("comment at doc level: %v", err)
+	}
+}
+
+func TestTextCannotHaveChildren(t *testing.T) {
+	d := NewDocument()
+	txt := d.CreateTextNode("x")
+	_, err := txt.AppendChild(d.CreateTextNode("y"))
+	if !errors.Is(err, ErrHierarchy) {
+		t.Errorf("text child: got %v", err)
+	}
+}
+
+func TestCycleRejected(t *testing.T) {
+	d := NewDocument()
+	a := d.CreateElement("a")
+	b := d.CreateElement("b")
+	_, _ = a.AppendChild(b)
+	if _, err := b.AppendChild(a); !errors.Is(err, ErrHierarchy) {
+		t.Errorf("cycle: got %v", err)
+	}
+	if _, err := a.AppendChild(a); !errors.Is(err, ErrHierarchy) {
+		t.Errorf("self append: got %v", err)
+	}
+}
+
+func TestWrongDocumentRejected(t *testing.T) {
+	d1, d2 := NewDocument(), NewDocument()
+	e := d1.CreateElement("e")
+	r := d2.CreateElement("r")
+	_, _ = d2.AppendChild(r)
+	if _, err := r.AppendChild(e); !errors.Is(err, ErrWrongDocument) {
+		t.Errorf("cross document: got %v", err)
+	}
+	// ImportNode fixes it.
+	imp := d2.ImportNode(e, true)
+	if _, err := r.AppendChild(imp); err != nil {
+		t.Errorf("after import: %v", err)
+	}
+}
+
+func TestInsertBeforeAndSiblings(t *testing.T) {
+	d := NewDocument()
+	r := d.CreateElement("r")
+	a := d.CreateElement("a")
+	c := d.CreateElement("c")
+	_, _ = r.AppendChild(a)
+	_, _ = r.AppendChild(c)
+	b := d.CreateElement("b")
+	if _, err := r.InsertBefore(b, c); err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, k := range r.ChildNodes() {
+		names = append(names, k.NodeName())
+	}
+	if strings.Join(names, ",") != "a,b,c" {
+		t.Fatalf("order: %v", names)
+	}
+	if b.PreviousSibling() != Node(a) || b.NextSibling() != Node(c) {
+		t.Errorf("sibling links wrong")
+	}
+	if a.PreviousSibling() != nil || c.NextSibling() != nil {
+		t.Errorf("end sibling links wrong")
+	}
+}
+
+func TestRemoveAndReplace(t *testing.T) {
+	d := mustParse(t, `<r><a/><b/><c/></r>`)
+	r := d.DocumentElement()
+	b := r.ChildElements()[1]
+	if _, err := r.RemoveChild(b); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.ChildElements()) != 2 || b.ParentNode() != nil {
+		t.Errorf("remove failed")
+	}
+	x := d.CreateElement("x")
+	old := r.ChildElements()[0]
+	if _, err := r.ReplaceChild(x, old); err != nil {
+		t.Fatal(err)
+	}
+	if r.ChildElements()[0].TagName() != "x" {
+		t.Errorf("replace order: %v", ToString(r))
+	}
+	if _, err := r.RemoveChild(old); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double remove: got %v", err)
+	}
+}
+
+func TestReparentingMove(t *testing.T) {
+	d := mustParse(t, `<r><a><x/></a><b/></r>`)
+	r := d.DocumentElement()
+	a, b := r.ChildElements()[0], r.ChildElements()[1]
+	x := a.ChildElements()[0]
+	if _, err := b.AppendChild(x); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.ChildElements()) != 0 || x.ParentNode() != Node(b) {
+		t.Errorf("move failed: %s", ToString(r))
+	}
+}
+
+func TestMoveEarlierSibling(t *testing.T) {
+	d := mustParse(t, `<r><a/><b/><c/></r>`)
+	r := d.DocumentElement()
+	a, c := r.ChildElements()[0], r.ChildElements()[2]
+	// Move a to just before c (i.e. after b).
+	if _, err := r.InsertBefore(a, c); err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, k := range r.ChildNodes() {
+		names = append(names, k.NodeName())
+	}
+	if strings.Join(names, ",") != "b,a,c" {
+		t.Errorf("order after move: %v", names)
+	}
+}
+
+func TestDocumentFragment(t *testing.T) {
+	d := mustParse(t, `<r><z/></r>`)
+	r := d.DocumentElement()
+	f := d.CreateDocumentFragment()
+	_, _ = f.AppendChild(d.CreateElement("a"))
+	_, _ = f.AppendChild(d.CreateElement("b"))
+	if _, err := r.InsertBefore(f, r.FirstChild()); err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, k := range r.ChildNodes() {
+		names = append(names, k.NodeName())
+	}
+	if strings.Join(names, ",") != "a,b,z" {
+		t.Errorf("fragment insert: %v", names)
+	}
+	if f.HasChildNodes() {
+		t.Errorf("fragment should be empty after insertion")
+	}
+}
+
+func TestCloneNode(t *testing.T) {
+	d := mustParse(t, `<r k="v"><a><b>t</b></a></r>`)
+	r := d.DocumentElement()
+	shallow := r.CloneNode(false).(*Element)
+	if shallow.HasChildNodes() || shallow.GetAttribute("k") != "v" {
+		t.Errorf("shallow clone wrong: %s", ToString(shallow))
+	}
+	deep := r.CloneNode(true).(*Element)
+	if ToString(deep) != ToString(r) {
+		t.Errorf("deep clone: %s != %s", ToString(deep), ToString(r))
+	}
+	// Mutating the clone must not affect the original.
+	deep.ChildElements()[0].SetAttribute("new", "1")
+	if r.ChildElements()[0].HasAttribute("new") {
+		t.Errorf("clone aliases original")
+	}
+}
+
+func TestAttributesNSAndOrder(t *testing.T) {
+	d := NewDocument()
+	e := d.CreateElement("e")
+	e.SetAttribute("b", "2")
+	e.SetAttribute("a", "1")
+	e.SetAttributeNS("urn:x", "p:c", "3")
+	if got := len(e.Attributes()); got != 3 {
+		t.Fatalf("attr count: %d", got)
+	}
+	// Document order is insertion order.
+	if e.Attributes()[0].NodeName() != "b" {
+		t.Errorf("attr order: %v", e.Attributes()[0].NodeName())
+	}
+	if e.GetAttributeNS("urn:x", "c") != "3" {
+		t.Errorf("ns attr lookup failed")
+	}
+	e.SetAttribute("b", "22") // replace keeps position
+	if e.Attributes()[0].Value() != "22" {
+		t.Errorf("attr replace: %v", e.Attributes()[0].Value())
+	}
+	e.RemoveAttributeNS("urn:x", "c")
+	if e.HasAttributeNS("urn:x", "c") {
+		t.Errorf("remove ns attr failed")
+	}
+}
+
+func TestGetElementsByTagName(t *testing.T) {
+	d := mustParse(t, `<r><a/><b><a/><c><a/></c></b></r>`)
+	if got := len(d.GetElementsByTagName("a")); got != 3 {
+		t.Errorf("GetElementsByTagName(a): %d", got)
+	}
+	if got := len(d.GetElementsByTagName("*")); got != 6 { // includes the root
+		t.Errorf("GetElementsByTagName(*): %d", got)
+	}
+}
+
+func TestGetElementsByTagNameNS(t *testing.T) {
+	d := mustParse(t, `<r xmlns:p="urn:x"><p:a/><a/></r>`)
+	if got := len(d.GetElementsByTagNameNS("urn:x", "a")); got != 1 {
+		t.Errorf("ns lookup: %d", got)
+	}
+	if got := len(d.GetElementsByTagNameNS("*", "a")); got != 2 {
+		t.Errorf("ns wildcard: %d", got)
+	}
+}
+
+func TestTextContentConcat(t *testing.T) {
+	d := mustParse(t, `<r>a<b>b<c>c</c></b>d</r>`)
+	if got := d.DocumentElement().TextContent(); got != "abcd" {
+		t.Errorf("TextContent: %q", got)
+	}
+}
+
+func TestPrettyPrint(t *testing.T) {
+	d := mustParse(t, `<r><a><b>x</b></a></r>`)
+	out := ToStringIndent(d)
+	if !strings.Contains(out, "\n  <a>") || !strings.Contains(out, "<b>x</b>") {
+		t.Errorf("pretty print:\n%s", out)
+	}
+	// Pretty output must reparse to the same element structure.
+	d2 := mustParse(t, out)
+	if DumpElements(d) != DumpElements(d2) {
+		t.Errorf("pretty print changed structure")
+	}
+}
+
+func TestDoctypePreserved(t *testing.T) {
+	src := `<!DOCTYPE r [<!ELEMENT r EMPTY>]><r/>`
+	d := mustParse(t, src)
+	if d.Doctype == nil || d.Doctype.Name != "r" {
+		t.Fatalf("doctype missing")
+	}
+	out := ToString(d)
+	if !strings.Contains(out, "<!DOCTYPE r [") {
+		t.Errorf("doctype not serialized: %s", out)
+	}
+}
+
+func TestXMLDeclRecorded(t *testing.T) {
+	d := mustParse(t, `<?xml version="1.0" encoding="UTF-8"?><r/>`)
+	if d.Version != "1.0" || d.Encoding != "UTF-8" {
+		t.Errorf("decl: version=%q encoding=%q", d.Version, d.Encoding)
+	}
+}
+
+func TestDumpFig4Style(t *testing.T) {
+	// Paper Fig. 4: in plain DOM every node is just "Element" — the dump
+	// shows the generic interface for each node.
+	d := mustParse(t, `<purchaseOrder orderDate="1999-10-20"><shipTo country="US"><name>Alice Smith</name></shipTo></purchaseOrder>`)
+	got := Dump(d.DocumentElement())
+	for _, want := range []string{"Element purchaseOrder", "Element shipTo", "Element name", `Text "Alice Smith"`} {
+		if !strings.Contains(got, want) {
+			t.Errorf("dump missing %q:\n%s", want, got)
+		}
+	}
+}

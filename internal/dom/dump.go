@@ -1,0 +1,81 @@
+package dom
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dump renders the tree structure of a node as indented text, one line per
+// node, in the style of the paper's Fig. 4 ("Document fragment represented
+// in Dom"): every node shows its generic DOM interface name, demonstrating
+// that plain DOM types carry no schema information.
+func Dump(n Node) string {
+	var sb strings.Builder
+	dumpNode(&sb, n, 0)
+	return sb.String()
+}
+
+func dumpNode(sb *strings.Builder, n Node, depth int) {
+	sb.WriteString(strings.Repeat("  ", depth))
+	switch x := n.(type) {
+	case *Element:
+		fmt.Fprintf(sb, "Element %s", x.TagName())
+		if len(x.Attributes()) > 0 {
+			var parts []string
+			for _, a := range x.Attributes() {
+				parts = append(parts, fmt.Sprintf("%s=%q", a.NodeName(), a.Value()))
+			}
+			fmt.Fprintf(sb, " [%s]", strings.Join(parts, " "))
+		}
+	case *Text:
+		fmt.Fprintf(sb, "Text %q", x.Data)
+	case *CDATASection:
+		fmt.Fprintf(sb, "CDATASection %q", x.Data)
+	case *Comment:
+		fmt.Fprintf(sb, "Comment %q", x.Data)
+	case *ProcessingInstruction:
+		fmt.Fprintf(sb, "ProcessingInstruction %s %q", x.Target, x.Data)
+	case *Document:
+		sb.WriteString("Document")
+	case *DocumentType:
+		fmt.Fprintf(sb, "DocumentType %s", x.Name)
+	case *DocumentFragment:
+		sb.WriteString("DocumentFragment")
+	case *Attr:
+		fmt.Fprintf(sb, "Attr %s=%q", x.NodeName(), x.Value())
+	}
+	sb.WriteString("\n")
+	for _, c := range n.ChildNodes() {
+		dumpNode(sb, c, depth+1)
+	}
+}
+
+// DumpElements is like Dump but skips whitespace-only text nodes, which is
+// the usual view when inspecting data-oriented documents.
+func DumpElements(n Node) string {
+	var sb strings.Builder
+	dumpElems(&sb, n, 0)
+	return sb.String()
+}
+
+func dumpElems(sb *strings.Builder, n Node, depth int) {
+	if t, ok := n.(*Text); ok && isAllSpace(t.Data) {
+		return
+	}
+	sb.WriteString(strings.Repeat("  ", depth))
+	switch x := n.(type) {
+	case *Element:
+		sb.WriteString("Element " + x.TagName())
+		for _, a := range x.Attributes() {
+			fmt.Fprintf(sb, " @%s=%q", a.NodeName(), a.Value())
+		}
+	case *Text:
+		fmt.Fprintf(sb, "Text %q", x.Data)
+	default:
+		sb.WriteString(n.NodeType().String())
+	}
+	sb.WriteString("\n")
+	for _, c := range n.ChildNodes() {
+		dumpElems(sb, c, depth+1)
+	}
+}

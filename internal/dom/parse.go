@@ -1,0 +1,109 @@
+package dom
+
+import (
+	"fmt"
+
+	"repro/internal/xmlparser"
+)
+
+// Parse parses an XML document into a DOM tree.
+func Parse(src []byte) (*Document, error) {
+	return parseWith(src, nil)
+}
+
+// ParseString is a convenience wrapper around Parse.
+func ParseString(src string) (*Document, error) { return Parse([]byte(src)) }
+
+// ParseWithOptions parses with explicit parser options (e.g. fragment mode
+// or extra entities).
+func ParseWithOptions(src []byte, opts *xmlparser.Options) (*Document, error) {
+	return parseWith(src, opts)
+}
+
+func parseWith(src []byte, opts *xmlparser.Options) (*Document, error) {
+	dec := xmlparser.NewDecoder(src, opts)
+	doc := NewDocument()
+	var cur Node = doc
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return nil, err
+		}
+		if tok == nil {
+			return doc, nil
+		}
+		switch tok.Kind {
+		case xmlparser.KindXMLDecl:
+			attrs := tok.Data
+			_ = attrs
+			doc.Version = pseudoAttr(tok.Data, "version")
+			doc.Encoding = pseudoAttr(tok.Data, "encoding")
+		case xmlparser.KindDoctype:
+			dt := &DocumentType{Name: tok.Name.Local, ExternalID: tok.Target, InternalSubset: tok.Data}
+			dt.self = dt
+			dt.doc = doc
+			doc.Doctype = dt
+			if _, err := cur.AppendChild(dt); err != nil {
+				return nil, err
+			}
+		case xmlparser.KindStartElement:
+			e := doc.CreateElementNS(tok.Name.Space, tok.Name.Qualified())
+			for _, a := range tok.Attrs {
+				// Namespace declarations are kept as ordinary
+				// attributes so serialization round-trips.
+				e.SetAttributeNS(a.Name.Space, a.Name.Qualified(), a.Value)
+			}
+			if _, err := cur.AppendChild(e); err != nil {
+				return nil, fmt.Errorf("at %s: %w", tok.Pos, err)
+			}
+			cur = e
+		case xmlparser.KindEndElement:
+			cur = cur.ParentNode()
+		case xmlparser.KindText:
+			if cur == Node(doc) {
+				// Fragment mode: attach top-level text only if
+				// non-empty after the parser allowed it; documents
+				// never reach here with text.
+				if isAllSpace(tok.Data) {
+					continue
+				}
+			}
+			if tok.Data == "" {
+				continue
+			}
+			if _, err := cur.AppendChild(doc.CreateTextNode(tok.Data)); err != nil {
+				return nil, fmt.Errorf("at %s: %w", tok.Pos, err)
+			}
+		case xmlparser.KindCData:
+			if _, err := cur.AppendChild(doc.CreateCDATASection(tok.Data)); err != nil {
+				return nil, fmt.Errorf("at %s: %w", tok.Pos, err)
+			}
+		case xmlparser.KindComment:
+			if _, err := cur.AppendChild(doc.CreateComment(tok.Data)); err != nil {
+				return nil, fmt.Errorf("at %s: %w", tok.Pos, err)
+			}
+		case xmlparser.KindProcInst:
+			if _, err := cur.AppendChild(doc.CreateProcessingInstruction(tok.Target, tok.Data)); err != nil {
+				return nil, fmt.Errorf("at %s: %w", tok.Pos, err)
+			}
+		}
+	}
+}
+
+func isAllSpace(s string) bool {
+	for _, r := range s {
+		if !xmlparser.IsSpace(r) {
+			return false
+		}
+	}
+	return true
+}
+
+// pseudoAttr extracts name="value" from XML declaration text.
+func pseudoAttr(s, name string) string {
+	attrs, err := xmlparser.ParsePseudoAttrs(s)
+	if err != nil {
+		return ""
+	}
+	return attrs[name]
+}

@@ -1,0 +1,161 @@
+package dom
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// randomTree builds a random element tree with text, comments, attributes.
+func randomTree(r *rand.Rand, doc *Document, depth int) *Element {
+	e := doc.CreateElement(fmt.Sprintf("e%d", r.Intn(8)))
+	for i := 0; i < r.Intn(3); i++ {
+		e.SetAttribute(fmt.Sprintf("a%d", i), randText(r))
+	}
+	if depth >= 4 {
+		return e
+	}
+	for i := 0; i < r.Intn(4); i++ {
+		switch r.Intn(4) {
+		case 0:
+			// Avoid empty and adjacent text nodes: the serializer
+			// cannot represent the boundary between two text nodes,
+			// so they legitimately merge on reparse.
+			if t := randText(r); t != "" {
+				if _, isText := e.LastChild().(*Text); !isText || e.LastChild() == nil {
+					_, _ = e.AppendChild(doc.CreateTextNode(t))
+				}
+			}
+		case 1:
+			_, _ = e.AppendChild(doc.CreateComment("c" + fmt.Sprint(r.Intn(10))))
+		default:
+			_, _ = e.AppendChild(randomTree(r, doc, depth+1))
+		}
+	}
+	return e
+}
+
+// randText produces text with characters that need escaping.
+func randText(r *rand.Rand) string {
+	alphabet := []string{"a", "b", "<", ">", "&", "\"", "'", " ", "é", "\n"}
+	n := r.Intn(8)
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		sb.WriteString(alphabet[r.Intn(len(alphabet))])
+	}
+	return sb.String()
+}
+
+// TestQuickSerializeParseRoundTrip: serialize(parse(serialize(t))) is
+// stable and value-preserving for random trees — the fundamental
+// serializer/parser inverse property.
+func TestQuickSerializeParseRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		doc := NewDocument()
+		root := randomTree(r, doc, 0)
+		_, _ = doc.AppendChild(root)
+
+		out1 := ToString(doc)
+		doc2, err := ParseString(out1)
+		if err != nil {
+			t.Fatalf("iteration %d: reparse failed: %v\n%s", i, err, out1)
+		}
+		out2 := ToString(doc2)
+		if out1 != out2 {
+			t.Fatalf("iteration %d: serialization not stable:\n%s\n%s", i, out1, out2)
+		}
+		if Dump(doc) != Dump(doc2) {
+			t.Fatalf("iteration %d: tree changed across round trip", i)
+		}
+	}
+}
+
+// TestQuickMutationInvariants: random mutations keep parent/child/sibling
+// links consistent.
+func TestQuickMutationInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	doc := NewDocument()
+	root := doc.CreateElement("root")
+	_, _ = doc.AppendChild(root)
+	var pool []*Element
+	pool = append(pool, root)
+	for i := 0; i < 400; i++ {
+		switch r.Intn(3) {
+		case 0: // add
+			parent := pool[r.Intn(len(pool))]
+			e := doc.CreateElement(fmt.Sprintf("n%d", i))
+			if _, err := parent.AppendChild(e); err == nil {
+				pool = append(pool, e)
+			}
+		case 1: // move (may legitimately fail on cycles)
+			if len(pool) > 2 {
+				from := pool[r.Intn(len(pool))]
+				to := pool[r.Intn(len(pool))]
+				_, _ = to.AppendChild(from)
+			}
+		case 2: // remove a leaf
+			if len(pool) > 1 {
+				idx := 1 + r.Intn(len(pool)-1)
+				e := pool[idx]
+				if p := e.ParentNode(); p != nil && !e.HasChildNodes() {
+					_, _ = p.RemoveChild(e)
+					pool = append(pool[:idx], pool[idx+1:]...)
+				}
+			}
+		}
+		checkLinks(t, root)
+	}
+}
+
+// checkLinks asserts structural invariants over the whole tree.
+func checkLinks(t *testing.T, n Node) {
+	t.Helper()
+	kids := n.ChildNodes()
+	for i, c := range kids {
+		if c.ParentNode() != n {
+			t.Fatalf("child %d has wrong parent", i)
+		}
+		if i > 0 && c.PreviousSibling() != kids[i-1] {
+			t.Fatalf("broken previous-sibling link at %d", i)
+		}
+		if i < len(kids)-1 && c.NextSibling() != kids[i+1] {
+			t.Fatalf("broken next-sibling link at %d", i)
+		}
+		checkLinks(t, c)
+	}
+	if len(kids) > 0 {
+		if n.FirstChild() != kids[0] || n.LastChild() != kids[len(kids)-1] {
+			t.Fatal("first/last child mismatch")
+		}
+	}
+}
+
+// TestQuickEscaping: every string survives attribute and text escaping.
+func TestQuickEscaping(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for i := 0; i < 800; i++ {
+		s := randText(r)
+		doc := NewDocument()
+		e := doc.CreateElement("e")
+		e.SetAttribute("k", s)
+		_, _ = e.AppendChild(doc.CreateTextNode(s))
+		_, _ = doc.AppendChild(e)
+		doc2, err := ParseString(ToString(doc))
+		if err != nil {
+			t.Fatalf("%q: %v", s, err)
+		}
+		r2 := doc2.DocumentElement()
+		// Text round trip normalizes CR to LF (XML end-of-line rules).
+		wantText := strings.ReplaceAll(s, "\r", "\n")
+		wantAttr := strings.ReplaceAll(s, "\r", " ")
+		_ = wantAttr
+		if got := r2.TextContent(); got != wantText {
+			t.Fatalf("text %q -> %q", s, got)
+		}
+		if got := r2.GetAttribute("k"); got != s {
+			t.Fatalf("attr %q -> %q", s, got)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package dom
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestExpandEmptyOption(t *testing.T) {
+	d := mustParse(t, `<a><b/></a>`)
+	var sb strings.Builder
+	_ = Serialize(&sb, d.DocumentElement(), &SerializeOptions{ExpandEmpty: true})
+	if sb.String() != "<a><b></b></a>" {
+		t.Errorf("ExpandEmpty: %s", sb.String())
+	}
+}
+
+func TestOmitXMLDecl(t *testing.T) {
+	d := mustParse(t, `<?xml version="1.0"?><a/>`)
+	var with, without strings.Builder
+	_ = Serialize(&with, d, nil)
+	_ = Serialize(&without, d, &SerializeOptions{OmitXMLDecl: true})
+	if !strings.HasPrefix(with.String(), "<?xml") {
+		t.Errorf("decl missing: %s", with.String())
+	}
+	if strings.Contains(without.String(), "<?xml") {
+		t.Errorf("decl not omitted: %s", without.String())
+	}
+}
+
+// failWriter fails after n bytes to exercise error latching.
+type failWriter struct{ left int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.left <= 0 {
+		return 0, errors.New("disk full")
+	}
+	w.left -= len(p)
+	return len(p), nil
+}
+
+func TestSerializeErrorPropagation(t *testing.T) {
+	d := mustParse(t, `<a><b>some text content here</b><c/></a>`)
+	err := Serialize(&failWriter{left: 5}, d, nil)
+	if err == nil || !strings.Contains(err.Error(), "disk full") {
+		t.Errorf("write error not propagated: %v", err)
+	}
+}
+
+func TestAttrNodeSerialization(t *testing.T) {
+	d := NewDocument()
+	a := d.CreateAttribute("key")
+	a.SetValue(`va"l`)
+	if got := ToString(a); got != `key="va&quot;l"` {
+		t.Errorf("attr serialization: %s", got)
+	}
+}
+
+func TestCommentAndPISerialization(t *testing.T) {
+	d := NewDocument()
+	e := d.CreateElement("r")
+	_, _ = e.AppendChild(d.CreateComment(" note "))
+	_, _ = e.AppendChild(d.CreateProcessingInstruction("target", "data"))
+	_, _ = e.AppendChild(d.CreateProcessingInstruction("bare", ""))
+	_, _ = d.AppendChild(e)
+	got := ToString(e)
+	if got != "<r><!-- note --><?target data?><?bare?></r>" {
+		t.Errorf("comment/pi: %s", got)
+	}
+}
+
+func TestPrettyPrintMixedContentPreserved(t *testing.T) {
+	// Mixed content must not be re-indented (whitespace is significant).
+	d := mustParse(t, `<p>hello <b>bold</b> world</p>`)
+	out := ToStringIndent(d)
+	if !strings.Contains(out, "hello <b>bold</b> world") {
+		t.Errorf("mixed content reformatted:\n%s", out)
+	}
+}
+
+func TestDocumentFragmentSerialization(t *testing.T) {
+	d := NewDocument()
+	f := d.CreateDocumentFragment()
+	_, _ = f.AppendChild(d.CreateElement("a"))
+	_, _ = f.AppendChild(d.CreateTextNode("x"))
+	if got := ToString(f); got != "<a/>x" {
+		t.Errorf("fragment: %s", got)
+	}
+}
+
+func TestTextContentOnLeafKinds(t *testing.T) {
+	d := NewDocument()
+	if d.CreateComment("c").TextContent() != "" {
+		t.Error("comment text content should not leak")
+	}
+	if d.CreateTextNode("t").TextContent() != "t" {
+		t.Error("text node TextContent")
+	}
+	if d.CreateCDATASection("x").TextContent() != "x" {
+		t.Error("cdata TextContent")
+	}
+}

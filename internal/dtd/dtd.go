@@ -1,0 +1,510 @@
+// Package dtd parses Document Type Definitions (the internal subset) and
+// validates DOM documents against them. DTDs are the weaker schema
+// language the authors' previous system [14] was built on; the paper's §1
+// positions XML Schema as their replacement, and the repository keeps the
+// DTD path as the comparison baseline.
+package dtd
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/contentmodel"
+	"repro/internal/xmlparser"
+)
+
+// ContentKind classifies an element type's declared content.
+type ContentKind int
+
+// Content kinds.
+const (
+	// ContentEmpty is EMPTY.
+	ContentEmpty ContentKind = iota
+	// ContentAny is ANY.
+	ContentAny
+	// ContentMixed is (#PCDATA | a | b)*.
+	ContentMixed
+	// ContentChildren is a children content model expression.
+	ContentChildren
+)
+
+// ElementDecl is an <!ELEMENT> declaration.
+type ElementDecl struct {
+	Name string
+	Kind ContentKind
+	// MixedNames are the element names admitted in mixed content.
+	MixedNames []string
+	// Model is the children content model (Kind == ContentChildren).
+	Model *contentmodel.Particle
+
+	// matcher caches the compiled content-model automaton.
+	matcher contentmodel.Matcher
+}
+
+// Matcher returns (building on first use) the compiled matcher for a
+// children content model.
+func (d *ElementDecl) Matcher() contentmodel.Matcher {
+	if d.matcher == nil {
+		d.matcher = contentmodel.Compile(d.Model)
+	}
+	return d.matcher
+}
+
+// AttType is a DTD attribute type.
+type AttType int
+
+// Attribute types.
+const (
+	AttCDATA AttType = iota
+	AttID
+	AttIDREF
+	AttIDREFS
+	AttENTITY
+	AttENTITIES
+	AttNMTOKEN
+	AttNMTOKENS
+	AttEnum
+	AttNotation
+)
+
+// DefaultKind is an attribute default constraint.
+type DefaultKind int
+
+// Default kinds.
+const (
+	DefaultImplied DefaultKind = iota
+	DefaultRequired
+	DefaultFixed
+	DefaultValue
+)
+
+// AttDef is one attribute definition of an <!ATTLIST>.
+type AttDef struct {
+	Name    string
+	Type    AttType
+	Enum    []string
+	Default DefaultKind
+	Value   string // default or fixed value
+}
+
+// DTD is a parsed document type definition.
+type DTD struct {
+	// RootName is the doctype name (the required root element type).
+	RootName string
+	Elements map[string]*ElementDecl
+	// Attlists maps element name -> attribute definitions.
+	Attlists map[string][]*AttDef
+	// Entities are the declared internal general entities.
+	Entities map[string]string
+	// Notations records declared notation names.
+	Notations map[string]bool
+}
+
+// Parse parses the raw internal-subset text of a DOCTYPE declaration.
+func Parse(rootName, subset string) (*DTD, error) {
+	d := &DTD{
+		RootName:  rootName,
+		Elements:  map[string]*ElementDecl{},
+		Attlists:  map[string][]*AttDef{},
+		Entities:  map[string]string{},
+		Notations: map[string]bool{},
+	}
+	p := &parser{src: subset}
+	for {
+		p.skipSpaceAndComments()
+		if p.eof() {
+			return d, nil
+		}
+		switch {
+		case p.consume("<!ELEMENT"):
+			if err := p.elementDecl(d); err != nil {
+				return nil, err
+			}
+		case p.consume("<!ATTLIST"):
+			if err := p.attlistDecl(d); err != nil {
+				return nil, err
+			}
+		case p.consume("<!ENTITY"):
+			if err := p.entityDecl(d); err != nil {
+				return nil, err
+			}
+		case p.consume("<!NOTATION"):
+			if err := p.notationDecl(d); err != nil {
+				return nil, err
+			}
+		case p.consume("<?"):
+			if _, err := p.until("?>"); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, p.errf("unexpected content in internal subset")
+		}
+	}
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("dtd: %s (at offset %d)", fmt.Sprintf(format, args...), p.pos)
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c != ' ' && c != '\t' && c != '\n' && c != '\r' {
+			return
+		}
+		p.pos++
+	}
+}
+
+func (p *parser) skipSpaceAndComments() {
+	for {
+		p.skipSpace()
+		if strings.HasPrefix(p.src[p.pos:], "<!--") {
+			end := strings.Index(p.src[p.pos:], "-->")
+			if end < 0 {
+				p.pos = len(p.src)
+				return
+			}
+			p.pos += end + 3
+			continue
+		}
+		return
+	}
+}
+
+func (p *parser) consume(tok string) bool {
+	if strings.HasPrefix(p.src[p.pos:], tok) {
+		p.pos += len(tok)
+		return true
+	}
+	return false
+}
+
+func (p *parser) until(term string) (string, error) {
+	i := strings.Index(p.src[p.pos:], term)
+	if i < 0 {
+		return "", p.errf("missing %q", term)
+	}
+	out := p.src[p.pos : p.pos+i]
+	p.pos += i + len(term)
+	return out, nil
+}
+
+func (p *parser) name() (string, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) {
+		r := rune(p.src[p.pos])
+		if !xmlparser.IsNameChar(r) {
+			break
+		}
+		p.pos++
+	}
+	if p.pos == start {
+		return "", p.errf("expected a name")
+	}
+	return p.src[start:p.pos], nil
+}
+
+// elementDecl parses the rest of <!ELEMENT name contentspec>.
+func (p *parser) elementDecl(d *DTD) error {
+	name, err := p.name()
+	if err != nil {
+		return err
+	}
+	if _, dup := d.Elements[name]; dup {
+		return p.errf("element %q declared twice", name)
+	}
+	decl := &ElementDecl{Name: name}
+	p.skipSpace()
+	switch {
+	case p.consume("EMPTY"):
+		decl.Kind = ContentEmpty
+	case p.consume("ANY"):
+		decl.Kind = ContentAny
+	case strings.HasPrefix(p.src[p.pos:], "(") && p.peekMixed():
+		if err := p.mixed(decl); err != nil {
+			return err
+		}
+	case strings.HasPrefix(p.src[p.pos:], "("):
+		model, err := p.cp()
+		if err != nil {
+			return err
+		}
+		decl.Kind = ContentChildren
+		decl.Model = model
+	default:
+		return p.errf("bad content spec for element %q", name)
+	}
+	p.skipSpace()
+	if !p.consume(">") {
+		return p.errf("missing '>' after element declaration %q", name)
+	}
+	d.Elements[name] = decl
+	return nil
+}
+
+// peekMixed looks ahead for "(#PCDATA".
+func (p *parser) peekMixed() bool {
+	rest := p.src[p.pos:]
+	rest = strings.TrimPrefix(rest, "(")
+	rest = strings.TrimLeft(rest, " \t\r\n")
+	return strings.HasPrefix(rest, "#PCDATA")
+}
+
+// mixed parses (#PCDATA) or (#PCDATA | a | b)*.
+func (p *parser) mixed(decl *ElementDecl) error {
+	p.consume("(")
+	p.skipSpace()
+	p.consume("#PCDATA")
+	decl.Kind = ContentMixed
+	for {
+		p.skipSpace()
+		if p.consume(")") {
+			p.consume("*") // optional for bare (#PCDATA)
+			return nil
+		}
+		if !p.consume("|") {
+			return p.errf("expected '|' or ')' in mixed content")
+		}
+		n, err := p.name()
+		if err != nil {
+			return err
+		}
+		decl.MixedNames = append(decl.MixedNames, n)
+	}
+}
+
+// cp parses a content particle: name or (choice|seq) with occurrence.
+func (p *parser) cp() (*contentmodel.Particle, error) {
+	p.skipSpace()
+	var particle *contentmodel.Particle
+	if p.consume("(") {
+		var children []*contentmodel.Particle
+		first, err := p.cp()
+		if err != nil {
+			return nil, err
+		}
+		children = append(children, first)
+		p.skipSpace()
+		sep := byte(0)
+		for {
+			p.skipSpace()
+			if p.consume(")") {
+				break
+			}
+			var this byte
+			switch {
+			case p.consume("|"):
+				this = '|'
+			case p.consume(","):
+				this = ','
+			default:
+				return nil, p.errf("expected '|', ',' or ')'")
+			}
+			if sep == 0 {
+				sep = this
+			} else if sep != this {
+				return nil, p.errf("cannot mix ',' and '|' in one group")
+			}
+			c, err := p.cp()
+			if err != nil {
+				return nil, err
+			}
+			children = append(children, c)
+		}
+		kind := contentmodel.Sequence
+		if sep == '|' {
+			kind = contentmodel.Choice
+		}
+		particle = &contentmodel.Particle{Min: 1, Max: 1, Group: &contentmodel.Group{Kind: kind, Children: children}}
+	} else {
+		n, err := p.name()
+		if err != nil {
+			return nil, err
+		}
+		particle = contentmodel.NewElementLeaf(1, 1, contentmodel.Symbol{Local: n}, n)
+	}
+	switch {
+	case p.consume("?"):
+		particle.Min, particle.Max = 0, 1
+	case p.consume("*"):
+		particle.Min, particle.Max = 0, contentmodel.Unbounded
+	case p.consume("+"):
+		particle.Min, particle.Max = 1, contentmodel.Unbounded
+	}
+	return particle, nil
+}
+
+// attlistDecl parses the rest of <!ATTLIST name (attdef)* >.
+func (p *parser) attlistDecl(d *DTD) error {
+	elem, err := p.name()
+	if err != nil {
+		return err
+	}
+	for {
+		p.skipSpace()
+		if p.consume(">") {
+			return nil
+		}
+		attName, err := p.name()
+		if err != nil {
+			return err
+		}
+		def := &AttDef{Name: attName}
+		p.skipSpace()
+		switch {
+		case p.consume("CDATA"):
+			def.Type = AttCDATA
+		case p.consume("IDREFS"):
+			def.Type = AttIDREFS
+		case p.consume("IDREF"):
+			def.Type = AttIDREF
+		case p.consume("ID"):
+			def.Type = AttID
+		case p.consume("ENTITIES"):
+			def.Type = AttENTITIES
+		case p.consume("ENTITY"):
+			def.Type = AttENTITY
+		case p.consume("NMTOKENS"):
+			def.Type = AttNMTOKENS
+		case p.consume("NMTOKEN"):
+			def.Type = AttNMTOKEN
+		case p.consume("NOTATION"):
+			def.Type = AttNotation
+			p.skipSpace()
+			if !p.consume("(") {
+				return p.errf("NOTATION type requires a name list")
+			}
+			if def.Enum, err = p.nameList(); err != nil {
+				return err
+			}
+		case strings.HasPrefix(p.src[p.pos:], "("):
+			p.consume("(")
+			def.Type = AttEnum
+			if def.Enum, err = p.nameList(); err != nil {
+				return err
+			}
+		default:
+			return p.errf("bad attribute type for %q", attName)
+		}
+		p.skipSpace()
+		switch {
+		case p.consume("#REQUIRED"):
+			def.Default = DefaultRequired
+		case p.consume("#IMPLIED"):
+			def.Default = DefaultImplied
+		case p.consume("#FIXED"):
+			def.Default = DefaultFixed
+			p.skipSpace()
+			v, err := p.quoted()
+			if err != nil {
+				return err
+			}
+			def.Value = v
+		default:
+			v, err := p.quoted()
+			if err != nil {
+				return err
+			}
+			def.Default = DefaultValue
+			def.Value = v
+		}
+		d.Attlists[elem] = append(d.Attlists[elem], def)
+	}
+}
+
+// nameList parses "a | b | c )" (the '(' is already consumed).
+func (p *parser) nameList() ([]string, error) {
+	var out []string
+	for {
+		p.skipSpace()
+		start := p.pos
+		for p.pos < len(p.src) && xmlparser.IsNameChar(rune(p.src[p.pos])) {
+			p.pos++
+		}
+		if p.pos == start {
+			return nil, p.errf("expected a name in list")
+		}
+		out = append(out, p.src[start:p.pos])
+		p.skipSpace()
+		if p.consume(")") {
+			return out, nil
+		}
+		if !p.consume("|") {
+			return nil, p.errf("expected '|' or ')' in name list")
+		}
+	}
+}
+
+func (p *parser) quoted() (string, error) {
+	p.skipSpace()
+	if p.eof() || (p.src[p.pos] != '"' && p.src[p.pos] != '\'') {
+		return "", p.errf("expected a quoted literal")
+	}
+	q := p.src[p.pos]
+	p.pos++
+	end := strings.IndexByte(p.src[p.pos:], q)
+	if end < 0 {
+		return "", p.errf("unterminated literal")
+	}
+	out := p.src[p.pos : p.pos+end]
+	p.pos += end + 1
+	return out, nil
+}
+
+// entityDecl parses the rest of <!ENTITY name "value"> (parameter and
+// external entities are recognized and skipped).
+func (p *parser) entityDecl(d *DTD) error {
+	p.skipSpace()
+	if p.consume("%") {
+		// Parameter entity: skip to '>'.
+		if _, err := p.until(">"); err != nil {
+			return err
+		}
+		return nil
+	}
+	name, err := p.name()
+	if err != nil {
+		return err
+	}
+	p.skipSpace()
+	if strings.HasPrefix(p.src[p.pos:], "SYSTEM") || strings.HasPrefix(p.src[p.pos:], "PUBLIC") {
+		if _, err := p.until(">"); err != nil {
+			return err
+		}
+		return nil
+	}
+	v, err := p.quoted()
+	if err != nil {
+		return err
+	}
+	p.skipSpace()
+	if !p.consume(">") {
+		return p.errf("missing '>' after entity %q", name)
+	}
+	if _, dup := d.Entities[name]; !dup {
+		d.Entities[name] = v
+	}
+	return nil
+}
+
+// notationDecl parses the rest of <!NOTATION name ...>.
+func (p *parser) notationDecl(d *DTD) error {
+	name, err := p.name()
+	if err != nil {
+		return err
+	}
+	if _, err := p.until(">"); err != nil {
+		return err
+	}
+	d.Notations[name] = true
+	return nil
+}

@@ -1,0 +1,107 @@
+package derivgen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/vdom"
+)
+
+func baseAddr(d *Document) *AddressType {
+	return d.CreateAddressType(d.CreateName("n"), d.CreateStreet("s"), d.CreateCity("c"))
+}
+
+func usAddr(d *Document) *USAddressType {
+	return d.CreateUSAddressType(
+		d.CreateName("n"), d.CreateStreet("s"), d.CreateCity("c"),
+		d.CreateState("CA"), d.CreateZip("90952"))
+}
+
+// TestTypeExtensionInheritance: a USAddressType value fills an
+// AddressType slot (paper §3: "instances of the subtype are allowed at
+// locations where objects of the super type are required").
+func TestTypeExtensionInheritance(t *testing.T) {
+	d := NewDocument()
+	// Both satisfy the derivation interface.
+	var slot AddressTypeIface = baseAddr(d)
+	_ = slot
+	slot = usAddr(d)
+
+	// Base content.
+	el := d.CreateAddress(baseAddr(d))
+	if err := RT.Verify(el); err != nil {
+		t.Errorf("base address: %v", err)
+	}
+	out, _ := vdom.MarshalString(el)
+	if strings.Contains(out, "xsi:type") {
+		t.Errorf("base content must not carry xsi:type:\n%s", out)
+	}
+
+	// Derived content in a base slot gets xsi:type and validates.
+	el = d.CreateAddress(usAddr(d))
+	out, err := vdom.MarshalString(el)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `xsi:type="USAddress"`) {
+		t.Errorf("derived content should carry xsi:type:\n%s", out)
+	}
+	if !strings.Contains(out, "<state>CA</state>") {
+		t.Errorf("inherited+extension members missing:\n%s", out)
+	}
+	if verr := RT.Verify(el); verr != nil {
+		t.Errorf("xsi:type document: %v", verr)
+	}
+}
+
+// TestSubstitutionGroup: shipComment and customerComment can stand
+// wherever comment is declared (§3's substitution-group example).
+func TestSubstitutionGroup(t *testing.T) {
+	d := NewDocument()
+	block := d.CreateCommentBlockType()
+	var c CommentSubst = d.CreateComment("plain")
+	block.AddComment(c)
+	block.AddComment(d.CreateShipComment("from shipping"))
+	block.AddComment(d.CreateCustomerComment("from the customer"))
+	el := d.CreateCommentBlock(block)
+	if err := RT.Verify(el); err != nil {
+		t.Fatalf("substitution members: %v", err)
+	}
+	out, _ := vdom.MarshalString(el)
+	for _, want := range []string{"<comment>plain</comment>", "<shipComment>", "<customerComment>"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestAbstractElement: the abstract head <note> has no constructor (a
+// compile-time property); its member shipNote fills note slots.
+func TestAbstractElement(t *testing.T) {
+	d := NewDocument()
+	block := d.CreateNoteBlockType()
+	block.AddNote(d.CreateShipNote("packed"))
+	// d.CreateNote("x") // compile error: no constructor for the abstract element
+	el := d.CreateNoteBlock(block)
+	if err := RT.Verify(el); err != nil {
+		t.Fatalf("abstract substitution: %v", err)
+	}
+	out, _ := vdom.MarshalString(el)
+	if !strings.Contains(out, "<shipNote>packed</shipNote>") {
+		t.Errorf("output: %s", out)
+	}
+}
+
+func TestSealedSubstInterface(t *testing.T) {
+	d := NewDocument()
+	// A name element is not in comment's substitution group.
+	if _, ok := any(d.CreateName("x")).(CommentSubst); ok {
+		t.Error("nameElement must not satisfy CommentSubst")
+	}
+	if _, ok := any(d.CreateShipNote("x")).(NoteSubst); !ok {
+		t.Error("shipNote should satisfy NoteSubst")
+	}
+	if _, ok := any(d.CreateShipNote("x")).(CommentSubst); ok {
+		t.Error("shipNote must not satisfy CommentSubst")
+	}
+}

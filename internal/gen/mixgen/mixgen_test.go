@@ -1,0 +1,115 @@
+package mixgen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/vdom"
+)
+
+// buildReport assembles a report exercising every promoted-group shape:
+// the choice (ReportCC2Group), the sequence group inside the choice
+// (FirstANDlastGroup), and the repeated sequence group (KeyANDvalueList).
+func buildReport(t *testing.T, alt ReportCC2Group) *ReportElement {
+	t.Helper()
+	d := NewDocument()
+	r := d.CreateReportType(d.CreateTitle("Q3"), alt)
+	r.AddKeyANDvalueList(d.CreateKeyANDvalueList(d.CreateKey("region"), d.CreateValue("EMEA")))
+	r.AddKeyANDvalueList(d.CreateKeyANDvalueList(d.CreateKey("status"), d.CreateValue("final")))
+	entry := d.CreateEntryTypeType(d.MustWhen("2026-07-06"))
+	if err := entry.SetId("e1"); err != nil {
+		t.Fatal(err)
+	}
+	r.AddEntry(d.CreateEntry(entry))
+	if err := r.SetVersion("2"); err != nil {
+		t.Fatal(err)
+	}
+	return d.CreateReport(r)
+}
+
+// TestChoiceWithSummaryAlternative: the element alternative.
+func TestChoiceWithSummaryAlternative(t *testing.T) {
+	d := NewDocument()
+	root := buildReport(t, d.CreateSummary("all good"))
+	if err := RT.Verify(root); err != nil {
+		t.Fatalf("summary alternative: %v", err)
+	}
+	out, _ := vdom.MarshalString(root)
+	for _, want := range []string{
+		"<summary>all good</summary>",
+		"<key>region</key><value>EMEA</value>",
+		"<key>status</key><value>final</value>",
+		`<entry id="e1"><when>2026-07-06</when></entry>`,
+		`version="2"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestChoiceWithSequenceGroupAlternative: the nested-sequence alternative —
+// a promoted group struct filling a choice slot (the paper's normal-form
+// rule 3 in action).
+func TestChoiceWithSequenceGroupAlternative(t *testing.T) {
+	d := NewDocument()
+	grp := d.CreateFirstANDlastGroup(d.CreateFirst("Ada"), d.CreateLast("Lovelace"))
+	root := buildReport(t, grp)
+	if err := RT.Verify(root); err != nil {
+		t.Fatalf("sequence-group alternative: %v", err)
+	}
+	out, _ := vdom.MarshalString(root)
+	if !strings.Contains(out, "<first>Ada</first><last>Lovelace</last>") {
+		t.Errorf("group members missing:\n%s", out)
+	}
+	// The group contributes its members without a wrapper element.
+	if strings.Contains(out, "FirstANDlast") {
+		t.Errorf("group leaked a wrapper element:\n%s", out)
+	}
+}
+
+// TestSequenceGroupRequiredMembers: a half-built group fails at marshal.
+func TestSequenceGroupRequiredMembers(t *testing.T) {
+	d := NewDocument()
+	grp := d.CreateFirstANDlastGroup(d.CreateFirst("only"), nil)
+	root := buildReport(t, grp)
+	if _, err := vdom.Marshal(root); err == nil {
+		t.Fatal("missing last member should fail at marshal")
+	}
+}
+
+// TestRepeatedGroupIsOptional: zero key/value pairs are fine (minOccurs=0).
+func TestRepeatedGroupIsOptional(t *testing.T) {
+	d := NewDocument()
+	r := d.CreateReportType(d.CreateTitle("t"), d.CreateSummary("s"))
+	if err := RT.Verify(d.CreateReport(r)); err != nil {
+		t.Fatalf("bare report: %v", err)
+	}
+}
+
+// TestAnonymousEntryType: the promoted anonymous complex type with its
+// date member and ID attribute.
+func TestAnonymousEntryType(t *testing.T) {
+	d := NewDocument()
+	if _, err := d.CreateWhen("not a date"); err == nil {
+		t.Error("bad date accepted")
+	}
+	e := d.CreateEntryTypeType(d.MustWhen("2026-01-01"))
+	if err := e.SetId("has space"); err == nil {
+		t.Error("bad ID accepted")
+	}
+}
+
+// TestChoiceSealed: key elements cannot fill the choice slot.
+func TestChoiceSealed(t *testing.T) {
+	d := NewDocument()
+	if _, ok := any(d.CreateKey("x")).(ReportCC2Group); ok {
+		t.Error("keyElement must not satisfy the report choice")
+	}
+	if _, ok := any(d.CreateSummary("x")).(ReportCC2Group); !ok {
+		t.Error("summaryElement should satisfy the report choice")
+	}
+	if _, ok := any(d.CreateFirstANDlastGroup(d.CreateFirst("a"), d.CreateLast("b"))).(ReportCC2Group); !ok {
+		t.Error("the sequence group should satisfy the report choice")
+	}
+}

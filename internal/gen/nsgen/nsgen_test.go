@@ -1,0 +1,77 @@
+package nsgen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dom"
+	"repro/internal/validator"
+	"repro/internal/vdom"
+)
+
+func buildOrder(t *testing.T) *OrderElement {
+	t.Helper()
+	d := NewDocument()
+	ot := d.CreateOrderTypeType(d.MustId("42"))
+	ot.SetNote(d.CreateNote("rush"))
+	if err := ot.SetPriority("3"); err != nil {
+		t.Fatal(err)
+	}
+	return d.CreateOrder(ot)
+}
+
+// TestNamespacedMarshalValidates: qualified elements serialize with the
+// right namespace declarations and validate.
+func TestNamespacedMarshalValidates(t *testing.T) {
+	root := buildOrder(t)
+	out, err := vdom.MarshalString(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `xmlns="urn:example:po"`) {
+		t.Errorf("missing namespace declaration:\n%s", out)
+	}
+	// The declaration appears once (children inherit it).
+	if strings.Count(out, `xmlns="urn:example:po"`) != 1 {
+		t.Errorf("namespace declared more than once:\n%s", out)
+	}
+	doc, err := dom.ParseString(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := doc.DocumentElement().NamespaceURI(); got != "urn:example:po" {
+		t.Errorf("root namespace: %q", got)
+	}
+	if res := validator.New(RT.Schema, nil).ValidateDocument(doc); !res.OK() {
+		t.Fatalf("namespaced document invalid:\n%v", res.Err())
+	}
+}
+
+func TestNamespacedVerify(t *testing.T) {
+	if err := RT.Verify(buildOrder(t)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQualifiedChildrenResolve(t *testing.T) {
+	root := buildOrder(t)
+	doc, err := vdom.Marshal(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := doc.GetElementsByTagNameNS("urn:example:po", "id")
+	if len(ids) != 1 || ids[0].TextContent() != "42" {
+		t.Errorf("qualified child lookup: %v", ids)
+	}
+}
+
+func TestValueChecksStillApply(t *testing.T) {
+	d := NewDocument()
+	if _, err := d.CreateId("0"); err == nil {
+		t.Error("id=0 should violate positiveInteger")
+	}
+	ot := d.CreateOrderTypeType(d.MustId("1"))
+	if err := ot.SetPriority("2147483648"); err == nil {
+		t.Error("priority overflow should violate xsd:int")
+	}
+}

@@ -1,0 +1,278 @@
+package pogen
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/dom"
+	"repro/internal/schemas"
+	"repro/internal/validator"
+	"repro/internal/vdom"
+)
+
+// buildFig1 constructs the paper's Figure 1 purchase order through the
+// typed V-DOM API — the program that, by the paper's central claim, can
+// only produce valid documents.
+func buildFig1(t testing.TB) *PurchaseOrderElement {
+	d := NewDocument()
+
+	shipAddr := d.CreateUSAddressType(
+		d.CreateName("Alice Smith"),
+		d.CreateStreet("123 Maple Street"),
+		d.CreateCity("Mill Valley"),
+		d.CreateState("CA"),
+		d.MustZip("90952"),
+	)
+	if err := shipAddr.SetCountry("US"); err != nil {
+		t.Fatalf("SetCountry: %v", err)
+	}
+	billAddr := d.CreateUSAddressType(
+		d.CreateName("Robert Smith"),
+		d.CreateStreet("8 Oak Avenue"),
+		d.CreateCity("Old Town"),
+		d.CreateState("PA"),
+		d.MustZip("95819"),
+	)
+	if err := billAddr.SetCountry("US"); err != nil {
+		t.Fatalf("SetCountry: %v", err)
+	}
+
+	item1 := d.CreateItemTypeType(
+		d.CreateProductName("Lawnmower"),
+		d.MustQuantity("1"),
+		d.MustUSPrice("148.95"),
+	)
+	item1.SetComment(d.CreateComment("Confirm this is electric"))
+	if err := item1.SetPartNum("872-AA"); err != nil {
+		t.Fatalf("SetPartNum: %v", err)
+	}
+	item2 := d.CreateItemTypeType(
+		d.CreateProductName("Baby Monitor"),
+		d.MustQuantity("1"),
+		d.MustUSPrice("39.98"),
+	)
+	item2.SetShipDate(d.MustShipDate("1999-05-21"))
+	if err := item2.SetPartNum("926-AA"); err != nil {
+		t.Fatalf("SetPartNum: %v", err)
+	}
+
+	items := d.CreateItemsType().
+		AddItem(d.CreateItem(item1)).
+		AddItem(d.CreateItem(item2))
+
+	po := d.CreatePurchaseOrderTypeType(
+		d.CreateShipTo(shipAddr),
+		d.CreateBillTo(billAddr),
+		d.CreateItems(items),
+	)
+	po.SetComment(d.CreateComment("Hurry, my lawn is going wild"))
+	if err := po.SetOrderDate("1999-10-20"); err != nil {
+		t.Fatalf("SetOrderDate: %v", err)
+	}
+	return d.CreatePurchaseOrder(po)
+}
+
+// TestFig1ByConstruction builds Fig. 1 via V-DOM, marshals it, and runs
+// the runtime validator over the result: the document must be valid (the
+// paper's headline guarantee) and structurally identical to the paper's
+// own instance text.
+func TestFig1ByConstruction(t *testing.T) {
+	root := buildFig1(t)
+	doc, err := vdom.Marshal(root)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	if res := validator.New(RT.Schema, nil).ValidateDocument(doc); !res.OK() {
+		t.Fatalf("V-DOM output failed validation:\n%v", res.Err())
+	}
+	// Structural comparison with the paper's Fig. 1 text.
+	want, perr := dom.ParseString(schemas.PurchaseOrderDoc)
+	if perr != nil {
+		t.Fatal(perr)
+	}
+	if got, wantDump := dom.DumpElements(doc.DocumentElement()), dom.DumpElements(want.DocumentElement()); got != wantDump {
+		t.Errorf("typed build differs from Fig. 1:\n--- got ---\n%s--- want ---\n%s", got, wantDump)
+	}
+}
+
+// TestFig7TypedDump reproduces the paper's Fig. 7: the same fragment as
+// Fig. 4 but every node carries its generated V-DOM interface name.
+func TestFig7TypedDump(t *testing.T) {
+	root := buildFig1(t)
+	dump := vdom.Dump(root)
+	for _, want := range []string{
+		"purchaseOrderElement",
+		"PurchaseOrderTypeType",
+		"shipToElement",
+		"USAddressType",
+		"nameElement",
+		"Text Alice Smith",
+		"ItemsType",
+		"itemElement",
+	} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("Fig. 7 dump missing %q:\n%s", want, dump)
+		}
+	}
+	// And the untyped Fig. 4 counterpart shows only generic interfaces.
+	doc, _ := vdom.Marshal(root)
+	fig4 := dom.Dump(doc.DocumentElement())
+	if strings.Contains(fig4, "USAddressType") {
+		t.Errorf("plain DOM dump should not know schema types:\n%s", fig4)
+	}
+}
+
+// TestVerifyProperty is the E1 core loop for the valid side: whatever we
+// build through the API verifies against the schema.
+func TestVerifyProperty(t *testing.T) {
+	if err := RT.Verify(buildFig1(t)); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestSimpleTypeFacetsAtCreation(t *testing.T) {
+	d := NewDocument()
+	// quantity: positiveInteger maxExclusive 100 — Fig. 3 lines 41-46.
+	if _, err := d.CreateQuantity("99"); err != nil {
+		t.Errorf("99: %v", err)
+	}
+	if _, err := d.CreateQuantity("100"); err == nil {
+		t.Error("100 should violate maxExclusive")
+	}
+	if _, err := d.CreateQuantity("0"); err == nil {
+		t.Error("0 should violate positiveInteger")
+	}
+	if _, err := d.CreateUSPrice("not-a-price"); err == nil {
+		t.Error("non-decimal price accepted")
+	}
+	if _, err := d.CreateShipDate("1999-13-40"); err == nil {
+		t.Error("bad date accepted")
+	}
+}
+
+func TestSKUNamedType(t *testing.T) {
+	if _, err := NewSKU("926-AA"); err != nil {
+		t.Errorf("926-AA: %v", err)
+	}
+	if _, err := NewSKU("926-aa"); err == nil {
+		t.Error("926-aa should fail the SKU pattern")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustSKU should panic on invalid input")
+		}
+	}()
+	MustSKU("bad")
+}
+
+func TestAttributeValidationAtSet(t *testing.T) {
+	d := NewDocument()
+	addr := d.CreateUSAddressType(d.CreateName("n"), d.CreateStreet("s"), d.CreateCity("c"), d.CreateState("st"), d.MustZip("1"))
+	// country is fixed to US.
+	if err := addr.SetCountry("DE"); err == nil {
+		t.Error("country=DE should violate the fixed value")
+	}
+	if err := addr.SetCountry("US"); err != nil {
+		t.Errorf("country=US: %v", err)
+	}
+	po := d.CreatePurchaseOrderTypeType(d.CreateShipTo(addr), d.CreateBillTo(addr), d.CreateItems(d.CreateItemsType()))
+	if err := po.SetOrderDate("not-a-date"); err == nil {
+		t.Error("bad orderDate accepted")
+	}
+	item := d.CreateItemTypeType(d.CreateProductName("p"), d.MustQuantity("1"), d.MustUSPrice("1"))
+	if err := item.SetPartNum("926-aa"); err == nil {
+		t.Error("partNum must match the SKU pattern")
+	}
+}
+
+func TestRequiredAttributeAtMarshal(t *testing.T) {
+	d := NewDocument()
+	item := d.CreateItemTypeType(d.CreateProductName("p"), d.MustQuantity("1"), d.MustUSPrice("1"))
+	// partNum (required) never set.
+	items := d.CreateItemsType().AddItem(d.CreateItem(item))
+	addr := d.CreateUSAddressType(d.CreateName("n"), d.CreateStreet("s"), d.CreateCity("c"), d.CreateState("st"), d.MustZip("1"))
+	po := d.CreatePurchaseOrderTypeType(d.CreateShipTo(addr), d.CreateBillTo(addr), d.CreateItems(items))
+	root := d.CreatePurchaseOrder(po)
+	_, err := vdom.Marshal(root)
+	var req *vdom.RequiredError
+	if !errors.As(err, &req) {
+		t.Fatalf("expected RequiredError for partNum, got %v", err)
+	}
+	if !strings.Contains(req.Error(), "partNum") {
+		t.Errorf("error should name partNum: %v", req)
+	}
+}
+
+func TestRequiredMemberNil(t *testing.T) {
+	d := NewDocument()
+	// A nil required member (possible by passing nil explicitly) is
+	// caught at marshal time.
+	po := d.CreatePurchaseOrderTypeType(nil, nil, nil)
+	_, err := vdom.Marshal(d.CreatePurchaseOrder(po))
+	var req *vdom.RequiredError
+	if !errors.As(err, &req) {
+		t.Fatalf("expected RequiredError, got %v", err)
+	}
+}
+
+func TestSerializedShape(t *testing.T) {
+	out, err := vdom.MarshalString(buildFig1(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`<purchaseOrder orderDate="1999-10-20">`,
+		`<shipTo country="US">`,
+		`<name>Alice Smith</name>`,
+		`<item partNum="872-AA">`,
+		`<USPrice>148.95</USPrice>`,
+		`<shipDate>1999-05-21</shipDate>`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("serialized output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGettersAndVDOMNames(t *testing.T) {
+	root := buildFig1(t)
+	if root.VDOMName() != "purchaseOrderElement" {
+		t.Errorf("VDOMName: %q", root.VDOMName())
+	}
+	po := root.Content()
+	if po.VDOMName() != "PurchaseOrderTypeType" {
+		t.Errorf("type VDOMName: %q", po.VDOMName())
+	}
+	if po.ShipTo().Content().Name().Value() != "Alice Smith" {
+		t.Errorf("getter chain broken")
+	}
+	if got, ok := po.OrderDate(); !ok || got != "1999-10-20" {
+		t.Errorf("OrderDate: %q %v", got, ok)
+	}
+	if n := len(po.Items().Content().Item()); n != 2 {
+		t.Errorf("items: %d", n)
+	}
+	if space, local := root.XMLQName(); space != "" || local != "purchaseOrder" {
+		t.Errorf("XMLQName: %q %q", space, local)
+	}
+}
+
+// TestRoundTripManyItems stresses the occurrence machinery: item is
+// 0..unbounded, so any count must marshal and validate.
+func TestRoundTripManyItems(t *testing.T) {
+	d := NewDocument()
+	items := d.CreateItemsType()
+	for i := 0; i < 200; i++ {
+		it := d.CreateItemTypeType(d.CreateProductName("p"), d.MustQuantity("1"), d.MustUSPrice("1.0"))
+		if err := it.SetPartNum("000-AA"); err != nil {
+			t.Fatal(err)
+		}
+		items.AddItem(d.CreateItem(it))
+	}
+	addr := d.CreateUSAddressType(d.CreateName("n"), d.CreateStreet("s"), d.CreateCity("c"), d.CreateState("st"), d.MustZip("1"))
+	po := d.CreatePurchaseOrderTypeType(d.CreateShipTo(addr), d.CreateBillTo(addr), d.CreateItems(items))
+	if err := RT.Verify(d.CreatePurchaseOrder(po)); err != nil {
+		t.Fatalf("200 items: %v", err)
+	}
+}

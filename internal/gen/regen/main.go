@@ -1,0 +1,61 @@
+// Command regen regenerates the checked-in V-DOM binding packages under
+// internal/gen/ from the schemas embedded in internal/schemas and
+// internal/wml. The codegen golden tests verify the checked-in files stay
+// in sync with the generator.
+//
+// Run from the repository root:
+//
+//	go run ./internal/gen/regen
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/codegen"
+	"repro/internal/normalize"
+	"repro/internal/schemas"
+	"repro/internal/wml"
+)
+
+// Targets lists the generated binding packages. Exported so the golden
+// test can iterate the same list.
+var targets = []struct {
+	Pkg     string
+	Source  string
+	Comment string
+}{
+	{"pogen", schemas.PurchaseOrderXSD, "the purchase order schema (paper Fig. 2/3)"},
+	{"evolvedgen", schemas.EvolvedPurchaseOrderXSD, "the evolved purchase order schema (paper §3 choice example)"},
+	{"derivgen", schemas.AddressDerivationXSD, "the address derivation schema (paper §3 extension/substitution examples)"},
+	{"wmlgen", wml.Schema, "the WML subset schema (paper §5)"},
+	{"nsgen", schemas.NamespacedOrderXSD, "the namespaced order schema (namespace-handling coverage)"},
+	{"mixgen", schemas.ComplexGroupsXSD, "the nested-groups schema (group-promotion coverage)"},
+}
+
+func main() {
+	root := "internal/gen"
+	for _, t := range targets {
+		code, err := codegen.Generate(t.Source, codegen.Options{
+			Package:       t.Pkg,
+			Scheme:        normalize.SchemePaper,
+			SchemaComment: t.Comment,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "regen %s: %v\n", t.Pkg, err)
+			os.Exit(1)
+		}
+		dir := filepath.Join(root, t.Pkg)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		out := filepath.Join(dir, t.Pkg+".go")
+		if err := os.WriteFile(out, []byte(code), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", out, len(code))
+	}
+}

@@ -1,0 +1,182 @@
+package wmlgen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/vdom"
+)
+
+// buildDirectoryPage builds the paper's §5 media-archive directory page
+// (Fig. 10/11): a select listing the parent directory and each
+// subdirectory, inside a paragraph showing the current directory in bold.
+func buildDirectoryPage(t testing.TB, currentDir, parentDir string, subDirs []string) *PElement {
+	d := NewDocument()
+
+	// s = <select name="directories"><option value=$parentDir$>..</option></select>
+	opt, err := d.CreateOptionType("..")
+	if err != nil {
+		t.Fatalf("CreateOptionType: %v", err)
+	}
+	// The option type's "value" attribute collides with the simple
+	// content accessor Value(), so the generator suffixed the setter.
+	if err := opt.SetValue2(parentDir); err != nil {
+		t.Fatalf("SetValue2: %v", err)
+	}
+	s := d.CreateSelectType().AddOption(d.CreateOption(opt))
+	if err := s.SetName("directories"); err != nil {
+		t.Fatalf("SetName: %v", err)
+	}
+
+	// for each subdirectory: o = <option value=$subDir$>$subDirs[i]$</option>; s.add(o)
+	for _, sub := range subDirs {
+		o, err := d.CreateOptionType(sub)
+		if err != nil {
+			t.Fatalf("option %q: %v", sub, err)
+		}
+		if err := o.SetValue2(currentDir + "/" + sub); err != nil {
+			t.Fatal(err)
+		}
+		s.AddOption(d.CreateOption(o))
+	}
+
+	// p = <p><b>$currentDir$</b><br/>$s$<br/></p>
+	p := d.CreatePType()
+	p.Add(d.CreateB(currentDir))
+	p.Add(d.CreateBr(d.CreateBrType()))
+	p.Add(d.CreateSelect(s))
+	p.Add(d.CreateBr(d.CreateBrType()))
+	return d.CreateP(p)
+}
+
+// TestFig10DirectoryPage: the generated page is valid WML by
+// construction and has the Fig. 8/10 shape.
+func TestFig10DirectoryPage(t *testing.T) {
+	page := buildDirectoryPage(t, "/workspace/media", "/workspace", []string{"audio", "video", "images"})
+	out, err := vdom.MarshalString(page)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	for _, want := range []string{
+		`<select name="directories">`,
+		`<option value="/workspace">..</option>`,
+		`<option value="/workspace/media/audio">audio</option>`,
+		`<option value="/workspace/media/video">video</option>`,
+		`<b>/workspace/media</b>`,
+		`<br/>`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("page missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestWholeDeckValidates: wml/card/p document verified against the WML
+// schema.
+func TestWholeDeckValidates(t *testing.T) {
+	d := NewDocument()
+	deckCard := d.CreateCardType()
+	p2 := buildDirectoryPage(t, "/a", "/", []string{"x", "y"})
+	deckCard.AddP(p2)
+	if err := deckCard.SetId("main"); err != nil {
+		t.Fatal(err)
+	}
+	if err := deckCard.SetTitle("Media Archive"); err != nil {
+		t.Fatal(err)
+	}
+	wml := d.CreateWmlType().AddCard(d.CreateCard(deckCard))
+	root := d.CreateWml(wml)
+	if err := RT.Verify(root); err != nil {
+		t.Fatalf("deck: %v", err)
+	}
+}
+
+// TestMixedContentOrderChecked: the mixed paragraph's element sequence is
+// still checked against the content model at marshal time.
+func TestMixedContentText(t *testing.T) {
+	d := NewDocument()
+	p := d.CreatePType()
+	p.Text("Hello ")
+	p.Add(d.CreateB("world"))
+	p.Text("!")
+	out, err := vdom.MarshalString(d.CreateP(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Hello <b>world</b>!") {
+		t.Errorf("mixed serialization: %s", out)
+	}
+}
+
+func TestMixedSealedMembers(t *testing.T) {
+	d := NewDocument()
+	// option is not allowed directly inside p.
+	if _, ok := any(d.CreateOption(mustOption(t, d, "x"))).(PTypeMember); ok {
+		t.Error("optionElement must not be addable to a paragraph")
+	}
+	if _, ok := any(d.CreateB("x")).(PTypeMember); !ok {
+		t.Error("bElement should be addable to a paragraph")
+	}
+}
+
+func mustOption(t *testing.T, d *Document, s string) *OptionType {
+	t.Helper()
+	o, err := d.CreateOptionType(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func TestSelectRequiresOneOption(t *testing.T) {
+	d := NewDocument()
+	s := d.CreateSelectType() // no options: violates minOccurs=1
+	p := d.CreatePType()
+	p.Add(d.CreateSelect(s))
+	_, err := vdom.MarshalString(d.CreateP(p))
+	if err == nil {
+		t.Fatal("empty select should violate option minOccurs=1")
+	}
+	if !strings.Contains(err.Error(), "option") {
+		t.Errorf("error should name the option member: %v", err)
+	}
+}
+
+func TestAlignmentEnumeration(t *testing.T) {
+	d := NewDocument()
+	p := d.CreatePType()
+	if err := p.SetAlign("center"); err != nil {
+		t.Errorf("center: %v", err)
+	}
+	if err := p.SetAlign("justified"); err == nil {
+		t.Error("justified should fail the Alignment enumeration")
+	}
+}
+
+func TestAttributeTypes(t *testing.T) {
+	d := NewDocument()
+	s := d.CreateSelectType()
+	if err := s.SetMultiple("true"); err != nil {
+		t.Errorf("multiple=true: %v", err)
+	}
+	if err := s.SetMultiple("yes"); err == nil {
+		t.Error("multiple=yes should fail xsd:boolean")
+	}
+	if err := s.SetName("has space"); err == nil {
+		t.Error("NMTOKEN with space should fail")
+	}
+	a, err := d.CreateAType("link text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SetHref("http://example.com/x"); err != nil {
+		t.Errorf("href: %v", err)
+	}
+	// href is required: marshaling without it fails.
+	p := d.CreatePType()
+	a2, _ := d.CreateAType("no href")
+	p.Add(d.CreateA(a2))
+	if _, err := vdom.MarshalString(d.CreateP(p)); err == nil {
+		t.Error("missing required href should fail at marshal")
+	}
+}

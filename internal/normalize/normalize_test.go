@@ -1,0 +1,252 @@
+package normalize
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/schemas"
+	"repro/internal/xsd"
+)
+
+func normalized(t *testing.T, src string, scheme Scheme) *Result {
+	t.Helper()
+	s, err := xsd.ParseString(src, nil)
+	if err != nil {
+		t.Fatalf("schema: %v", err)
+	}
+	r, err := Normalize(s, scheme)
+	if err != nil {
+		t.Fatalf("normalize: %v", err)
+	}
+	return r
+}
+
+func groupNames(r *Result) []string {
+	var out []string
+	for _, g := range r.Groups {
+		out = append(out, g.Name)
+	}
+	return out
+}
+
+func hasName(names []string, want string) bool {
+	for _, n := range names {
+		if n == want {
+			return true
+		}
+	}
+	return false
+}
+
+// TestFig6InheritedNaming reproduces the paper's Fig. 6 name: under the
+// merged (paper) scheme the choice inside PurchaseOrderType becomes
+// PurchaseOrderTypeCC1Group.
+func TestFig6InheritedNaming(t *testing.T) {
+	r := normalized(t, schemas.EvolvedPurchaseOrderXSD, SchemePaper)
+	names := groupNames(r)
+	if !hasName(names, "PurchaseOrderTypeCC1Group") {
+		t.Errorf("expected PurchaseOrderTypeCC1Group (Fig. 6), got %v", names)
+	}
+}
+
+// TestFig5SynthesizedNaming reproduces the rejected Fig. 5 design's name:
+// under pure synthesized naming the choice is singAddrORtwoAddr.
+func TestFig5SynthesizedNaming(t *testing.T) {
+	r := normalized(t, schemas.EvolvedPurchaseOrderXSD, SchemeSynthesized)
+	names := groupNames(r)
+	if !hasName(names, "singAddrORtwoAddrGroup") {
+		t.Errorf("expected singAddrORtwoAddrGroup (Fig. 5), got %v", names)
+	}
+}
+
+// TestExplicitNaming: named xs:group definitions keep their names
+// (AddressGroup, §3).
+func TestExplicitNaming(t *testing.T) {
+	for _, scheme := range []Scheme{SchemePaper, SchemeSynthesized, SchemeInherited} {
+		r := normalized(t, schemas.NamedGroupXSD, scheme)
+		names := groupNames(r)
+		if !hasName(names, "AddressGroup") {
+			t.Errorf("%v: expected explicit AddressGroup, got %v", scheme, names)
+		}
+		for _, g := range r.Groups {
+			if g.Name == "AddressGroup" && !g.Explicit {
+				t.Errorf("AddressGroup should be marked explicit")
+			}
+		}
+	}
+}
+
+// TestChoiceEvolutionStability is the crux of §3: adding a choice
+// alternative changes the synthesized name but not the inherited one.
+func TestChoiceEvolutionStability(t *testing.T) {
+	before := schemas.EvolvedPurchaseOrderXSD
+	after := strings.Replace(before,
+		`<xsd:element name="twoAddr" type="twoAddress"/>
+      </xsd:choice>`,
+		`<xsd:element name="twoAddr" type="twoAddress"/>
+        <xsd:element name="multAddr" type="USAddress"/>
+      </xsd:choice>`, 1)
+	if after == before {
+		t.Fatal("evolution edit failed to apply")
+	}
+
+	// Synthesized: the name changes (singAddrORtwoAddr ->
+	// singAddrORtwoAddrORmultAddr) — exactly the breakage §3 describes.
+	rb := normalized(t, before, SchemeSynthesized)
+	ra := normalized(t, after, SchemeSynthesized)
+	if !hasName(groupNames(rb), "singAddrORtwoAddrGroup") {
+		t.Fatalf("before: %v", groupNames(rb))
+	}
+	if !hasName(groupNames(ra), "singAddrORtwoAddrORmultAddrGroup") {
+		t.Errorf("synthesized name should change: %v", groupNames(ra))
+	}
+	if hasName(groupNames(ra), "singAddrORtwoAddrGroup") {
+		t.Errorf("old synthesized name should be gone: %v", groupNames(ra))
+	}
+
+	// Paper scheme (choice = inherited): the name is stable.
+	rb = normalized(t, before, SchemePaper)
+	ra = normalized(t, after, SchemePaper)
+	if !hasName(groupNames(rb), "PurchaseOrderTypeCC1Group") || !hasName(groupNames(ra), "PurchaseOrderTypeCC1Group") {
+		t.Errorf("inherited choice name should be stable: before %v, after %v", groupNames(rb), groupNames(ra))
+	}
+}
+
+// TestMidSequenceInsertionChangesInheritedNames shows the paper's stated
+// limitation: inserting an element mid-sequence shifts the positional
+// names of later nested choices under inherited naming.
+func TestMidSequenceInsertionChangesInheritedNames(t *testing.T) {
+	before := `<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="T">
+    <xsd:sequence>
+      <xsd:element name="head" type="xsd:string"/>
+      <xsd:choice>
+        <xsd:element name="a" type="xsd:string"/>
+        <xsd:element name="b" type="xsd:string"/>
+      </xsd:choice>
+    </xsd:sequence>
+  </xsd:complexType>
+</xsd:schema>`
+	after := strings.Replace(before, `<xsd:element name="head" type="xsd:string"/>`,
+		`<xsd:element name="head" type="xsd:string"/>
+      <xsd:element name="inserted" type="xsd:string"/>`, 1)
+	rb := normalized(t, before, SchemeInherited)
+	ra := normalized(t, after, SchemeInherited)
+	if !hasName(groupNames(rb), "TCC2Group") {
+		t.Fatalf("before names: %v", groupNames(rb))
+	}
+	if !hasName(groupNames(ra), "TCC3Group") {
+		t.Errorf("inserted element should shift the choice to CC3: %v", groupNames(ra))
+	}
+	// The explicit-naming fix keeps the name stable.
+	explicit := `<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:group name="ABChoice">
+    <xsd:choice>
+      <xsd:element name="a" type="xsd:string"/>
+      <xsd:element name="b" type="xsd:string"/>
+    </xsd:choice>
+  </xsd:group>
+  <xsd:complexType name="T">
+    <xsd:sequence>
+      <xsd:element name="head" type="xsd:string"/>
+      <xsd:element name="inserted" type="xsd:string"/>
+      <xsd:group ref="ABChoice"/>
+    </xsd:sequence>
+  </xsd:complexType>
+</xsd:schema>`
+	re := normalized(t, explicit, SchemeInherited)
+	if !hasName(groupNames(re), "ABChoiceGroup") && !hasName(groupNames(re), "ABChoice") {
+		t.Errorf("explicit group name lost: %v", groupNames(re))
+	}
+}
+
+func TestAnonymousTypePromotion(t *testing.T) {
+	r := normalized(t, schemas.PurchaseOrderXSD, SchemePaper)
+	// item's anonymous complex type and quantity's anonymous simple type
+	// must be promoted with names.
+	var promoted []string
+	for _, ti := range r.Types {
+		if ti.Promoted {
+			promoted = append(promoted, ti.Name)
+		}
+	}
+	if len(promoted) != 2 {
+		t.Fatalf("promoted types: %v", promoted)
+	}
+	if !hasName(promoted, "ItemType") {
+		t.Errorf("item's anonymous type should be ItemType: %v", promoted)
+	}
+	if !hasName(promoted, "QuantityType") {
+		t.Errorf("quantity's anonymous type should be QuantityType: %v", promoted)
+	}
+}
+
+func TestTypeNamesDeterministic(t *testing.T) {
+	r1 := normalized(t, schemas.PurchaseOrderXSD, SchemePaper)
+	r2 := normalized(t, schemas.PurchaseOrderXSD, SchemePaper)
+	n1, n2 := make([]string, 0), make([]string, 0)
+	for _, ti := range r1.Types {
+		n1 = append(n1, ti.Name)
+	}
+	for _, ti := range r2.Types {
+		n2 = append(n2, ti.Name)
+	}
+	if strings.Join(n1, ",") != strings.Join(n2, ",") {
+		t.Errorf("non-deterministic type inventory:\n%v\n%v", n1, n2)
+	}
+}
+
+func TestNameCollisions(t *testing.T) {
+	// Two anonymous types in contexts that sanitize to the same name.
+	src := `<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:element name="a">
+    <xsd:complexType><xsd:sequence>
+      <xsd:element name="x" type="xsd:string"/>
+    </xsd:sequence></xsd:complexType>
+  </xsd:element>
+  <xsd:complexType name="AType">
+    <xsd:sequence><xsd:element name="y" type="xsd:string"/></xsd:sequence>
+  </xsd:complexType>
+</xsd:schema>`
+	r := normalized(t, src, SchemePaper)
+	seen := map[string]bool{}
+	for _, ti := range r.Types {
+		if seen[ti.Name] {
+			t.Errorf("duplicate generated name %q", ti.Name)
+		}
+		seen[ti.Name] = true
+	}
+}
+
+func TestSanitizeIdent(t *testing.T) {
+	cases := map[string]string{
+		"purchaseOrder": "purchaseOrder",
+		"ship-to":       "shipTo",
+		"my.type":       "myType",
+		"2fast":         "X2fast",
+		"a_b":           "aB",
+	}
+	for in, want := range cases {
+		if got := sanitizeIdent(in); got != want {
+			t.Errorf("sanitizeIdent(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestListSuffix(t *testing.T) {
+	src := `<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="T">
+    <xsd:sequence>
+      <xsd:sequence minOccurs="0" maxOccurs="unbounded">
+        <xsd:element name="k" type="xsd:string"/>
+        <xsd:element name="v" type="xsd:string"/>
+      </xsd:sequence>
+    </xsd:sequence>
+  </xsd:complexType>
+</xsd:schema>`
+	r := normalized(t, src, SchemePaper)
+	names := groupNames(r)
+	if !hasName(names, "kANDvList") {
+		t.Errorf("repeating sequence should get the List suffix: %v", names)
+	}
+}

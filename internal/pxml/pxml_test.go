@@ -1,0 +1,369 @@
+package pxml
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/normalize"
+	"repro/internal/schemas"
+	"repro/internal/wml"
+)
+
+func poPP(t *testing.T) *Preprocessor {
+	t.Helper()
+	pp, err := New(Options{
+		SchemaSource: schemas.PurchaseOrderXSD,
+		Scheme:       normalize.SchemePaper,
+		Package:      "pogen",
+		DocExpr:      "d",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pp
+}
+
+func wmlPP(t *testing.T) *Preprocessor {
+	t.Helper()
+	pp, err := New(Options{
+		SchemaSource: wml.Schema,
+		Scheme:       normalize.SchemePaper,
+		Package:      "wmlgen",
+		DocExpr:      "d",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pp
+}
+
+// shipToSource is the paper's §4 example: a shipTo constructor with a
+// spliced name element.
+const shipToSource = `package main
+
+func build(d *pogen.Document) *pogen.ShipToElement {
+	var n *pogen.NameElement
+	n = <name>Alice Smith</name>;
+	var s *pogen.ShipToElement
+	s = <shipTo country="US">
+		$n$
+		<street>123 Maple Street</street>
+		<city>Mill Valey</city>
+		<state>CA</state>
+		<zip>90952</zip>
+	</shipTo>;
+	return s
+}
+`
+
+// TestSection4ShipToRewrite reproduces the paper's §4 rewriting: the
+// constructor becomes createShipTo(createUSAddress(createName(...), ...))
+// style V-DOM calls.
+func TestSection4ShipToRewrite(t *testing.T) {
+	pp := poPP(t)
+	out, err := pp.Rewrite(shipToSource)
+	if err != nil {
+		t.Fatalf("Rewrite: %v", err)
+	}
+	for _, want := range []string{
+		`d.CreateName("Alice Smith")`,
+		`d.CreateStreet("123 Maple Street")`,
+		`d.CreateCity("Mill Valey")`,
+		`d.CreateState("CA")`,
+		`d.MustZip("90952")`,
+		"d.CreateUSAddressType(",
+		"d.CreateShipTo(",
+		`.SetCountry("US")`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rewritten source missing %q:\n%s", want, out)
+		}
+	}
+	// The spliced variable is used directly as the name member.
+	if !strings.Contains(out, "d.CreateUSAddressType(n, ") {
+		t.Errorf("splice should pass the variable through:\n%s", out)
+	}
+	// No XML remains.
+	if strings.Contains(out, "<shipTo") {
+		t.Errorf("constructor not replaced:\n%s", out)
+	}
+}
+
+// TestStaticRejections is the heart of the paper's claim: these programs
+// are rejected at preprocess time, before any test run.
+func TestStaticRejections(t *testing.T) {
+	pp := poPP(t)
+	cases := []struct {
+		name, body, wantErr string
+	}{
+		{
+			"undeclared element",
+			`s = <shipTo country="US"><nayme>x</nayme><street>s</street><city>c</city><state>st</state><zip>1</zip></shipTo>;`,
+			"not declared",
+		},
+		{
+			"wrong child order",
+			`s = <shipTo country="US"><street>s</street><name>x</name><city>c</city><state>st</state><zip>1</zip></shipTo>;`,
+			"does not match the schema",
+		},
+		{
+			"missing required child",
+			`s = <shipTo country="US"><name>x</name><street>s</street><city>c</city><state>st</state></shipTo>;`,
+			"does not match the schema",
+		},
+		{
+			"undeclared attribute",
+			`s = <shipTo planet="earth"><name>x</name><street>s</street><city>c</city><state>st</state><zip>1</zip></shipTo>;`,
+			`attribute "planet" is not declared`,
+		},
+		{
+			"fixed attribute violated",
+			`s = <shipTo country="DE"><name>x</name><street>s</street><city>c</city><state>st</state><zip>1</zip></shipTo>;`,
+			"fixed value",
+		},
+		{
+			"invalid simple literal",
+			`q = <quantity>100</quantity>;`,
+			"must be < 100",
+		},
+		{
+			"invalid decimal",
+			`z = <zip>not-a-zip</zip>;`,
+			"bad digit",
+		},
+		{
+			"text in element-only content",
+			`s = <items>loose text</items>;`,
+			"not allowed in element-only content",
+		},
+		{
+			"missing required attribute",
+			`i = <item><productName>p</productName><quantity>1</quantity><USPrice>1</USPrice></item>;`,
+			`required attribute "partNum" is missing`,
+		},
+		{
+			"bad SKU pattern",
+			`i = <item partNum="926-aa"><productName>p</productName><quantity>1</quantity><USPrice>1</USPrice></item>;`,
+			"pattern",
+		},
+		{
+			"string splice in element position",
+			`s = <items>$someString$</items>;`,
+			"not a declared V-DOM element variable",
+		},
+	}
+	for _, c := range cases {
+		src := "package main\n\nfunc f(d *pogen.Document, someString string) {\n\t" + c.body + "\n}\n"
+		_, err := pp.Rewrite(src)
+		if err == nil {
+			t.Errorf("%s: expected static rejection", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: error %q does not contain %q", c.name, err, c.wantErr)
+		}
+	}
+}
+
+// TestValidConstructorsAccepted: matching positive cases pass.
+func TestValidConstructorsAccepted(t *testing.T) {
+	pp := poPP(t)
+	bodies := []string{
+		`q = <quantity>99</quantity>;`,
+		`c = <comment>free text &amp; entities</comment>;`,
+		`i = <item partNum="926-AA"><productName>p</productName><quantity>1</quantity><USPrice>1.5</USPrice></item>;`,
+		`i = <item partNum="926-AA"><productName>p</productName><quantity>1</quantity><USPrice>1.5</USPrice><comment>ok</comment><shipDate>1999-05-21</shipDate></item>;`,
+		`s = <shipTo country="US"><name>n</name><street>s</street><city>c</city><state>st</state><zip>90952</zip></shipTo>;`,
+	}
+	for _, b := range bodies {
+		src := "package main\n\nfunc f(d *pogen.Document) {\n\t" + b + "\n}\n"
+		if _, err := pp.Rewrite(src); err != nil {
+			t.Errorf("valid constructor rejected: %s\n%v", b, err)
+		}
+	}
+}
+
+// fig10Source is the paper's Fig. 10 (directory browser page in P-XML),
+// transcribed with Go declarations.
+const fig10Source = `package main
+
+//pxml:package wmlgen
+//pxml:doc d
+
+func page(d *wmlgen.Document, subDirs []string, parentDir string, currentDir string, subDir string) *wmlgen.PElement {
+	var p *wmlgen.PElement
+	var s *wmlgen.SelectElement
+	var o *wmlgen.OptionElement
+
+	s = <select name="directories">
+		<option value=$parentDir$>..</option>
+	</select>;
+	o = <option value=$subDir$>$subDirs[0]$</option>;
+	p = <p>
+		<b>$currentDir$</b>
+		<br/>
+		$s$
+		<br/>
+	</p>;
+	return p
+}
+`
+
+// TestFig10ToFig11 reproduces the paper's Fig. 10 -> Fig. 11 rewriting:
+// the WML constructors become createOption/createSelect/createP/createB
+// V-DOM calls with setValue/setName attribute calls.
+func TestFig10ToFig11(t *testing.T) {
+	pp := wmlPP(t)
+	out, err := pp.Rewrite(fig10Source)
+	if err != nil {
+		t.Fatalf("Rewrite: %v", err)
+	}
+	for _, want := range []string{
+		`d.CreateOptionType("..")`,       // createOption("..")
+		".SetValue2(parentDir)",          // o.setValue(parentDir)
+		`.SetName("directories")`,        // select name attribute
+		"d.CreateSelectType()",           // createSelect
+		".AddOption(",                    // s.add(o)
+		"d.CreateOptionType(subDirs[0])", // createOption(subDirs[i])
+		".SetValue2(subDir)",             // o.setValue(subDir)
+		"d.CreatePType()",                // createP()
+		".Add(",                          // p.add(...)
+		"d.CreateB(currentDir)",          // createB(currentDir)
+		"d.CreateBrType()",               // createBr()
+		"p = ",                           // final assignments preserved
+		"s = ",
+		"o = ",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig. 11 output missing %q:\n%s", want, out)
+		}
+	}
+	// The spliced select variable is added to the paragraph directly.
+	if !strings.Contains(out, ".Add(s)") {
+		t.Errorf("spliced $s$ should be p.Add(s):\n%s", out)
+	}
+}
+
+// TestWMLStaticRejections: WML-specific static errors.
+func TestWMLStaticRejections(t *testing.T) {
+	pp := wmlPP(t)
+	cases := []struct{ body, wantErr string }{
+		// option directly inside p violates the paragraph model.
+		{`p = <p><option value="x">..</option></p>;`, "does not match the schema"},
+		// TITLE is not a WML element (the §1 "Wrong Server Page").
+		{`p = <p><TITLE>oops</TITLE></p>;`, "not declared"},
+		// select without options violates minOccurs.
+		{`s = <select name="d"></select>;`, "does not match the schema"},
+		// bad enumerated attribute.
+		{`p = <p align="justified"><b>x</b></p>;`, "enumerated"},
+	}
+	for _, c := range cases {
+		src := "package main\n\nfunc f(d *wmlgen.Document) {\n\t" + c.body + "\n}\n"
+		_, err := pp.Rewrite(src)
+		if err == nil {
+			t.Errorf("expected rejection for %s", c.body)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("error %q does not contain %q", err, c.wantErr)
+		}
+	}
+}
+
+// TestDirectives: //pxml: comments override options.
+func TestDirectives(t *testing.T) {
+	pp, err := New(Options{SchemaSource: schemas.PurchaseOrderXSD, Scheme: normalize.SchemePaper})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := `package main
+//pxml:package pogen
+//pxml:doc factory
+func f(factory *pogen.Document) {
+	c := <comment>hi</comment>;
+	_ = c
+}
+`
+	out, rerr := pp.Rewrite(src)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if !strings.Contains(out, `factory.CreateComment("hi")`) {
+		t.Errorf("directive doc expr not used:\n%s", out)
+	}
+	// Without directives and without options the rewrite fails.
+	if _, err := pp.Rewrite("package main\nfunc f() { c := <comment>x</comment>; _ = c }\n"); err == nil {
+		t.Error("missing package/doc should fail")
+	}
+}
+
+// TestSourceWithoutConstructors passes through unchanged.
+func TestSourceWithoutConstructors(t *testing.T) {
+	pp := poPP(t)
+	src := "package main\n\nfunc main() {\n\tx := 1 < 2\n\t_ = x\n\ty := \"<name>not xml</name>\"\n\t_ = y\n}\n"
+	out, err := pp.Rewrite(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != src {
+		t.Errorf("source without constructors changed:\n%s", out)
+	}
+}
+
+// TestComparisonNotMistakenForConstructor: a < b comparisons survive.
+func TestComparisonsSurvive(t *testing.T) {
+	pp := poPP(t)
+	src := "package main\n\nfunc f(i int, n int) bool {\n\treturn i < n\n}\n"
+	out, err := pp.Rewrite(src)
+	if err != nil || out != src {
+		t.Errorf("comparison mangled: %v\n%s", err, out)
+	}
+}
+
+// TestInferredTypeFromColonEquals: a := constructor can be spliced later.
+func TestInferredTypeFromColonEquals(t *testing.T) {
+	pp := poPP(t)
+	src := `package main
+func f(d *pogen.Document) {
+	n := <name>Alice</name>;
+	s := <shipTo country="US">$n$<street>s</street><city>c</city><state>st</state><zip>1</zip></shipTo>;
+	_ = s
+}
+`
+	out, err := pp.Rewrite(src)
+	if err != nil {
+		t.Fatalf("Rewrite: %v", err)
+	}
+	if !strings.Contains(out, "d.CreateUSAddressType(n, ") {
+		t.Errorf("inferred splice type failed:\n%s", out)
+	}
+}
+
+// TestNamespacedSchema: constructors against a schema with a target
+// namespace and qualified locals.
+func TestNamespacedSchema(t *testing.T) {
+	pp, err := New(Options{
+		SchemaSource: schemas.NamespacedOrderXSD,
+		Scheme:       normalize.SchemePaper,
+		Package:      "nsgen",
+		DocExpr:      "d",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := "package p\nfunc f(d *nsgen.Document) {\n\to := <order priority=\"1\"><id>42</id><note>rush</note></order>;\n\t_ = o\n}\n"
+	out, rerr := pp.Rewrite(src)
+	if rerr != nil {
+		t.Fatalf("Rewrite: %v", rerr)
+	}
+	for _, want := range []string{"d.CreateOrderTypeType(", "d.MustId(\"42\")", "d.CreateNote(\"rush\")", ".SetPriority(\"1\")"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("namespaced rewrite missing %q:\n%s", want, out)
+		}
+	}
+	// Facet violations still caught statically.
+	bad := "package p\nfunc f(d *nsgen.Document) {\n\to := <order><id>0</id></order>;\n\t_ = o\n}\n"
+	if _, err := pp.Rewrite(bad); err == nil {
+		t.Error("id=0 should fail positiveInteger statically")
+	}
+}

@@ -1,0 +1,553 @@
+package pxml
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/codegen"
+	"repro/internal/contentmodel"
+	"repro/internal/normalize"
+	"repro/internal/xsd"
+)
+
+// Options configures the preprocessor.
+type Options struct {
+	// SchemaSource is the XML Schema the constructors are validated
+	// against (the same source the bindings were generated from).
+	SchemaSource string
+	// Scheme must match the bindings' naming scheme.
+	Scheme normalize.Scheme
+	// Package is the Go package identifier of the generated bindings
+	// (e.g. "pogen"); a //pxml:package directive overrides it.
+	Package string
+	// DocExpr is the expression of the *Document factory in scope (e.g.
+	// "d"); a //pxml:doc directive overrides it.
+	DocExpr string
+}
+
+// Preprocessor rewrites P-XML sources against one schema. It is the
+// generated component of the paper's Fig. 9 pipeline (schema ->
+// preprocessor -> V-DOM program).
+type Preprocessor struct {
+	opts  Options
+	sch   *xsd.Schema
+	norm  *normalize.Result
+	names *codegen.Names
+	// elemsByLocal indexes element declarations by local name for
+	// constructor roots.
+	elemsByLocal map[string][]*xsd.ElementDecl
+	// declByGoType resolves "*pogen.NameElement" style var types.
+	declByGoType map[string]*xsd.ElementDecl
+}
+
+// New builds a preprocessor for a schema.
+func New(opts Options) (*Preprocessor, error) {
+	sch, err := xsd.ParseString(opts.SchemaSource, nil)
+	if err != nil {
+		return nil, err
+	}
+	norm, err := normalize.Normalize(sch, opts.Scheme)
+	if err != nil {
+		return nil, err
+	}
+	names := codegen.AssignNames(norm)
+	pp := &Preprocessor{
+		opts:         opts,
+		sch:          sch,
+		norm:         norm,
+		names:        names,
+		elemsByLocal: map[string][]*xsd.ElementDecl{},
+		declByGoType: map[string]*xsd.ElementDecl{},
+	}
+	for _, decl := range names.ElementsInOrder {
+		pp.elemsByLocal[decl.Name.Local] = append(pp.elemsByLocal[decl.Name.Local], decl)
+		pp.declByGoType[names.Elements[decl].GoType] = decl
+	}
+	return pp, nil
+}
+
+// Rewrite validates every XML constructor in src and replaces it with
+// V-DOM construction code (Fig. 10 -> Fig. 11). The returned source uses
+// only generated-bindings calls; its validity needs no test runs.
+func (pp *Preprocessor) Rewrite(src string) (string, error) {
+	scan, err := scanSource(src)
+	if err != nil {
+		return "", err
+	}
+	pkg := pp.opts.Package
+	if v, ok := scan.directives["package"]; ok {
+		pkg = v
+	}
+	docExpr := pp.opts.DocExpr
+	if v, ok := scan.directives["doc"]; ok {
+		docExpr = v
+	}
+	if pkg == "" || docExpr == "" {
+		return "", &Error{Line: 1, Msg: "preprocessor needs the bindings package and document expression (//pxml:package, //pxml:doc)"}
+	}
+	var out strings.Builder
+	last := 0
+	for si := range scan.stmts {
+		stmt := &scan.stmts[si]
+		em := &emitter{pp: pp, pkg: pkg, doc: docExpr, vars: scan.varTypes, indent: stmt.indent, seq: &seqCounter{n: si * 100}}
+		resultVar, err := em.element(stmt.root, nil)
+		if err != nil {
+			return "", err
+		}
+		out.WriteString(src[last:stmt.start])
+		for i, line := range em.lines {
+			if i > 0 {
+				out.WriteString(stmt.indent)
+			}
+			out.WriteString(line)
+			out.WriteString("\n")
+		}
+		out.WriteString(stmt.indent)
+		fmt.Fprintf(&out, "%s %s %s", stmt.lhs, stmt.op, resultVar)
+		last = stmt.end
+	}
+	out.WriteString(src[last:])
+	return out.String(), nil
+}
+
+// seqCounter hands out temp variable suffixes.
+type seqCounter struct{ n int }
+
+func (s *seqCounter) next() int {
+	s.n++
+	return s.n
+}
+
+// emitter produces the replacement statements for one constructor.
+type emitter struct {
+	pp     *Preprocessor
+	pkg    string
+	doc    string
+	vars   map[string]string
+	indent string
+	lines  []string
+	seq    *seqCounter
+}
+
+func (em *emitter) emitf(format string, args ...any) {
+	em.lines = append(em.lines, fmt.Sprintf(format, args...))
+}
+
+func (em *emitter) temp() string { return fmt.Sprintf("_pxml%d", em.seq.next()) }
+
+func errAtLine(line int, format string, args ...any) error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// resolveRoot finds the element declaration for a constructor root.
+func (em *emitter) resolveRoot(el *xelem) (*xsd.ElementDecl, error) {
+	cands := em.pp.elemsByLocal[el.name]
+	switch len(cands) {
+	case 0:
+		return nil, errAtLine(el.line, "element <%s> is not declared in the schema", el.name)
+	case 1:
+		return cands[0], nil
+	default:
+		// Ambiguous local element name: accept if all share one type.
+		t := cands[0].Type
+		for _, c := range cands[1:] {
+			if c.Type != t {
+				return nil, errAtLine(el.line, "element name <%s> is declared with different types in different contexts; P-XML cannot disambiguate it", el.name)
+			}
+		}
+		return cands[0], nil
+	}
+}
+
+// spliceDecl resolves a spliced variable to its element declaration, or
+// nil when the splice is a plain (string) expression.
+func (em *emitter) spliceDecl(expr string) *xsd.ElementDecl {
+	typ, ok := em.vars[expr]
+	if !ok {
+		return nil
+	}
+	if local, ok := strings.CutPrefix(typ, "pxml:"); ok {
+		cands := em.pp.elemsByLocal[local]
+		if len(cands) > 0 {
+			return cands[0]
+		}
+		return nil
+	}
+	goType := strings.TrimPrefix(typ, "*")
+	if i := strings.IndexByte(goType, '.'); i >= 0 {
+		goType = goType[i+1:]
+	}
+	return em.pp.declByGoType[goType]
+}
+
+// element emits code constructing el and returns the variable holding the
+// resulting element wrapper. expectDecl, when non-nil, is the declaration
+// the context requires (used to check splice/assignment compatibility).
+func (em *emitter) element(el *xelem, expectDecl *xsd.ElementDecl) (string, error) {
+	decl, err := em.resolveRoot(el)
+	if err != nil {
+		return "", err
+	}
+	if expectDecl != nil && decl != expectDecl {
+		// Substitution-group members are fine; anything else is a
+		// static validity error (already caught by the content model,
+		// but double-check).
+		ok := false
+		for h := decl.SubstitutionHead; h != nil; h = h.SubstitutionHead {
+			if h == expectDecl {
+				ok = true
+			}
+		}
+		if !ok && decl != expectDecl {
+			return "", errAtLine(el.line, "element <%s> is not allowed here", el.name)
+		}
+	}
+	if decl.Abstract {
+		return "", errAtLine(el.line, "element <%s> is abstract and cannot be constructed", el.name)
+	}
+	en := em.pp.names.Elements[decl]
+	switch t := decl.Type.(type) {
+	case *xsd.SimpleType:
+		if len(el.attrs) > 0 {
+			return "", errAtLine(el.line, "element <%s> has a simple type and admits no attributes", el.name)
+		}
+		valueExpr, allLit, lit, err := em.textValue(el)
+		if err != nil {
+			return "", err
+		}
+		v := em.temp()
+		if _, fallible := em.simpleCheck(t); fallible {
+			if allLit {
+				if verr := t.Validate(lit); verr != nil {
+					return "", errAtLine(el.line, "content of <%s>: %v", el.name, verr)
+				}
+			}
+			// Statically validated literals cannot fail; spliced
+			// values keep the dynamic check (Must panics).
+			em.emitf("%s := %s.Must%s(%s)", v, em.doc, strings.TrimPrefix(en.Create, "Create"), valueExpr)
+		} else {
+			em.emitf("%s := %s.%s(%s)", v, em.doc, en.Create, valueExpr)
+		}
+		return v, nil
+	case *xsd.ComplexType:
+		ctVar, err := em.complexValue(el, t)
+		if err != nil {
+			return "", err
+		}
+		v := em.temp()
+		em.emitf("%s := %s.%s(%s)", v, em.doc, en.Create, ctVar)
+		return v, nil
+	}
+	return "", errAtLine(el.line, "unsupported element type for <%s>", el.name)
+}
+
+// simpleCheck mirrors codegen's fallibility rule.
+func (em *emitter) simpleCheck(st *xsd.SimpleType) (string, bool) {
+	if name, ok := em.pp.norm.TypeName(st); ok {
+		return name, true
+	}
+	if st.Builtin != nil {
+		switch st.Builtin.Name {
+		case "string", "normalizedString", "token", "anySimpleType":
+			return "", false
+		}
+		return st.Builtin.Name, true
+	}
+	return "", false
+}
+
+// textValue concatenates the text/splice children into a Go string
+// expression. It reports whether the value is a pure literal (and its
+// text) so callers can validate it at preprocess time.
+func (em *emitter) textValue(el *xelem) (expr string, allLit bool, lit string, err error) {
+	var parts []string
+	allLit = true
+	var sb strings.Builder
+	for _, c := range el.children {
+		switch x := c.(type) {
+		case *xtext:
+			parts = append(parts, fmt.Sprintf("%q", x.s))
+			sb.WriteString(x.s)
+		case *xsplice:
+			if d := em.spliceDecl(x.expr); d != nil {
+				return "", false, "", errAtLine(x.line, "element variable $%s$ cannot appear in simple content", x.expr)
+			}
+			parts = append(parts, x.expr)
+			allLit = false
+		case *xelem:
+			return "", false, "", errAtLine(x.line, "element <%s> is not allowed inside simple content", x.name)
+		}
+	}
+	if len(parts) == 0 {
+		return `""`, true, "", nil
+	}
+	return strings.Join(parts, " + "), allLit, sb.String(), nil
+}
+
+// complexValue emits construction of a complex type value and returns its
+// variable.
+func (em *emitter) complexValue(el *xelem, ct *xsd.ComplexType) (string, error) {
+	tn := em.pp.names.Types[ct]
+	api, err := em.pp.names.APIAttrsAndMembers(ct)
+	if err != nil {
+		return "", errAtLine(el.line, "%v", err)
+	}
+	var v string
+	switch ct.Kind {
+	case xsd.ContentSimple:
+		valueExpr, allLit, lit, terr := em.textValue(el)
+		if terr != nil {
+			return "", terr
+		}
+		if allLit && ct.SimpleContentType != nil {
+			if verr := ct.SimpleContentType.Validate(lit); verr != nil {
+				return "", errAtLine(el.line, "content of <%s>: %v", el.name, verr)
+			}
+		}
+		v = em.temp()
+		errVar := em.temp()
+		em.emitf("%s, %s := %s.%s(%s)", v, errVar, em.doc, tn.Create, valueExpr)
+		em.emitf("if %s != nil {", errVar)
+		em.emitf("\tpanic(%s) // unreachable for preprocessor-validated literals", errVar)
+		em.emitf("}")
+	case xsd.ContentMixed:
+		v = em.temp()
+		em.emitf("%s := %s.%s()", v, em.doc, tn.Create)
+		if err := em.mixedChildren(el, ct, v); err != nil {
+			return "", err
+		}
+	default: // element-only / empty
+		var assigned map[int][]string
+		assigned, err = em.elementChildren(el, ct, api)
+		if err != nil {
+			return "", err
+		}
+		var params []string
+		for i := range api.Members {
+			m := &api.Members[i]
+			if !m.Repeated() && !m.Optional() {
+				vals := assigned[i]
+				if len(vals) != 1 {
+					return "", errAtLine(el.line, "<%s> needs exactly one %s member", el.name, m.Field)
+				}
+				params = append(params, vals[0])
+			}
+		}
+		v = em.temp()
+		em.emitf("%s := %s.%s(%s)", v, em.doc, tn.Create, strings.Join(params, ", "))
+		for i := range api.Members {
+			m := &api.Members[i]
+			switch {
+			case m.Repeated():
+				for _, val := range assigned[i] {
+					em.emitf("%s.Add%s(%s)", v, m.Accessor, val)
+				}
+			case m.Optional():
+				if vals := assigned[i]; len(vals) == 1 {
+					em.emitf("%s.Set%s(%s)", v, m.Accessor, vals[0])
+				}
+			}
+		}
+	}
+	// Attributes (statically validated when literal).
+	for _, a := range el.attrs {
+		am := findAttr(api.Attrs, a.name)
+		if am == nil {
+			return "", errAtLine(a.line, "attribute %q is not declared on <%s>", a.name, el.name)
+		}
+		var valExpr string
+		if a.lit != nil {
+			if verr := am.Use.Decl.Type.Validate(*a.lit); verr != nil {
+				return "", errAtLine(a.line, "attribute %q: %v", a.name, verr)
+			}
+			if am.Use.Fixed != nil && *a.lit != *am.Use.Fixed {
+				return "", errAtLine(a.line, "attribute %q must have the fixed value %q", a.name, *am.Use.Fixed)
+			}
+			valExpr = fmt.Sprintf("%q", *a.lit)
+		} else {
+			valExpr = *a.splice
+		}
+		errVar := em.temp()
+		em.emitf("if %s := %s.Set%s(%s); %s != nil {", errVar, v, am.Accessor, valExpr, errVar)
+		em.emitf("\tpanic(%s) // unreachable for preprocessor-validated literals", errVar)
+		em.emitf("}")
+	}
+	// Required attributes must be present (the marshal-time check would
+	// catch it, but P-XML's contract is static detection).
+	for _, am := range api.Attrs {
+		if !am.Use.Required {
+			continue
+		}
+		found := false
+		for _, a := range el.attrs {
+			if a.name == am.Use.Decl.Name.Local {
+				found = true
+			}
+		}
+		if !found {
+			return "", errAtLine(el.line, "required attribute %q is missing on <%s>", am.Use.Decl.Name.Local, el.name)
+		}
+	}
+	return v, nil
+}
+
+// findAttr locates an attribute member by XML attribute name.
+func findAttr(attrs []codegen.AttrMember, name string) *codegen.AttrMember {
+	for i := range attrs {
+		if attrs[i].Use.Decl.Name.Local == name {
+			return &attrs[i]
+		}
+	}
+	return nil
+}
+
+// elementChildren validates the child sequence against the content model
+// and emits each child's construction, returning member index -> values.
+func (em *emitter) elementChildren(el *xelem, ct *xsd.ComplexType, api *codegen.TypeAPI) (map[int][]string, error) {
+	declToMember := em.memberIndex(api)
+	var symbols []contentmodel.Symbol
+	var nodes []xnode
+	for _, c := range el.children {
+		switch x := c.(type) {
+		case *xtext:
+			if strings.TrimSpace(x.s) != "" {
+				return nil, errAtLine(el.line, "character data %q is not allowed in element-only content of <%s>", strings.TrimSpace(x.s), el.name)
+			}
+		case *xsplice:
+			d := em.spliceDecl(x.expr)
+			if d == nil {
+				return nil, errAtLine(x.line, "$%s$ is not a declared V-DOM element variable; only element variables may be spliced into element content", x.expr)
+			}
+			symbols = append(symbols, contentmodel.Symbol{Space: d.Name.Space, Local: d.Name.Local})
+			nodes = append(nodes, x)
+		case *xelem:
+			cands := em.pp.elemsByLocal[x.name]
+			if len(cands) == 0 {
+				return nil, errAtLine(x.line, "element <%s> is not declared in the schema", x.name)
+			}
+			symbols = append(symbols, contentmodel.Symbol{Space: cands[0].Name.Space, Local: x.name})
+			nodes = append(nodes, x)
+		}
+	}
+	leaves, merr := ct.Matcher(em.pp.sch).Match(symbols)
+	if merr != nil {
+		return nil, errAtLine(el.line, "content of <%s> does not match the schema: %s", el.name, merr.Error())
+	}
+	assigned := map[int][]string{}
+	for i, n := range nodes {
+		declared, ok := leaves[i].Data.(*xsd.ElementDecl)
+		if !ok {
+			return nil, errAtLine(el.line, "wildcard content is not supported in P-XML constructors")
+		}
+		mi, ok := declToMember[declared]
+		if !ok {
+			return nil, errAtLine(el.line, "internal: no member for element <%s>", declared.Name.Local)
+		}
+		var val string
+		switch x := n.(type) {
+		case *xsplice:
+			val = x.expr
+		case *xelem:
+			var err error
+			val, err = em.element(x, declared)
+			if err != nil {
+				return nil, err
+			}
+		}
+		assigned[mi] = append(assigned[mi], val)
+	}
+	return assigned, nil
+}
+
+// memberIndex maps each declared element (and its alternatives) to its
+// member position.
+func (em *emitter) memberIndex(api *codegen.TypeAPI) map[*xsd.ElementDecl]int {
+	out := map[*xsd.ElementDecl]int{}
+	var walkGroup func(g *xsd.ModelGroup, idx int)
+	walkGroup = func(g *xsd.ModelGroup, idx int) {
+		for _, p := range g.Particles {
+			switch {
+			case p.Element != nil:
+				out[p.Element] = idx
+			case p.Group != nil:
+				walkGroup(p.Group, idx)
+			}
+		}
+	}
+	for i := range api.Members {
+		m := &api.Members[i]
+		switch m.Kind {
+		case codegen.MemberElement:
+			out[m.Elem] = i
+		case codegen.MemberChoice, codegen.MemberSeqGroup:
+			walkGroup(m.Group, i)
+		}
+	}
+	return out
+}
+
+// mixedChildren emits Add/Text calls preserving the interleaving.
+func (em *emitter) mixedChildren(el *xelem, ct *xsd.ComplexType, v string) error {
+	// Pre-validate the element sequence against the content model so
+	// errors surface at preprocess time, not at marshal.
+	var symbols []contentmodel.Symbol
+	for _, c := range el.children {
+		switch x := c.(type) {
+		case *xsplice:
+			if d := em.spliceDecl(x.expr); d != nil {
+				symbols = append(symbols, contentmodel.Symbol{Space: d.Name.Space, Local: d.Name.Local})
+			}
+		case *xelem:
+			cands := em.pp.elemsByLocal[x.name]
+			if len(cands) == 0 {
+				return errAtLine(x.line, "element <%s> is not declared in the schema", x.name)
+			}
+			symbols = append(symbols, contentmodel.Symbol{Space: cands[0].Name.Space, Local: x.name})
+		}
+	}
+	if _, merr := ct.Matcher(em.pp.sch).Match(symbols); merr != nil {
+		return errAtLine(el.line, "content of <%s> does not match the schema: %s", el.name, merr.Error())
+	}
+	for _, c := range el.children {
+		switch x := c.(type) {
+		case *xtext:
+			if x.s == "" {
+				continue
+			}
+			em.emitf("%s.Text(%q)", v, x.s)
+		case *xsplice:
+			if d := em.spliceDecl(x.expr); d != nil {
+				em.emitf("%s.Add(%s)", v, x.expr)
+			} else {
+				em.emitf("%s.Text(%s)", v, x.expr)
+			}
+		case *xelem:
+			val, err := em.element(x, nil)
+			if err != nil {
+				return err
+			}
+			em.emitf("%s.Add(%s)", v, val)
+		}
+	}
+	return nil
+}
+
+// ValidateOnly runs the full static validation of every constructor in
+// src without producing output — the mode used by the E1 mutation study
+// to count statically-caught errors.
+func (pp *Preprocessor) ValidateOnly(src string) error {
+	_, err := pp.Rewrite(src)
+	return err
+}
+
+// SortDeclNames is a test helper listing the constructor-root names the
+// preprocessor would accept.
+func (pp *Preprocessor) SortDeclNames() []string {
+	var out []string
+	for name := range pp.elemsByLocal {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

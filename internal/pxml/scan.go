@@ -1,0 +1,271 @@
+package pxml
+
+import (
+	"fmt"
+	"strings"
+)
+
+// constructorStmt is one `lhs = <xml>...;` statement found in the source.
+type constructorStmt struct {
+	// start/end delimit the byte range to replace (from the first
+	// character of the left-hand side to just past the constructor and
+	// an optional trailing semicolon).
+	start, end int
+	// lhs is the assignment target text, op is "=" or ":=".
+	lhs string
+	op  string
+	// root is the parsed constructor.
+	root *xelem
+	// line is the 1-based source line of the constructor.
+	line int
+	// indent is the leading whitespace of the statement's line.
+	indent string
+}
+
+// scanResult is what the source scanner extracts.
+type scanResult struct {
+	stmts []constructorStmt
+	// varTypes maps variable names to their declared Go type text
+	// ("*pogen.NameElement", "string", ...).
+	varTypes map[string]string
+	// directives holds //pxml:key value comments.
+	directives map[string]string
+}
+
+// scanSource walks Go-ish source text, skipping strings and comments,
+// collecting pxml directives, variable declarations and XML constructor
+// assignments.
+func scanSource(src string) (*scanResult, error) {
+	res := &scanResult{varTypes: map[string]string{}, directives: map[string]string{}}
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			end := strings.IndexByte(src[i:], '\n')
+			if end < 0 {
+				end = len(src) - i
+			}
+			comment := src[i+2 : i+end]
+			if strings.HasPrefix(comment, "pxml:") {
+				kv := strings.SplitN(strings.TrimPrefix(comment, "pxml:"), " ", 2)
+				if len(kv) == 2 {
+					res.directives[kv[0]] = strings.TrimSpace(kv[1])
+				}
+			}
+			i += end
+		case c == '/' && i+1 < len(src) && src[i+1] == '*':
+			end := strings.Index(src[i+2:], "*/")
+			if end < 0 {
+				return nil, &Error{Line: line, Msg: "unterminated block comment"}
+			}
+			line += strings.Count(src[i:i+end+4], "\n")
+			i += end + 4
+		case c == '"' || c == '\'':
+			j, nl, err := skipGoString(src, i)
+			if err != nil {
+				return nil, &Error{Line: line, Msg: err.Error()}
+			}
+			line += nl
+			i = j
+		case c == '`':
+			end := strings.IndexByte(src[i+1:], '`')
+			if end < 0 {
+				return nil, &Error{Line: line, Msg: "unterminated raw string"}
+			}
+			line += strings.Count(src[i:i+end+2], "\n")
+			i += end + 2
+		case c == 'v' && hasWordAt(src, i, "var"):
+			name, typ, adv := parseVarDecl(src[i:])
+			if name != "" {
+				res.varTypes[name] = typ
+			}
+			i += adv
+		case c == 'f' && hasWordAt(src, i, "func"):
+			params, adv := parseFuncParams(src[i:])
+			for n, t := range params {
+				res.varTypes[n] = t
+			}
+			line += strings.Count(src[i:i+adv], "\n")
+			i += adv
+		case c == '<' && isConstructorStart(src, i):
+			stmt, adv, err := captureConstructor(src, i, line, res)
+			if err != nil {
+				return nil, err
+			}
+			if stmt != nil {
+				res.stmts = append(res.stmts, *stmt)
+			}
+			line += strings.Count(src[i:i+adv], "\n")
+			i += adv
+		default:
+			i++
+		}
+	}
+	return res, nil
+}
+
+// skipGoString advances past a quoted Go string/rune literal.
+func skipGoString(src string, i int) (int, int, error) {
+	q := src[i]
+	nl := 0
+	j := i + 1
+	for j < len(src) {
+		switch src[j] {
+		case '\\':
+			j += 2
+			continue
+		case '\n':
+			nl++
+		case q:
+			return j + 1, nl, nil
+		}
+		j++
+	}
+	return 0, 0, fmt.Errorf("unterminated string literal")
+}
+
+// hasWordAt reports whether word appears at i as a standalone token.
+func hasWordAt(src string, i int, word string) bool {
+	if !strings.HasPrefix(src[i:], word) {
+		return false
+	}
+	if i > 0 && isIdentByte(src[i-1]) {
+		return false
+	}
+	j := i + len(word)
+	return j < len(src) && (src[j] == ' ' || src[j] == '\t')
+}
+
+func isIdentByte(b byte) bool {
+	return b == '_' || b == '.' || (b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z') || (b >= '0' && b <= '9')
+}
+
+// parseVarDecl parses "var name Type" up to end of line.
+func parseVarDecl(s string) (name, typ string, adv int) {
+	end := strings.IndexByte(s, '\n')
+	if end < 0 {
+		end = len(s)
+	}
+	fields := strings.Fields(s[:end])
+	if len(fields) >= 3 && fields[0] == "var" {
+		return fields[1], strings.Join(fields[2:], " "), end
+	}
+	return "", "", end
+}
+
+// parseFuncParams extracts "name Type" pairs from a func signature's
+// parameter list (handling "a, b Type" groups).
+func parseFuncParams(s string) (map[string]string, int) {
+	out := map[string]string{}
+	open := strings.IndexByte(s, '(')
+	if open < 0 {
+		return out, len("func")
+	}
+	depth := 0
+	j := open
+	for ; j < len(s); j++ {
+		if s[j] == '(' {
+			depth++
+		} else if s[j] == ')' {
+			depth--
+			if depth == 0 {
+				break
+			}
+		}
+	}
+	if j >= len(s) {
+		return out, len("func")
+	}
+	params := s[open+1 : j]
+	for _, part := range strings.Split(params, ",") {
+		fields := strings.Fields(strings.TrimSpace(part))
+		if len(fields) >= 2 {
+			out[fields[0]] = strings.Join(fields[1:], " ")
+		}
+	}
+	return out, j + 1
+}
+
+// isConstructorStart reports whether the '<' at i begins an XML
+// constructor: it must follow '=' (possibly ":=") and be followed by a
+// name character.
+func isConstructorStart(src string, i int) bool {
+	if i+1 >= len(src) {
+		return false
+	}
+	n := src[i+1]
+	if !(n == '_' || (n >= 'a' && n <= 'z') || (n >= 'A' && n <= 'Z')) {
+		return false
+	}
+	// Look back over whitespace for '='.
+	j := i - 1
+	for j >= 0 && (src[j] == ' ' || src[j] == '\t' || src[j] == '\n' || src[j] == '\r') {
+		j--
+	}
+	return j >= 0 && src[j] == '=' && (j == 0 || src[j-1] != '=' && src[j-1] != '!' && src[j-1] != '<' && src[j-1] != '>')
+}
+
+// captureConstructor parses the constructor at i and reconstructs the
+// surrounding assignment statement.
+func captureConstructor(src string, i, line int, res *scanResult) (*constructorStmt, int, error) {
+	// Find '=' and the lhs identifier before it.
+	j := i - 1
+	for j >= 0 && (src[j] == ' ' || src[j] == '\t' || src[j] == '\n' || src[j] == '\r') {
+		j--
+	}
+	eq := j // at '='
+	op := "="
+	j--
+	if j >= 0 && src[j] == ':' {
+		op = ":="
+		j--
+	}
+	for j >= 0 && (src[j] == ' ' || src[j] == '\t') {
+		j--
+	}
+	lhsEnd := j + 1
+	for j >= 0 && isIdentByte(src[j]) {
+		j--
+	}
+	lhsStart := j + 1
+	lhs := src[lhsStart:lhsEnd]
+	if lhs == "" {
+		return nil, 1, &Error{Line: line, Msg: "XML constructor is not the right-hand side of an assignment"}
+	}
+	_ = eq
+	root, end, err := parseConstructor(src, i, line)
+	if err != nil {
+		return nil, 0, err
+	}
+	// Optional trailing semicolon.
+	k := end
+	for k < len(src) && (src[k] == ' ' || src[k] == '\t') {
+		k++
+	}
+	if k < len(src) && src[k] == ';' {
+		k++
+	}
+	// Leading indentation of the statement line.
+	ls := lhsStart
+	for ls > 0 && src[ls-1] != '\n' {
+		ls--
+	}
+	indent := src[ls:lhsStart]
+	if strings.TrimSpace(indent) != "" {
+		indent = ""
+	}
+	// Track := declarations so later splices know the variable's type
+	// (resolved to the constructor's element).
+	stmt := &constructorStmt{
+		start: lhsStart, end: k, lhs: lhs, op: op, root: root, line: line, indent: indent,
+	}
+	if op == ":=" {
+		res.varTypes[lhs] = "pxml:" + root.name
+	}
+	return stmt, k - i, nil
+}

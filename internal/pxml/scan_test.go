@@ -1,0 +1,151 @@
+package pxml
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScannerIgnoresStringsAndComments(t *testing.T) {
+	src := "package p\n" +
+		"// a comment with x = <name>not xml</name>\n" +
+		"/* block with y = <shipTo>also not</shipTo> */\n" +
+		"var a = \"s = <name>quoted</name>\"\n" +
+		"var b = `raw = <name>raw</name>`\n" +
+		"func f() { c := 'x' }\n"
+	res, err := scanSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.stmts) != 0 {
+		t.Errorf("constructors found inside strings/comments: %+v", res.stmts)
+	}
+}
+
+func TestScannerDirectives(t *testing.T) {
+	src := "package p\n//pxml:package pogen\n//pxml:doc myDoc\n"
+	res, err := scanSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.directives["package"] != "pogen" || res.directives["doc"] != "myDoc" {
+		t.Errorf("directives: %v", res.directives)
+	}
+}
+
+func TestScannerVarTypes(t *testing.T) {
+	src := `package p
+
+var top *pogen.ShipToElement
+
+func f(a string, n *pogen.NameElement, i int) {
+	var local *pogen.CommentElement
+	_ = local
+}
+`
+	res, err := scanSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{
+		"top":   "*pogen.ShipToElement",
+		"a":     "string",
+		"n":     "*pogen.NameElement",
+		"i":     "int",
+		"local": "*pogen.CommentElement",
+	}
+	for name, typ := range want {
+		if res.varTypes[name] != typ {
+			t.Errorf("var %s: %q, want %q", name, res.varTypes[name], typ)
+		}
+	}
+}
+
+func TestScannerCapturesAssignmentForms(t *testing.T) {
+	src := "package p\nfunc f() {\n\ta := <x>1</x>;\n\tb = <y>2</y>\n}\n"
+	res, err := scanSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.stmts) != 2 {
+		t.Fatalf("stmts: %d", len(res.stmts))
+	}
+	if res.stmts[0].op != ":=" || res.stmts[0].lhs != "a" || res.stmts[0].root.name != "x" {
+		t.Errorf("first: %+v", res.stmts[0])
+	}
+	if res.stmts[1].op != "=" || res.stmts[1].lhs != "b" {
+		t.Errorf("second: %+v", res.stmts[1])
+	}
+	// := declarations are tracked for later splices.
+	if res.varTypes["a"] != "pxml:x" {
+		t.Errorf("inferred type: %q", res.varTypes["a"])
+	}
+}
+
+func TestFragmentParserErrors(t *testing.T) {
+	cases := []struct{ src, wantErr string }{
+		{`<a><b></a>`, "does not match"},
+		{`<a`, "unterminated start tag"},
+		{`<a x=5/>`, "quoted value"},
+		{`<a x="$v$extra"/>`, "mixes a splice"},
+		{`<a>$unclosed</a>`, "unterminated $splice$"},
+		{`<a>&unknown;</a>`, "unsupported entity"},
+		{`<a>$ $</a>`, "empty $splice$"},
+	}
+	for _, c := range cases {
+		_, _, err := parseConstructor(c.src, 0, 1)
+		if err == nil {
+			t.Errorf("%q: expected error", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%q: error %q does not contain %q", c.src, err, c.wantErr)
+		}
+	}
+}
+
+func TestFragmentParserFeatures(t *testing.T) {
+	el, end, err := parseConstructor(`<a k="v&amp;w" s=$expr$><!-- skip -->text&lt;$x$<b/></a>tail`, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el.name != "a" || len(el.attrs) != 2 {
+		t.Fatalf("element: %+v", el)
+	}
+	if *el.attrs[0].lit != "v&w" {
+		t.Errorf("entity in attr: %q", *el.attrs[0].lit)
+	}
+	if *el.attrs[1].splice != "expr" {
+		t.Errorf("attr splice: %+v", el.attrs[1])
+	}
+	// children: text("text<"), splice(x), elem(b)
+	if len(el.children) != 3 {
+		t.Fatalf("children: %d", len(el.children))
+	}
+	if txt, ok := el.children[0].(*xtext); !ok || txt.s != "text<" {
+		t.Errorf("text child: %+v", el.children[0])
+	}
+	if sp, ok := el.children[1].(*xsplice); !ok || sp.expr != "x" {
+		t.Errorf("splice child: %+v", el.children[1])
+	}
+	if `tail` != `<a k="v&amp;w" s=$expr$><!-- skip -->text&lt;$x$<b/></a>tail`[end:] {
+		t.Errorf("end offset wrong: %d", end)
+	}
+}
+
+func TestErrorLineNumbers(t *testing.T) {
+	src := "package p\n//pxml:package pogen\n//pxml:doc d\nfunc f(d *pogen.Document) {\n\tq := <quantity>200</quantity>;\n\t_ = q\n}\n"
+	pp := mustPO(t)
+	_, err := pp.Rewrite(src)
+	if err == nil {
+		t.Fatal("expected rejection")
+	}
+	pe, ok := err.(*Error)
+	if !ok || pe.Line != 5 {
+		t.Errorf("error should point at line 5: %v", err)
+	}
+}
+
+func mustPO(t *testing.T) *Preprocessor {
+	t.Helper()
+	return poPP(t)
+}

@@ -1,0 +1,351 @@
+// Package pxml implements Parametric XML (the paper's §4): Go source
+// files may contain literal XML constructors with $variable$ splices; the
+// preprocessor validates every constructor against the schema *at
+// preprocess time* and rewrites it into calls against the generated V-DOM
+// bindings (paper Fig. 9's pipeline, Fig. 10 -> Fig. 11 rewriting). No
+// test runs are needed to know the emitted documents are valid.
+package pxml
+
+import (
+	"fmt"
+	"strings"
+	"unicode/utf8"
+
+	"repro/internal/xmlparser"
+)
+
+// xnode is a node of a parsed XML constructor.
+type xnode interface{ isX() }
+
+// xelem is an element with possibly spliced attributes and children.
+type xelem struct {
+	name     string
+	attrs    []xattr
+	children []xnode
+	line     int
+}
+
+// xtext is literal character data (entities resolved).
+type xtext struct{ s string }
+
+// xsplice is a $expr$ splice in content position.
+type xsplice struct {
+	expr string
+	line int
+}
+
+func (*xelem) isX()   {}
+func (*xtext) isX()   {}
+func (*xsplice) isX() {}
+
+// xattr is an attribute; exactly one of lit/splice is set.
+type xattr struct {
+	name   string
+	lit    *string
+	splice *string
+	line   int
+}
+
+// fragParser parses an XML constructor with splices out of program text.
+type fragParser struct {
+	src  string
+	pos  int
+	line int
+}
+
+// Error reports a syntax error in a constructor.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("pxml: line %d: %s", e.Line, e.Msg) }
+
+func (p *fragParser) errf(format string, args ...any) error {
+	return &Error{Line: p.line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *fragParser) peek() byte {
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *fragParser) next() byte {
+	b := p.peek()
+	if b != 0 {
+		p.pos++
+		if b == '\n' {
+			p.line++
+		}
+	}
+	return b
+}
+
+func (p *fragParser) skipSpace() {
+	for {
+		b := p.peek()
+		if b != ' ' && b != '\t' && b != '\n' && b != '\r' {
+			return
+		}
+		p.next()
+	}
+}
+
+// parseConstructor parses one <elem>...</elem> starting at src[pos]
+// (which must be '<'). It returns the element and the offset just past
+// its end tag.
+func parseConstructor(src string, pos, line int) (*xelem, int, error) {
+	p := &fragParser{src: src, pos: pos, line: line}
+	el, err := p.element()
+	if err != nil {
+		return nil, 0, err
+	}
+	return el, p.pos, nil
+}
+
+// element parses <name attr...> content </name> or <name .../>.
+func (p *fragParser) element() (*xelem, error) {
+	startLine := p.line
+	if p.next() != '<' {
+		return nil, p.errf("expected '<'")
+	}
+	name, err := p.name()
+	if err != nil {
+		return nil, err
+	}
+	el := &xelem{name: name, line: startLine}
+	for {
+		p.skipSpace()
+		switch p.peek() {
+		case '>':
+			p.next()
+			if err := p.content(el); err != nil {
+				return nil, err
+			}
+			return el, nil
+		case '/':
+			p.next()
+			if p.next() != '>' {
+				return nil, p.errf("expected '/>' in <%s>", name)
+			}
+			return el, nil
+		case 0:
+			return nil, p.errf("unterminated start tag <%s>", name)
+		default:
+			a, err := p.attribute()
+			if err != nil {
+				return nil, err
+			}
+			el.attrs = append(el.attrs, a)
+		}
+	}
+}
+
+// name scans an XML name.
+func (p *fragParser) name() (string, error) {
+	start := p.pos
+	r, size := utf8.DecodeRuneInString(p.src[p.pos:])
+	if size == 0 || !xmlparser.IsNameStartChar(r) {
+		return "", p.errf("expected a name")
+	}
+	p.pos += size
+	for {
+		r, size := utf8.DecodeRuneInString(p.src[p.pos:])
+		if size == 0 || !xmlparser.IsNameChar(r) {
+			break
+		}
+		p.pos += size
+	}
+	return p.src[start:p.pos], nil
+}
+
+// attribute parses name="value", name='value', name=$expr$ or
+// name="$expr$".
+func (p *fragParser) attribute() (xattr, error) {
+	line := p.line
+	name, err := p.name()
+	if err != nil {
+		return xattr{}, err
+	}
+	p.skipSpace()
+	if p.next() != '=' {
+		return xattr{}, p.errf("expected '=' after attribute %q", name)
+	}
+	p.skipSpace()
+	switch p.peek() {
+	case '$':
+		expr, err := p.spliceExpr()
+		if err != nil {
+			return xattr{}, err
+		}
+		return xattr{name: name, splice: &expr, line: line}, nil
+	case '"', '\'':
+		q := p.next()
+		start := p.pos
+		var sb strings.Builder
+		for {
+			b := p.peek()
+			if b == 0 {
+				return xattr{}, p.errf("unterminated value for attribute %q", name)
+			}
+			if b == q {
+				break
+			}
+			if b == '$' {
+				// A fully spliced quoted value: "$expr$".
+				if p.pos == start {
+					expr, err := p.spliceExpr()
+					if err != nil {
+						return xattr{}, err
+					}
+					if p.peek() != q {
+						return xattr{}, p.errf("attribute %q mixes a splice with literal text (unsupported)", name)
+					}
+					p.next()
+					return xattr{name: name, splice: &expr, line: line}, nil
+				}
+				return xattr{}, p.errf("attribute %q mixes a splice with literal text (unsupported)", name)
+			}
+			if b == '&' {
+				s, err := p.entity()
+				if err != nil {
+					return xattr{}, err
+				}
+				sb.WriteString(s)
+				continue
+			}
+			sb.WriteByte(p.next())
+		}
+		p.next()
+		lit := sb.String()
+		return xattr{name: name, lit: &lit, line: line}, nil
+	default:
+		return xattr{}, p.errf("attribute %q needs a quoted value or a $splice$", name)
+	}
+}
+
+// spliceExpr parses $...$ and returns the inner Go expression.
+func (p *fragParser) spliceExpr() (string, error) {
+	if p.next() != '$' {
+		return "", p.errf("expected '$'")
+	}
+	start := p.pos
+	for {
+		b := p.peek()
+		if b == 0 || b == '\n' {
+			return "", p.errf("unterminated $splice$")
+		}
+		if b == '$' {
+			expr := strings.TrimSpace(p.src[start:p.pos])
+			p.next()
+			if expr == "" {
+				return "", p.errf("empty $splice$")
+			}
+			return expr, nil
+		}
+		p.next()
+	}
+}
+
+// entity resolves the predefined entities.
+func (p *fragParser) entity() (string, error) {
+	p.next() // '&'
+	start := p.pos
+	for p.peek() != ';' {
+		if p.peek() == 0 {
+			return "", p.errf("unterminated entity reference")
+		}
+		p.next()
+	}
+	name := p.src[start:p.pos]
+	p.next()
+	switch name {
+	case "lt":
+		return "<", nil
+	case "gt":
+		return ">", nil
+	case "amp":
+		return "&", nil
+	case "apos":
+		return "'", nil
+	case "quot":
+		return `"`, nil
+	}
+	return "", p.errf("unsupported entity &%s;", name)
+}
+
+// content parses element content up to the matching end tag.
+func (p *fragParser) content(el *xelem) error {
+	var text strings.Builder
+	textLine := p.line
+	flush := func() {
+		if text.Len() > 0 {
+			el.children = append(el.children, &xtext{s: text.String()})
+			text.Reset()
+		}
+	}
+	for {
+		switch p.peek() {
+		case 0:
+			return p.errf("missing end tag </%s>", el.name)
+		case '<':
+			if strings.HasPrefix(p.src[p.pos:], "</") {
+				flush()
+				p.next()
+				p.next()
+				name, err := p.name()
+				if err != nil {
+					return err
+				}
+				if name != el.name {
+					return p.errf("end tag </%s> does not match <%s>", name, el.name)
+				}
+				p.skipSpace()
+				if p.next() != '>' {
+					return p.errf("malformed end tag </%s>", name)
+				}
+				return nil
+			}
+			if strings.HasPrefix(p.src[p.pos:], "<!--") {
+				// Comments inside constructors are dropped.
+				end := strings.Index(p.src[p.pos:], "-->")
+				if end < 0 {
+					return p.errf("unterminated comment")
+				}
+				for i := 0; i < end+3; i++ {
+					p.next()
+				}
+				continue
+			}
+			flush()
+			child, err := p.element()
+			if err != nil {
+				return err
+			}
+			el.children = append(el.children, child)
+		case '$':
+			flush()
+			line := p.line
+			expr, err := p.spliceExpr()
+			if err != nil {
+				return err
+			}
+			el.children = append(el.children, &xsplice{expr: expr, line: line})
+		case '&':
+			s, err := p.entity()
+			if err != nil {
+				return err
+			}
+			text.WriteString(s)
+		default:
+			if text.Len() == 0 {
+				textLine = p.line
+			}
+			_ = textLine
+			text.WriteByte(p.next())
+		}
+	}
+}

@@ -1,0 +1,407 @@
+// Package query implements the paper's §8 future-work direction: a typed
+// query facility where "a query which is applied to appropriate
+// VDOM-objects can be guaranteed to result only in documents which are
+// valid according to an underlying Xml schema."
+//
+// The query language is a path subset (child steps, '//' descendants, '*'
+// wildcards, attribute access, positional and attribute-equality
+// predicates). The point of the reproduction is not the language's size
+// but its *static typing*: Compile checks every step against the schema's
+// content models, so a query that could never select anything — a
+// misspelled element, a child the schema does not allow there, an
+// undeclared attribute — is rejected at compile time, before any document
+// is seen. Compile also reports the static result type (the element
+// declaration or attribute type every result will conform to).
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/dom"
+	"repro/internal/xsd"
+)
+
+// Query is a compiled, schema-checked path expression.
+type Query struct {
+	schema *xsd.Schema
+	root   *xsd.ElementDecl
+	steps  []step
+	// resultDecl is the element declaration results conform to (nil when
+	// the query ends on an attribute or a wildcard step).
+	resultDecl *xsd.ElementDecl
+	// resultAttr is the attribute type of an @attr query (nil otherwise).
+	resultAttr *xsd.AttributeDecl
+	src        string
+}
+
+// step is one path step.
+type step struct {
+	// local is the element name test; "*" matches any element.
+	local string
+	// descendant marks a '//' step (search the whole subtree).
+	descendant bool
+	// attr is the trailing attribute name ("" for element steps).
+	attr string
+	// pred is the optional predicate.
+	pred *predicate
+}
+
+// predicate is [n] or [@name='value'].
+type predicate struct {
+	index int // 1-based; 0 when unset
+	attr  string
+	value string
+}
+
+// Compile parses the path and statically checks it against the schema,
+// starting from the named global root element.
+func Compile(schema *xsd.Schema, path string) (*Query, error) {
+	steps, rootName, err := parsePath(path)
+	if err != nil {
+		return nil, err
+	}
+	root, ok := schema.LookupElement(xsd.QName{Local: rootName})
+	if !ok {
+		// Try any target namespace match by local name.
+		for q, d := range schema.Elements {
+			if q.Local == rootName {
+				root, ok = d, true
+				break
+			}
+		}
+	}
+	if !ok {
+		return nil, fmt.Errorf("query: no global element %q in the schema", rootName)
+	}
+	q := &Query{schema: schema, root: root, steps: steps, src: path}
+	if err := q.typeCheck(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// MustCompile panics on a compile error.
+func MustCompile(schema *xsd.Schema, path string) *Query {
+	q, err := Compile(schema, path)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// String returns the source path.
+func (q *Query) String() string { return q.src }
+
+// ResultElement returns the element declaration every result conforms to
+// (nil for attribute queries and wildcard tails).
+func (q *Query) ResultElement() *xsd.ElementDecl { return q.resultDecl }
+
+// ResultAttribute returns the attribute declaration of an @attr query.
+func (q *Query) ResultAttribute() *xsd.AttributeDecl { return q.resultAttr }
+
+// parsePath splits /root/step/...[@attr]; the leading step names the
+// global root element.
+func parsePath(path string) ([]step, string, error) {
+	orig := path
+	if !strings.HasPrefix(path, "/") {
+		return nil, "", fmt.Errorf("query: path %q must start with '/'", orig)
+	}
+	var steps []step
+	rest := path[1:]
+	first := true
+	rootName := ""
+	for rest != "" {
+		descendant := false
+		if strings.HasPrefix(rest, "/") {
+			descendant = true
+			rest = rest[1:]
+		}
+		end := strings.IndexByte(rest, '/')
+		var seg string
+		if end < 0 {
+			seg, rest = rest, ""
+		} else {
+			seg, rest = rest[:end], rest[end+1:]
+		}
+		if seg == "" {
+			return nil, "", fmt.Errorf("query: empty step in %q", orig)
+		}
+		st := step{descendant: descendant}
+		// Predicate.
+		if i := strings.IndexByte(seg, '['); i >= 0 {
+			if !strings.HasSuffix(seg, "]") {
+				return nil, "", fmt.Errorf("query: unterminated predicate in %q", seg)
+			}
+			p, err := parsePredicate(seg[i+1 : len(seg)-1])
+			if err != nil {
+				return nil, "", err
+			}
+			st.pred = p
+			seg = seg[:i]
+		}
+		if strings.HasPrefix(seg, "@") {
+			if rest != "" {
+				return nil, "", fmt.Errorf("query: attribute step must be last in %q", orig)
+			}
+			st.attr = seg[1:]
+			if st.attr == "" {
+				return nil, "", fmt.Errorf("query: empty attribute name in %q", orig)
+			}
+		} else {
+			st.local = seg
+		}
+		if first {
+			if st.descendant || st.attr != "" || st.local == "*" {
+				return nil, "", fmt.Errorf("query: the first step must name a global root element")
+			}
+			rootName = st.local
+			first = false
+			// The root step is consumed, not stored.
+			if st.pred != nil {
+				return nil, "", fmt.Errorf("query: predicates are not supported on the root step")
+			}
+			continue
+		}
+		steps = append(steps, st)
+	}
+	if rootName == "" {
+		return nil, "", fmt.Errorf("query: path %q names no root element", orig)
+	}
+	return steps, rootName, nil
+}
+
+// parsePredicate parses "3" or "@name='value'".
+func parsePredicate(s string) (*predicate, error) {
+	s = strings.TrimSpace(s)
+	if n, err := strconv.Atoi(s); err == nil {
+		if n < 1 {
+			return nil, fmt.Errorf("query: positional predicate must be >= 1")
+		}
+		return &predicate{index: n}, nil
+	}
+	if strings.HasPrefix(s, "@") {
+		eq := strings.Index(s, "=")
+		if eq < 0 {
+			return nil, fmt.Errorf("query: predicate %q needs @name='value'", s)
+		}
+		name := strings.TrimSpace(s[1:eq])
+		val := strings.TrimSpace(s[eq+1:])
+		if len(val) < 2 || (val[0] != '\'' && val[0] != '"') || val[len(val)-1] != val[0] {
+			return nil, fmt.Errorf("query: predicate value in %q must be quoted", s)
+		}
+		return &predicate{attr: name, value: val[1 : len(val)-1]}, nil
+	}
+	return nil, fmt.Errorf("query: unsupported predicate %q", s)
+}
+
+// typeCheck walks the steps through the schema, rejecting steps the
+// content models make impossible.
+func (q *Query) typeCheck() error {
+	// current is the set of element declarations a result may be
+	// governed by at this point.
+	current := []*xsd.ElementDecl{q.root}
+	for si, st := range q.steps {
+		if st.attr != "" {
+			// Attribute step: at least one current decl must declare it.
+			var attr *xsd.AttributeDecl
+			for _, decl := range current {
+				if ct, ok := decl.Type.(*xsd.ComplexType); ok {
+					for _, use := range ct.AttributeUses {
+						if use.Decl.Name.Local == st.attr {
+							attr = use.Decl
+						}
+					}
+				}
+			}
+			if attr == nil {
+				return fmt.Errorf("query: step %d: attribute %q is not declared on %s", si+1, st.attr, declNames(current))
+			}
+			q.resultAttr = attr
+			q.resultDecl = nil
+			return nil
+		}
+		var next []*xsd.ElementDecl
+		seen := map[*xsd.ElementDecl]bool{}
+		add := func(d *xsd.ElementDecl) {
+			if !seen[d] {
+				seen[d] = true
+				next = append(next, d)
+			}
+		}
+		for _, decl := range current {
+			for _, child := range q.childDecls(decl, st.descendant) {
+				if st.local == "*" || child.Name.Local == st.local {
+					add(child)
+				}
+			}
+		}
+		if len(next) == 0 {
+			return fmt.Errorf("query: step %d: the schema allows no %q under %s", si+1, st.local, declNames(current))
+		}
+		// Predicate attribute must exist on at least one candidate.
+		if st.pred != nil && st.pred.attr != "" {
+			ok := false
+			for _, decl := range next {
+				if ct, isCT := decl.Type.(*xsd.ComplexType); isCT && findUse(ct, st.pred.attr) != nil {
+					ok = true
+				}
+			}
+			if !ok {
+				return fmt.Errorf("query: step %d: predicate attribute %q is not declared on %q", si+1, st.pred.attr, st.local)
+			}
+		}
+		current = next
+	}
+	if len(current) == 1 {
+		q.resultDecl = current[0]
+	}
+	return nil
+}
+
+func findUse(ct *xsd.ComplexType, local string) *xsd.AttributeUse {
+	for _, use := range ct.AttributeUses {
+		if use.Decl.Name.Local == local {
+			return use
+		}
+	}
+	return nil
+}
+
+// childDecls collects the element declarations reachable as children of
+// decl (transitively when descendant is set).
+func (q *Query) childDecls(decl *xsd.ElementDecl, descendant bool) []*xsd.ElementDecl {
+	var out []*xsd.ElementDecl
+	seen := map[*xsd.ElementDecl]bool{}
+	var collect func(d *xsd.ElementDecl, deep bool)
+	collect = func(d *xsd.ElementDecl, deep bool) {
+		ct, ok := d.Type.(*xsd.ComplexType)
+		if !ok || ct.Particle == nil {
+			return
+		}
+		var walkParticle func(p *xsd.Particle)
+		walkParticle = func(p *xsd.Particle) {
+			switch {
+			case p.Element != nil:
+				child := p.Element
+				if !seen[child] {
+					seen[child] = true
+					out = append(out, child)
+					if deep {
+						collect(child, true)
+					}
+				}
+				for _, m := range q.schema.SubstitutionMembers(child.Name) {
+					if !seen[m] {
+						seen[m] = true
+						out = append(out, m)
+						if deep {
+							collect(m, true)
+						}
+					}
+				}
+			case p.Group != nil:
+				for _, c := range p.Group.Particles {
+					walkParticle(c)
+				}
+			}
+		}
+		walkParticle(ct.Particle)
+	}
+	collect(decl, descendant)
+	return out
+}
+
+func declNames(decls []*xsd.ElementDecl) string {
+	var parts []string
+	for _, d := range decls {
+		parts = append(parts, "<"+d.Name.Local+">")
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Evaluate runs the query over a document. The document's root must match
+// the query's root declaration.
+func (q *Query) Evaluate(doc *dom.Document) ([]*dom.Element, error) {
+	root := doc.DocumentElement()
+	if root == nil || root.LocalName() != q.root.Name.Local {
+		return nil, fmt.Errorf("query: document root is not <%s>", q.root.Name.Local)
+	}
+	current := []*dom.Element{root}
+	for _, st := range q.steps {
+		if st.attr != "" {
+			// Attribute steps are evaluated by EvaluateStrings.
+			return nil, fmt.Errorf("query: %q selects attributes; use EvaluateStrings", q.src)
+		}
+		var next []*dom.Element
+		for _, e := range current {
+			if st.descendant {
+				for _, c := range e.GetElementsByTagNameNS("*", st.local) {
+					next = append(next, c)
+				}
+				if st.local == "*" {
+					next = e.GetElementsByTagNameNS("*", "*")
+				}
+			} else {
+				for _, c := range e.ChildElements() {
+					if st.local == "*" || c.LocalName() == st.local {
+						next = append(next, c)
+					}
+				}
+			}
+		}
+		current = applyPredicate(next, st.pred)
+	}
+	return current, nil
+}
+
+// EvaluateStrings runs the query and returns string results: attribute
+// values for @attr queries, text content otherwise.
+func (q *Query) EvaluateStrings(doc *dom.Document) ([]string, error) {
+	if q.resultAttr == nil {
+		elems, err := q.Evaluate(doc)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]string, len(elems))
+		for i, e := range elems {
+			out[i] = e.TextContent()
+		}
+		return out, nil
+	}
+	// Evaluate the element prefix, then project the attribute.
+	prefix := &Query{schema: q.schema, root: q.root, steps: q.steps[:len(q.steps)-1], src: q.src}
+	elems, err := prefix.Evaluate(doc)
+	if err != nil {
+		return nil, err
+	}
+	attr := q.steps[len(q.steps)-1].attr
+	var out []string
+	for _, e := range elems {
+		if e.HasAttribute(attr) {
+			out = append(out, e.GetAttribute(attr))
+		}
+	}
+	return out, nil
+}
+
+// applyPredicate filters a node set.
+func applyPredicate(elems []*dom.Element, p *predicate) []*dom.Element {
+	if p == nil {
+		return elems
+	}
+	if p.index > 0 {
+		if p.index <= len(elems) {
+			return elems[p.index-1 : p.index]
+		}
+		return nil
+	}
+	var out []*dom.Element
+	for _, e := range elems {
+		if e.GetAttribute(p.attr) == p.value {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,165 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dom"
+	"repro/internal/schemas"
+	"repro/internal/xsd"
+)
+
+func poSchema(t *testing.T) *xsd.Schema {
+	t.Helper()
+	s, err := xsd.ParseString(schemas.PurchaseOrderXSD, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func poDoc(t *testing.T) *dom.Document {
+	t.Helper()
+	d, err := dom.ParseString(schemas.PurchaseOrderDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestStaticAcceptance: schema-possible paths compile; the result type is
+// inferred.
+func TestStaticAcceptance(t *testing.T) {
+	s := poSchema(t)
+	cases := []struct {
+		path       string
+		resultElem string // "" when attribute result
+	}{
+		{"/purchaseOrder/shipTo", "shipTo"},
+		{"/purchaseOrder/shipTo/name", "name"},
+		{"/purchaseOrder/items/item", "item"},
+		{"/purchaseOrder/items/item/productName", "productName"},
+		{"/purchaseOrder//productName", "productName"},
+		{"/purchaseOrder/items/item/@partNum", ""},
+		{"/purchaseOrder/*", ""}, // multiple candidate decls: no single type
+		{"/purchaseOrder/comment", "comment"},
+	}
+	for _, c := range cases {
+		q, err := Compile(s, c.path)
+		if err != nil {
+			t.Errorf("Compile(%q): %v", c.path, err)
+			continue
+		}
+		if c.resultElem != "" {
+			if q.ResultElement() == nil || q.ResultElement().Name.Local != c.resultElem {
+				t.Errorf("%q: result element %v, want %s", c.path, q.ResultElement(), c.resultElem)
+			}
+		}
+		if strings.HasSuffix(c.path, "@partNum") {
+			if q.ResultAttribute() == nil || q.ResultAttribute().Type.Name.Local != "SKU" {
+				t.Errorf("%q: attribute result should be SKU-typed", c.path)
+			}
+		}
+	}
+}
+
+// TestStaticRejection is the future-work claim: schema-impossible queries
+// are compile-time errors.
+func TestStaticRejection(t *testing.T) {
+	s := poSchema(t)
+	cases := []struct{ path, wantErr string }{
+		{"/purchaseOrder/nayme", `no "nayme"`},
+		{"/purchaseOrder/shipTo/zip/oops", `no "oops"`},
+		{"/purchaseOrder/items/productName", `no "productName"`}, // productName is under item, not items
+		{"/noSuchRoot/x", "no global element"},
+		{"/purchaseOrder/shipTo/@country2", `"country2" is not declared`},
+		{"/purchaseOrder/items/item[@bogus='1']", `"bogus" is not declared`},
+		{"purchaseOrder/shipTo", "must start with"},
+		{"/purchaseOrder/@attr/x", "must be last"},
+	}
+	for _, c := range cases {
+		_, err := Compile(s, c.path)
+		if err == nil {
+			t.Errorf("Compile(%q): expected static rejection", c.path)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("Compile(%q): error %q does not contain %q", c.path, err, c.wantErr)
+		}
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	s := poSchema(t)
+	doc := poDoc(t)
+
+	names, err := MustCompile(s, "/purchaseOrder/shipTo/name").EvaluateStrings(doc)
+	if err != nil || len(names) != 1 || names[0] != "Alice Smith" {
+		t.Errorf("shipTo/name: %v, %v", names, err)
+	}
+
+	products, err := MustCompile(s, "/purchaseOrder//productName").EvaluateStrings(doc)
+	if err != nil || len(products) != 2 || products[0] != "Lawnmower" {
+		t.Errorf("descendant productName: %v, %v", products, err)
+	}
+
+	parts, err := MustCompile(s, "/purchaseOrder/items/item/@partNum").EvaluateStrings(doc)
+	if err != nil || len(parts) != 2 || parts[1] != "926-AA" {
+		t.Errorf("@partNum: %v, %v", parts, err)
+	}
+
+	items, err := MustCompile(s, "/purchaseOrder/items/item").Evaluate(doc)
+	if err != nil || len(items) != 2 {
+		t.Fatalf("items: %d, %v", len(items), err)
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	s := poSchema(t)
+	doc := poDoc(t)
+
+	second, err := MustCompile(s, "/purchaseOrder/items/item[2]/productName").EvaluateStrings(doc)
+	if err != nil || len(second) != 1 || second[0] != "Baby Monitor" {
+		t.Errorf("item[2]: %v, %v", second, err)
+	}
+
+	byPart, err := MustCompile(s, "/purchaseOrder/items/item[@partNum='872-AA']/productName").EvaluateStrings(doc)
+	if err != nil || len(byPart) != 1 || byPart[0] != "Lawnmower" {
+		t.Errorf("item[@partNum]: %v, %v", byPart, err)
+	}
+
+	// An index past the end selects nothing (valid, empty).
+	none, err := MustCompile(s, "/purchaseOrder/items/item[9]").Evaluate(doc)
+	if err != nil || len(none) != 0 {
+		t.Errorf("item[9]: %v, %v", none, err)
+	}
+}
+
+func TestWrongDocumentRoot(t *testing.T) {
+	s := poSchema(t)
+	q := MustCompile(s, "/purchaseOrder/comment")
+	doc, _ := dom.ParseString("<other/>")
+	if _, err := q.Evaluate(doc); err == nil {
+		t.Error("mismatched root should fail")
+	}
+}
+
+// TestTypedResultGuarantee connects to the paper's claim: because the
+// result type is static, consumers know the governing declaration without
+// inspecting any instance.
+func TestTypedResultGuarantee(t *testing.T) {
+	s := poSchema(t)
+	q := MustCompile(s, "/purchaseOrder/items/item/quantity")
+	decl := q.ResultElement()
+	if decl == nil {
+		t.Fatal("quantity query should have a static element type")
+	}
+	st, ok := decl.Type.(*xsd.SimpleType)
+	if !ok {
+		t.Fatalf("quantity should be simple-typed, got %T", decl.Type)
+	}
+	// The statically-known facet: quantity < 100.
+	if st.Validate("150") == nil {
+		t.Error("static type lost the maxExclusive facet")
+	}
+}

@@ -1,0 +1,109 @@
+// Package stringgen is the paper's §1 strawman: generating markup by
+// string concatenation, the Java-Server-Pages style the paper opens with.
+// The Go compiler accepts every function here — including the ones that
+// emit garbage — because to the host language the page is just a string.
+// Detecting the broken generators requires runtime parsing and validation
+// (see the E1 experiment), which is precisely the deficiency V-DOM and
+// P-XML remove.
+package stringgen
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SimpleServerPage renders the paper's first listing: a title page whose
+// markup happens to be correct.
+func SimpleServerPage(title string) string {
+	var sb strings.Builder
+	sb.WriteString("<html>\n")
+	sb.WriteString("  <head><title>" + title + "</title></head>\n")
+	sb.WriteString("  <body><h1>" + title + "</h1></body>\n")
+	sb.WriteString("</html>\n")
+	return sb.String()
+}
+
+// WrongServerPage renders the paper's second listing: the compiler is
+// equally happy, but the output is not well-formed (the title element is
+// never closed and the tags overlap).
+func WrongServerPage(title string) string {
+	var sb strings.Builder
+	sb.WriteString("<html>\n")
+	sb.WriteString("  <head><title>" + title + "</head></title>\n") // overlapping tags
+	sb.WriteString("  <body><h1>" + title + "</body>\n")            // h1 never closed
+	sb.WriteString("</html>\n")
+	return sb.String()
+}
+
+// DirectoryPageWML renders the paper's Fig. 8 page by concatenation: the
+// current directory in bold, then a select of the parent and all
+// subdirectories.
+func DirectoryPageWML(currentDir, parentDir string, subDirs []string) string {
+	var sb strings.Builder
+	sb.WriteString("<p>\n")
+	sb.WriteString("  <b>" + escape(currentDir) + "</b><br/>\n")
+	sb.WriteString("  <select name=\"directories\">\n")
+	fmt.Fprintf(&sb, "    <option value=%q>..</option>\n", parentDir)
+	for _, sub := range subDirs {
+		fmt.Fprintf(&sb, "    <option value=%q>%s</option>\n", currentDir+"/"+sub, escape(sub))
+	}
+	sb.WriteString("  </select><br/>\n")
+	sb.WriteString("</p>\n")
+	return sb.String()
+}
+
+// BrokenDirectoryPageWML is DirectoryPageWML with the kind of slip the
+// paper warns about: an <option> start tag is closed as </optoin>. The
+// function compiles; only a test run (or a validator) notices.
+func BrokenDirectoryPageWML(currentDir, parentDir string, subDirs []string) string {
+	var sb strings.Builder
+	sb.WriteString("<p>\n")
+	sb.WriteString("  <b>" + escape(currentDir) + "</b><br/>\n")
+	sb.WriteString("  <select name=\"directories\">\n")
+	fmt.Fprintf(&sb, "    <option value=%q>..</optoin>\n", parentDir) // typo: invalid
+	for _, sub := range subDirs {
+		fmt.Fprintf(&sb, "    <option value=%q>%s</option>\n", currentDir+"/"+sub, escape(sub))
+	}
+	sb.WriteString("  </select><br/>\n")
+	sb.WriteString("</p>\n")
+	return sb.String()
+}
+
+// InvalidModelPageWML emits well-formed WML that is nonetheless invalid
+// against the schema (an option directly inside the paragraph): the class
+// of error only a validating check catches at runtime, and the typed API
+// rejects at compile time.
+func InvalidModelPageWML(currentDir string) string {
+	var sb strings.Builder
+	sb.WriteString("<p>\n")
+	fmt.Fprintf(&sb, "  <option value=%q>%s</option>\n", currentDir, escape(currentDir))
+	sb.WriteString("</p>\n")
+	return sb.String()
+}
+
+// PurchaseOrderPage renders a purchase order by concatenation; fields land
+// in the output with no checks at all.
+func PurchaseOrderPage(name, street, city, state, zip, partNum, product, quantity, price string) string {
+	var sb strings.Builder
+	sb.WriteString("<purchaseOrder>\n")
+	sb.WriteString("  <shipTo country=\"US\">\n")
+	fmt.Fprintf(&sb, "    <name>%s</name><street>%s</street><city>%s</city><state>%s</state><zip>%s</zip>\n",
+		escape(name), escape(street), escape(city), escape(state), escape(zip))
+	sb.WriteString("  </shipTo>\n")
+	sb.WriteString("  <billTo country=\"US\">\n")
+	fmt.Fprintf(&sb, "    <name>%s</name><street>%s</street><city>%s</city><state>%s</state><zip>%s</zip>\n",
+		escape(name), escape(street), escape(city), escape(state), escape(zip))
+	sb.WriteString("  </billTo>\n")
+	fmt.Fprintf(&sb, "  <items><item partNum=%q><productName>%s</productName><quantity>%s</quantity><USPrice>%s</USPrice></item></items>\n",
+		partNum, escape(product), quantity, price)
+	sb.WriteString("</purchaseOrder>\n")
+	return sb.String()
+}
+
+// escape performs the minimal text escaping string-template authors
+// remember to do on good days.
+func escape(s string) string {
+	s = strings.ReplaceAll(s, "&", "&amp;")
+	s = strings.ReplaceAll(s, "<", "&lt;")
+	return s
+}

@@ -1,0 +1,465 @@
+// Package validator checks DOM documents against a parsed XML Schema at
+// runtime. This is the paper's baseline: with plain DOM, "invalid
+// documents usually cannot be detected until runtime requiring extensive
+// testing" (§2) — this package is that runtime detection, and the E2
+// benchmarks measure exactly the cost V-DOM's static guarantee removes.
+//
+// Beyond the paper's scope it also implements the features the paper
+// explicitly defers (§3): wildcard validation and ID/IDREF integrity.
+package validator
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/contentmodel"
+	"repro/internal/dom"
+	"repro/internal/xmlparser"
+	"repro/internal/xsd"
+)
+
+// Violation is one validity error with its document location.
+type Violation struct {
+	// Path is an XPath-like location (/purchaseOrder/items/item[2]).
+	Path string
+	// Msg describes the violation.
+	Msg string
+}
+
+// Error formats the violation.
+func (v Violation) Error() string { return v.Path + ": " + v.Msg }
+
+// Result collects the violations of one validation run.
+type Result struct {
+	Violations []Violation
+}
+
+// OK reports whether the document was valid.
+func (r *Result) OK() bool { return len(r.Violations) == 0 }
+
+// Err returns nil for a valid document and an error summarizing the
+// violations otherwise.
+func (r *Result) Err() error {
+	if r.OK() {
+		return nil
+	}
+	msgs := make([]string, 0, len(r.Violations))
+	for _, v := range r.Violations {
+		msgs = append(msgs, v.Error())
+	}
+	return fmt.Errorf("document is invalid:\n  %s", strings.Join(msgs, "\n  "))
+}
+
+// maxViolations bounds error collection.
+const maxViolations = 100
+
+// Options tunes validation.
+type Options struct {
+	// SkipIDChecks disables ID uniqueness and IDREF resolution.
+	SkipIDChecks bool
+}
+
+// Validator validates documents against one schema.
+type Validator struct {
+	schema *xsd.Schema
+	opts   Options
+}
+
+// New creates a validator for the schema.
+func New(schema *xsd.Schema, opts *Options) *Validator {
+	o := Options{}
+	if opts != nil {
+		o = *opts
+	}
+	return &Validator{schema: schema, opts: o}
+}
+
+// ValidateDocument validates a whole document: the root element must match
+// a global element declaration.
+func (v *Validator) ValidateDocument(doc *dom.Document) *Result {
+	run := &run{v: v, ids: map[string]string{}}
+	root := doc.DocumentElement()
+	if root == nil {
+		run.violate("/", "document has no root element")
+		return &run.res
+	}
+	name := xsd.QName{Space: root.NamespaceURI(), Local: root.LocalName()}
+	decl, ok := v.schema.LookupElement(name)
+	if !ok {
+		run.violate("/"+root.TagName(), fmt.Sprintf("no global declaration for root element %s", name))
+		return &run.res
+	}
+	run.element(root, decl, "/"+root.TagName())
+	run.checkIDRefs()
+	return &run.res
+}
+
+// ValidateElement validates a subtree against a specific declaration.
+func (v *Validator) ValidateElement(el *dom.Element, decl *xsd.ElementDecl) *Result {
+	run := &run{v: v, ids: map[string]string{}}
+	run.element(el, decl, "/"+el.TagName())
+	run.checkIDRefs()
+	return &run.res
+}
+
+// run carries one validation pass.
+type run struct {
+	v   *Validator
+	res Result
+	// ids maps seen ID values to their paths; idrefs records pending
+	// references, resolved once the whole document has been walked.
+	ids    map[string]string
+	idrefs []pendingRef
+}
+
+// pendingRef is an IDREF awaiting resolution.
+type pendingRef struct {
+	id   string
+	path string
+}
+
+func (r *run) violate(path, msg string) {
+	if len(r.res.Violations) < maxViolations {
+		r.res.Violations = append(r.res.Violations, Violation{Path: path, Msg: msg})
+	}
+}
+
+// element validates el against its governing declaration.
+func (r *run) element(el *dom.Element, decl *xsd.ElementDecl, path string) {
+	if len(r.res.Violations) >= maxViolations {
+		return
+	}
+	typ := decl.Type
+	// xsi:type may substitute a derived type.
+	if lex := el.GetAttributeNS(xsd.XSINamespace, "type"); lex != "" {
+		q, err := resolveInstanceQName(el, lex)
+		if err != nil {
+			r.violate(path, fmt.Sprintf("bad xsi:type %q: %v", lex, err))
+			return
+		}
+		override, ok := r.v.schema.LookupType(q)
+		if !ok {
+			r.violate(path, fmt.Sprintf("xsi:type %s names an unknown type", q))
+			return
+		}
+		if !derivesFromType(override, typ) {
+			r.violate(path, fmt.Sprintf("xsi:type %s does not derive from the declared type", q))
+			return
+		}
+		typ = override
+	}
+	if ct, ok := typ.(*xsd.ComplexType); ok && ct.Abstract {
+		r.violate(path, fmt.Sprintf("type %s is abstract; an xsi:type of a concrete derived type is required", ct.Name))
+		return
+	}
+	// xsi:nil.
+	if lex := el.GetAttributeNS(xsd.XSINamespace, "nil"); lex != "" {
+		if !decl.Nillable {
+			r.violate(path, "xsi:nil on a non-nillable element")
+			return
+		}
+		if lex == "true" || lex == "1" {
+			if len(el.ChildNodes()) > 0 {
+				r.violate(path, "nilled element must be empty")
+			}
+			return
+		}
+	}
+	switch t := typ.(type) {
+	case *xsd.SimpleType:
+		r.simpleContent(el, t, decl, path)
+		r.checkNoAttributes(el, path)
+	case *xsd.ComplexType:
+		r.complexElement(el, t, decl, path)
+	}
+	r.checkIdentityConstraints(el, decl, path)
+}
+
+// derivesFromType checks the derivation relation across simple/complex.
+func derivesFromType(t, anc xsd.Type) bool {
+	if t == anc {
+		return true
+	}
+	switch x := t.(type) {
+	case *xsd.ComplexType:
+		return x.DerivesFrom(anc)
+	case *xsd.SimpleType:
+		if a, ok := anc.(*xsd.SimpleType); ok {
+			return x.DerivesFrom(a)
+		}
+	}
+	return false
+}
+
+// simpleContent validates character-only content.
+func (r *run) simpleContent(el *dom.Element, st *xsd.SimpleType, decl *xsd.ElementDecl, path string) {
+	for _, c := range el.ChildNodes() {
+		if _, ok := c.(*dom.Element); ok {
+			r.violate(path, "element content is not allowed in a simple-type element")
+			return
+		}
+	}
+	text := el.TextContent()
+	if decl != nil && decl.Fixed != nil && text == "" {
+		text = *decl.Fixed
+	}
+	if decl != nil && decl.Default != nil && text == "" {
+		text = *decl.Default
+	}
+	val, err := st.Parse(text)
+	if err != nil {
+		r.violate(path, err.Error())
+		return
+	}
+	if decl != nil && decl.Fixed != nil {
+		want, ferr := st.Parse(*decl.Fixed)
+		if ferr == nil && !val.Equal(want) {
+			r.violate(path, fmt.Sprintf("value %q does not equal the fixed value %q", text, *decl.Fixed))
+		}
+	}
+	r.trackIDs(st, text, path)
+}
+
+// trackIDs records ID/IDREF values for document-level integrity.
+func (r *run) trackIDs(st *xsd.SimpleType, lexical string, path string) {
+	if r.v.opts.SkipIDChecks {
+		return
+	}
+	b := st.PrimitiveBuiltin()
+	if b == nil {
+		return
+	}
+	norm := strings.Join(strings.Fields(lexical), " ")
+	switch b.Name {
+	case "ID":
+		if prev, dup := r.ids[norm]; dup {
+			r.violate(path, fmt.Sprintf("duplicate ID %q (first declared at %s)", norm, prev))
+		} else {
+			r.ids[norm] = path
+		}
+	case "IDREF":
+		r.idrefs = append(r.idrefs, pendingRef{id: norm, path: path})
+	case "IDREFS":
+		for _, ref := range strings.Fields(norm) {
+			r.idrefs = append(r.idrefs, pendingRef{id: ref, path: path})
+		}
+	}
+}
+
+// checkIDRefs resolves collected IDREFs against seen IDs.
+func (r *run) checkIDRefs() {
+	for _, pending := range r.idrefs {
+		if _, ok := r.ids[pending.id]; !ok {
+			r.violate(pending.path, fmt.Sprintf("IDREF %q does not match any ID", pending.id))
+		}
+	}
+}
+
+// checkNoAttributes flags attributes on simple-typed elements (only
+// xsi:/xmlns are allowed).
+func (r *run) checkNoAttributes(el *dom.Element, path string) {
+	for _, a := range el.Attributes() {
+		if isMetaAttr(a) {
+			continue
+		}
+		r.violate(path, fmt.Sprintf("attribute %q is not allowed on a simple-type element", a.NodeName()))
+	}
+}
+
+func isMetaAttr(a *dom.Attr) bool {
+	space := a.Name().Space
+	return space == xmlparser.XMLNSNamespace || space == xsd.XSINamespace || space == xmlparser.XMLNamespace
+}
+
+// complexElement validates an element governed by a complex type.
+func (r *run) complexElement(el *dom.Element, ct *xsd.ComplexType, decl *xsd.ElementDecl, path string) {
+	r.attributes(el, ct, path)
+	switch ct.Kind {
+	case xsd.ContentSimple:
+		for _, c := range el.ChildNodes() {
+			if _, ok := c.(*dom.Element); ok {
+				r.violate(path, "element content is not allowed in simple content")
+				return
+			}
+		}
+		text := el.TextContent()
+		if _, err := ct.SimpleContentType.Parse(text); err != nil {
+			r.violate(path, err.Error())
+		}
+		r.trackIDs(ct.SimpleContentType, text, path)
+	case xsd.ContentEmpty:
+		for _, c := range el.ChildNodes() {
+			switch x := c.(type) {
+			case *dom.Element:
+				r.violate(path, fmt.Sprintf("element <%s> is not allowed in empty content", x.TagName()))
+				return
+			case *dom.Text:
+				if strings.TrimSpace(x.Data) != "" {
+					r.violate(path, "character data is not allowed in empty content")
+					return
+				}
+			case *dom.CDATASection:
+				r.violate(path, "character data is not allowed in empty content")
+				return
+			}
+		}
+	case xsd.ContentElementOnly, xsd.ContentMixed:
+		r.elementContent(el, ct, path)
+	}
+}
+
+// elementContent validates children against the content model.
+func (r *run) elementContent(el *dom.Element, ct *xsd.ComplexType, path string) {
+	var symbols []contentmodel.Symbol
+	var children []*dom.Element
+	for _, c := range el.ChildNodes() {
+		switch x := c.(type) {
+		case *dom.Element:
+			symbols = append(symbols, contentmodel.Symbol{Space: x.NamespaceURI(), Local: x.LocalName()})
+			children = append(children, x)
+		case *dom.Text:
+			if ct.Kind != xsd.ContentMixed && strings.TrimSpace(x.Data) != "" {
+				r.violate(path, fmt.Sprintf("character data %q is not allowed in element-only content", snippet(x.Data)))
+			}
+		case *dom.CDATASection:
+			if ct.Kind != xsd.ContentMixed {
+				r.violate(path, "character data is not allowed in element-only content")
+			}
+		}
+	}
+	leaves, merr := ct.Matcher(r.v.schema).Match(symbols)
+	if merr != nil {
+		loc := path
+		if merr.Index < len(children) {
+			loc = childPath(path, children[merr.Index])
+		}
+		r.violate(loc, merr.Error())
+		return
+	}
+	counts := map[string]int{}
+	for i, child := range children {
+		cpath := childPathIndexed(path, child, counts)
+		switch data := leaves[i].Data.(type) {
+		case *xsd.ElementDecl:
+			resolved, err := r.v.schema.ResolveChild(data, xsd.QName{Space: child.NamespaceURI(), Local: child.LocalName()})
+			if err != nil {
+				r.violate(cpath, err.Error())
+				continue
+			}
+			r.element(child, resolved, cpath)
+		case *contentmodel.Wildcard:
+			// Lax wildcard processing: validate when a global
+			// declaration exists, accept otherwise.
+			name := xsd.QName{Space: child.NamespaceURI(), Local: child.LocalName()}
+			if gdecl, ok := r.v.schema.LookupElement(name); ok {
+				r.element(child, gdecl, cpath)
+			}
+		}
+	}
+}
+
+// attributes validates the attribute set of el against ct.
+func (r *run) attributes(el *dom.Element, ct *xsd.ComplexType, path string) {
+	seen := map[xsd.QName]bool{}
+	for _, a := range el.Attributes() {
+		if isMetaAttr(a) {
+			continue
+		}
+		name := xsd.QName{Space: a.Name().Space, Local: a.Name().Local}
+		seen[name] = true
+		use := ct.FindAttributeUse(name)
+		if use == nil || use.Prohibited {
+			if ct.AttrWildcard != nil && ct.AttrWildcard.Admits(name.Space) {
+				continue
+			}
+			r.violate(path, fmt.Sprintf("attribute %q is not declared for this element", a.NodeName()))
+			continue
+		}
+		val, err := use.Decl.Type.Parse(a.Value())
+		if err != nil {
+			r.violate(path, fmt.Sprintf("attribute %q: %v", a.NodeName(), err))
+			continue
+		}
+		if use.Fixed != nil {
+			want, ferr := use.Decl.Type.Parse(*use.Fixed)
+			if ferr == nil && !val.Equal(want) {
+				r.violate(path, fmt.Sprintf("attribute %q must have the fixed value %q", a.NodeName(), *use.Fixed))
+			}
+		}
+		r.trackIDs(use.Decl.Type, a.Value(), path+"/@"+a.NodeName())
+	}
+	for _, use := range ct.AttributeUses {
+		if use.Required && !use.Prohibited && !seen[use.Decl.Name] {
+			r.violate(path, fmt.Sprintf("required attribute %q is missing", use.Decl.Name.Local))
+		}
+	}
+}
+
+// resolveInstanceQName resolves a QName lexical value against the
+// namespace declarations in scope in the instance document.
+func resolveInstanceQName(el *dom.Element, lexical string) (xsd.QName, error) {
+	lexical = strings.TrimSpace(lexical)
+	prefix, local := "", lexical
+	if i := strings.IndexByte(lexical, ':'); i >= 0 {
+		prefix, local = lexical[:i], lexical[i+1:]
+	}
+	if !xmlparser.IsNCName(local) || (prefix != "" && !xmlparser.IsNCName(prefix)) {
+		return xsd.QName{}, fmt.Errorf("bad QName")
+	}
+	if prefix == "xml" {
+		return xsd.QName{Space: xmlparser.XMLNamespace, Local: local}, nil
+	}
+	for n := dom.Node(el); n != nil; n = n.ParentNode() {
+		e, ok := n.(*dom.Element)
+		if !ok {
+			continue
+		}
+		if prefix == "" {
+			if e.HasAttributeNS(xmlparser.XMLNSNamespace, "xmlns") {
+				return xsd.QName{Space: e.GetAttributeNS(xmlparser.XMLNSNamespace, "xmlns"), Local: local}, nil
+			}
+		} else if e.HasAttributeNS(xmlparser.XMLNSNamespace, prefix) {
+			return xsd.QName{Space: e.GetAttributeNS(xmlparser.XMLNSNamespace, prefix), Local: local}, nil
+		}
+	}
+	if prefix != "" {
+		return xsd.QName{}, fmt.Errorf("undeclared prefix %q", prefix)
+	}
+	return xsd.QName{Local: local}, nil
+}
+
+// childPath appends a child step to a path.
+func childPath(path string, child *dom.Element) string {
+	return path + "/" + child.TagName()
+}
+
+// childPathIndexed appends a child step with a 1-based position index per
+// tag name (item[1], item[2], ...).
+func childPathIndexed(path string, child *dom.Element, counts map[string]int) string {
+	counts[child.TagName()]++
+	n := counts[child.TagName()]
+	if n > 1 {
+		return fmt.Sprintf("%s/%s[%d]", path, child.TagName(), n)
+	}
+	return path + "/" + child.TagName()
+}
+
+// snippet truncates text for error messages.
+func snippet(s string) string {
+	s = strings.TrimSpace(s)
+	if len(s) > 20 {
+		return s[:20] + "..."
+	}
+	return s
+}
+
+// ValidateBytes parses and validates a serialized document in one step —
+// the "marshalling" baseline of the paper's §7 related-work discussion.
+func ValidateBytes(schema *xsd.Schema, src []byte) (*dom.Document, *Result) {
+	doc, err := dom.Parse(src)
+	if err != nil {
+		res := &Result{Violations: []Violation{{Path: "/", Msg: err.Error()}}}
+		return nil, res
+	}
+	return doc, New(schema, nil).ValidateDocument(doc)
+}

@@ -1,0 +1,187 @@
+package vdom
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/dom"
+	"repro/internal/normalize"
+	"repro/internal/schemas"
+)
+
+func testRuntime(t *testing.T) *Runtime {
+	t.Helper()
+	rt, err := NewRuntime(schemas.PurchaseOrderXSD, normalize.SchemePaper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+func TestRuntimeResolvesGeneratedNames(t *testing.T) {
+	rt := testRuntime(t)
+	for _, name := range []string{"PurchaseOrderType", "USAddress", "Items", "SKU", "ItemType", "QuantityType"} {
+		if _, ok := rt.Type(name); !ok {
+			t.Errorf("runtime cannot resolve %q", name)
+		}
+	}
+	if _, ok := rt.Type("Nonexistent"); ok {
+		t.Error("bogus name resolved")
+	}
+	if rt.SimpleType("SKU") == nil {
+		t.Error("SKU should resolve as a simple type")
+	}
+	if rt.ComplexType("USAddress") == nil {
+		t.Error("USAddress should resolve as a complex type")
+	}
+}
+
+func TestRuntimePanicsOnKindMismatch(t *testing.T) {
+	rt := testRuntime(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("SimpleType on a complex name should panic (schema drift)")
+		}
+	}()
+	rt.SimpleType("USAddress")
+}
+
+func TestCheckSimpleAndAttr(t *testing.T) {
+	rt := testRuntime(t)
+	if err := rt.CheckSimple("SKU", "926-AA"); err != nil {
+		t.Errorf("SKU ok value: %v", err)
+	}
+	if rt.CheckSimple("SKU", "nope") == nil {
+		t.Error("SKU bad value accepted")
+	}
+	if err := rt.CheckAttr("PurchaseOrderType", "orderDate", "1999-10-20"); err != nil {
+		t.Errorf("orderDate: %v", err)
+	}
+	if rt.CheckAttr("PurchaseOrderType", "orderDate", "soon") == nil {
+		t.Error("bad orderDate accepted")
+	}
+	if rt.CheckAttr("USAddress", "country", "DE") == nil {
+		t.Error("fixed country violation accepted")
+	}
+	if rt.CheckAttr("PurchaseOrderType", "bogus", "x") == nil {
+		t.Error("undeclared attribute accepted")
+	}
+}
+
+func TestCheckOccurs(t *testing.T) {
+	if err := CheckOccurs("t.m", 2, 1, 3); err != nil {
+		t.Errorf("in range: %v", err)
+	}
+	if err := CheckOccurs("t.m", 5, 0, -1); err != nil {
+		t.Errorf("unbounded: %v", err)
+	}
+	err := CheckOccurs("t.m", 0, 1, 3)
+	var oe *OccurrenceError
+	if !errors.As(err, &oe) || oe.Count != 0 || oe.Min != 1 {
+		t.Errorf("below min: %v", err)
+	}
+	err = CheckOccurs("t.m", 4, 1, 3)
+	if !errors.As(err, &oe) || !strings.Contains(err.Error(), "1..3") {
+		t.Errorf("above max: %v", err)
+	}
+}
+
+func TestRequiredError(t *testing.T) {
+	err := Required("shipToElement", "content")
+	if !strings.Contains(err.Error(), "shipToElement") || !strings.Contains(err.Error(), "content") {
+		t.Errorf("required error text: %v", err)
+	}
+}
+
+// fakeNode is a minimal ElementNode for Marshal tests.
+type fakeNode struct {
+	name string
+	fail bool
+}
+
+func (f *fakeNode) VDOMName() string { return f.name }
+func (f *fakeNode) BuildInto(doc *dom.Document, parent dom.Node) error {
+	if f.fail {
+		return Required(f.name, "something")
+	}
+	el := doc.CreateElement(f.name)
+	_, err := parent.AppendChild(el)
+	return err
+}
+
+func TestMarshalHelpers(t *testing.T) {
+	out, err := MarshalString(&fakeNode{name: "ok"})
+	if err != nil || out != "<ok/>" {
+		t.Errorf("MarshalString: %q, %v", out, err)
+	}
+	if _, err := MarshalString(&fakeNode{name: "bad", fail: true}); err == nil {
+		t.Error("failing node should propagate")
+	}
+	pretty, err := MarshalIndent(&fakeNode{name: "ok"})
+	if err != nil || !strings.Contains(pretty, "<ok/>") {
+		t.Errorf("MarshalIndent: %q, %v", pretty, err)
+	}
+}
+
+func TestCheckBuiltin(t *testing.T) {
+	if err := CheckBuiltin("decimal", "1.5"); err != nil {
+		t.Errorf("decimal: %v", err)
+	}
+	if CheckBuiltin("decimal", "x") == nil {
+		t.Error("bad decimal accepted")
+	}
+	if CheckBuiltin("noSuchType", "x") == nil {
+		t.Error("unknown builtin accepted")
+	}
+}
+
+func TestMixedContentOrdering(t *testing.T) {
+	m := &MixedContent{}
+	m.AddText("a")
+	m.AddNode(&fakeNamed{fakeNode{name: "b"}})
+	m.AddText("c")
+	if m.Len() != 3 {
+		t.Errorf("len: %d", m.Len())
+	}
+	var sb strings.Builder
+	DumpMixed(m, &sb, 0)
+	if !strings.Contains(sb.String(), `Text "a"`) || !strings.Contains(sb.String(), "b") {
+		t.Errorf("dump: %s", sb.String())
+	}
+}
+
+type fakeNamed struct{ fakeNode }
+
+func (f *fakeNamed) XMLQName() (string, string) { return "", f.name }
+
+func TestXSITypeHelper(t *testing.T) {
+	doc := dom.NewDocument()
+	el := doc.CreateElement("e")
+	XSIType(el, "USAddress")
+	if el.GetAttributeNS("http://www.w3.org/2001/XMLSchema-instance", "type") != "USAddress" {
+		t.Errorf("xsi:type not set: %s", dom.ToString(el))
+	}
+}
+
+func TestBuildAnyInto(t *testing.T) {
+	src := dom.NewDocument()
+	raw := src.CreateElement("raw")
+	raw.SetAttribute("k", "v")
+	_, _ = raw.AppendChild(src.CreateTextNode("t"))
+
+	dst := dom.NewDocument()
+	parent := dst.CreateElement("parent")
+	_, _ = dst.AppendChild(parent)
+	if err := BuildAnyInto(raw, dst, parent); err != nil {
+		t.Fatal(err)
+	}
+	out := dom.ToString(parent)
+	if !strings.Contains(out, `<raw k="v">t</raw>`) {
+		t.Errorf("imported wrong: %s", out)
+	}
+	// The original element is untouched (import copies).
+	if raw.OwnerDocument() != src {
+		t.Error("original reparented")
+	}
+}

@@ -1,0 +1,78 @@
+// Package wml ships the WML (Wireless Markup Language) schema subset used
+// by the paper's §5 example: a deck of cards, paragraphs with mixed
+// content, select/option menus, bold text, line breaks and anchors — the
+// constructs of the media-archive directory browser in Figures 8, 10 and
+// 11.
+package wml
+
+// Schema is the WML subset as an XML Schema (the paper assumes "a given
+// Wml schema"; WML 1.3 was published as a DTD, transcribed here to XSD).
+const Schema = `<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+
+  <xsd:element name="wml" type="Wml"/>
+
+  <xsd:complexType name="Wml">
+    <xsd:sequence>
+      <xsd:element name="card" type="Card" maxOccurs="unbounded"/>
+    </xsd:sequence>
+  </xsd:complexType>
+
+  <xsd:complexType name="Card">
+    <xsd:sequence>
+      <xsd:element name="p" type="P" minOccurs="0" maxOccurs="unbounded"/>
+    </xsd:sequence>
+    <xsd:attribute name="id" type="xsd:NMTOKEN"/>
+    <xsd:attribute name="title" type="xsd:string"/>
+  </xsd:complexType>
+
+  <xsd:complexType name="P" mixed="true">
+    <xsd:choice minOccurs="0" maxOccurs="unbounded">
+      <xsd:element name="b" type="xsd:string"/>
+      <xsd:element name="br" type="Br"/>
+      <xsd:element name="select" type="Select"/>
+      <xsd:element name="a" type="A"/>
+    </xsd:choice>
+    <xsd:attribute name="align" type="Alignment"/>
+  </xsd:complexType>
+
+  <xsd:simpleType name="Alignment">
+    <xsd:restriction base="xsd:string">
+      <xsd:enumeration value="left"/>
+      <xsd:enumeration value="center"/>
+      <xsd:enumeration value="right"/>
+    </xsd:restriction>
+  </xsd:simpleType>
+
+  <xsd:complexType name="Br"/>
+
+  <xsd:complexType name="A">
+    <xsd:simpleContent>
+      <xsd:extension base="xsd:string">
+        <xsd:attribute name="href" type="xsd:anyURI" use="required"/>
+        <xsd:attribute name="title" type="xsd:string"/>
+      </xsd:extension>
+    </xsd:simpleContent>
+  </xsd:complexType>
+
+  <xsd:complexType name="Select">
+    <xsd:sequence>
+      <xsd:element name="option" type="Option" maxOccurs="unbounded"/>
+    </xsd:sequence>
+    <xsd:attribute name="name" type="xsd:NMTOKEN"/>
+    <xsd:attribute name="title" type="xsd:string"/>
+    <xsd:attribute name="multiple" type="xsd:boolean"/>
+  </xsd:complexType>
+
+  <xsd:complexType name="Option">
+    <xsd:simpleContent>
+      <xsd:extension base="xsd:string">
+        <xsd:attribute name="value" type="xsd:string"/>
+        <xsd:attribute name="title" type="xsd:string"/>
+        <xsd:attribute name="onpick" type="xsd:anyURI"/>
+      </xsd:extension>
+    </xsd:simpleContent>
+  </xsd:complexType>
+
+</xsd:schema>
+`

@@ -1,0 +1,1019 @@
+package xmlparser
+
+import (
+	"fmt"
+	"strings"
+	"unicode/utf8"
+)
+
+// XMLNamespace is the namespace URI bound to the reserved "xml" prefix.
+const XMLNamespace = "http://www.w3.org/XML/1998/namespace"
+
+// XMLNSNamespace is the namespace URI of namespace declarations themselves.
+const XMLNSNamespace = "http://www.w3.org/2000/xmlns/"
+
+// Options configures a Decoder.
+type Options struct {
+	// Namespaces enables namespace processing (resolution of prefixes,
+	// rejection of undeclared prefixes). It defaults to true in
+	// NewDecoder when Options is nil.
+	Namespaces bool
+	// Fragment permits parsing of document fragments: multiple root
+	// elements and character data at the top level are allowed, and the
+	// XML declaration and doctype may be absent (they may be absent in
+	// documents too).
+	Fragment bool
+	// Entities supplies additional named entities, beyond the five
+	// predefined ones and those declared in the internal DTD subset.
+	Entities map[string]string
+	// KeepComments controls whether comment tokens are emitted. Comments
+	// are emitted by default.
+	SkipComments bool
+}
+
+// defaultOptions returns the options used when the caller passes nil.
+func defaultOptions() Options { return Options{Namespaces: true} }
+
+// nsFrame is one element's worth of namespace declarations.
+type nsFrame struct {
+	bindings map[string]string // prefix -> uri; "" key is the default ns
+}
+
+// openElem tracks an open start tag for end-tag matching.
+type openElem struct {
+	name     Name
+	rawName  string // as written, for error messages
+	pos      Pos
+	nsPushed bool
+}
+
+// Decoder parses a single XML document (or fragment) from a byte slice and
+// yields Tokens.
+type Decoder struct {
+	src  []byte
+	off  int
+	line int
+	col  int
+
+	opts     Options
+	ns       []nsFrame
+	stack    []openElem
+	pending  []Token
+	seenRoot bool
+	seenDecl bool
+	started  bool
+	eof      bool
+
+	// internalEntities holds general entities declared in the internal
+	// DTD subset.
+	internalEntities map[string]string
+	entityDepth      int
+}
+
+// NewDecoder creates a Decoder over src. A nil opts selects the defaults
+// (namespace processing on, document mode).
+func NewDecoder(src []byte, opts *Options) *Decoder {
+	o := defaultOptions()
+	if opts != nil {
+		o = *opts
+	}
+	d := &Decoder{src: src, line: 1, col: 1, opts: o}
+	d.ns = []nsFrame{{bindings: map[string]string{"xml": XMLNamespace}}}
+	return d
+}
+
+// Parse parses a complete document and returns all tokens.
+func Parse(src []byte) ([]Token, error) {
+	return parseAll(src, nil)
+}
+
+// ParseFragment parses a document fragment: multiple top-level elements and
+// top-level character data are permitted.
+func ParseFragment(src []byte, extraEntities map[string]string) ([]Token, error) {
+	o := defaultOptions()
+	o.Fragment = true
+	o.Entities = extraEntities
+	return parseAll(src, &o)
+}
+
+func parseAll(src []byte, opts *Options) ([]Token, error) {
+	d := NewDecoder(src, opts)
+	var toks []Token
+	for {
+		t, err := d.Token()
+		if err != nil {
+			return nil, err
+		}
+		if t == nil {
+			return toks, nil
+		}
+		toks = append(toks, *t)
+	}
+}
+
+// pos returns the current input position.
+func (d *Decoder) pos() Pos { return Pos{Line: d.line, Col: d.col, Offset: d.off} }
+
+// errf creates a SyntaxError at the given position.
+func (d *Decoder) errf(p Pos, format string, args ...any) error {
+	return &SyntaxError{Pos: p, Msg: fmt.Sprintf(format, args...)}
+}
+
+// peek returns the next rune without consuming it, or -1 at end of input.
+func (d *Decoder) peek() rune {
+	if d.off >= len(d.src) {
+		return -1
+	}
+	r, _ := utf8.DecodeRune(d.src[d.off:])
+	return r
+}
+
+// peekAt returns the rune n bytes ahead (only valid for ASCII lookahead).
+func (d *Decoder) peekByte(n int) byte {
+	if d.off+n >= len(d.src) {
+		return 0
+	}
+	return d.src[d.off+n]
+}
+
+// next consumes and returns the next rune, or -1 at end of input.
+func (d *Decoder) next() rune {
+	if d.off >= len(d.src) {
+		return -1
+	}
+	r, size := utf8.DecodeRune(d.src[d.off:])
+	if r == utf8.RuneError && size == 1 {
+		// Invalid UTF-8: represent as the error rune; validity checks
+		// will reject it because RuneError is legal but we flag the
+		// encoding problem explicitly here.
+		d.off += size
+		d.col++
+		return r
+	}
+	d.off += size
+	if r == '\n' {
+		d.line++
+		d.col = 1
+	} else {
+		d.col++
+	}
+	return r
+}
+
+// hasPrefix reports whether the remaining input starts with s.
+func (d *Decoder) hasPrefix(s string) bool {
+	return strings.HasPrefix(string(d.src[d.off:min(len(d.src), d.off+len(s))]), s)
+}
+
+// skip consumes len(s) bytes; the caller must have verified them.
+func (d *Decoder) skip(s string) {
+	for range s {
+		d.next()
+	}
+}
+
+// skipSpace consumes whitespace and reports whether any was present.
+func (d *Decoder) skipSpace() bool {
+	seen := false
+	for {
+		r := d.peek()
+		if r < 0 || !IsSpace(r) {
+			return seen
+		}
+		d.next()
+		seen = true
+	}
+}
+
+// Token returns the next token, or (nil, nil) at end of input.
+func (d *Decoder) Token() (*Token, error) {
+	if len(d.pending) > 0 {
+		t := d.pending[0]
+		d.pending = d.pending[1:]
+		return &t, nil
+	}
+	if d.eof {
+		return nil, nil
+	}
+	if !d.started {
+		d.started = true
+		if t, err := d.xmlDecl(); err != nil {
+			return nil, err
+		} else if t != nil {
+			return t, nil
+		}
+	}
+	for {
+		if d.off >= len(d.src) {
+			return nil, d.finish()
+		}
+		inContent := len(d.stack) > 0
+		r := d.peek()
+		if r != '<' {
+			if !inContent && !d.opts.Fragment {
+				// Prolog / epilog: only whitespace allowed.
+				p := d.pos()
+				if !d.skipSpace() {
+					return nil, d.errf(p, "content outside of root element")
+				}
+				continue
+			}
+			return d.text()
+		}
+		p := d.pos()
+		switch {
+		case d.hasPrefix("<!--"):
+			t, err := d.comment(p)
+			if err != nil {
+				return nil, err
+			}
+			if d.opts.SkipComments {
+				continue
+			}
+			return t, nil
+		case d.hasPrefix("<![CDATA["):
+			if !inContent && !d.opts.Fragment {
+				return nil, d.errf(p, "CDATA section outside of root element")
+			}
+			return d.cdata(p)
+		case d.hasPrefix("<!DOCTYPE"):
+			if inContent || d.seenRoot {
+				return nil, d.errf(p, "DOCTYPE not allowed here")
+			}
+			return d.doctype(p)
+		case d.hasPrefix("<?"):
+			return d.procInst(p)
+		case d.hasPrefix("</"):
+			return d.endTag(p)
+		case d.hasPrefix("<!"):
+			return nil, d.errf(p, "unexpected markup declaration")
+		default:
+			if d.seenRoot && !inContent && !d.opts.Fragment {
+				return nil, d.errf(p, "document has more than one root element")
+			}
+			return d.startTag(p)
+		}
+	}
+}
+
+// finish validates end-of-input conditions.
+func (d *Decoder) finish() error {
+	d.eof = true
+	if len(d.stack) > 0 {
+		top := d.stack[len(d.stack)-1]
+		return d.errf(d.pos(), "unexpected end of input: element <%s> opened at %s is not closed", top.rawName, top.pos)
+	}
+	if !d.seenRoot && !d.opts.Fragment {
+		return d.errf(d.pos(), "document has no root element")
+	}
+	return nil
+}
+
+// xmlDecl parses an optional leading XML declaration.
+func (d *Decoder) xmlDecl() (*Token, error) {
+	if !d.hasPrefix("<?xml") {
+		return nil, nil
+	}
+	// Must be followed by whitespace to be the declaration and not a PI
+	// with a target beginning with "xml".
+	b := d.peekByte(5)
+	if b != ' ' && b != '\t' && b != '\r' && b != '\n' {
+		return nil, nil
+	}
+	p := d.pos()
+	d.skip("<?xml")
+	data, err := d.untilString("?>", "XML declaration")
+	if err != nil {
+		return nil, err
+	}
+	d.seenDecl = true
+	attrs, err := ParsePseudoAttrs(data)
+	if err != nil {
+		return nil, d.errf(p, "malformed XML declaration: %v", err)
+	}
+	version, ok := attrs["version"]
+	if !ok || (version != "1.0" && version != "1.1") {
+		return nil, d.errf(p, "XML declaration must specify version 1.0 or 1.1")
+	}
+	if enc, ok := attrs["encoding"]; ok {
+		lower := strings.ToLower(enc)
+		if lower != "utf-8" && lower != "utf8" && lower != "us-ascii" && lower != "ascii" {
+			return nil, d.errf(p, "unsupported encoding %q (only UTF-8 input is supported)", enc)
+		}
+	}
+	return &Token{Kind: KindXMLDecl, Data: strings.TrimSpace(data), Pos: p}, nil
+}
+
+// ParsePseudoAttrs parses the name="value" pairs of XML and text
+// declarations (e.g. `version="1.0" encoding="UTF-8"`).
+func ParsePseudoAttrs(s string) (map[string]string, error) {
+	out := map[string]string{}
+	rest := strings.TrimSpace(s)
+	for rest != "" {
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("expected '=' in %q", rest)
+		}
+		name := strings.TrimSpace(rest[:eq])
+		if !IsName(name) {
+			return nil, fmt.Errorf("bad pseudo-attribute name %q", name)
+		}
+		rest = strings.TrimSpace(rest[eq+1:])
+		if rest == "" || (rest[0] != '"' && rest[0] != '\'') {
+			return nil, fmt.Errorf("pseudo-attribute %s must be quoted", name)
+		}
+		q := rest[0]
+		end := strings.IndexByte(rest[1:], q)
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated value for %s", name)
+		}
+		out[name] = rest[1 : 1+end]
+		rest = strings.TrimSpace(rest[1+end+1:])
+	}
+	return out, nil
+}
+
+// untilString consumes input up to and including the terminator, returning
+// the text before it.
+func (d *Decoder) untilString(term, what string) (string, error) {
+	start := d.off
+	idx := strings.Index(string(d.src[d.off:]), term)
+	if idx < 0 {
+		return "", d.errf(d.pos(), "unterminated %s", what)
+	}
+	for d.off < start+idx+len(term) {
+		d.next()
+	}
+	return string(d.src[start : start+idx]), nil
+}
+
+// comment parses <!-- ... -->.
+func (d *Decoder) comment(p Pos) (*Token, error) {
+	d.skip("<!--")
+	body, err := d.untilString("-->", "comment")
+	if err != nil {
+		return nil, err
+	}
+	if strings.Contains(body, "--") {
+		return nil, d.errf(p, "'--' is not permitted inside comments")
+	}
+	if strings.HasSuffix(body, "-") {
+		return nil, d.errf(p, "comment must not end with '--->'")
+	}
+	if err := checkChars(body); err != nil {
+		return nil, d.errf(p, "illegal character in comment: %v", err)
+	}
+	return &Token{Kind: KindComment, Data: body, Pos: p}, nil
+}
+
+// cdata parses <![CDATA[ ... ]]>.
+func (d *Decoder) cdata(p Pos) (*Token, error) {
+	d.skip("<![CDATA[")
+	body, err := d.untilString("]]>", "CDATA section")
+	if err != nil {
+		return nil, err
+	}
+	if err := checkChars(body); err != nil {
+		return nil, d.errf(p, "illegal character in CDATA section: %v", err)
+	}
+	return &Token{Kind: KindCData, Data: body, Pos: p}, nil
+}
+
+// procInst parses <?target data?>.
+func (d *Decoder) procInst(p Pos) (*Token, error) {
+	d.skip("<?")
+	target, err := d.name("processing instruction target")
+	if err != nil {
+		return nil, err
+	}
+	if strings.EqualFold(target, "xml") {
+		return nil, d.errf(p, "processing instruction target %q is reserved", target)
+	}
+	var data string
+	if IsSpace(d.peek()) {
+		d.skipSpace()
+		data, err = d.untilString("?>", "processing instruction")
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		if !d.hasPrefix("?>") {
+			return nil, d.errf(d.pos(), "expected '?>' or whitespace after PI target")
+		}
+		d.skip("?>")
+	}
+	if err := checkChars(data); err != nil {
+		return nil, d.errf(p, "illegal character in processing instruction: %v", err)
+	}
+	return &Token{Kind: KindProcInst, Target: target, Data: data, Pos: p}, nil
+}
+
+// name scans an XML Name.
+func (d *Decoder) name(what string) (string, error) {
+	p := d.pos()
+	start := d.off
+	r := d.peek()
+	if r < 0 || !IsNameStartChar(r) {
+		return "", d.errf(p, "expected %s", what)
+	}
+	d.next()
+	for {
+		r := d.peek()
+		if r < 0 || !IsNameChar(r) {
+			break
+		}
+		d.next()
+	}
+	return string(d.src[start:d.off]), nil
+}
+
+// checkChars verifies every rune in s is a legal XML character.
+func checkChars(s string) error {
+	for _, r := range s {
+		if !IsChar(r) {
+			return fmt.Errorf("U+%04X", r)
+		}
+	}
+	return nil
+}
+
+// text parses character data up to the next '<'.
+func (d *Decoder) text() (*Token, error) {
+	p := d.pos()
+	var sb strings.Builder
+	for {
+		r := d.peek()
+		if r < 0 || r == '<' {
+			break
+		}
+		if r == '&' {
+			s, err := d.reference(false)
+			if err != nil {
+				return nil, err
+			}
+			sb.WriteString(s)
+			continue
+		}
+		if r == ']' && d.hasPrefix("]]>") {
+			return nil, d.errf(d.pos(), "']]>' is not permitted in character data")
+		}
+		if !IsChar(r) {
+			return nil, d.errf(d.pos(), "illegal character U+%04X in character data", r)
+		}
+		if r == '\r' {
+			// End-of-line normalization: CR and CRLF become LF.
+			d.next()
+			if d.peek() == '\n' {
+				d.next()
+			}
+			sb.WriteByte('\n')
+			continue
+		}
+		sb.WriteRune(r)
+		d.next()
+	}
+	return &Token{Kind: KindText, Data: sb.String(), Pos: p}, nil
+}
+
+// reference parses &name;, &#n; or &#xn;. inAttr selects the stricter
+// attribute-value context.
+func (d *Decoder) reference(inAttr bool) (string, error) {
+	p := d.pos()
+	d.next() // consume '&'
+	if d.peek() == '#' {
+		d.next()
+		hex := false
+		if d.peek() == 'x' {
+			hex = true
+			d.next()
+		}
+		var n rune
+		digits := 0
+		for {
+			r := d.peek()
+			var v rune = -1
+			switch {
+			case r >= '0' && r <= '9':
+				v = r - '0'
+			case hex && r >= 'a' && r <= 'f':
+				v = r - 'a' + 10
+			case hex && r >= 'A' && r <= 'F':
+				v = r - 'A' + 10
+			}
+			if v < 0 {
+				break
+			}
+			base := rune(10)
+			if hex {
+				base = 16
+			}
+			n = n*base + v
+			if n > 0x10FFFF {
+				return "", d.errf(p, "character reference out of range")
+			}
+			digits++
+			d.next()
+		}
+		if digits == 0 || d.peek() != ';' {
+			return "", d.errf(p, "malformed character reference")
+		}
+		d.next()
+		if !IsChar(n) {
+			return "", d.errf(p, "character reference to illegal character U+%04X", n)
+		}
+		return string(n), nil
+	}
+	name, err := d.name("entity name")
+	if err != nil {
+		return "", d.errf(p, "malformed entity reference")
+	}
+	if d.peek() != ';' {
+		return "", d.errf(p, "entity reference %q missing ';'", name)
+	}
+	d.next()
+	return d.resolveEntity(p, name, inAttr)
+}
+
+// predefEntities are the five predefined XML entities.
+var predefEntities = map[string]string{
+	"lt": "<", "gt": ">", "amp": "&", "apos": "'", "quot": `"`,
+}
+
+// resolveEntity expands a general entity reference, recursively expanding
+// references inside internal entity replacement text.
+func (d *Decoder) resolveEntity(p Pos, name string, inAttr bool) (string, error) {
+	if v, ok := predefEntities[name]; ok {
+		return v, nil
+	}
+	repl, ok := d.internalEntities[name]
+	if !ok {
+		repl, ok = d.opts.Entities[name]
+	}
+	if !ok {
+		return "", d.errf(p, "reference to undeclared entity %q", name)
+	}
+	if d.entityDepth >= 16 {
+		return "", d.errf(p, "entity expansion too deep (recursive entity %q?)", name)
+	}
+	if strings.ContainsAny(repl, "<") {
+		return "", d.errf(p, "entity %q contains markup, which this parser does not support", name)
+	}
+	d.entityDepth++
+	defer func() { d.entityDepth-- }()
+	return d.expandEntityText(p, repl, inAttr, name)
+}
+
+// expandEntityText resolves references inside entity replacement text.
+func (d *Decoder) expandEntityText(p Pos, s string, inAttr bool, via string) (string, error) {
+	if !strings.Contains(s, "&") {
+		return s, nil
+	}
+	sub := NewDecoder([]byte(s), &Options{Namespaces: false, Fragment: true})
+	sub.internalEntities = d.internalEntities
+	sub.opts.Entities = d.opts.Entities
+	sub.entityDepth = d.entityDepth
+	var sb strings.Builder
+	for sub.off < len(sub.src) {
+		r := sub.peek()
+		if r == '&' {
+			v, err := sub.reference(inAttr)
+			if err != nil {
+				return "", d.errf(p, "in expansion of entity %q: %v", via, err)
+			}
+			sb.WriteString(v)
+			continue
+		}
+		sb.WriteRune(r)
+		sub.next()
+	}
+	return sb.String(), nil
+}
+
+// startTag parses <name attr="v" ...> or <name .../>.
+func (d *Decoder) startTag(p Pos) (*Token, error) {
+	d.next() // consume '<'
+	raw, err := d.name("element name")
+	if err != nil {
+		return nil, err
+	}
+	var attrs []Attr
+	selfClosing := false
+	for {
+		had := d.skipSpace()
+		r := d.peek()
+		switch {
+		case r == '>':
+			d.next()
+		case r == '/':
+			d.next()
+			if d.peek() != '>' {
+				return nil, d.errf(d.pos(), "expected '>' after '/' in tag <%s>", raw)
+			}
+			d.next()
+			selfClosing = true
+		case r < 0:
+			return nil, d.errf(p, "unterminated start tag <%s>", raw)
+		default:
+			if !had {
+				return nil, d.errf(d.pos(), "expected whitespace before attribute in <%s>", raw)
+			}
+			a, err := d.attribute()
+			if err != nil {
+				return nil, err
+			}
+			attrs = append(attrs, a)
+			continue
+		}
+		break
+	}
+	// Literal duplicate check (pre-namespace).
+	for i := range attrs {
+		for j := i + 1; j < len(attrs); j++ {
+			if attrs[i].Name.Local == attrs[j].Name.Local && attrs[i].Name.Prefix == attrs[j].Name.Prefix {
+				return nil, d.errf(attrs[j].Pos, "duplicate attribute %q in <%s>", attrs[j].Name.Qualified(), raw)
+			}
+		}
+	}
+	name := Name{Local: raw}
+	nsPushed := false
+	if d.opts.Namespaces {
+		var err error
+		name, attrs, nsPushed, err = d.applyNamespaces(p, raw, attrs)
+		if err != nil {
+			return nil, err
+		}
+	}
+	d.seenRoot = true
+	tok := &Token{Kind: KindStartElement, Name: name, Attrs: attrs, SelfClosing: selfClosing, Pos: p}
+	if selfClosing {
+		if nsPushed {
+			d.ns = d.ns[:len(d.ns)-1]
+		}
+		d.pending = append(d.pending, Token{Kind: KindEndElement, Name: name, Pos: p})
+	} else {
+		d.stack = append(d.stack, openElem{name: name, rawName: raw, pos: p, nsPushed: nsPushed})
+	}
+	return tok, nil
+}
+
+// attribute parses name="value".
+func (d *Decoder) attribute() (Attr, error) {
+	p := d.pos()
+	raw, err := d.name("attribute name")
+	if err != nil {
+		return Attr{}, err
+	}
+	d.skipSpace()
+	if d.peek() != '=' {
+		return Attr{}, d.errf(d.pos(), "expected '=' after attribute name %q", raw)
+	}
+	d.next()
+	d.skipSpace()
+	q := d.peek()
+	if q != '"' && q != '\'' {
+		return Attr{}, d.errf(d.pos(), "attribute value for %q must be quoted", raw)
+	}
+	d.next()
+	var sb strings.Builder
+	for {
+		r := d.peek()
+		switch {
+		case r < 0:
+			return Attr{}, d.errf(p, "unterminated attribute value for %q", raw)
+		case r == q:
+			d.next()
+			name := splitRawName(raw)
+			return Attr{Name: name, Value: sb.String(), Pos: p}, nil
+		case r == '<':
+			return Attr{}, d.errf(d.pos(), "'<' is not permitted in attribute values")
+		case r == '&':
+			s, err := d.reference(true)
+			if err != nil {
+				return Attr{}, err
+			}
+			sb.WriteString(s)
+		case r == '\t' || r == '\n':
+			// Attribute-value normalization: whitespace becomes space.
+			sb.WriteByte(' ')
+			d.next()
+		case r == '\r':
+			d.next()
+			if d.peek() == '\n' {
+				d.next()
+			}
+			sb.WriteByte(' ')
+		default:
+			if !IsChar(r) {
+				return Attr{}, d.errf(d.pos(), "illegal character U+%04X in attribute value", r)
+			}
+			sb.WriteRune(r)
+			d.next()
+		}
+	}
+}
+
+// splitRawName splits prefix:local.
+func splitRawName(raw string) Name {
+	if i := strings.IndexByte(raw, ':'); i >= 0 {
+		return Name{Prefix: raw[:i], Local: raw[i+1:]}
+	}
+	return Name{Local: raw}
+}
+
+// applyNamespaces processes xmlns declarations in attrs, resolves the element
+// and attribute names, and reports whether a namespace frame was pushed.
+func (d *Decoder) applyNamespaces(p Pos, rawElem string, attrs []Attr) (Name, []Attr, bool, error) {
+	var decls map[string]string
+	for i := range attrs {
+		a := &attrs[i]
+		prefix, local := a.Name.Prefix, a.Name.Local
+		isDecl := prefix == "xmlns" || (prefix == "" && local == "xmlns")
+		if !isDecl {
+			continue
+		}
+		a.IsNamespaceDecl = true
+		declPrefix := ""
+		if prefix == "xmlns" {
+			declPrefix = local
+		}
+		switch declPrefix {
+		case "xmlns":
+			return Name{}, nil, false, d.errf(a.Pos, "prefix \"xmlns\" cannot be declared")
+		case "xml":
+			if a.Value != XMLNamespace {
+				return Name{}, nil, false, d.errf(a.Pos, "prefix \"xml\" cannot be rebound")
+			}
+		default:
+			if a.Value == XMLNamespace || a.Value == XMLNSNamespace {
+				return Name{}, nil, false, d.errf(a.Pos, "namespace %q cannot be bound to prefix %q", a.Value, declPrefix)
+			}
+		}
+		if declPrefix != "" && a.Value == "" {
+			return Name{}, nil, false, d.errf(a.Pos, "cannot undeclare prefix %q with an empty namespace name (XML 1.0)", declPrefix)
+		}
+		if declPrefix != "" && !IsNCName(declPrefix) {
+			return Name{}, nil, false, d.errf(a.Pos, "bad namespace prefix %q", declPrefix)
+		}
+		if decls == nil {
+			decls = map[string]string{}
+		}
+		decls[declPrefix] = a.Value
+	}
+	pushed := false
+	if decls != nil {
+		d.ns = append(d.ns, nsFrame{bindings: decls})
+		pushed = true
+	}
+	en := splitRawName(rawElem)
+	if en.Prefix != "" {
+		if !IsNCName(en.Prefix) || !IsNCName(en.Local) {
+			return Name{}, nil, false, d.errf(p, "bad qualified name %q", rawElem)
+		}
+		uri, ok := d.lookupNS(en.Prefix)
+		if !ok {
+			return Name{}, nil, false, d.errf(p, "undeclared namespace prefix %q on element <%s>", en.Prefix, rawElem)
+		}
+		en.Space = uri
+	} else {
+		if !IsNCName(en.Local) {
+			return Name{}, nil, false, d.errf(p, "bad element name %q", rawElem)
+		}
+		if uri, ok := d.lookupNS(""); ok {
+			en.Space = uri
+		}
+	}
+	for i := range attrs {
+		a := &attrs[i]
+		if a.IsNamespaceDecl {
+			a.Name.Space = XMLNSNamespace
+			continue
+		}
+		if a.Name.Prefix == "" {
+			continue // unprefixed attributes are in no namespace
+		}
+		if !IsNCName(a.Name.Prefix) || !IsNCName(a.Name.Local) {
+			return Name{}, nil, false, d.errf(a.Pos, "bad qualified attribute name %q", a.Name.Qualified())
+		}
+		uri, ok := d.lookupNS(a.Name.Prefix)
+		if !ok {
+			return Name{}, nil, false, d.errf(a.Pos, "undeclared namespace prefix %q on attribute", a.Name.Prefix)
+		}
+		a.Name.Space = uri
+	}
+	// Post-resolution duplicate check: same {uri, local} via different
+	// prefixes.
+	for i := range attrs {
+		if attrs[i].IsNamespaceDecl {
+			continue
+		}
+		for j := i + 1; j < len(attrs); j++ {
+			if attrs[j].IsNamespaceDecl {
+				continue
+			}
+			if attrs[i].Name.Local == attrs[j].Name.Local && attrs[i].Name.Space == attrs[j].Name.Space && attrs[i].Name.Space != "" {
+				return Name{}, nil, false, d.errf(attrs[j].Pos, "duplicate attribute {%s}%s", attrs[j].Name.Space, attrs[j].Name.Local)
+			}
+		}
+	}
+	return en, attrs, pushed, nil
+}
+
+// lookupNS resolves a prefix against the namespace stack.
+func (d *Decoder) lookupNS(prefix string) (string, bool) {
+	for i := len(d.ns) - 1; i >= 0; i-- {
+		if uri, ok := d.ns[i].bindings[prefix]; ok {
+			if uri == "" && prefix == "" {
+				return "", false // default namespace undeclared
+			}
+			return uri, true
+		}
+	}
+	if prefix == "" {
+		return "", false
+	}
+	return "", false
+}
+
+// endTag parses </name>.
+func (d *Decoder) endTag(p Pos) (*Token, error) {
+	d.skip("</")
+	raw, err := d.name("element name in end tag")
+	if err != nil {
+		return nil, err
+	}
+	d.skipSpace()
+	if d.peek() != '>' {
+		return nil, d.errf(d.pos(), "expected '>' to close end tag </%s>", raw)
+	}
+	d.next()
+	if len(d.stack) == 0 {
+		return nil, d.errf(p, "unexpected end tag </%s>", raw)
+	}
+	top := d.stack[len(d.stack)-1]
+	if top.rawName != raw {
+		return nil, d.errf(p, "end tag </%s> does not match start tag <%s> opened at %s", raw, top.rawName, top.pos)
+	}
+	d.stack = d.stack[:len(d.stack)-1]
+	if top.nsPushed {
+		d.ns = d.ns[:len(d.ns)-1]
+	}
+	return &Token{Kind: KindEndElement, Name: top.name, Pos: p}, nil
+}
+
+// doctype parses <!DOCTYPE name externalID? [internal subset]? >.
+// The internal subset's raw text is returned in Token.Data; the external
+// identifier (if any) in Token.Target. ENTITY declarations in the internal
+// subset are registered for reference expansion.
+func (d *Decoder) doctype(p Pos) (*Token, error) {
+	d.skip("<!DOCTYPE")
+	if !d.skipSpace() {
+		return nil, d.errf(p, "expected whitespace after <!DOCTYPE")
+	}
+	name, err := d.name("doctype name")
+	if err != nil {
+		return nil, err
+	}
+	d.skipSpace()
+	extStart := d.off
+	// External ID: SYSTEM literal | PUBLIC literal literal.
+	if d.hasPrefix("SYSTEM") || d.hasPrefix("PUBLIC") {
+		isPublic := d.hasPrefix("PUBLIC")
+		d.skip("SYSTEM") // both keywords are 6 bytes
+		if !d.skipSpace() {
+			return nil, d.errf(d.pos(), "expected whitespace after external ID keyword")
+		}
+		if _, err := d.quotedLiteral(); err != nil {
+			return nil, err
+		}
+		if isPublic {
+			if !d.skipSpace() {
+				return nil, d.errf(d.pos(), "expected whitespace between public and system literals")
+			}
+			if _, err := d.quotedLiteral(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	extID := strings.TrimSpace(string(d.src[extStart:d.off]))
+	d.skipSpace()
+	subset := ""
+	if d.peek() == '[' {
+		d.next()
+		subset, err = d.internalSubset(p)
+		if err != nil {
+			return nil, err
+		}
+	}
+	d.skipSpace()
+	if d.peek() != '>' {
+		return nil, d.errf(d.pos(), "expected '>' to close DOCTYPE")
+	}
+	d.next()
+	if err := d.registerEntities(subset); err != nil {
+		return nil, err
+	}
+	return &Token{Kind: KindDoctype, Name: Name{Local: name}, Target: extID, Data: subset, Pos: p}, nil
+}
+
+// quotedLiteral parses a quoted literal ("..." or '...').
+func (d *Decoder) quotedLiteral() (string, error) {
+	q := d.peek()
+	if q != '"' && q != '\'' {
+		return "", d.errf(d.pos(), "expected quoted literal")
+	}
+	d.next()
+	start := d.off
+	for {
+		r := d.peek()
+		if r < 0 {
+			return "", d.errf(d.pos(), "unterminated literal")
+		}
+		if r == q {
+			s := string(d.src[start:d.off])
+			d.next()
+			return s, nil
+		}
+		d.next()
+	}
+}
+
+// internalSubset consumes the internal DTD subset up to the closing ']',
+// honoring quoted literals and comments, and returns the raw text.
+func (d *Decoder) internalSubset(p Pos) (string, error) {
+	start := d.off
+	depth := 0
+	for {
+		r := d.peek()
+		switch {
+		case r < 0:
+			return "", d.errf(p, "unterminated internal DTD subset")
+		case r == ']' && depth == 0:
+			s := string(d.src[start:d.off])
+			d.next()
+			return s, nil
+		case r == '"' || r == '\'':
+			if _, err := d.quotedLiteral(); err != nil {
+				return "", err
+			}
+		case d.hasPrefix("<!--"):
+			if _, err := d.comment(d.pos()); err != nil {
+				return "", err
+			}
+		case r == '<':
+			depth++
+			d.next()
+		case r == '>':
+			if depth > 0 {
+				depth--
+			}
+			d.next()
+		default:
+			d.next()
+		}
+	}
+}
+
+// registerEntities extracts internal general entity declarations
+// (<!ENTITY name "value">) from the internal subset so that references to
+// them expand during parsing. Parameter entities and external entities are
+// recognized and skipped.
+func (d *Decoder) registerEntities(subset string) error {
+	rest := subset
+	for {
+		i := strings.Index(rest, "<!ENTITY")
+		if i < 0 {
+			return nil
+		}
+		rest = rest[i+len("<!ENTITY"):]
+		rest = strings.TrimLeft(rest, " \t\r\n")
+		if strings.HasPrefix(rest, "%") {
+			continue // parameter entity: not expanded in content
+		}
+		j := strings.IndexFunc(rest, IsSpace)
+		if j < 0 {
+			continue
+		}
+		name := rest[:j]
+		rest = strings.TrimLeft(rest[j:], " \t\r\n")
+		if rest == "" || (rest[0] != '"' && rest[0] != '\'') {
+			continue // external entity (SYSTEM/PUBLIC): unsupported, skipped
+		}
+		q := rest[0]
+		k := strings.IndexByte(rest[1:], q)
+		if k < 0 {
+			continue
+		}
+		value := rest[1 : 1+k]
+		rest = rest[1+k+1:]
+		if !IsName(name) {
+			continue
+		}
+		if d.internalEntities == nil {
+			d.internalEntities = map[string]string{}
+		}
+		if _, dup := d.internalEntities[name]; !dup {
+			// First declaration binds, per XML 1.0.
+			d.internalEntities[name] = value
+		}
+	}
+}

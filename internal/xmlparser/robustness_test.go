@@ -1,0 +1,119 @@
+package xmlparser
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestRobustnessRandomCorruption is failure injection on the parser: take
+// a valid document, corrupt random bytes, and require that the parser
+// never panics — it either reports a syntax error or yields a token
+// stream whose serialization is itself parseable.
+func TestRobustnessRandomCorruption(t *testing.T) {
+	base := `<?xml version="1.0"?><po date="1999-10-20"><a x="1">text &amp; more</a><b><!--c--><![CDATA[raw]]></b><c/></po>`
+	r := rand.New(rand.NewSource(99))
+	for i := 0; i < 3000; i++ {
+		buf := []byte(base)
+		// 1-3 corruptions: overwrite, delete or insert a byte.
+		for k := 0; k < 1+r.Intn(3); k++ {
+			pos := r.Intn(len(buf))
+			switch r.Intn(3) {
+			case 0:
+				buf[pos] = byte(r.Intn(128))
+			case 1:
+				buf = append(buf[:pos], buf[pos+1:]...)
+			case 2:
+				buf = append(buf[:pos], append([]byte{byte(32 + r.Intn(95))}, buf[pos:]...)...)
+			}
+		}
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("parser panic on corrupted input %q: %v", buf, p)
+				}
+			}()
+			toks, err := Parse(buf)
+			if err != nil {
+				// A positioned syntax error is the expected outcome.
+				if se, ok := err.(*SyntaxError); ok && se.Pos.Line < 1 {
+					t.Fatalf("error with bad position: %v", err)
+				}
+				return
+			}
+			// Accepted: the token stream must be structurally sane
+			// (balanced start/end).
+			depth := 0
+			for _, tok := range toks {
+				switch tok.Kind {
+				case KindStartElement:
+					depth++
+				case KindEndElement:
+					depth--
+					if depth < 0 {
+						t.Fatalf("unbalanced tokens accepted for %q", buf)
+					}
+				}
+			}
+			if depth != 0 {
+				t.Fatalf("unbalanced accept for %q", buf)
+			}
+		}()
+	}
+}
+
+// TestRobustnessTruncation: every prefix of a valid document either errors
+// or parses (it can only parse when the prefix happens to be complete).
+func TestRobustnessTruncation(t *testing.T) {
+	base := `<a href="x">one<b>two</b>&lt;three&gt;<c/></a>`
+	for i := 0; i <= len(base); i++ {
+		prefix := base[:i]
+		toks, err := Parse([]byte(prefix))
+		if err == nil && i < len(base) {
+			// Only acceptable if the prefix is a complete document —
+			// impossible here because the root closes at the very end.
+			t.Fatalf("incomplete prefix %q accepted with %d tokens", prefix, len(toks))
+		}
+	}
+}
+
+// TestRobustnessHugeAttribute: long values don't trip buffer handling.
+func TestRobustnessHugeAttribute(t *testing.T) {
+	val := strings.Repeat("x&amp;", 50_000)
+	src := `<a k="` + val + `">` + val + `</a>`
+	toks, err := Parse([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Repeat("x&", 50_000)
+	if toks[0].Attrs[0].Value != want {
+		t.Error("huge attribute mangled")
+	}
+}
+
+// TestRobustnessManyAttributes: wide elements are handled and duplicate
+// detection stays correct.
+func TestRobustnessManyAttributes(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("<e")
+	for i := 0; i < 500; i++ {
+		sb.WriteString(" a")
+		sb.WriteString(strings.Repeat("x", i%7))
+		sb.WriteString(string(rune('0'+i%10)) + string(rune('a'+i/10%26)) + string(rune('a'+i/260)))
+		sb.WriteString(`="v"`)
+	}
+	sb.WriteString("/>")
+	// Some generated names may collide; the parser must either parse or
+	// report the duplicate, never panic.
+	_, err := Parse([]byte(sb.String()))
+	_ = err
+}
+
+// TestNUL: NUL bytes are illegal XML characters everywhere.
+func TestNUL(t *testing.T) {
+	for _, src := range []string{"<a>\x00</a>", "<a k=\"\x00\"/>", "<a\x00/>"} {
+		if _, err := Parse([]byte(src)); err == nil {
+			t.Errorf("NUL accepted in %q", src)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+// Package xmlparser implements an XML 1.0 (Fifth Edition) parser with
+// namespace support, written from scratch for this reproduction.
+//
+// The parser is event-based: Parse and the Decoder type produce a stream of
+// Tokens (start tags, end tags, character data, comments, processing
+// instructions, doctype declarations). Higher layers (package dom) build
+// trees from this stream.
+//
+// The parser enforces well-formedness as defined by the XML recommendation:
+// matching start/end tags, a single root element, unique attributes,
+// well-formed character and entity references, no '<' in attribute values,
+// no ']]>' in character data, and legal XML characters and names. Errors
+// carry line and column information.
+package xmlparser
+
+import "fmt"
+
+// Kind identifies the kind of a Token.
+type Kind int
+
+// Token kinds.
+const (
+	// KindStartElement is a start tag or the start of a self-closing tag.
+	KindStartElement Kind = iota
+	// KindEndElement is an end tag, or synthesized for a self-closing tag.
+	KindEndElement
+	// KindText is character data (entity and character references resolved).
+	KindText
+	// KindCData is the content of a CDATA section.
+	KindCData
+	// KindComment is the body of a comment (without delimiters).
+	KindComment
+	// KindProcInst is a processing instruction.
+	KindProcInst
+	// KindDoctype is a document type declaration.
+	KindDoctype
+	// KindXMLDecl is the XML declaration (<?xml version=...?>).
+	KindXMLDecl
+)
+
+// String returns a human-readable name for the token kind.
+func (k Kind) String() string {
+	switch k {
+	case KindStartElement:
+		return "StartElement"
+	case KindEndElement:
+		return "EndElement"
+	case KindText:
+		return "Text"
+	case KindCData:
+		return "CData"
+	case KindComment:
+		return "Comment"
+	case KindProcInst:
+		return "ProcInst"
+	case KindDoctype:
+		return "Doctype"
+	case KindXMLDecl:
+		return "XMLDecl"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Pos is a position in the input document.
+type Pos struct {
+	Line   int // 1-based line number
+	Col    int // 1-based column (in runes)
+	Offset int // 0-based byte offset
+}
+
+// String formats the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Name is a possibly namespace-qualified name.
+type Name struct {
+	Space  string // resolved namespace URI, empty if none
+	Prefix string // prefix as written, empty if none
+	Local  string // local part
+}
+
+// String returns the name in Clark notation ({uri}local) when it has a
+// namespace, and the plain local name otherwise.
+func (n Name) String() string {
+	if n.Space != "" {
+		return "{" + n.Space + "}" + n.Local
+	}
+	return n.Local
+}
+
+// Qualified returns the lexical qualified name (prefix:local or local).
+func (n Name) Qualified() string {
+	if n.Prefix != "" {
+		return n.Prefix + ":" + n.Local
+	}
+	return n.Local
+}
+
+// Attr is an attribute appearing in a start tag.
+type Attr struct {
+	Name  Name
+	Value string // normalized per XML 1.0 §3.3.3
+	Pos   Pos
+	// IsNamespaceDecl reports whether this attribute is an xmlns or
+	// xmlns:prefix declaration. Namespace declarations are reported so
+	// that serializers can round-trip them.
+	IsNamespaceDecl bool
+}
+
+// Token is one parse event.
+type Token struct {
+	Kind Kind
+	Name Name   // element name for KindStartElement / KindEndElement
+	Data string // text for KindText/KindCData/KindComment, PI data, doctype body
+	// Target is the processing-instruction target for KindProcInst.
+	Target string
+	// Attrs are the attributes of a start element, in document order.
+	Attrs []Attr
+	// SelfClosing marks a KindStartElement that was written as <e/>. A
+	// matching KindEndElement token is still emitted.
+	SelfClosing bool
+	// Pos is the position of the first character of the token.
+	Pos Pos
+}
+
+// Attr returns the value of the named attribute and whether it is present.
+// Only the local name and namespace are compared.
+func (t *Token) Attr(space, local string) (string, bool) {
+	for i := range t.Attrs {
+		a := &t.Attrs[i]
+		if a.Name.Local == local && a.Name.Space == space {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// SyntaxError is a well-formedness or syntax error with position.
+type SyntaxError struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("xml: %s at %s", e.Msg, e.Pos)
+}

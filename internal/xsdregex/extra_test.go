@@ -1,0 +1,106 @@
+package xsdregex
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDFAStateCapFallback: a pattern engineered to blow up determinization
+// must return ErrTooComplex from ToDFA while NFA matching keeps working.
+func TestDFAStateCapFallback(t *testing.T) {
+	// (a|b)*a(a|b){N}: the minimal DFA needs 2^N states.
+	pattern := `(a|b)*a(a|b){18}`
+	re := MustCompile(pattern)
+	if _, err := re.ToDFA(); err == nil {
+		t.Skip("determinization fit in the cap on this build; raise N to exercise the fallback")
+	}
+	// NFA simulation still answers correctly.
+	input := "a" + strings.Repeat("b", 18)
+	if !re.MatchNFA(input) {
+		t.Error("NFA should accept")
+	}
+	if re.MatchNFA(strings.Repeat("b", 19)) {
+		t.Error("NFA should reject")
+	}
+	// EnableDFA degrades gracefully.
+	if err := re.EnableDFA(); err == nil {
+		t.Error("EnableDFA should report the cap")
+	}
+	if !re.MatchString(input) {
+		t.Error("MatchString should fall back to the NFA")
+	}
+}
+
+func TestNegatedCategory(t *testing.T) {
+	re := MustCompile(`\P{Nd}+`)
+	if !re.MatchString("abc!") || re.MatchString("a1") {
+		t.Error("\\P{Nd} semantics wrong")
+	}
+}
+
+func TestClassWithEscapesAndRanges(t *testing.T) {
+	re := MustCompile(`[\t a-c\-x]+`)
+	for _, ok := range []string{"\t", " ", "abc", "-", "x", "a-x c"} {
+		if !re.MatchString(ok) {
+			t.Errorf("should match %q", ok)
+		}
+	}
+	for _, bad := range []string{"d", "A", ""} {
+		if re.MatchString(bad) {
+			t.Errorf("should not match %q", bad)
+		}
+	}
+}
+
+func TestNestedSubtraction(t *testing.T) {
+	// letters minus (vowels minus 'e'): consonants plus 'e'.
+	re := MustCompile(`[a-z-[aeiou-[e]]]+`)
+	if !re.MatchString("bcdef") {
+		t.Error("e should be allowed back in")
+	}
+	if re.MatchString("ae") {
+		t.Error("a should stay subtracted")
+	}
+}
+
+func TestUnicodeInput(t *testing.T) {
+	re := MustCompile(`\p{L}{2}`)
+	if !re.MatchString("ΔΩ") {
+		t.Error("Greek letters should match \\p{L}")
+	}
+	if re.MatchString("Δ") || re.MatchString("ΔΩΔ") {
+		t.Error("anchoring with multibyte runes broken")
+	}
+}
+
+func TestEmptyAlternative(t *testing.T) {
+	re := MustCompile(`(a|)(b|)`)
+	for _, ok := range []string{"", "a", "b", "ab"} {
+		if !re.MatchString(ok) {
+			t.Errorf("should match %q", ok)
+		}
+	}
+	if re.MatchString("ba") {
+		t.Error("order still matters")
+	}
+}
+
+func TestQuantifierOnGroupWithAlternation(t *testing.T) {
+	re := MustCompile(`(ab|cd){2,3}`)
+	cases := map[string]bool{
+		"abab": true, "abcd": true, "cdcdcd": true,
+		"ab": false, "abababab": false, "abc": false,
+	}
+	for in, want := range cases {
+		if got := re.MatchString(in); got != want {
+			t.Errorf("%q: %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestZeroCount(t *testing.T) {
+	re := MustCompile(`a{0}b`)
+	if !re.MatchString("b") || re.MatchString("ab") {
+		t.Error("a{0} should match nothing")
+	}
+}

@@ -1,0 +1,401 @@
+package xsdregex
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode/utf8"
+)
+
+// Node is a node of the pattern AST.
+type Node interface{ isNode() }
+
+// Concat is a sequence of subexpressions.
+type Concat struct{ Items []Node }
+
+// Alt is an alternation (branch1|branch2|...).
+type Alt struct{ Alts []Node }
+
+// Repeat applies a quantifier to a subexpression; Max < 0 means unbounded.
+type Repeat struct {
+	Sub      Node
+	Min, Max int
+}
+
+// Chars matches any single rune of the set.
+type Chars struct{ Set CharSet }
+
+// Empty matches the empty string.
+type Empty struct{}
+
+func (Concat) isNode() {}
+func (Alt) isNode()    {}
+func (Repeat) isNode() {}
+func (Chars) isNode()  {}
+func (Empty) isNode()  {}
+
+// ParseError reports a syntax error in a pattern.
+type ParseError struct {
+	Pattern string
+	Pos     int
+	Msg     string
+}
+
+// Error implements the error interface.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("xsdregex: %s at offset %d in pattern %q", e.Msg, e.Pos, e.Pattern)
+}
+
+type parser struct {
+	src []rune
+	pos int
+	pat string
+	// lastEscapeSet carries a multi-character escape's set out of
+	// classChar (which signals it with the -2 sentinel).
+	lastEscapeSet CharSet
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &ParseError{Pattern: p.pat, Pos: p.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) peek() rune {
+	if p.pos >= len(p.src) {
+		return -1
+	}
+	return p.src[p.pos]
+}
+
+func (p *parser) next() rune {
+	r := p.peek()
+	if r >= 0 {
+		p.pos++
+	}
+	return r
+}
+
+// parsePattern parses a complete XSD regular expression.
+func parsePattern(pat string) (Node, error) {
+	if !utf8.ValidString(pat) {
+		return nil, &ParseError{Pattern: pat, Msg: "pattern is not valid UTF-8"}
+	}
+	p := &parser{src: []rune(pat), pat: pat}
+	n, err := p.regExp()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.src) {
+		return nil, p.errf("unexpected %q", string(p.peek()))
+	}
+	return n, nil
+}
+
+// regExp := branch ( '|' branch )*
+func (p *parser) regExp() (Node, error) {
+	first, err := p.branch()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek() != '|' {
+		return first, nil
+	}
+	alts := []Node{first}
+	for p.peek() == '|' {
+		p.next()
+		b, err := p.branch()
+		if err != nil {
+			return nil, err
+		}
+		alts = append(alts, b)
+	}
+	return Alt{Alts: alts}, nil
+}
+
+// branch := piece*
+func (p *parser) branch() (Node, error) {
+	var items []Node
+	for {
+		r := p.peek()
+		if r < 0 || r == '|' || r == ')' {
+			break
+		}
+		piece, err := p.piece()
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, piece)
+	}
+	switch len(items) {
+	case 0:
+		return Empty{}, nil
+	case 1:
+		return items[0], nil
+	default:
+		return Concat{Items: items}, nil
+	}
+}
+
+// piece := atom quantifier?
+func (p *parser) piece() (Node, error) {
+	atom, err := p.atom()
+	if err != nil {
+		return nil, err
+	}
+	switch p.peek() {
+	case '?':
+		p.next()
+		return Repeat{Sub: atom, Min: 0, Max: 1}, nil
+	case '*':
+		p.next()
+		return Repeat{Sub: atom, Min: 0, Max: -1}, nil
+	case '+':
+		p.next()
+		return Repeat{Sub: atom, Min: 1, Max: -1}, nil
+	case '{':
+		return p.quantity(atom)
+	}
+	return atom, nil
+}
+
+// quantity := '{' n (',' m?)? '}'
+func (p *parser) quantity(atom Node) (Node, error) {
+	p.next() // '{'
+	start := p.pos
+	for p.peek() >= '0' && p.peek() <= '9' {
+		p.next()
+	}
+	if p.pos == start {
+		return nil, p.errf("expected number in quantifier")
+	}
+	minV, err := strconv.Atoi(string(p.src[start:p.pos]))
+	if err != nil {
+		return nil, p.errf("bad quantifier bound: %v", err)
+	}
+	maxV := minV
+	if p.peek() == ',' {
+		p.next()
+		if p.peek() == '}' {
+			maxV = -1
+		} else {
+			start = p.pos
+			for p.peek() >= '0' && p.peek() <= '9' {
+				p.next()
+			}
+			if p.pos == start {
+				return nil, p.errf("expected number after ',' in quantifier")
+			}
+			maxV, err = strconv.Atoi(string(p.src[start:p.pos]))
+			if err != nil {
+				return nil, p.errf("bad quantifier bound: %v", err)
+			}
+			if maxV < minV {
+				return nil, p.errf("quantifier maximum %d is below minimum %d", maxV, minV)
+			}
+		}
+	}
+	if p.peek() != '}' {
+		return nil, p.errf("expected '}' in quantifier")
+	}
+	p.next()
+	return Repeat{Sub: atom, Min: minV, Max: maxV}, nil
+}
+
+// metaChars are characters that must be escaped to match literally.
+const metaChars = `.\?*+{}()[]|`
+
+// atom := NormalChar | charClass | '(' regExp ')'
+func (p *parser) atom() (Node, error) {
+	r := p.peek()
+	switch r {
+	case '(':
+		p.next()
+		sub, err := p.regExp()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek() != ')' {
+			return nil, p.errf("missing ')'")
+		}
+		p.next()
+		return sub, nil
+	case '[':
+		set, err := p.charClassExpr()
+		if err != nil {
+			return nil, err
+		}
+		return Chars{Set: set}, nil
+	case '.':
+		p.next()
+		return Chars{Set: setDot}, nil
+	case '\\':
+		set, lit, err := p.escape(false)
+		if err != nil {
+			return nil, err
+		}
+		if lit >= 0 {
+			return Chars{Set: SingleRune(lit)}, nil
+		}
+		return Chars{Set: set}, nil
+	case '?', '*', '+', '{', '}', ')':
+		return nil, p.errf("unexpected metacharacter %q", string(r))
+	default:
+		p.next()
+		return Chars{Set: SingleRune(r)}, nil
+	}
+}
+
+// escape parses an escape sequence after '\'. It returns either a literal
+// rune (lit >= 0) or a character set. inClass selects the character-class
+// context, where a few extra single-char escapes are legal.
+func (p *parser) escape(inClass bool) (CharSet, rune, error) {
+	p.next() // '\'
+	r := p.next()
+	switch r {
+	case -1:
+		return CharSet{}, -1, p.errf("trailing backslash")
+	case 'n':
+		return CharSet{}, '\n', nil
+	case 'r':
+		return CharSet{}, '\r', nil
+	case 't':
+		return CharSet{}, '\t', nil
+	case 'd':
+		return setD(), -1, nil
+	case 'D':
+		return setD().Negate(), -1, nil
+	case 's':
+		return setS, -1, nil
+	case 'S':
+		return setS.Negate(), -1, nil
+	case 'w':
+		return setW(), -1, nil
+	case 'W':
+		return setW().Negate(), -1, nil
+	case 'i':
+		return setI(), -1, nil
+	case 'I':
+		return setI().Negate(), -1, nil
+	case 'c':
+		return setC(), -1, nil
+	case 'C':
+		return setC().Negate(), -1, nil
+	case 'p', 'P':
+		if p.peek() != '{' {
+			return CharSet{}, -1, p.errf(`expected '{' after \%c`, r)
+		}
+		p.next()
+		start := p.pos
+		for p.peek() >= 0 && p.peek() != '}' {
+			p.next()
+		}
+		if p.peek() != '}' {
+			return CharSet{}, -1, p.errf(`unterminated \%c{...}`, r)
+		}
+		name := string(p.src[start:p.pos])
+		p.next()
+		set, ok := categorySet(name)
+		if !ok {
+			return CharSet{}, -1, p.errf("unknown character category or block %q", name)
+		}
+		if r == 'P' {
+			set = set.Negate()
+		}
+		return set, -1, nil
+	default:
+		if strings.ContainsRune(metaChars, r) || r == '-' || r == '^' {
+			return CharSet{}, r, nil
+		}
+		return CharSet{}, -1, p.errf(`unrecognized escape \%c`, r)
+	}
+}
+
+// charClassExpr := '[' '^'? charGroup ('-' charClassExpr)? ']'
+func (p *parser) charClassExpr() (CharSet, error) {
+	p.next() // '['
+	negate := false
+	if p.peek() == '^' {
+		negate = true
+		p.next()
+	}
+	var set CharSet
+	first := true
+	for {
+		r := p.peek()
+		if r < 0 {
+			return CharSet{}, p.errf("unterminated character class")
+		}
+		if r == ']' && !first {
+			p.next()
+			if negate {
+				set = set.Negate()
+			}
+			return set, nil
+		}
+		if r == '-' && p.pos+1 < len(p.src) && p.src[p.pos+1] == '[' {
+			// Character class subtraction: [...-[...]]
+			p.next()
+			sub, err := p.charClassExpr()
+			if err != nil {
+				return CharSet{}, err
+			}
+			if p.peek() != ']' {
+				return CharSet{}, p.errf("expected ']' after class subtraction")
+			}
+			p.next()
+			if negate {
+				set = set.Negate()
+			}
+			return set.Subtract(sub), nil
+		}
+		lo, err := p.classChar()
+		if err != nil {
+			return CharSet{}, err
+		}
+		first = false
+		if lo == -2 {
+			// A multi-char escape contributed a whole set; it cannot
+			// form a range.
+			set = set.Union(p.lastEscapeSet)
+			continue
+		}
+		if p.peek() == '-' && p.pos+1 < len(p.src) && p.src[p.pos+1] != '[' && p.src[p.pos+1] != ']' {
+			p.next() // '-'
+			hi, err := p.classChar()
+			if err != nil {
+				return CharSet{}, err
+			}
+			if hi == -2 {
+				return CharSet{}, p.errf("character range bound cannot be a class escape")
+			}
+			if hi < lo {
+				return CharSet{}, p.errf("invalid character range %q-%q", string(lo), string(hi))
+			}
+			set = set.Union(NewCharSet(RuneRange{lo, hi}))
+			continue
+		}
+		set = set.Union(SingleRune(lo))
+	}
+}
+
+// classChar parses one character (or escape) inside a character class.
+// It returns -2 when the escape produced a set (stored in p.lastEscapeSet).
+func (p *parser) classChar() (rune, error) {
+	r := p.peek()
+	switch r {
+	case '\\':
+		set, lit, err := p.escape(true)
+		if err != nil {
+			return 0, err
+		}
+		if lit >= 0 {
+			return lit, nil
+		}
+		p.lastEscapeSet = set
+		return -2, nil
+	case '[':
+		return 0, p.errf("'[' must be escaped inside a character class")
+	default:
+		p.next()
+		return r, nil
+	}
+}

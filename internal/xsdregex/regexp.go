@@ -1,0 +1,71 @@
+package xsdregex
+
+import "errors"
+
+// Regexp is a compiled XML Schema regular expression. The zero value is not
+// usable; obtain one from Compile or MustCompile.
+type Regexp struct {
+	pattern string
+	ast     Node
+	nfa     *nfa
+	dfa     *DFA // built lazily by ToDFA / EnableDFA
+}
+
+// Compile parses and compiles a pattern.
+func Compile(pattern string) (*Regexp, error) {
+	ast, err := parsePattern(pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &Regexp{pattern: pattern, ast: ast, nfa: compileNFA(ast)}, nil
+}
+
+// MustCompile is Compile for patterns known to be valid; it panics on
+// error.
+func MustCompile(pattern string) *Regexp {
+	r, err := Compile(pattern)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// String returns the source pattern.
+func (r *Regexp) String() string { return r.pattern }
+
+// MatchString reports whether the pattern matches the entire input (XSD
+// patterns are implicitly anchored at both ends).
+func (r *Regexp) MatchString(s string) bool {
+	if r.dfa != nil {
+		return r.dfa.Match(s)
+	}
+	return r.nfa.match(s)
+}
+
+// ErrTooComplex is returned by ToDFA when the deterministic automaton
+// would exceed the state limit.
+var ErrTooComplex = errors.New("xsdregex: pattern too complex for DFA construction")
+
+// ToDFA builds (or returns the cached) deterministic automaton using the
+// Aho–Sethi–Ullman followpos construction.
+func (r *Regexp) ToDFA() (*DFA, error) {
+	if r.dfa == nil {
+		d := compileDFA(r.ast)
+		if d.incomplete {
+			return nil, ErrTooComplex
+		}
+		r.dfa = d
+	}
+	return r.dfa, nil
+}
+
+// EnableDFA switches MatchString to the deterministic automaton. It is a
+// no-op (returning the error) when the pattern is too complex.
+func (r *Regexp) EnableDFA() error {
+	_, err := r.ToDFA()
+	return err
+}
+
+// MatchNFA matches using NFA simulation regardless of EnableDFA — exposed
+// for the ablation benchmarks.
+func (r *Regexp) MatchNFA(s string) bool { return r.nfa.match(s) }

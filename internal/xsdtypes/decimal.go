@@ -1,0 +1,194 @@
+package xsdtypes
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Decimal is an arbitrary-precision decimal in the xs:decimal value space,
+// stored in a normalized sign/digits form: Int has no leading zeros, Frac
+// has no trailing zeros, and zero is {Neg: false, Int: "", Frac: ""}.
+type Decimal struct {
+	Neg  bool
+	Int  string // integer digits, leading zeros stripped ("" means 0)
+	Frac string // fraction digits, trailing zeros stripped
+}
+
+// ParseDecimal parses the xs:decimal lexical space: optional sign, digits,
+// optional fraction. At least one digit must be present.
+func ParseDecimal(s string) (Decimal, error) {
+	orig := s
+	var d Decimal
+	if s == "" {
+		return d, fmt.Errorf("empty decimal")
+	}
+	switch s[0] {
+	case '+':
+		s = s[1:]
+	case '-':
+		d.Neg = true
+		s = s[1:]
+	}
+	intPart := s
+	fracPart := ""
+	if i := strings.IndexByte(s, '.'); i >= 0 {
+		intPart, fracPart = s[:i], s[i+1:]
+	}
+	if intPart == "" && fracPart == "" {
+		return Decimal{}, fmt.Errorf("decimal %q has no digits", orig)
+	}
+	for _, r := range intPart {
+		if r < '0' || r > '9' {
+			return Decimal{}, fmt.Errorf("bad digit %q in decimal %q", r, orig)
+		}
+	}
+	for _, r := range fracPart {
+		if r < '0' || r > '9' {
+			return Decimal{}, fmt.Errorf("bad digit %q in decimal %q", r, orig)
+		}
+	}
+	d.Int = strings.TrimLeft(intPart, "0")
+	d.Frac = strings.TrimRight(fracPart, "0")
+	if d.Int == "" && d.Frac == "" {
+		d.Neg = false // normalize -0 to 0
+	}
+	return d, nil
+}
+
+// MustDecimal parses a decimal literal known to be valid.
+func MustDecimal(s string) Decimal {
+	d, err := ParseDecimal(s)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// IsZero reports whether d is zero.
+func (d Decimal) IsZero() bool { return d.Int == "" && d.Frac == "" }
+
+// IsInteger reports whether d has no fractional part.
+func (d Decimal) IsInteger() bool { return d.Frac == "" }
+
+// Cmp compares two decimals, returning -1, 0 or +1.
+func (d Decimal) Cmp(e Decimal) int {
+	if d.Neg != e.Neg {
+		if d.IsZero() && e.IsZero() {
+			return 0
+		}
+		if d.Neg {
+			return -1
+		}
+		return 1
+	}
+	mag := cmpMagnitude(d, e)
+	if d.Neg {
+		return -mag
+	}
+	return mag
+}
+
+// cmpMagnitude compares absolute values.
+func cmpMagnitude(d, e Decimal) int {
+	if len(d.Int) != len(e.Int) {
+		if len(d.Int) < len(e.Int) {
+			return -1
+		}
+		return 1
+	}
+	if c := strings.Compare(d.Int, e.Int); c != 0 {
+		return c
+	}
+	// Same integer part: compare fractions digit-wise (missing digits
+	// count as zero).
+	df, ef := d.Frac, e.Frac
+	n := max(len(df), len(ef))
+	for i := 0; i < n; i++ {
+		var a, b byte = '0', '0'
+		if i < len(df) {
+			a = df[i]
+		}
+		if i < len(ef) {
+			b = ef[i]
+		}
+		if a != b {
+			if a < b {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+// String returns the canonical lexical form (e.g. "-1.5", "0", "0.3").
+func (d Decimal) String() string {
+	var sb strings.Builder
+	if d.Neg && !d.IsZero() {
+		sb.WriteByte('-')
+	}
+	if d.Int == "" {
+		sb.WriteByte('0')
+	} else {
+		sb.WriteString(d.Int)
+	}
+	if d.Frac != "" {
+		sb.WriteByte('.')
+		sb.WriteString(d.Frac)
+	}
+	return sb.String()
+}
+
+// TotalDigits returns the number of significant decimal digits (for the
+// totalDigits facet); zero has one digit.
+func (d Decimal) TotalDigits() int {
+	n := len(d.Int) + len(d.Frac)
+	if n == 0 {
+		return 1
+	}
+	return n
+}
+
+// FractionDigits returns the number of fraction digits.
+func (d Decimal) FractionDigits() int { return len(d.Frac) }
+
+// Int64 converts to int64, reporting overflow or a fractional part.
+func (d Decimal) Int64() (int64, error) {
+	if !d.IsInteger() {
+		return 0, fmt.Errorf("decimal %s is not an integer", d)
+	}
+	limit := uint64(1<<63 - 1)
+	if d.Neg {
+		limit = 1 << 63 // math.MinInt64 magnitude
+	}
+	var v uint64
+	for i := 0; i < len(d.Int); i++ {
+		digit := uint64(d.Int[i] - '0')
+		if v > (limit-digit)/10 {
+			return 0, fmt.Errorf("decimal %s overflows int64", d)
+		}
+		v = v*10 + digit
+	}
+	if d.Neg {
+		return -int64(v), nil
+	}
+	return int64(v), nil
+}
+
+// DecimalFromInt64 builds a Decimal from an int64.
+func DecimalFromInt64(v int64) Decimal {
+	if v == 0 {
+		return Decimal{}
+	}
+	neg := v < 0
+	var s string
+	if v == -(1 << 63) {
+		s = "9223372036854775808"
+	} else {
+		if neg {
+			v = -v
+		}
+		s = fmt.Sprintf("%d", v)
+	}
+	return Decimal{Neg: neg, Int: s}
+}

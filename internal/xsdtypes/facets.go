@@ -1,0 +1,135 @@
+package xsdtypes
+
+import (
+	"fmt"
+	"unicode/utf8"
+
+	"repro/internal/xsdregex"
+)
+
+// Facets is one derivation step's worth of constraining facets. Within a
+// step, multiple patterns are ORed; across steps every step must hold
+// (both per XML Schema Part 2 §4.3).
+type Facets struct {
+	Length    *int
+	MinLength *int
+	MaxLength *int
+
+	TotalDigits    *int
+	FractionDigits *int
+
+	Patterns []*xsdregex.Regexp
+
+	// Enumeration lists the admitted values (value-space comparison).
+	Enumeration []Value
+
+	MinInclusive *Value
+	MaxInclusive *Value
+	MinExclusive *Value
+	MaxExclusive *Value
+
+	// WhiteSpace overrides the inherited whitespace mode when non-nil.
+	WhiteSpace *WhiteSpace
+}
+
+// IsEmpty reports whether no facet is set.
+func (f *Facets) IsEmpty() bool {
+	return f.Length == nil && f.MinLength == nil && f.MaxLength == nil &&
+		f.TotalDigits == nil && f.FractionDigits == nil &&
+		len(f.Patterns) == 0 && len(f.Enumeration) == 0 &&
+		f.MinInclusive == nil && f.MaxInclusive == nil &&
+		f.MinExclusive == nil && f.MaxExclusive == nil && f.WhiteSpace == nil
+}
+
+// valueLength returns the facet-relevant length of a value: runes for
+// strings, octets for binaries, items for lists.
+func valueLength(v Value) (int, bool) {
+	switch v.Kind {
+	case VString, VAnyURI:
+		return utf8.RuneCountInString(v.Str), true
+	case VHexBinary, VBase64Binary:
+		return len(v.Bytes), true
+	case VList:
+		return len(v.Items), true
+	}
+	return 0, false
+}
+
+// Check verifies the value (with its whitespace-normalized lexical form)
+// against this facet step.
+func (f *Facets) Check(v Value, lexical string) error {
+	if n, ok := valueLength(v); ok {
+		if f.Length != nil && n != *f.Length {
+			return fmt.Errorf("length is %d, must be exactly %d", n, *f.Length)
+		}
+		if f.MinLength != nil && n < *f.MinLength {
+			return fmt.Errorf("length is %d, must be at least %d", n, *f.MinLength)
+		}
+		if f.MaxLength != nil && n > *f.MaxLength {
+			return fmt.Errorf("length is %d, must be at most %d", n, *f.MaxLength)
+		}
+	}
+	if v.Kind == VDecimal {
+		if f.TotalDigits != nil && v.Dec.TotalDigits() > *f.TotalDigits {
+			return fmt.Errorf("value %s has more than %d total digits", v.Dec, *f.TotalDigits)
+		}
+		if f.FractionDigits != nil && v.Dec.FractionDigits() > *f.FractionDigits {
+			return fmt.Errorf("value %s has more than %d fraction digits", v.Dec, *f.FractionDigits)
+		}
+	}
+	if len(f.Patterns) > 0 {
+		ok := false
+		for _, p := range f.Patterns {
+			if p.MatchString(lexical) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			if len(f.Patterns) == 1 {
+				return fmt.Errorf("value %q does not match pattern %q", lexical, f.Patterns[0].String())
+			}
+			return fmt.Errorf("value %q matches none of the %d patterns", lexical, len(f.Patterns))
+		}
+	}
+	if len(f.Enumeration) > 0 {
+		ok := false
+		for _, e := range f.Enumeration {
+			if v.Equal(e) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("value %q is not one of the enumerated values", lexical)
+		}
+	}
+	if f.MinInclusive != nil {
+		if c, err := Compare(v, *f.MinInclusive); err != nil || c < 0 {
+			return boundErr(err, lexical, ">=", f.MinInclusive)
+		}
+	}
+	if f.MaxInclusive != nil {
+		if c, err := Compare(v, *f.MaxInclusive); err != nil || c > 0 {
+			return boundErr(err, lexical, "<=", f.MaxInclusive)
+		}
+	}
+	if f.MinExclusive != nil {
+		if c, err := Compare(v, *f.MinExclusive); err != nil || c <= 0 {
+			return boundErr(err, lexical, ">", f.MinExclusive)
+		}
+	}
+	if f.MaxExclusive != nil {
+		if c, err := Compare(v, *f.MaxExclusive); err != nil || c >= 0 {
+			return boundErr(err, lexical, "<", f.MaxExclusive)
+		}
+	}
+	return nil
+}
+
+func boundErr(err error, lexical, op string, bound *Value) error {
+	if err != nil {
+		return fmt.Errorf("value %q cannot be range-checked: %v", lexical, err)
+	}
+	return fmt.Errorf("value %q must be %s %s", lexical, op, bound.String())
+}
