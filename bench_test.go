@@ -419,6 +419,80 @@ func BenchmarkValidateFig1(b *testing.B) {
 	}
 }
 
+// ---------------------------------------------------------------------------
+// E7 (concurrency addendum) — compiled content-model cache + batch pool.
+// ---------------------------------------------------------------------------
+
+// BenchmarkE7_CachedValidate isolates the Validator's compiled
+// content-model cache. "cold" builds a fresh Validator per iteration, so
+// every complex type's Glushkov automaton recompiles on each validation —
+// the pre-cache behaviour. "warm" reuses one Validator (the
+// BenchmarkValidateFig1 configuration): after the first iteration every
+// content-model lookup is a cache hit, which shows up as the time and
+// allocations/op drop between the two sub-benchmarks.
+func BenchmarkE7_CachedValidate(b *testing.B) {
+	schema := poSchema(b)
+	doc, err := dom.ParseString(schemas.PurchaseOrderDoc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("cold-recompile", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			v := validator.New(schema, nil)
+			if res := v.ValidateDocument(doc); !res.OK() {
+				b.Fatal(res.Err())
+			}
+		}
+	})
+	b.Run("warm-cached", func(b *testing.B) {
+		b.ReportAllocs()
+		v := validator.New(schema, nil)
+		for i := 0; i < b.N; i++ {
+			if res := v.ValidateDocument(doc); !res.OK() {
+				b.Fatal(res.Err())
+			}
+		}
+	})
+}
+
+// BenchmarkE7_ParallelBatchValidate compares a sequential loop over a
+// 64-document batch against ValidateBatch's bounded worker pool, both
+// through one shared Validator (so both paths enjoy the model cache; the
+// delta is pure parallelism).
+func BenchmarkE7_ParallelBatchValidate(b *testing.B) {
+	schema := poSchema(b)
+	const batchSize = 64
+	docs := make([]*dom.Document, batchSize)
+	for i := range docs {
+		doc, err := dom.ParseString(schemas.PurchaseOrderDoc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		docs[i] = doc
+	}
+	b.Run("sequential", func(b *testing.B) {
+		v := validator.New(schema, nil)
+		for i := 0; i < b.N; i++ {
+			for _, doc := range docs {
+				if res := v.ValidateDocument(doc); !res.OK() {
+					b.Fatal(res.Err())
+				}
+			}
+		}
+	})
+	b.Run("batch-parallel", func(b *testing.B) {
+		v := validator.New(schema, nil)
+		for i := 0; i < b.N; i++ {
+			for _, res := range v.ValidateBatch(docs) {
+				if !res.OK() {
+					b.Fatal(res.Err())
+				}
+			}
+		}
+	})
+}
+
 // BenchmarkE6_NormalizeSchemes measures normalization under each naming
 // scheme (the cost side of E6; the stability side is TestE6NamingStability).
 func BenchmarkE6_NormalizeSchemes(b *testing.B) {

@@ -6,22 +6,38 @@
 //
 //	xsdcheck -schema po.xsd doc1.xml [doc2.xml ...]
 //
-// The exit status is 0 when every document is valid, 1 otherwise.
+// Multiple documents are read, parsed and validated concurrently through
+// one shared validator (bounded by -p workers, default GOMAXPROCS), so
+// the schema's content models compile once and every core helps with a
+// bulk run. Reports are still printed in argument order. The exit status
+// is 0 when every document is valid, 1 otherwise.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strings"
+	"sync"
 
 	"repro/internal/dom"
 	"repro/internal/validator"
 	"repro/internal/xsd"
 )
 
+// report is the outcome of checking one file, formatted by the worker and
+// printed by the main goroutine in argument order.
+type report struct {
+	out     string // stdout text
+	errText string // stderr text
+	failed  bool
+}
+
 func main() {
 	schemaPath := flag.String("schema", "", "path to the XML Schema (required)")
 	quiet := flag.Bool("q", false, "suppress per-violation output")
+	workers := flag.Int("p", runtime.GOMAXPROCS(0), "max files processed in parallel")
 	flag.Parse()
 	if *schemaPath == "" || flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: xsdcheck -schema s.xsd doc.xml...")
@@ -36,34 +52,71 @@ func main() {
 		fatal(err)
 	}
 	v := validator.New(schema, nil)
-	exit := 0
-	for _, path := range flag.Args() {
-		src, err := os.ReadFile(path)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "xsdcheck: %v\n", err)
-			exit = 1
-			continue
-		}
-		doc, err := dom.Parse(src)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: not well-formed: %v\n", path, err)
-			exit = 1
-			continue
-		}
-		res := v.ValidateDocument(doc)
-		if res.OK() {
-			fmt.Printf("%s: valid\n", path)
-			continue
-		}
-		exit = 1
-		fmt.Printf("%s: INVALID (%d violations)\n", path, len(res.Violations))
-		if !*quiet {
-			for _, viol := range res.Violations {
-				fmt.Printf("  %s\n", viol.Error())
+
+	paths := flag.Args()
+	n := *workers
+	if n <= 0 {
+		n = 1
+	}
+	if n > len(paths) {
+		n = len(paths)
+	}
+	reports := make([]report, len(paths))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for w := 0; w < n; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				reports[i] = checkFile(v, paths[i], *quiet)
 			}
+		}()
+	}
+	for i := range paths {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	exit := 0
+	for _, r := range reports {
+		if r.errText != "" {
+			fmt.Fprint(os.Stderr, r.errText)
+		}
+		if r.out != "" {
+			fmt.Print(r.out)
+		}
+		if r.failed {
+			exit = 1
 		}
 	}
 	os.Exit(exit)
+}
+
+// checkFile reads, parses and validates one document against the shared
+// validator, returning its rendered report.
+func checkFile(v *validator.Validator, path string, quiet bool) report {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return report{errText: fmt.Sprintf("xsdcheck: %v\n", err), failed: true}
+	}
+	doc, err := dom.Parse(src)
+	if err != nil {
+		return report{errText: fmt.Sprintf("%s: not well-formed: %v\n", path, err), failed: true}
+	}
+	res := v.ValidateDocument(doc)
+	if res.OK() {
+		return report{out: fmt.Sprintf("%s: valid\n", path)}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: INVALID (%d violations)\n", path, len(res.Violations))
+	if !quiet {
+		for _, viol := range res.Violations {
+			fmt.Fprintf(&b, "  %s\n", viol.Error())
+		}
+	}
+	return report{out: b.String(), failed: true}
 }
 
 func fatal(err error) {

@@ -1,12 +1,8 @@
-// Package codegen generates Go V-DOM bindings from an XML Schema: one
-// distinct Go type per element declaration, type definition and model
-// group (paper §3), with constructors that make structurally invalid
-// trees unrepresentable.
-//
+package codegen
+
 // The name assignment in this file is shared with the P-XML preprocessor
 // (package pxml), which must emit calls that compile against the
 // generated bindings.
-package codegen
 
 import (
 	"fmt"

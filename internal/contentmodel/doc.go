@@ -1,0 +1,38 @@
+// Package contentmodel compiles XML Schema content models (particles:
+// element declarations, wildcards, and sequence/choice/all groups with
+// occurrence constraints) into matchers over sequences of child-element
+// names.
+//
+// Two matchers are provided and cross-checked:
+//
+//   - Glushkov: a position automaton built with the Aho–Sethi–Ullman
+//     followpos construction (the algorithm the paper's §6 uses for its
+//     generated preprocessor), simulated over position sets. It also
+//     performs the Unique Particle Attribution (determinism) check.
+//   - Interp: a backtracking interpreter with memoization that handles
+//     arbitrary occurrence bounds and all-groups natively.
+//
+// Both return, for an accepted sequence, the leaf particle each child
+// matched — which is how the validator assigns types to children, and how
+// the P-XML preprocessor decides which V-DOM constructor argument a child
+// becomes.
+//
+// # Role in the pipeline
+//
+// contentmodel is the shared automaton layer of the pipeline (xsd parse →
+// normalize → contentmodel → codegen/vdom → validator → pxml): package
+// xsd lowers its schema particles into this package's Particle form, and
+// the compiled matchers serve the runtime validator, the vdom runtime's
+// mixed-content checks, the P-XML preprocessor's static checks, and the
+// DTD baseline alike.
+//
+// # Concurrency
+//
+// Compilation (CompileGlushkov, NewInterp, Compile) is a pure function of
+// its input particle; callers own synchronization of the particle tree
+// while building it. The compiled matchers are immutable: Glushkov.Match
+// and Interp.Match keep all mutable state on the call stack, so a single
+// matcher instance may serve any number of concurrent Match calls — the
+// property the validator's per-Validator model cache and the xsd
+// package's once-guarded Matcher rely on.
+package contentmodel

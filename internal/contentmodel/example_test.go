@@ -1,0 +1,36 @@
+package contentmodel_test
+
+import (
+	"fmt"
+
+	"repro/internal/contentmodel"
+)
+
+// ExampleCompileGlushkov compiles the content model
+// (to, cc?, body) into a position automaton and matches child sequences
+// against it. The compiled automaton is immutable: one instance may serve
+// any number of concurrent Match calls, which is what the validator's
+// per-Validator cache relies on.
+func ExampleCompileGlushkov() {
+	model := contentmodel.NewSequence(1, 1,
+		contentmodel.NewElementLeaf(1, 1, contentmodel.Symbol{Local: "to"}, nil),
+		contentmodel.NewElementLeaf(0, 1, contentmodel.Symbol{Local: "cc"}, nil),
+		contentmodel.NewElementLeaf(1, 1, contentmodel.Symbol{Local: "body"}, nil),
+	)
+	g, err := contentmodel.CompileGlushkov(model)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("positions:", g.NumPositions())
+
+	if _, merr := g.Match([]contentmodel.Symbol{{Local: "to"}, {Local: "body"}}); merr == nil {
+		fmt.Println("to,body: accepted")
+	}
+	if _, merr := g.Match([]contentmodel.Symbol{{Local: "body"}}); merr != nil {
+		fmt.Println("body:", merr.Error())
+	}
+	// Output:
+	// positions: 3
+	// to,body: accepted
+	// body: unexpected element body at position 0; expected to
+}

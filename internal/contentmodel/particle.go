@@ -1,21 +1,3 @@
-// Package contentmodel compiles XML Schema content models (particles:
-// element declarations, wildcards, and sequence/choice/all groups with
-// occurrence constraints) into matchers over sequences of child-element
-// names.
-//
-// Two matchers are provided and cross-checked:
-//
-//   - Glushkov: a position automaton built with the Aho–Sethi–Ullman
-//     followpos construction (the algorithm the paper's §6 uses for its
-//     generated preprocessor), simulated over position sets. It also
-//     performs the Unique Particle Attribution (determinism) check.
-//   - Interp: a backtracking interpreter with memoization that handles
-//     arbitrary occurrence bounds and all-groups natively.
-//
-// Both return, for an accepted sequence, the leaf particle each child
-// matched — which is how the validator assigns types to children, and how
-// the P-XML preprocessor decides which V-DOM constructor argument a child
-// becomes.
 package contentmodel
 
 import (

@@ -1,0 +1,28 @@
+// Package dom implements a Document Object Model core in the spirit of DOM
+// Level 1/2, over the xmlparser token stream.
+//
+// This is the paper's *untyped* baseline: every element is a generic
+// *Element, every tree mutation is legal as long as the generic hierarchy
+// constraints hold, and validity against a schema can only be established
+// by running a validator over the finished tree (package validator). The
+// typed counterpart that makes invalid trees unrepresentable is package
+// vdom.
+//
+// # Role in the pipeline
+//
+// dom sits beside the pipeline proper (xsd parse → normalize →
+// contentmodel → codegen/vdom → validator → pxml) as the document
+// substrate: xmlparser tokens are assembled into dom trees, the runtime
+// validator walks them, and vdom's typed nodes materialize into them for
+// serialization.
+//
+// # Concurrency
+//
+// Documents are plain mutable trees with no internal locking or lazily
+// computed state. Any number of goroutines may read one document
+// concurrently (all accessors are pure) — that is what lets the
+// validator's ValidateBatch share a parsed schema-side document across
+// workers — but mutation requires external synchronization: never mutate
+// a node while another goroutine reads or writes the same tree. Distinct
+// documents are fully independent.
+package dom

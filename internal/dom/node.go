@@ -1,12 +1,3 @@
-// Package dom implements a Document Object Model core in the spirit of DOM
-// Level 1/2, over the xmlparser token stream.
-//
-// This is the paper's *untyped* baseline: every element is a generic
-// *Element, every tree mutation is legal as long as the generic hierarchy
-// constraints hold, and validity against a schema can only be established
-// by running a validator over the finished tree (package validator). The
-// typed counterpart that makes invalid trees unrepresentable is package
-// vdom.
 package dom
 
 import (

@@ -1,0 +1,22 @@
+// Package dtd parses Document Type Definitions (the internal subset) and
+// validates DOM documents against them. DTDs are the weaker schema
+// language the authors' previous system [14] was built on; the paper's §1
+// positions XML Schema as their replacement, and the repository keeps the
+// DTD path as the comparison baseline.
+//
+// # Role in the pipeline
+//
+// dtd runs beside the XML Schema pipeline (xsd parse → normalize →
+// contentmodel → codegen/vdom → validator → pxml) as the historical
+// baseline: it shares package contentmodel's matchers for children
+// content models and package dom's trees, and experiment E8 quantifies
+// the expressiveness it lacks relative to package xsd.
+//
+// # Concurrency
+//
+// A parsed DTD is immutable apart from the per-declaration compiled
+// content-model matcher, which is built under a sync.Once — so one DTD
+// may validate documents from multiple goroutines concurrently. Each
+// Validate call keeps its run state private; as everywhere in this
+// repository, documents must not be mutated during validation.
+package dtd

@@ -1,13 +1,9 @@
-// Package dtd parses Document Type Definitions (the internal subset) and
-// validates DOM documents against them. DTDs are the weaker schema
-// language the authors' previous system [14] was built on; the paper's §1
-// positions XML Schema as their replacement, and the repository keeps the
-// DTD path as the comparison baseline.
 package dtd
 
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/contentmodel"
 	"repro/internal/xmlparser"
@@ -37,16 +33,19 @@ type ElementDecl struct {
 	// Model is the children content model (Kind == ContentChildren).
 	Model *contentmodel.Particle
 
-	// matcher caches the compiled content-model automaton.
-	matcher contentmodel.Matcher
+	// matcher caches the compiled content-model automaton; matcherOnce
+	// makes the lazy build safe under concurrent Matcher calls.
+	matcherOnce sync.Once
+	matcher     contentmodel.Matcher
 }
 
 // Matcher returns (building on first use) the compiled matcher for a
-// children content model.
+// children content model. The build runs exactly once per declaration,
+// so a parsed DTD may be shared across goroutines.
 func (d *ElementDecl) Matcher() contentmodel.Matcher {
-	if d.matcher == nil {
+	d.matcherOnce.Do(func() {
 		d.matcher = contentmodel.Compile(d.Model)
-	}
+	})
 	return d.matcher
 }
 

@@ -1,0 +1,10 @@
+// Command regen regenerates the checked-in V-DOM binding packages under
+// internal/gen/ from the schemas embedded in internal/schemas and
+// internal/wml. The codegen golden tests verify the checked-in files stay
+// in sync with the generator. Hand-written doc.go files in the binding
+// packages are left untouched.
+//
+// Run from the repository root:
+//
+//	go run ./internal/gen/regen
+package main

@@ -1,11 +1,3 @@
-// Command regen regenerates the checked-in V-DOM binding packages under
-// internal/gen/ from the schemas embedded in internal/schemas and
-// internal/wml. The codegen golden tests verify the checked-in files stay
-// in sync with the generator.
-//
-// Run from the repository root:
-//
-//	go run ./internal/gen/regen
 package main
 
 import (

@@ -1,0 +1,25 @@
+// Package pxml implements Parametric XML (the paper's §4): Go source
+// files may contain literal XML constructors with $variable$ splices; the
+// preprocessor validates every constructor against the schema *at
+// preprocess time* and rewrites it into calls against the generated V-DOM
+// bindings (paper Fig. 9's pipeline, Fig. 10 -> Fig. 11 rewriting). No
+// test runs are needed to know the emitted documents are valid.
+//
+// # Role in the pipeline
+//
+// pxml is the last stage of the static pipeline (xsd parse → normalize →
+// contentmodel → codegen/vdom → validator → pxml): it reuses the
+// resolved schema (package xsd), its compiled content models (package
+// contentmodel, via ComplexType.Matcher) and the codegen naming rules to
+// check each literal constructor exactly the way the runtime validator
+// would check the finished document — just before the program ever runs.
+//
+// # Concurrency
+//
+// A Preprocessor holds no mutable state beyond its schema reference; the
+// per-source rewrite state lives in the Rewrite call. Since
+// ComplexType.Matcher is once-guarded, multiple goroutines may
+// preprocess different sources against one shared schema concurrently —
+// useful when a build fans out over many .pxml files — but a single
+// Rewrite call processes its source sequentially.
+package pxml

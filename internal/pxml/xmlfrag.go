@@ -1,9 +1,3 @@
-// Package pxml implements Parametric XML (the paper's §4): Go source
-// files may contain literal XML constructors with $variable$ splices; the
-// preprocessor validates every constructor against the schema *at
-// preprocess time* and rewrites it into calls against the generated V-DOM
-// bindings (paper Fig. 9's pipeline, Fig. 10 -> Fig. 11 rewriting). No
-// test runs are needed to know the emitted documents are valid.
 package pxml
 
 import (

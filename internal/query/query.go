@@ -1,17 +1,3 @@
-// Package query implements the paper's §8 future-work direction: a typed
-// query facility where "a query which is applied to appropriate
-// VDOM-objects can be guaranteed to result only in documents which are
-// valid according to an underlying Xml schema."
-//
-// The query language is a path subset (child steps, '//' descendants, '*'
-// wildcards, attribute access, positional and attribute-equality
-// predicates). The point of the reproduction is not the language's size
-// but its *static typing*: Compile checks every step against the schema's
-// content models, so a query that could never select anything — a
-// misspelled element, a child the schema does not allow there, an
-// undeclared attribute — is rejected at compile time, before any document
-// is seen. Compile also reports the static result type (the element
-// declaration or attribute type every result will conform to).
 package query
 
 import (

@@ -1,0 +1,17 @@
+// Package schemas embeds the schema and instance documents used throughout
+// the paper, so tests, examples and benchmarks all exercise the exact
+// artifacts of the publication.
+//
+// # Role in the pipeline
+//
+// schemas is pure data feeding every stage of the pipeline (xsd parse →
+// normalize → contentmodel → codegen/vdom → validator → pxml): the
+// purchase-order schema and document of Figures 1–3, the derivation and
+// evolution schemas of §3, and their invalid twins for the negative
+// tests.
+//
+// # Concurrency
+//
+// Everything here is a string constant — immutable and trivially safe to
+// read from any goroutine.
+package schemas

@@ -1,6 +1,3 @@
-// Package schemas embeds the schema and instance documents used throughout
-// the paper, so tests, examples and benchmarks all exercise the exact
-// artifacts of the publication.
 package schemas
 
 // PurchaseOrderXSD is the purchase order schema of the paper's Figures 2

@@ -1,0 +1,21 @@
+// Package stringgen is the paper's §1 strawman: generating markup by
+// string concatenation, the Java-Server-Pages style the paper opens with.
+// The Go compiler accepts every function here — including the ones that
+// emit garbage — because to the host language the page is just a string.
+// Detecting the broken generators requires runtime parsing and validation
+// (see the E1 experiment), which is precisely the deficiency V-DOM and
+// P-XML remove.
+//
+// # Role in the pipeline
+//
+// stringgen sits outside the typed pipeline (xsd parse → normalize →
+// contentmodel → codegen/vdom → validator → pxml) on purpose: it is the
+// untyped baseline whose output can only be judged by feeding it back
+// through xmlparser and the runtime validator, which is what the E1/E2
+// experiments measure.
+//
+// # Concurrency
+//
+// All generators are pure functions of their arguments; they may be
+// called from any number of goroutines.
+package stringgen

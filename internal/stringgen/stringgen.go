@@ -1,10 +1,3 @@
-// Package stringgen is the paper's §1 strawman: generating markup by
-// string concatenation, the Java-Server-Pages style the paper opens with.
-// The Go compiler accepts every function here — including the ones that
-// emit garbage — because to the host language the page is just a string.
-// Detecting the broken generators requires runtime parsing and validation
-// (see the E1 experiment), which is precisely the deficiency V-DOM and
-// P-XML remove.
 package stringgen
 
 import (

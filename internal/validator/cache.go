@@ -1,0 +1,70 @@
+package validator
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/contentmodel"
+	"repro/internal/xsd"
+)
+
+// modelCache memoizes compiled content models for the lifetime of one
+// Validator. Keys are *xsd.ComplexType identities (pointer equality): a
+// resolved schema never aliases two distinct types to one definition, and
+// a Validator never outlives its schema, so entries are never invalidated.
+//
+// The cache is safe for concurrent use. Lookups take the sync.Map fast
+// path; the first goroutine to need a type compiles it under that entry's
+// sync.Once while later arrivals for the same type block only on that one
+// entry, not on a global lock. The compiled matchers themselves
+// (Glushkov automata or backtracking interpreters) are immutable, so one
+// matcher instance serves every concurrent validation run.
+type modelCache struct {
+	schema *xsd.Schema
+	models sync.Map // *xsd.ComplexType -> *modelEntry
+
+	// compiles counts actual CompileGlushkov/NewInterp builds (not
+	// lookups); tests use it to prove each type compiles exactly once.
+	compiles atomic.Int64
+}
+
+// modelEntry is one cache slot: a once-guarded compiled matcher.
+type modelEntry struct {
+	once    sync.Once
+	matcher contentmodel.Matcher
+}
+
+// newModelCache creates an empty cache bound to the schema.
+func newModelCache(schema *xsd.Schema) *modelCache {
+	return &modelCache{schema: schema}
+}
+
+// matcher returns the compiled content model for ct, building it on first
+// use. It prefers the Glushkov position automaton and falls back to the
+// backtracking interpreter when CompileGlushkov reports the model exceeds
+// the position budget (contentmodel.ErrTooComplex).
+func (c *modelCache) matcher(ct *xsd.ComplexType) contentmodel.Matcher {
+	e, ok := c.models.Load(ct)
+	if !ok {
+		e, _ = c.models.LoadOrStore(ct, &modelEntry{})
+	}
+	entry := e.(*modelEntry)
+	entry.once.Do(func() {
+		c.compiles.Add(1)
+		particle := c.schema.CompileParticle(ct.Particle)
+		if g, err := contentmodel.CompileGlushkov(particle); err == nil {
+			entry.matcher = g
+		} else {
+			entry.matcher = contentmodel.NewInterp(particle)
+		}
+	})
+	return entry.matcher
+}
+
+// CompiledModels reports how many distinct content models this
+// Validator has compiled so far — a cache-effectiveness probe: under
+// repeated or concurrent validation of same-schema documents it stays
+// bounded by the number of complex types the documents exercise.
+func (v *Validator) CompiledModels() int {
+	return int(v.models.compiles.Load())
+}

@@ -1,11 +1,3 @@
-// Package validator checks DOM documents against a parsed XML Schema at
-// runtime. This is the paper's baseline: with plain DOM, "invalid
-// documents usually cannot be detected until runtime requiring extensive
-// testing" (§2) — this package is that runtime detection, and the E2
-// benchmarks measure exactly the cost V-DOM's static guarantee removes.
-//
-// Beyond the paper's scope it also implements the features the paper
-// explicitly defers (§3): wildcard validation and ID/IDREF integrity.
 package validator
 
 import (
@@ -20,17 +12,24 @@ import (
 
 // Violation is one validity error with its document location.
 type Violation struct {
-	// Path is an XPath-like location (/purchaseOrder/items/item[2]).
+	// Path is an XPath-like location of the offending node, with 1-based
+	// positional predicates for repeated siblings
+	// (/purchaseOrder/items/item[2]) and an @name step for attributes.
 	Path string
-	// Msg describes the violation.
+	// Msg is the human-readable description of the violation, phrased
+	// against the schema component that was not satisfied.
 	Msg string
 }
 
 // Error formats the violation.
 func (v Violation) Error() string { return v.Path + ": " + v.Msg }
 
-// Result collects the violations of one validation run.
+// Result collects the violations of one validation run. A Result is
+// owned by its caller; the Validator keeps no reference to it after
+// returning, so results from concurrent runs never share state.
 type Result struct {
+	// Violations are the collected validity errors in document order,
+	// capped at maxViolations per run. Empty means the document is valid.
 	Violations []Violation
 }
 
@@ -53,25 +52,46 @@ func (r *Result) Err() error {
 // maxViolations bounds error collection.
 const maxViolations = 100
 
-// Options tunes validation.
+// Options tunes validation. The zero value is the default configuration:
+// full ID/IDREF checking and a GOMAXPROCS-sized batch worker pool.
 type Options struct {
-	// SkipIDChecks disables ID uniqueness and IDREF resolution.
+	// SkipIDChecks disables document-level ID uniqueness and IDREF
+	// resolution (the paper-excluded extension); structural and
+	// simple-type checking is unaffected.
 	SkipIDChecks bool
+	// Parallelism bounds the worker pool used by ValidateBatch. Zero or
+	// negative means runtime.GOMAXPROCS(0). It has no effect on the
+	// single-document entry points.
+	Parallelism int
 }
 
 // Validator validates documents against one schema.
+//
+// A Validator is safe for concurrent use: any number of goroutines may
+// call ValidateDocument, ValidateElement and ValidateBatch on one shared
+// instance. All per-run state lives in a private run value, and the
+// compiled content models are shared through a thread-safe cache
+// (modelCache) that builds each complex type's automaton exactly once for
+// the Validator's lifetime. The documents being validated are only read,
+// never written — but callers must not mutate a document concurrently
+// with its validation.
 type Validator struct {
 	schema *xsd.Schema
 	opts   Options
+	// models caches compiled content models per complex type, shared
+	// across all runs (and all goroutines) of this Validator.
+	models *modelCache
 }
 
-// New creates a validator for the schema.
+// New creates a validator for the schema. Passing nil opts selects the
+// defaults (see Options). The schema must already be resolved and must
+// not be mutated for the lifetime of the Validator.
 func New(schema *xsd.Schema, opts *Options) *Validator {
 	o := Options{}
 	if opts != nil {
 		o = *opts
 	}
-	return &Validator{schema: schema, opts: o}
+	return &Validator{schema: schema, opts: o, models: newModelCache(schema)}
 }
 
 // ValidateDocument validates a whole document: the root element must match
@@ -327,7 +347,7 @@ func (r *run) elementContent(el *dom.Element, ct *xsd.ComplexType, path string) 
 			}
 		}
 	}
-	leaves, merr := ct.Matcher(r.v.schema).Match(symbols)
+	leaves, merr := r.v.models.matcher(ct).Match(symbols)
 	if merr != nil {
 		loc := path
 		if merr.Index < len(children) {

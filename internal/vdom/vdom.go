@@ -1,22 +1,3 @@
-// Package vdom is the runtime support library for V-DOM, the paper's core
-// contribution: strictly typed document object models generated from an
-// XML Schema (one distinct type per element declaration, type definition
-// and model group).
-//
-// The generated bindings (package codegen emits them) enforce the schema's
-// *structure* at compile time: a child can only be placed where its Go
-// type is accepted, choice groups are sealed interfaces, substitution
-// groups and type extension are interface satisfaction. What remains
-// dynamic — exactly the residue the paper concedes in §3 — is occurrence
-// counting (rule 5), simple-type facet values (type restriction), and
-// required attributes. Those checks live here and run when a typed tree is
-// materialized into a DOM or serialized; they cannot fail for programs
-// that respect the documented constructor contracts.
-//
-// Where the paper's Java/IDL V-DOM makes every generated interface extend
-// DOM's Element, Go has no implementation inheritance; the adaptation is
-// that every generated node converts to a plain *dom.Element via its
-// BuildInto method, and Marshal produces the equivalent document.
 package vdom
 
 import (

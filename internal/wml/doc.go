@@ -1,0 +1,19 @@
+// Package wml ships the WML (Wireless Markup Language) schema subset used
+// by the paper's §5 example: a deck of cards, paragraphs with mixed
+// content, select/option menus, bold text, line breaks and anchors — the
+// constructs of the media-archive directory browser in Figures 8, 10 and
+// 11.
+//
+// # Role in the pipeline
+//
+// wml is the second vocabulary (beside the purchase order in package
+// schemas) driven through the whole pipeline (xsd parse → normalize →
+// contentmodel → codegen/vdom → validator → pxml): its schema generates
+// the wmlgen bindings, the §5 directory-browser page exercises P-XML
+// mixed content, and the media-archive example serves it.
+//
+// # Concurrency
+//
+// The package exports only string constants and pure helpers — safe from
+// any goroutine.
+package wml

@@ -1,8 +1,3 @@
-// Package wml ships the WML (Wireless Markup Language) schema subset used
-// by the paper's §5 example: a deck of cards, paragraphs with mixed
-// content, select/option menus, bold text, line breaks and anchors — the
-// constructs of the media-archive directory browser in Figures 8, 10 and
-// 11.
 package wml
 
 // Schema is the WML subset as an XML Schema (the paper assumes "a given

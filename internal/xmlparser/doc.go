@@ -1,0 +1,29 @@
+// Package xmlparser implements an XML 1.0 (Fifth Edition) parser with
+// namespace support, written from scratch for this reproduction.
+//
+// The parser is event-based: Parse and the Decoder type produce a stream of
+// Tokens (start tags, end tags, character data, comments, processing
+// instructions, doctype declarations). Higher layers (package dom) build
+// trees from this stream.
+//
+// The parser enforces well-formedness as defined by the XML recommendation:
+// matching start/end tags, a single root element, unique attributes,
+// well-formed character and entity references, no '<' in attribute values,
+// no ']]>' in character data, and legal XML characters and names. Errors
+// carry line and column information.
+//
+// # Role in the pipeline
+//
+// xmlparser is the bottom layer under everything (xsd parse → normalize →
+// contentmodel → codegen/vdom → validator → pxml): schema documents,
+// instance documents and P-XML fragments all enter the system through
+// this tokenizer before package dom shapes them into trees.
+//
+// # Concurrency
+//
+// A Decoder is a single-use, single-goroutine cursor over its input —
+// do not share one Decoder across goroutines. Distinct Decoder instances
+// (and therefore concurrent Parse calls over different inputs) are fully
+// independent, which is what lets xsdcheck parse many files in parallel.
+// Produced tokens do not alias decoder state once returned.
+package xmlparser

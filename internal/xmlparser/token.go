@@ -1,16 +1,3 @@
-// Package xmlparser implements an XML 1.0 (Fifth Edition) parser with
-// namespace support, written from scratch for this reproduction.
-//
-// The parser is event-based: Parse and the Decoder type produce a stream of
-// Tokens (start tags, end tags, character data, comments, processing
-// instructions, doctype declarations). Higher layers (package dom) build
-// trees from this stream.
-//
-// The parser enforces well-formedness as defined by the XML recommendation:
-// matching start/end tags, a single root element, unique attributes,
-// well-formed character and entity references, no '<' in attribute values,
-// no ']]>' in character data, and legal XML characters and names. Errors
-// carry line and column information.
 package xmlparser
 
 import "fmt"

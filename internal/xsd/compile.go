@@ -45,28 +45,30 @@ func (s *Schema) CompileParticle(p *Particle) *contentmodel.Particle {
 }
 
 // Matcher returns (building and caching on first use) the content-model
-// matcher for the complex type.
+// matcher for the complex type. The build happens exactly once per type —
+// concurrent callers block until the first build finishes — so a resolved
+// Schema may be shared freely across goroutines. The returned matcher is
+// itself immutable and safe for concurrent Match calls.
 func (c *ComplexType) Matcher(s *Schema) contentmodel.Matcher {
-	if c.compiled == nil {
+	c.compileOnce.Do(func() {
 		c.compiled = contentmodel.Compile(s.CompileParticle(c.Particle))
-	}
+	})
 	return c.compiled
 }
 
 // CheckUPA verifies Unique Particle Attribution for the type's content
 // model. Models too large for the position automaton are not checked (the
-// spec's check is approximated by the Glushkov overlap test).
+// spec's check is approximated by the Glushkov overlap test). Like
+// Matcher, the check runs once per type and is safe to call concurrently.
 func (c *ComplexType) CheckUPA(s *Schema) error {
-	if c.upaChecked {
-		return c.compiledUPA
-	}
-	c.upaChecked = true
-	g, err := contentmodel.CompileGlushkov(s.CompileParticle(c.Particle))
-	if err != nil {
-		c.compiledUPA = nil // too large: skipped
-		return nil
-	}
-	c.compiledUPA = g.CheckUPA()
+	c.upaOnce.Do(func() {
+		g, err := contentmodel.CompileGlushkov(s.CompileParticle(c.Particle))
+		if err != nil {
+			c.compiledUPA = nil // too large: skipped
+			return
+		}
+		c.compiledUPA = g.CheckUPA()
+	})
 	return c.compiledUPA
 }
 

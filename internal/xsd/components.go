@@ -1,14 +1,9 @@
-// Package xsd parses XML Schema documents (the xsd:schema vocabulary of
-// the 2001 recommendation) into a resolved component model: element
-// declarations, simple and complex type definitions, model groups,
-// attribute declarations and uses, wildcards, and the derivation
-// relations (extension, restriction, substitution groups, abstractness)
-// that §3 of the paper maps onto V-DOM interface inheritance.
 package xsd
 
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/contentmodel"
 	"repro/internal/xsdtypes"
@@ -270,11 +265,13 @@ type ComplexType struct {
 	// Context records where an anonymous type was defined.
 	Context string
 
-	// compiled caches the compiled content-model matcher.
-	compiled contentmodel.Matcher
-	// compiledUPA caches the UPA check result.
+	// compiled caches the compiled content-model matcher; compileOnce
+	// makes the lazy build safe under concurrent Matcher calls.
+	compileOnce sync.Once
+	compiled    contentmodel.Matcher
+	// compiledUPA caches the UPA check result under the same discipline.
+	upaOnce     sync.Once
 	compiledUPA error
-	upaChecked  bool
 }
 
 // TypeName implements Type.

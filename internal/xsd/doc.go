@@ -1,0 +1,28 @@
+// Package xsd parses XML Schema documents (the xsd:schema vocabulary of
+// the 2001 recommendation) into a resolved component model: element
+// declarations, simple and complex type definitions, model groups,
+// attribute declarations and uses, wildcards, and the derivation
+// relations (extension, restriction, substitution groups, abstractness)
+// that §3 of the paper maps onto V-DOM interface inheritance.
+//
+// # Role in the pipeline
+//
+// xsd is the head of the pipeline (xsd parse → normalize → contentmodel →
+// codegen/vdom → validator → pxml): everything downstream — the §3
+// normal form (package normalize), the binding generator (package
+// codegen), the runtime validator and the P-XML preprocessor — consumes
+// the Schema component model built here. Content models are lowered to
+// package contentmodel particles via CompileParticle and compiled lazily
+// through ComplexType.Matcher.
+//
+// # Concurrency
+//
+// A Schema is immutable once Parse/ParseString returns, and all lookup
+// methods are read-only, so one Schema may back any number of concurrent
+// validators, generators and preprocessors. The two lazily computed
+// artifacts on ComplexType — the compiled content-model matcher
+// (Matcher) and the UPA check result (CheckUPA) — are built under
+// sync.Once, so concurrent first calls are safe and the work happens
+// exactly once per type. Parsing itself is single-goroutine per call;
+// distinct schemas may be parsed concurrently.
+package xsd

@@ -1,16 +1,3 @@
-// Package xsdregex implements the regular-expression dialect of XML Schema
-// Part 2 (Appendix F), used by the pattern facet — e.g. the paper's SKU
-// pattern `\d{3}-[A-Z]{2}`.
-//
-// Patterns are parsed into an AST, compiled to a Thompson NFA, and matched
-// by NFA simulation (linear time, no state blowup). A deterministic
-// automaton built with the Aho–Sethi–Ullman followpos construction — the
-// algorithm the paper's §6 cites for its preprocessor generator — is also
-// available via ToDFA, and is benchmarked against the NFA simulation.
-//
-// XML Schema regular expressions are always anchored: the pattern must
-// match the entire lexical value. There are no anchors, backreferences or
-// non-greedy operators in the dialect.
 package xsdregex
 
 import (

@@ -1,0 +1,30 @@
+// Package xsdregex implements the regular-expression dialect of XML Schema
+// Part 2 (Appendix F), used by the pattern facet — e.g. the paper's SKU
+// pattern `\d{3}-[A-Z]{2}`.
+//
+// Patterns are parsed into an AST, compiled to a Thompson NFA, and matched
+// by NFA simulation (linear time, no state blowup). A deterministic
+// automaton built with the Aho–Sethi–Ullman followpos construction — the
+// algorithm the paper's §6 cites for its preprocessor generator — is also
+// available via ToDFA, and is benchmarked against the NFA simulation.
+//
+// XML Schema regular expressions are always anchored: the pattern must
+// match the entire lexical value. There are no anchors, backreferences or
+// non-greedy operators in the dialect.
+//
+// # Role in the pipeline
+//
+// xsdregex backs the pattern facet everywhere simple-type values are
+// checked: the schema parser (package xsd) compiles each xs:pattern once
+// at parse time, and the facet checker (package xsdtypes) runs the
+// compiled automata on the validator's and vdom runtime's hot paths.
+//
+// # Concurrency
+//
+// A compiled Regexp is immutable and safe for concurrent use: NFA
+// simulation keeps its scratch bitsets on the call stack, the DFA is a
+// read-only table walk, and the lazy NFA→DFA upgrade (ToDFA/EnableDFA)
+// is built under a sync.Once and published atomically, so racing
+// MatchString calls see either the NFA or the finished DFA — never a
+// partial build.
+package xsdregex

@@ -1,14 +1,23 @@
 package xsdregex
 
-import "errors"
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
 
 // Regexp is a compiled XML Schema regular expression. The zero value is not
-// usable; obtain one from Compile or MustCompile.
+// usable; obtain one from Compile or MustCompile. A compiled Regexp is
+// safe for concurrent use: matching allocates per-call scratch only, and
+// the lazy DFA upgrade is built under a sync.Once and published
+// atomically.
 type Regexp struct {
 	pattern string
 	ast     Node
 	nfa     *nfa
-	dfa     *DFA // built lazily by ToDFA / EnableDFA
+	dfaOnce sync.Once
+	dfa     atomic.Pointer[DFA] // built lazily by ToDFA / EnableDFA
+	dfaErr  error
 }
 
 // Compile parses and compiles a pattern.
@@ -36,8 +45,8 @@ func (r *Regexp) String() string { return r.pattern }
 // MatchString reports whether the pattern matches the entire input (XSD
 // patterns are implicitly anchored at both ends).
 func (r *Regexp) MatchString(s string) bool {
-	if r.dfa != nil {
-		return r.dfa.Match(s)
+	if d := r.dfa.Load(); d != nil {
+		return d.Match(s)
 	}
 	return r.nfa.match(s)
 }
@@ -47,16 +56,18 @@ func (r *Regexp) MatchString(s string) bool {
 var ErrTooComplex = errors.New("xsdregex: pattern too complex for DFA construction")
 
 // ToDFA builds (or returns the cached) deterministic automaton using the
-// Aho–Sethi–Ullman followpos construction.
+// Aho–Sethi–Ullman followpos construction. The build runs at most once
+// per Regexp; concurrent callers share the result.
 func (r *Regexp) ToDFA() (*DFA, error) {
-	if r.dfa == nil {
+	r.dfaOnce.Do(func() {
 		d := compileDFA(r.ast)
 		if d.incomplete {
-			return nil, ErrTooComplex
+			r.dfaErr = ErrTooComplex
+			return
 		}
-		r.dfa = d
-	}
-	return r.dfa, nil
+		r.dfa.Store(d)
+	})
+	return r.dfa.Load(), r.dfaErr
 }
 
 // EnableDFA switches MatchString to the deterministic automaton. It is a

@@ -1,0 +1,26 @@
+// Package xsdtypes implements the built-in simple types of XML Schema
+// Part 2: Datatypes — lexical parsing, value spaces, ordering, canonical
+// forms, whitespace processing and constraining facets.
+//
+// The paper's V-DOM maps "Xml Schema simple types ... to primitive types"
+// (transformation rule 8) and concedes that facet checks on restricted
+// simple types remain dynamic; this package is that dynamic layer, shared
+// by the runtime validator, the schema parser and the generated V-DOM
+// bindings.
+//
+// # Role in the pipeline
+//
+// xsdtypes is a leaf dependency of the pipeline (xsd parse → normalize →
+// contentmodel → codegen/vdom → validator → pxml): package xsd builds
+// its simple-type definitions on these built-ins, and every layer that
+// checks a lexical value — validator, vdom setters, pxml's static
+// checks — funnels through Parse/Check here.
+//
+// # Concurrency
+//
+// The built-in registry is populated at package init and read-only
+// afterwards; Builtin values, Facets and parsed Values are immutable.
+// All parsing and facet checking is pure (including the precompiled
+// pattern facets, see package xsdregex), so everything in this package
+// may be used from any number of goroutines without synchronization.
+package xsdtypes

@@ -1,12 +1,3 @@
-// Package xsdtypes implements the built-in simple types of XML Schema
-// Part 2: Datatypes — lexical parsing, value spaces, ordering, canonical
-// forms, whitespace processing and constraining facets.
-//
-// The paper's V-DOM maps "Xml Schema simple types ... to primitive types"
-// (transformation rule 8) and concedes that facet checks on restricted
-// simple types remain dynamic; this package is that dynamic layer, shared
-// by the runtime validator, the schema parser and the generated V-DOM
-// bindings.
 package xsdtypes
 
 import (
