@@ -493,6 +493,58 @@ func BenchmarkE7_ParallelBatchValidate(b *testing.B) {
 	})
 }
 
+// ---------------------------------------------------------------------------
+// E8 — streaming validation: DOM build + validate vs incremental checking.
+// ---------------------------------------------------------------------------
+
+// largePOSource emits an n-item purchase order as raw bytes, the input
+// shape both E8 paths start from.
+func largePOSource(n int) []byte {
+	var sb strings.Builder
+	sb.WriteString(`<purchaseOrder orderDate="1999-10-20"><shipTo country="US"><name>n</name><street>s</street><city>c</city><state>st</state><zip>90952</zip></shipTo>`)
+	sb.WriteString(`<billTo country="US"><name>n</name><street>s</street><city>c</city><state>st</state><zip>90952</zip></billTo><items>`)
+	for i := 0; i < n; i++ {
+		sb.WriteString(`<item partNum="926-AA"><productName>p</productName><quantity>1</quantity><USPrice>1.50</USPrice><shipDate>1999-12-21</shipDate></item>`)
+	}
+	sb.WriteString(`</items></purchaseOrder>`)
+	return []byte(sb.String())
+}
+
+// BenchmarkE8_StreamValidate compares the two ways to answer "are these
+// bytes schema-valid": the DOM path (parse into a tree, then walk it) and
+// the streaming path (drive the cached Glushkov automata directly off the
+// token stream, O(depth) live state). The headline number is bytes/op:
+// the stream never materializes the document.
+func BenchmarkE8_StreamValidate(b *testing.B) {
+	v := validator.New(poSchema(b), nil)
+	sv := v.Stream()
+	for _, n := range orderSizes {
+		src := largePOSource(n)
+		b.Run(fmt.Sprintf("dom/items=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(len(src)))
+			for i := 0; i < b.N; i++ {
+				doc, err := dom.Parse(src)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res := v.ValidateDocument(doc); !res.OK() {
+					b.Fatal(res.Err())
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("stream/items=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(len(src)))
+			for i := 0; i < b.N; i++ {
+				if res := sv.ValidateBytes(src); !res.OK() {
+					b.Fatal(res.Err())
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkE6_NormalizeSchemes measures normalization under each naming
 // scheme (the cost side of E6; the stability side is TestE6NamingStability).
 func BenchmarkE6_NormalizeSchemes(b *testing.B) {

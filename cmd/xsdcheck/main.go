@@ -38,6 +38,7 @@ func main() {
 	schemaPath := flag.String("schema", "", "path to the XML Schema (required)")
 	quiet := flag.Bool("q", false, "suppress per-violation output")
 	workers := flag.Int("p", runtime.GOMAXPROCS(0), "max files processed in parallel")
+	stream := flag.Bool("stream", false, "validate incrementally while reading (O(depth) memory, no DOM)")
 	flag.Parse()
 	if *schemaPath == "" || flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: xsdcheck -schema s.xsd doc.xml...")
@@ -69,7 +70,11 @@ func main() {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				reports[i] = checkFile(v, paths[i], *quiet)
+				if *stream {
+					reports[i] = checkFileStream(v.Stream(), paths[i], *quiet)
+				} else {
+					reports[i] = checkFile(v, paths[i], *quiet)
+				}
 			}
 		}()
 	}
@@ -106,6 +111,25 @@ func checkFile(v *validator.Validator, path string, quiet bool) report {
 		return report{errText: fmt.Sprintf("%s: not well-formed: %v\n", path, err), failed: true}
 	}
 	res := v.ValidateDocument(doc)
+	return renderResult(path, res, quiet)
+}
+
+// checkFileStream validates one document through the streaming path: the
+// file is tokenized and checked while being read, with memory bounded by
+// tree depth instead of file size. Each worker streams its own file, so
+// -stream composes with -p.
+func checkFileStream(sv *validator.StreamValidator, path string, quiet bool) report {
+	f, err := os.Open(path)
+	if err != nil {
+		return report{errText: fmt.Sprintf("xsdcheck: %v\n", err), failed: true}
+	}
+	defer f.Close()
+	res := sv.ValidateReader(f)
+	return renderResult(path, res, quiet)
+}
+
+// renderResult formats one validation outcome.
+func renderResult(path string, res *validator.Result, quiet bool) report {
 	if res.OK() {
 		return report{out: fmt.Sprintf("%s: valid\n", path)}
 	}

@@ -1,6 +1,6 @@
 package repro
 
-// E8 (addendum) — DTD vs XML Schema on the same vocabulary: the paper's
+// E9 (addendum) — DTD vs XML Schema on the same vocabulary: the paper's
 // §1 motivation for leaving the authors' DTD-based system [14]. The test
 // shows the expressiveness gap (the DTD accepts every facet violation the
 // XSD rejects); the benchmark shows the runtime cost of each validator.
@@ -39,9 +39,9 @@ const poDTDSubset = `
 <!ELEMENT zip (#PCDATA)>
 `
 
-// TestE8ExpressivenessGap: the same invalid values pass the DTD and fail
+// TestE9ExpressivenessGap: the same invalid values pass the DTD and fail
 // the XSD — the paper's reason for upgrading.
-func TestE8ExpressivenessGap(t *testing.T) {
+func TestE9ExpressivenessGap(t *testing.T) {
 	d, err := dtd.Parse("purchaseOrder", poDTDSubset)
 	if err != nil {
 		t.Fatal(err)
@@ -85,9 +85,9 @@ func TestE8ExpressivenessGap(t *testing.T) {
 	}
 }
 
-// BenchmarkE8_DTDValidate vs BenchmarkE8_XSDValidate: the price of the
+// BenchmarkE9_DTDValidate vs BenchmarkE9_XSDValidate: the price of the
 // richer checks.
-func BenchmarkE8_DTDValidate(b *testing.B) {
+func BenchmarkE9_DTDValidate(b *testing.B) {
 	d, err := dtd.Parse("purchaseOrder", poDTDSubset)
 	if err != nil {
 		b.Fatal(err)
@@ -104,7 +104,7 @@ func BenchmarkE8_DTDValidate(b *testing.B) {
 	}
 }
 
-func BenchmarkE8_XSDValidate(b *testing.B) {
+func BenchmarkE9_XSDValidate(b *testing.B) {
 	schema, err := xsd.ParseString(schemas.PurchaseOrderXSD, nil)
 	if err != nil {
 		b.Fatal(err)

@@ -284,46 +284,129 @@ func dedupInts(xs []int) []int {
 func (g *Glushkov) NumPositions() int { return len(g.leaves) }
 
 // Match runs the automaton over the child-name sequence. On success it
-// returns the leaf each child matched; on failure, a MatchError.
+// returns the leaf each child matched; on failure, a MatchError. It is a
+// batch wrapper around the incremental Run stepper, so the two APIs can
+// never disagree on a verdict.
 func (g *Glushkov) Match(input []Symbol) ([]*Leaf, *MatchError) {
-	if len(input) == 0 {
-		if g.nullable {
-			return nil, nil
-		}
-		return nil, &MatchError{Index: 0, Premature: true, Expected: g.expectedLabels(g.first, false)}
+	run := g.Start()
+	var assigned []*Leaf
+	if len(input) > 0 {
+		assigned = make([]*Leaf, len(input))
 	}
-	assigned := make([]*Leaf, len(input))
-	cand := g.first // positions that may match the next symbol
-	var matched []int
 	for i, sym := range input {
-		matched = matched[:0]
-		var leaf *Leaf
-		for _, p := range cand {
-			if g.leaves[p].Accepts(sym) {
-				if leaf == nil {
-					leaf = g.leaves[p]
-				}
-				matched = append(matched, p)
-			}
-		}
-		if leaf == nil {
-			return nil, &MatchError{Index: i, Got: sym, Expected: g.expectedLabels(cand, i == 0 && g.nullable)}
+		leaf, err := run.Step(sym)
+		if err != nil {
+			return nil, err
 		}
 		assigned[i] = leaf
-		var nxt []int
-		for _, p := range matched {
-			nxt = append(nxt, g.follow[p]...)
+	}
+	if err := run.End(); err != nil {
+		return nil, err
+	}
+	return assigned, nil
+}
+
+// Run is one incremental match in progress: the automaton state after
+// some prefix of a child-name sequence. It is the streaming counterpart
+// of Match — the validator's streaming path holds one Run per open
+// element, stepping it as child start-tags arrive, so validity is decided
+// in O(depth) memory without materializing the child list.
+//
+// A Run references its (immutable, shared) Glushkov automaton but owns
+// all mutable state, so any number of Runs may step concurrently over
+// one compiled automaton.
+type Run struct {
+	g       *Glushkov
+	cand    []int  // positions that may match the next symbol
+	matched []int  // positions matched by the previous symbol
+	next    []int  // scratch buffer ping-ponged with cand
+	spare   []int  // second owned buffer, parked while cand aliases g.first
+	mark    []bool // per-position dedup scratch, cleared after each Step
+	ownCand bool   // cand is an owned buffer, not an alias of g.first
+	n       int    // symbols consumed
+}
+
+// Start begins an incremental match.
+func (g *Glushkov) Start() *Run { return &Run{g: g, cand: g.first} }
+
+// Reset re-arms the run for a new sequence against g, reusing its
+// internal buffers. Equivalent to replacing the Run with g.Start().
+func (r *Run) Reset(g *Glushkov) {
+	r.g = g
+	if r.ownCand {
+		r.spare = r.cand
+	}
+	r.cand = g.first
+	r.ownCand = false
+	r.matched = r.matched[:0]
+	r.n = 0
+}
+
+// Step feeds the next child symbol. On acceptance it returns the leaf
+// particle the child matched (the same assignment Match reports); on
+// rejection, the same MatchError Match would report at this index. After
+// an error the Run must not be stepped again.
+func (r *Run) Step(sym Symbol) (*Leaf, *MatchError) {
+	g := r.g
+	r.matched = r.matched[:0]
+	var leaf *Leaf
+	for _, p := range r.cand {
+		if g.leaves[p].Accepts(sym) {
+			if leaf == nil {
+				leaf = g.leaves[p]
+			}
+			r.matched = append(r.matched, p)
 		}
-		cand = dedupInts(nxt)
+	}
+	if leaf == nil {
+		return nil, &MatchError{Index: r.n, Got: sym, Expected: g.expectedLabels(r.cand, r.n == 0 && g.nullable)}
+	}
+	if len(r.mark) < len(g.leaves) {
+		r.mark = make([]bool, len(g.leaves))
+	}
+	r.next = r.next[:0]
+	for _, p := range r.matched {
+		for _, q := range g.follow[p] {
+			if !r.mark[q] {
+				r.mark[q] = true
+				r.next = append(r.next, q)
+			}
+		}
+	}
+	for _, q := range r.next {
+		r.mark[q] = false
+	}
+	// Ping-pong the buffers. On the first step cand aliases g.first,
+	// which must never be written through; the parked spare buffer takes
+	// its place in the rotation.
+	old := r.cand
+	if !r.ownCand {
+		old = r.spare
+	}
+	r.cand, r.next, r.ownCand = r.next, old[:0], true
+	r.n++
+	return leaf, nil
+}
+
+// End reports whether the sequence consumed so far is a complete match:
+// nil on acceptance, otherwise the premature-end MatchError Match would
+// report for the same sequence.
+func (r *Run) End() *MatchError {
+	g := r.g
+	if r.n == 0 {
+		if g.nullable {
+			return nil
+		}
+		return &MatchError{Index: 0, Premature: true, Expected: g.expectedLabels(g.first, false)}
 	}
 	// Accept iff a position matched by the final symbol is a last
 	// position of the augmented expression.
-	for _, p := range matched {
+	for _, p := range r.matched {
 		if g.last[p] {
-			return assigned, nil
+			return nil
 		}
 	}
-	return nil, &MatchError{Index: len(input), Premature: true, Expected: g.expectedLabels(cand, false)}
+	return &MatchError{Index: r.n, Premature: true, Expected: g.expectedLabels(r.cand, false)}
 }
 
 func (g *Glushkov) expectedLabels(positions []int, orEnd bool) []string {

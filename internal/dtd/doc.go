@@ -9,7 +9,7 @@
 // dtd runs beside the XML Schema pipeline (xsd parse → normalize →
 // contentmodel → codegen/vdom → validator → pxml) as the historical
 // baseline: it shares package contentmodel's matchers for children
-// content models and package dom's trees, and experiment E8 quantifies
+// content models and package dom's trees, and experiment E9 quantifies
 // the expressiveness it lacks relative to package xsd.
 //
 // # Concurrency

@@ -18,6 +18,22 @@
 // that everything the typed V-DOM API (package vdom) can express
 // marshals to a valid document.
 //
+// # Streaming entry points
+//
+// Validator.Stream returns a StreamValidator, which decides validity
+// incrementally from the token stream instead of a materialized tree:
+// StreamValidator.ValidateReader consumes an io.Reader with memory
+// proportional to tree depth (O(depth), no DOM allocation), and
+// StreamValidator.ValidateBytes is its in-memory counterpart. Both drive
+// the same cached Glushkov automata as the DOM path through an explicit
+// element/automaton-state stack and reproduce ValidateDocument's
+// verdicts, violation order and messages exactly (held by the
+// TestStreamMatchesDOM differential suite). Subtrees the streaming pass
+// cannot decide incrementally — identity constraints, or content models
+// compiled to the backtracking interpreter — are buffered privately and
+// degrade to the recursive DOM path. cmd/xsdcheck exposes the streaming
+// path as -stream.
+//
 // # Concurrency
 //
 // A Validator is safe for concurrent use by multiple goroutines and is
@@ -28,6 +44,11 @@
 // goroutines validate at once. Cached entries are never invalidated —
 // the schema is immutable once resolved. ValidateBatch fans a document
 // slice out over a bounded worker pool (Options.Parallelism, default
-// GOMAXPROCS) on top of the same shared cache. Documents are only read;
-// callers must not mutate a document while it is being validated.
+// GOMAXPROCS) on top of the same shared cache. A StreamValidator holds
+// no per-run state either: it shares only the parent Validator's
+// immutable schema and thread-safe model cache, so one StreamValidator
+// may serve any number of goroutines, interleaved freely with DOM-path
+// runs on the same Validator (asserted under -race by
+// TestStreamConcurrent). Documents are only read; callers must not
+// mutate a document while it is being validated.
 package validator

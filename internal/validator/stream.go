@@ -1,0 +1,798 @@
+package validator
+
+// Streaming validation: the paper's §5–6 pipeline compiles content models
+// to Glushkov automata precisely so validity can be decided incrementally.
+// StreamValidator drives those cached automata directly off the token
+// stream with an explicit element/automaton-state stack — O(depth) memory,
+// no DOM allocation — while reproducing ValidateDocument's verdicts and
+// messages exactly.
+//
+// The DOM validator is not causal: when an element's content model fails,
+// it reports the one match error and validates none of the children, and
+// ID tracking never sees the abandoned subtree. A streaming pass has
+// already validated the prefix children by the time the automaton rejects,
+// so verdict parity needs two mechanisms:
+//
+//   - per-frame violation buffering: each open element accumulates its
+//     attribute, text and child violations separately and assembles them
+//     in DOM emission order at its end tag; a content-model failure drops
+//     the buffered child violations wholesale.
+//   - an ID journal: every insertion into the document-wide ID map is
+//     journaled, and each frame records a high-water mark after its own
+//     attributes; on content-model failure the IDs (and pending IDREFs)
+//     recorded past the mark are rolled back. Between a frame's mark and
+//     its failure only to-be-dropped descendants run, so rollback restores
+//     exactly the state the DOM validator would have.
+//
+// Elements the streaming path cannot decide incrementally — identity
+// constraints (which need the whole subtree) and content models compiled
+// to the backtracking interpreter (contentmodel.ErrTooComplex) — degrade
+// gracefully: their subtree is buffered into a private DOM fragment and
+// validated by the ordinary recursive path, sharing the global ID state.
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/contentmodel"
+	"repro/internal/dom"
+	"repro/internal/xmlparser"
+	"repro/internal/xsd"
+)
+
+// StreamValidator validates documents incrementally from a token stream.
+// Obtain one with Validator.Stream. It holds no per-run state, so a single
+// StreamValidator (like its parent Validator) is safe for concurrent use:
+// each ValidateReader/ValidateBytes call allocates a private run and
+// shares only the Validator's immutable schema and thread-safe model
+// cache.
+type StreamValidator struct {
+	v *Validator
+}
+
+// Stream returns a streaming front-end over the validator. The returned
+// StreamValidator shares v's compiled-model cache, so automata built by
+// either path are reused by both.
+func (v *Validator) Stream() *StreamValidator { return &StreamValidator{v: v} }
+
+// ValidateReader validates a document read incrementally from r. Memory
+// use is proportional to tree depth (plus any subtrees buffered for
+// identity constraints), not document size. The verdict, violation order
+// and messages match ValidateBytes on the same input.
+func (sv *StreamValidator) ValidateReader(r io.Reader) *Result {
+	return sv.validate(xmlparser.NewReaderDecoder(r, nil))
+}
+
+// ValidateBytes validates an in-memory document through the streaming
+// path (no DOM is built). It is the drop-in counterpart of the package
+// function ValidateBytes.
+func (sv *StreamValidator) ValidateBytes(src []byte) *Result {
+	return sv.validate(xmlparser.NewDecoder(src, nil))
+}
+
+func (sv *StreamValidator) validate(dec *xmlparser.Decoder) *Result {
+	sr := &streamRun{v: sv.v, ids: map[string]string{}}
+	for {
+		tok, err := dec.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			// Parity with ValidateBytes: a malformed document yields
+			// only the parse error, regardless of violations already
+			// observed in the prefix.
+			return &Result{Violations: []Violation{{Path: "/", Msg: err.Error()}}}
+		}
+		sr.token(&tok)
+	}
+	sr.finish()
+	return &sr.res
+}
+
+// frame modes.
+const (
+	fmModel    = iota // complex element-only/mixed content, Glushkov Run
+	fmSimple          // simple-typed element
+	fmCSimple         // complex type with simple content
+	fmCEmpty          // complex type with empty content
+	fmNilled          // xsi:nil="true" on a nillable element
+	fmDead            // xsi:type/abstract/nil gate failed; subtree skipped
+	fmFallback        // subtree buffered for the DOM path
+)
+
+// frame is one open element on the streaming stack.
+type frame struct {
+	path string
+	decl *xsd.ElementDecl
+	mode int
+
+	st    *xsd.SimpleType  // fmSimple / fmCSimple value type
+	run   *contentmodel.Run // fmModel automaton state
+	mixed bool
+
+	// Buffered violations, assembled in DOM order at the end tag.
+	attrViols   []Violation
+	textViols   []Violation
+	childViols  []Violation
+	contentViol *Violation
+	failed      bool
+
+	sawElemChild bool
+	textBuf      []byte   // accumulated character data (fmSimple/fmCSimple)
+	plainAttrs   []string // fmSimple: non-meta attribute names for checkNoAttributes
+
+	counts  []childCount // child tag -> occurrences, for indexed paths
+	idMark  int          // ID journal mark after own attributes
+	refMark int          // pending-IDREF mark
+	nsMark  int          // namespace-binding stack mark
+
+	// fmFallback subtree buffer.
+	fbDoc  *dom.Document
+	fbRoot *dom.Element
+	fbCur  dom.Node
+	fbDepth int
+}
+
+// childCount tracks occurrences of one child tag under a frame; the small
+// linear list replaces a per-frame map (few distinct tags per element).
+type childCount struct {
+	tag string
+	n   int
+}
+
+// reset re-initializes a recycled frame, keeping the capacity of its
+// buffers (and the automaton run's internal state) for reuse.
+func (f *frame) reset(path string, decl *xsd.ElementDecl, nsMark int) {
+	run := f.run
+	attrViols, textViols, childViols := f.attrViols[:0], f.textViols[:0], f.childViols[:0]
+	plainAttrs, counts, textBuf := f.plainAttrs[:0], f.counts[:0], f.textBuf[:0]
+	*f = frame{path: path, decl: decl, nsMark: nsMark,
+		run: run, attrViols: attrViols, textViols: textViols,
+		childViols: childViols, plainAttrs: plainAttrs, counts: counts, textBuf: textBuf}
+}
+
+// nsBinding is one in-scope namespace declaration. name is "xmlns" for the
+// default namespace and the prefix otherwise — the same keys the DOM
+// validator's ancestor walk uses.
+type nsBinding struct {
+	name string
+	uri  string
+}
+
+// streamRun is one streaming validation pass.
+type streamRun struct {
+	v   *Validator
+	res Result
+
+	frames    []*frame
+	free      []*frame // recycled frames; popped elements return here
+	skipDepth int      // >0: inside an unvalidated subtree
+	rootDone  bool
+
+	ns       []nsBinding
+	attrSeen []xsd.QName // scratch for attributes()
+
+	// Document-wide ID state, shared with fallback sub-runs. idJournal
+	// records insertions so failed subtrees can be rolled back.
+	ids       map[string]string
+	idJournal []string
+	idrefs    []pendingRef
+}
+
+func (sr *streamRun) top() *frame {
+	if len(sr.frames) == 0 {
+		return nil
+	}
+	return sr.frames[len(sr.frames)-1]
+}
+
+// newFrame returns a recycled or fresh frame.
+func (sr *streamRun) newFrame(path string, decl *xsd.ElementDecl, nsMark int) *frame {
+	if n := len(sr.free); n > 0 {
+		f := sr.free[n-1]
+		sr.free = sr.free[:n-1]
+		f.reset(path, decl, nsMark)
+		return f
+	}
+	return &frame{path: path, decl: decl, nsMark: nsMark}
+}
+
+// recycle returns a popped frame to the free list. Its buffered violations
+// must already have been delivered (deliver copies them out).
+func (sr *streamRun) recycle(f *frame) { sr.free = append(sr.free, f) }
+
+func (sr *streamRun) emit(v Violation) {
+	if len(sr.res.Violations) < maxViolations {
+		sr.res.Violations = append(sr.res.Violations, v)
+	}
+}
+
+// skip marks the current start tag's subtree as unvalidated. The matching
+// (possibly synthesized) end tag rebalances the counter.
+func (sr *streamRun) skip() { sr.skipDepth = 1 }
+
+// token dispatches one parse event.
+func (sr *streamRun) token(tok *xmlparser.Token) {
+	if sr.skipDepth > 0 {
+		switch tok.Kind {
+		case xmlparser.KindStartElement:
+			sr.skipDepth++
+		case xmlparser.KindEndElement:
+			sr.skipDepth--
+		}
+		return
+	}
+	if f := sr.top(); f != nil && f.mode == fmFallback {
+		sr.feedFallback(f, tok)
+		return
+	}
+	switch tok.Kind {
+	case xmlparser.KindStartElement:
+		sr.startElement(tok)
+	case xmlparser.KindEndElement:
+		sr.endElement()
+	case xmlparser.KindText:
+		sr.textNode(tok.Data, false)
+	case xmlparser.KindCData:
+		sr.textNode(tok.Data, true)
+	case xmlparser.KindComment, xmlparser.KindProcInst:
+		// Comments and PIs are DOM child nodes: they violate only the
+		// "nilled element must be empty" rule.
+		if f := sr.top(); f != nil && f.mode == fmNilled && !f.failed {
+			f.failed = true
+			f.contentViol = &Violation{Path: f.path, Msg: "nilled element must be empty"}
+		}
+	}
+}
+
+func (sr *streamRun) startElement(tok *xmlparser.Token) {
+	nsMark := len(sr.ns)
+	for i := range tok.Attrs {
+		if a := &tok.Attrs[i]; a.IsNamespaceDecl {
+			sr.ns = append(sr.ns, nsBinding{name: a.Name.Local, uri: a.Value})
+		}
+	}
+	if len(sr.frames) == 0 {
+		if sr.rootDone {
+			sr.ns = sr.ns[:nsMark]
+			sr.skip()
+			return
+		}
+		name := xsd.QName{Space: tok.Name.Space, Local: tok.Name.Local}
+		decl, ok := sr.v.schema.LookupElement(name)
+		if !ok {
+			sr.emit(Violation{Path: "/" + tok.Name.Qualified(), Msg: fmt.Sprintf("no global declaration for root element %s", name)})
+			sr.rootDone = true
+			sr.ns = sr.ns[:nsMark]
+			sr.skip()
+			return
+		}
+		sr.openFrame(tok, decl, "/"+tok.Name.Qualified(), nsMark)
+		return
+	}
+	parent := sr.top()
+	switch parent.mode {
+	case fmModel:
+		if parent.failed {
+			sr.skipChild(nsMark)
+			return
+		}
+		leaf, merr := parent.run.Step(contentmodel.Symbol{Space: tok.Name.Space, Local: tok.Name.Local})
+		if merr != nil {
+			// The DOM validator reports the match error against the
+			// failing child and validates no children at all: drop the
+			// buffered child violations and roll back their IDs.
+			parent.failed = true
+			parent.contentViol = &Violation{Path: parent.path + "/" + tok.Name.Qualified(), Msg: merr.Error()}
+			parent.childViols = nil
+			sr.rollbackTo(parent)
+			sr.skipChild(nsMark)
+			return
+		}
+		cpath := parent.indexedChildPath(tok.Name.Qualified())
+		switch data := leaf.Data.(type) {
+		case *xsd.ElementDecl:
+			resolved, err := sr.v.schema.ResolveChild(data, xsd.QName{Space: tok.Name.Space, Local: tok.Name.Local})
+			if err != nil {
+				parent.childViols = append(parent.childViols, Violation{Path: cpath, Msg: err.Error()})
+				sr.skipChild(nsMark)
+				return
+			}
+			sr.openFrame(tok, resolved, cpath, nsMark)
+		case *contentmodel.Wildcard:
+			// Lax wildcard processing: validate when a global
+			// declaration exists, accept otherwise.
+			if gdecl, ok := sr.v.schema.LookupElement(xsd.QName{Space: tok.Name.Space, Local: tok.Name.Local}); ok {
+				sr.openFrame(tok, gdecl, cpath, nsMark)
+			} else {
+				sr.skipChild(nsMark)
+			}
+		default:
+			sr.skipChild(nsMark)
+		}
+	case fmSimple, fmCSimple:
+		parent.sawElemChild = true
+		sr.skipChild(nsMark)
+	case fmCEmpty:
+		if !parent.failed {
+			parent.failed = true
+			parent.contentViol = &Violation{Path: parent.path, Msg: fmt.Sprintf("element <%s> is not allowed in empty content", tok.Name.Qualified())}
+		}
+		sr.skipChild(nsMark)
+	case fmNilled:
+		if !parent.failed {
+			parent.failed = true
+			parent.contentViol = &Violation{Path: parent.path, Msg: "nilled element must be empty"}
+		}
+		sr.skipChild(nsMark)
+	default: // fmDead
+		sr.skipChild(nsMark)
+	}
+}
+
+// skipChild discards the bindings pushed for the current start tag and
+// skips its subtree.
+func (sr *streamRun) skipChild(nsMark int) {
+	sr.ns = sr.ns[:nsMark]
+	sr.skip()
+}
+
+// openFrame replicates run.element's prologue (xsi:type, abstract,
+// xsi:nil) and pushes the frame for the element's content.
+func (sr *streamRun) openFrame(tok *xmlparser.Token, decl *xsd.ElementDecl, path string, nsMark int) {
+	f := sr.newFrame(path, decl, nsMark)
+	typ := decl.Type
+	if lex, _ := tok.Attr(xsd.XSINamespace, "type"); lex != "" {
+		q, err := sr.resolveQName(lex)
+		if err != nil {
+			sr.pushDead(f, fmt.Sprintf("bad xsi:type %q: %v", lex, err))
+			return
+		}
+		override, ok := sr.v.schema.LookupType(q)
+		if !ok {
+			sr.pushDead(f, fmt.Sprintf("xsi:type %s names an unknown type", q))
+			return
+		}
+		if !derivesFromType(override, typ) {
+			sr.pushDead(f, fmt.Sprintf("xsi:type %s does not derive from the declared type", q))
+			return
+		}
+		typ = override
+	}
+	if ct, ok := typ.(*xsd.ComplexType); ok && ct.Abstract {
+		sr.pushDead(f, fmt.Sprintf("type %s is abstract; an xsi:type of a concrete derived type is required", ct.Name))
+		return
+	}
+	if lex, _ := tok.Attr(xsd.XSINamespace, "nil"); lex != "" {
+		if !decl.Nillable {
+			sr.pushDead(f, "xsi:nil on a non-nillable element")
+			return
+		}
+		if lex == "true" || lex == "1" {
+			f.mode = fmNilled
+			sr.frames = append(sr.frames, f)
+			return
+		}
+	}
+	// Degrade to the DOM path where streaming cannot decide: identity
+	// constraints need the whole subtree, and Interp-compiled content
+	// models are not incremental.
+	fallback := len(decl.Constraints) > 0
+	var g *contentmodel.Glushkov
+	if ct, ok := typ.(*xsd.ComplexType); !fallback && ok &&
+		(ct.Kind == xsd.ContentElementOnly || ct.Kind == xsd.ContentMixed) {
+		g, _ = sr.v.models.matcher(ct).(*contentmodel.Glushkov)
+		if g == nil {
+			fallback = true
+		}
+	}
+	if fallback {
+		sr.startFallback(f, tok)
+		return
+	}
+	switch t := typ.(type) {
+	case *xsd.SimpleType:
+		f.mode = fmSimple
+		f.st = t
+		for i := range tok.Attrs {
+			if a := &tok.Attrs[i]; !isMetaAttrName(a.Name) {
+				f.plainAttrs = append(f.plainAttrs, a.Name.Qualified())
+			}
+		}
+	case *xsd.ComplexType:
+		sr.attributes(f, tok, t)
+		switch t.Kind {
+		case xsd.ContentSimple:
+			f.mode = fmCSimple
+			f.st = t.SimpleContentType
+		case xsd.ContentEmpty:
+			f.mode = fmCEmpty
+		default:
+			f.mode = fmModel
+			f.mixed = t.Kind == xsd.ContentMixed
+			if f.run != nil {
+				f.run.Reset(g)
+			} else {
+				f.run = g.Start()
+			}
+		}
+	}
+	f.idMark = len(sr.idJournal)
+	f.refMark = len(sr.idrefs)
+	sr.frames = append(sr.frames, f)
+}
+
+func (sr *streamRun) pushDead(f *frame, msg string) {
+	f.mode = fmDead
+	f.contentViol = &Violation{Path: f.path, Msg: msg}
+	sr.frames = append(sr.frames, f)
+}
+
+func isMetaAttrName(n xmlparser.Name) bool {
+	return n.Space == xmlparser.XMLNSNamespace || n.Space == xsd.XSINamespace || n.Space == xmlparser.XMLNamespace
+}
+
+// attributes replicates run.attributes over the start tag's attribute
+// list, buffering violations into the frame.
+func (sr *streamRun) attributes(f *frame, tok *xmlparser.Token, ct *xsd.ComplexType) {
+	seen := sr.attrSeen[:0]
+	for i := range tok.Attrs {
+		a := &tok.Attrs[i]
+		if isMetaAttrName(a.Name) {
+			continue
+		}
+		name := xsd.QName{Space: a.Name.Space, Local: a.Name.Local}
+		seen = append(seen, name)
+		use := ct.FindAttributeUse(name)
+		if use == nil || use.Prohibited {
+			if ct.AttrWildcard != nil && ct.AttrWildcard.Admits(name.Space) {
+				continue
+			}
+			f.attrViols = append(f.attrViols, Violation{Path: f.path, Msg: fmt.Sprintf("attribute %q is not declared for this element", a.Name.Qualified())})
+			continue
+		}
+		val, err := use.Decl.Type.Parse(a.Value)
+		if err != nil {
+			f.attrViols = append(f.attrViols, Violation{Path: f.path, Msg: fmt.Sprintf("attribute %q: %v", a.Name.Qualified(), err)})
+			continue
+		}
+		if use.Fixed != nil {
+			want, ferr := use.Decl.Type.Parse(*use.Fixed)
+			if ferr == nil && !val.Equal(want) {
+				f.attrViols = append(f.attrViols, Violation{Path: f.path, Msg: fmt.Sprintf("attribute %q must have the fixed value %q", a.Name.Qualified(), *use.Fixed)})
+			}
+		}
+		if b := use.Decl.Type.PrimitiveBuiltin(); b != nil && (b.Name == "ID" || b.Name == "IDREF" || b.Name == "IDREFS") {
+			sr.trackIDs(use.Decl.Type, a.Value, f.path+"/@"+a.Name.Qualified(), &f.attrViols)
+		}
+	}
+	for _, use := range ct.AttributeUses {
+		if use.Required && !use.Prohibited {
+			missing := true
+			for _, s := range seen {
+				if s == use.Decl.Name {
+					missing = false
+					break
+				}
+			}
+			if missing {
+				f.attrViols = append(f.attrViols, Violation{Path: f.path, Msg: fmt.Sprintf("required attribute %q is missing", use.Decl.Name.Local)})
+			}
+		}
+	}
+	sr.attrSeen = seen[:0]
+}
+
+// trackIDs mirrors run.trackIDs against the shared ID state, journaling
+// insertions for rollback.
+func (sr *streamRun) trackIDs(st *xsd.SimpleType, lexical, path string, viols *[]Violation) {
+	if sr.v.opts.SkipIDChecks {
+		return
+	}
+	b := st.PrimitiveBuiltin()
+	if b == nil {
+		return
+	}
+	norm := strings.Join(strings.Fields(lexical), " ")
+	switch b.Name {
+	case "ID":
+		if prev, dup := sr.ids[norm]; dup {
+			*viols = append(*viols, Violation{Path: path, Msg: fmt.Sprintf("duplicate ID %q (first declared at %s)", norm, prev)})
+		} else {
+			sr.ids[norm] = path
+			sr.idJournal = append(sr.idJournal, norm)
+		}
+	case "IDREF":
+		sr.idrefs = append(sr.idrefs, pendingRef{id: norm, path: path})
+	case "IDREFS":
+		for _, ref := range strings.Fields(norm) {
+			sr.idrefs = append(sr.idrefs, pendingRef{id: ref, path: path})
+		}
+	}
+}
+
+// rollbackTo undoes ID insertions and pending IDREFs recorded after the
+// frame's marks — the descendants the DOM validator would never have
+// visited.
+func (sr *streamRun) rollbackTo(f *frame) {
+	for _, id := range sr.idJournal[f.idMark:] {
+		delete(sr.ids, id)
+	}
+	sr.idJournal = sr.idJournal[:f.idMark]
+	sr.idrefs = sr.idrefs[:f.refMark]
+}
+
+func (sr *streamRun) textNode(data string, cdata bool) {
+	f := sr.top()
+	if f == nil {
+		return // document-level whitespace or misc
+	}
+	if !cdata && data == "" {
+		return // dom.Parse drops empty text nodes
+	}
+	switch f.mode {
+	case fmModel:
+		if f.mixed {
+			return
+		}
+		if cdata {
+			f.textViols = append(f.textViols, Violation{Path: f.path, Msg: "character data is not allowed in element-only content"})
+		} else if strings.TrimSpace(data) != "" {
+			f.textViols = append(f.textViols, Violation{Path: f.path, Msg: fmt.Sprintf("character data %q is not allowed in element-only content", snippet(data))})
+		}
+	case fmSimple, fmCSimple:
+		f.textBuf = append(f.textBuf, data...)
+	case fmCEmpty:
+		if !f.failed && (cdata || strings.TrimSpace(data) != "") {
+			f.failed = true
+			f.contentViol = &Violation{Path: f.path, Msg: "character data is not allowed in empty content"}
+		}
+	case fmNilled:
+		if !f.failed {
+			f.failed = true
+			f.contentViol = &Violation{Path: f.path, Msg: "nilled element must be empty"}
+		}
+	}
+}
+
+func (sr *streamRun) endElement() {
+	n := len(sr.frames)
+	if n == 0 {
+		return
+	}
+	f := sr.frames[n-1]
+	sr.frames = sr.frames[:n-1]
+	sr.ns = sr.ns[:f.nsMark]
+	sr.deliver(sr.closeFrame(f))
+	sr.recycle(f)
+}
+
+// deliver routes a closed frame's violations to its parent's buffer, or
+// to the result when the root closes.
+func (sr *streamRun) deliver(viols []Violation) {
+	if p := sr.top(); p != nil {
+		p.childViols = append(p.childViols, viols...)
+		return
+	}
+	sr.rootDone = true
+	for _, v := range viols {
+		sr.emit(v)
+	}
+}
+
+// closeFrame assembles the frame's violations in the order the DOM
+// validator emits them.
+func (sr *streamRun) closeFrame(f *frame) []Violation {
+	switch f.mode {
+	case fmModel:
+		if !f.failed {
+			if merr := f.run.End(); merr != nil {
+				// Premature end: the DOM path reports it against the
+				// parent and validates no children.
+				f.failed = true
+				f.contentViol = &Violation{Path: f.path, Msg: merr.Error()}
+				f.childViols = nil
+				sr.rollbackTo(f)
+			}
+		}
+		if !f.failed && len(f.attrViols) == 0 && len(f.textViols) == 0 {
+			// Hot path: nothing buffered; deliver copies before recycle.
+			return f.childViols
+		}
+		viols := make([]Violation, 0, len(f.attrViols)+len(f.textViols)+1)
+		viols = append(viols, f.attrViols...)
+		viols = append(viols, f.textViols...)
+		if f.failed {
+			viols = append(viols, *f.contentViol)
+		} else {
+			viols = append(viols, f.childViols...)
+		}
+		return viols
+	case fmSimple:
+		var viols []Violation
+		if f.sawElemChild {
+			viols = append(viols, Violation{Path: f.path, Msg: "element content is not allowed in a simple-type element"})
+		} else {
+			text := string(f.textBuf)
+			if f.decl.Fixed != nil && text == "" {
+				text = *f.decl.Fixed
+			}
+			if f.decl.Default != nil && text == "" {
+				text = *f.decl.Default
+			}
+			val, err := f.st.Parse(text)
+			if err != nil {
+				viols = append(viols, Violation{Path: f.path, Msg: err.Error()})
+			} else {
+				if f.decl.Fixed != nil {
+					want, ferr := f.st.Parse(*f.decl.Fixed)
+					if ferr == nil && !val.Equal(want) {
+						viols = append(viols, Violation{Path: f.path, Msg: fmt.Sprintf("value %q does not equal the fixed value %q", text, *f.decl.Fixed)})
+					}
+				}
+				sr.trackIDs(f.st, text, f.path, &viols)
+			}
+		}
+		for _, name := range f.plainAttrs {
+			viols = append(viols, Violation{Path: f.path, Msg: fmt.Sprintf("attribute %q is not allowed on a simple-type element", name)})
+		}
+		return viols
+	case fmCSimple:
+		viols := f.attrViols
+		if f.sawElemChild {
+			viols = append(viols, Violation{Path: f.path, Msg: "element content is not allowed in simple content"})
+		} else {
+			text := string(f.textBuf)
+			if _, err := f.st.Parse(text); err != nil {
+				viols = append(viols, Violation{Path: f.path, Msg: err.Error()})
+			}
+			sr.trackIDs(f.st, text, f.path, &viols)
+		}
+		return viols
+	default: // fmCEmpty, fmNilled, fmDead
+		viols := f.attrViols
+		if f.contentViol != nil {
+			viols = append(viols, *f.contentViol)
+		}
+		return viols
+	}
+}
+
+// startFallback begins buffering the element's subtree into a private DOM
+// fragment for the recursive validator.
+func (sr *streamRun) startFallback(f *frame, tok *xmlparser.Token) {
+	f.mode = fmFallback
+	doc := dom.NewDocument()
+	root := doc.CreateElementNS(tok.Name.Space, tok.Name.Qualified())
+	for i := range tok.Attrs {
+		a := &tok.Attrs[i]
+		root.SetAttributeNS(a.Name.Space, a.Name.Qualified(), a.Value)
+	}
+	// Graft the in-scope namespace bindings onto the buffered root so
+	// resolveInstanceQName sees the same environment it would in the full
+	// tree. Innermost bindings win; locally declared ones are already set.
+	for i := len(sr.ns) - 1; i >= 0; i-- {
+		b := sr.ns[i]
+		if root.HasAttributeNS(xmlparser.XMLNSNamespace, b.name) {
+			continue
+		}
+		q := "xmlns"
+		if b.name != "xmlns" {
+			q = "xmlns:" + b.name
+		}
+		root.SetAttributeNS(xmlparser.XMLNSNamespace, q, b.uri)
+	}
+	doc.AppendChild(root)
+	f.fbDoc = doc
+	f.fbRoot = root
+	f.fbCur = root
+	f.fbDepth = 1
+	f.idMark = len(sr.idJournal)
+	f.refMark = len(sr.idrefs)
+	sr.frames = append(sr.frames, f)
+}
+
+// feedFallback appends one token to the buffered subtree, mirroring
+// dom.Parse's token-to-node mapping.
+func (sr *streamRun) feedFallback(f *frame, tok *xmlparser.Token) {
+	doc := f.fbDoc
+	switch tok.Kind {
+	case xmlparser.KindStartElement:
+		e := doc.CreateElementNS(tok.Name.Space, tok.Name.Qualified())
+		for i := range tok.Attrs {
+			a := &tok.Attrs[i]
+			e.SetAttributeNS(a.Name.Space, a.Name.Qualified(), a.Value)
+		}
+		f.fbCur.AppendChild(e)
+		f.fbCur = e
+		f.fbDepth++
+	case xmlparser.KindEndElement:
+		f.fbDepth--
+		if f.fbDepth == 0 {
+			sr.completeFallback(f)
+			return
+		}
+		f.fbCur = f.fbCur.ParentNode()
+	case xmlparser.KindText:
+		if tok.Data == "" {
+			return
+		}
+		f.fbCur.AppendChild(doc.CreateTextNode(tok.Data))
+	case xmlparser.KindCData:
+		f.fbCur.AppendChild(doc.CreateCDATASection(tok.Data))
+	case xmlparser.KindComment:
+		f.fbCur.AppendChild(doc.CreateComment(tok.Data))
+	case xmlparser.KindProcInst:
+		f.fbCur.AppendChild(doc.CreateProcessingInstruction(tok.Target, tok.Data))
+	}
+}
+
+// completeFallback validates the buffered subtree with the recursive DOM
+// path, sharing the document-wide ID state.
+func (sr *streamRun) completeFallback(f *frame) {
+	sr.frames = sr.frames[:len(sr.frames)-1]
+	sr.ns = sr.ns[:f.nsMark]
+	nrun := &run{
+		v:   sr.v,
+		ids: sr.ids,
+		onIDInsert: func(id string) {
+			sr.idJournal = append(sr.idJournal, id)
+		},
+	}
+	nrun.element(f.fbRoot, f.decl, f.path)
+	sr.idrefs = append(sr.idrefs, nrun.idrefs...)
+	sr.deliver(nrun.res.Violations)
+	sr.recycle(f)
+}
+
+// resolveQName replicates resolveInstanceQName against the streaming
+// binding stack.
+func (sr *streamRun) resolveQName(lexical string) (xsd.QName, error) {
+	lexical = strings.TrimSpace(lexical)
+	prefix, local := "", lexical
+	if i := strings.IndexByte(lexical, ':'); i >= 0 {
+		prefix, local = lexical[:i], lexical[i+1:]
+	}
+	if !xmlparser.IsNCName(local) || (prefix != "" && !xmlparser.IsNCName(prefix)) {
+		return xsd.QName{}, fmt.Errorf("bad QName")
+	}
+	if prefix == "xml" {
+		return xsd.QName{Space: xmlparser.XMLNamespace, Local: local}, nil
+	}
+	key := prefix
+	if key == "" {
+		key = "xmlns"
+	}
+	for i := len(sr.ns) - 1; i >= 0; i-- {
+		if sr.ns[i].name == key {
+			return xsd.QName{Space: sr.ns[i].uri, Local: local}, nil
+		}
+	}
+	if prefix != "" {
+		return xsd.QName{}, fmt.Errorf("undeclared prefix %q", prefix)
+	}
+	return xsd.QName{Local: local}, nil
+}
+
+// indexedChildPath replicates childPathIndexed for streaming frames.
+func (f *frame) indexedChildPath(tag string) string {
+	for i := range f.counts {
+		if f.counts[i].tag == tag {
+			f.counts[i].n++
+			return f.path + "/" + tag + "[" + strconv.Itoa(f.counts[i].n) + "]"
+		}
+	}
+	f.counts = append(f.counts, childCount{tag: tag, n: 1})
+	return f.path + "/" + tag
+}
+
+// finish resolves pending IDREFs, matching run.checkIDRefs.
+func (sr *streamRun) finish() {
+	for _, pending := range sr.idrefs {
+		if _, ok := sr.ids[pending.id]; !ok {
+			sr.emit(Violation{Path: pending.path, Msg: fmt.Sprintf("IDREF %q does not match any ID", pending.id)})
+		}
+	}
+}

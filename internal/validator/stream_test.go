@@ -1,0 +1,130 @@
+package validator
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/dom"
+	"repro/internal/schemas"
+)
+
+// streamDiff validates src through both paths of the same Validator and
+// asserts identical results.
+func streamDiff(t *testing.T, v *Validator, label, src string) {
+	t.Helper()
+	var domRes *Result
+	if doc, err := dom.ParseString(src); err != nil {
+		domRes = &Result{Violations: []Violation{{Path: "/", Msg: err.Error()}}}
+	} else {
+		domRes = v.ValidateDocument(doc)
+	}
+	streamRes := v.Stream().ValidateBytes([]byte(src))
+	if len(domRes.Violations) != len(streamRes.Violations) {
+		t.Fatalf("%s: dom %d violations, stream %d\n  dom: %v\n  stream: %v",
+			label, len(domRes.Violations), len(streamRes.Violations), domRes.Violations, streamRes.Violations)
+	}
+	for i := range domRes.Violations {
+		if domRes.Violations[i] != streamRes.Violations[i] {
+			t.Errorf("%s: violation %d diverged:\n  dom:    %v\n  stream: %v",
+				label, i, domRes.Violations[i], streamRes.Violations[i])
+		}
+	}
+}
+
+func TestStreamValidatesReader(t *testing.T) {
+	v := poValidator(t)
+	res := v.Stream().ValidateReader(strings.NewReader(schemas.PurchaseOrderDoc))
+	if !res.OK() {
+		t.Fatalf("valid document rejected by streaming path: %v", res.Err())
+	}
+}
+
+func TestStreamRejectsWithDOMMessages(t *testing.T) {
+	v := poValidator(t)
+	res := v.Stream().ValidateBytes([]byte(
+		`<purchaseOrder><shipTo country="US"><street>s</street><name>n</name><city>c</city><state>st</state><zip>1</zip></shipTo><billTo country="US"><name>n</name><street>s</street><city>c</city><state>st</state><zip>1</zip></billTo><items/></purchaseOrder>`))
+	if res.OK() {
+		t.Fatal("out-of-order children accepted")
+	}
+	if got := res.Violations[0].Path; got != "/purchaseOrder/shipTo/street" {
+		t.Errorf("violation path = %q, want the failing child's path", got)
+	}
+}
+
+// TestStreamIdentityFallback proves identity-constrained subtrees degrade
+// to the DOM path with the same verdicts: the streaming validator buffers
+// the <order> subtree (its declaration carries key/keyref/unique) and runs
+// the recursive validator over it.
+func TestStreamIdentityFallback(t *testing.T) {
+	v := icValidator(t)
+	for label, src := range map[string]string{
+		"valid keys":      `<order><item partNum="100-AA"><sku>s1</sku></item><ref part="100-AA"/></order>`,
+		"duplicate key":   `<order><item partNum="100-AA"/><item partNum="100-AA"/></order>`,
+		"dangling keyref": `<order><item partNum="100-AA"/><ref part="999-ZZ"/></order>`,
+		"missing field":   `<order><item/></order>`,
+	} {
+		streamDiff(t, v, label, src)
+	}
+	res := v.Stream().ValidateBytes([]byte(`<order><item partNum="1"/><item partNum="1"/></order>`))
+	if res.OK() || !strings.Contains(res.Err().Error(), "duplicate value") {
+		t.Errorf("identity constraint not enforced through the fallback: %v", res.Err())
+	}
+}
+
+// TestStreamConcurrent drives one shared Validator's streaming path from
+// many goroutines (run under -race in the tier-1 extended recipe). The
+// compiled-model cache is the only shared mutable state; every run's
+// frames, ID maps and results are private.
+func TestStreamConcurrent(t *testing.T) {
+	v := poValidator(t)
+	sv := v.Stream()
+	valid := []byte(schemas.PurchaseOrderDoc)
+	invalid := []byte(`<purchaseOrder orderDate="1999-10-20"><bogus/></purchaseOrder>`)
+	const goroutines = 16
+	const rounds = 25
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				if res := sv.ValidateBytes(valid); !res.OK() {
+					errs <- fmt.Errorf("goroutine %d: valid doc rejected: %v", id, res.Err())
+					return
+				}
+				if res := sv.ValidateReader(strings.NewReader(schemas.PurchaseOrderDoc)); !res.OK() {
+					errs <- fmt.Errorf("goroutine %d: valid doc rejected via reader: %v", id, res.Err())
+					return
+				}
+				if res := sv.ValidateBytes(invalid); res.OK() {
+					errs <- fmt.Errorf("goroutine %d: invalid doc accepted", id)
+					return
+				}
+				// Interleave DOM-path runs on the same Validator: both
+				// paths share the model cache.
+				doc, perr := dom.ParseString(schemas.PurchaseOrderDoc)
+				if perr != nil {
+					errs <- perr
+					return
+				}
+				if res := v.ValidateDocument(doc); !res.OK() {
+					errs <- fmt.Errorf("goroutine %d: DOM path rejected valid doc: %v", id, res.Err())
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	// Concurrent streaming must not have defeated the cache: the document
+	// exercises a handful of complex types, each compiled exactly once.
+	if n := v.CompiledModels(); n == 0 || n > 8 {
+		t.Errorf("compiled %d models across concurrent stream+DOM runs — cache not shared", n)
+	}
+}

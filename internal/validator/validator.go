@@ -130,6 +130,10 @@ type run struct {
 	// references, resolved once the whole document has been walked.
 	ids    map[string]string
 	idrefs []pendingRef
+	// onIDInsert, when set, observes every new ID insertion into ids.
+	// The streaming path uses it to journal insertions so a failed
+	// subtree's IDs can be rolled back for DOM-verdict parity.
+	onIDInsert func(id string)
 }
 
 // pendingRef is an IDREF awaiting resolution.
@@ -256,6 +260,9 @@ func (r *run) trackIDs(st *xsd.SimpleType, lexical string, path string) {
 			r.violate(path, fmt.Sprintf("duplicate ID %q (first declared at %s)", norm, prev))
 		} else {
 			r.ids[norm] = path
+			if r.onIDInsert != nil {
+				r.onIDInsert(norm)
+			}
 		}
 	case "IDREF":
 		r.idrefs = append(r.idrefs, pendingRef{id: norm, path: path})

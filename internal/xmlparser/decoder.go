@@ -1,7 +1,9 @@
 package xmlparser
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"strings"
 	"unicode/utf8"
 )
@@ -47,13 +49,28 @@ type openElem struct {
 	nsPushed bool
 }
 
-// Decoder parses a single XML document (or fragment) from a byte slice and
-// yields Tokens.
+// Decoder parses a single XML document (or fragment) and yields Tokens.
+//
+// A Decoder reads either from a byte slice (NewDecoder) or incrementally
+// from an io.Reader (NewReaderDecoder). Both modes share one scanning code
+// path: src is the buffered window of the input, and in reader mode the
+// window is refilled on demand and compacted at token boundaries, so
+// memory stays proportional to the largest single token rather than to
+// the document size.
 type Decoder struct {
-	src  []byte
-	off  int
+	rd   io.Reader // nil in whole-buffer mode
+	src  []byte    // buffered window of the input
+	off  int       // read position within src
+	base int       // bytes discarded before src[0] (reader mode only)
 	line int
 	col  int
+
+	// srcDone means no further input will be appended to src; readErr
+	// holds a sticky non-EOF reader error, surfaced instead of the
+	// syntax error the truncation would otherwise produce.
+	srcDone   bool
+	readErr   error
+	zeroReads int
 
 	opts     Options
 	ns       []nsFrame
@@ -68,6 +85,41 @@ type Decoder struct {
 	// DTD subset.
 	internalEntities map[string]string
 	entityDepth      int
+
+	// tok is the scratch slot Token returns a pointer into; buf is the
+	// text/attribute-value assembly buffer; interned caches small
+	// repeated strings (names, values, text runs) so token streams over
+	// repetitive documents stop allocating once warm.
+	tok      Token
+	buf      []byte
+	interned map[string]string
+}
+
+// Interning bounds: strings longer than maxInternLen are never cached,
+// and the cache stops growing at maxInternEntries so hostile input cannot
+// hold unbounded memory.
+const (
+	maxInternLen     = 64
+	maxInternEntries = 1024
+)
+
+// internBytes returns string(b), serving repeated small strings from the
+// decoder's intern cache without allocating.
+func (d *Decoder) internBytes(b []byte) string {
+	if len(b) > maxInternLen {
+		return string(b)
+	}
+	if s, ok := d.interned[string(b)]; ok {
+		return s
+	}
+	s := string(b)
+	if len(d.interned) < maxInternEntries {
+		if d.interned == nil {
+			d.interned = make(map[string]string)
+		}
+		d.interned[s] = s
+	}
+	return s
 }
 
 // NewDecoder creates a Decoder over src. A nil opts selects the defaults
@@ -77,14 +129,28 @@ func NewDecoder(src []byte, opts *Options) *Decoder {
 	if opts != nil {
 		o = *opts
 	}
-	d := &Decoder{src: src, line: 1, col: 1, opts: o}
+	d := &Decoder{src: src, srcDone: true, line: 1, col: 1, opts: o}
+	d.ns = []nsFrame{{bindings: map[string]string{"xml": XMLNamespace}}}
+	return d
+}
+
+// NewReaderDecoder creates a Decoder that pulls input incrementally from r.
+// The decoder buffers only a window of the input (compacted as tokens are
+// consumed), so whole documents never need to be resident in memory. A nil
+// opts selects the defaults (namespace processing on, document mode).
+func NewReaderDecoder(r io.Reader, opts *Options) *Decoder {
+	o := defaultOptions()
+	if opts != nil {
+		o = *opts
+	}
+	d := &Decoder{rd: r, line: 1, col: 1, opts: o}
 	d.ns = []nsFrame{{bindings: map[string]string{"xml": XMLNamespace}}}
 	return d
 }
 
 // Parse parses a complete document and returns all tokens.
 func Parse(src []byte) ([]Token, error) {
-	return parseAll(src, nil)
+	return parseAll(NewDecoder(src, nil))
 }
 
 // ParseFragment parses a document fragment: multiple top-level elements and
@@ -93,11 +159,23 @@ func ParseFragment(src []byte, extraEntities map[string]string) ([]Token, error)
 	o := defaultOptions()
 	o.Fragment = true
 	o.Entities = extraEntities
-	return parseAll(src, &o)
+	return parseAll(NewDecoder(src, &o))
 }
 
-func parseAll(src []byte, opts *Options) ([]Token, error) {
-	d := NewDecoder(src, opts)
+// ParseReader parses a complete document incrementally from r.
+func ParseReader(r io.Reader) ([]Token, error) {
+	return parseAll(NewReaderDecoder(r, nil))
+}
+
+// ParseFragmentReader parses a document fragment incrementally from r.
+func ParseFragmentReader(r io.Reader, extraEntities map[string]string) ([]Token, error) {
+	o := defaultOptions()
+	o.Fragment = true
+	o.Entities = extraEntities
+	return parseAll(NewReaderDecoder(r, &o))
+}
+
+func parseAll(d *Decoder) ([]Token, error) {
 	var toks []Token
 	for {
 		t, err := d.Token()
@@ -111,8 +189,62 @@ func parseAll(src []byte, opts *Options) ([]Token, error) {
 	}
 }
 
+// readChunk is the reader-mode refill granularity.
+const readChunk = 8192
+
+// compactThreshold is how many consumed bytes accumulate before the
+// window is shifted down (reader mode only).
+const compactThreshold = 4096
+
+// readMore appends one chunk of reader input to the window.
+func (d *Decoder) readMore() {
+	if d.srcDone {
+		return
+	}
+	var buf [readChunk]byte
+	n, err := d.rd.Read(buf[:])
+	if n > 0 {
+		d.zeroReads = 0
+		d.src = append(d.src, buf[:n]...)
+	} else if err == nil {
+		// Tolerate the occasional (0, nil) read, but refuse to spin on a
+		// reader that never makes progress.
+		d.zeroReads++
+		if d.zeroReads >= 100 {
+			d.srcDone = true
+			d.readErr = io.ErrNoProgress
+		}
+	}
+	if err != nil {
+		d.srcDone = true
+		if err != io.EOF {
+			d.readErr = err
+		}
+	}
+}
+
+// fill ensures at least n bytes are buffered past the read position, or
+// that the input is exhausted.
+func (d *Decoder) fill(n int) {
+	for !d.srcDone && len(d.src)-d.off < n {
+		d.readMore()
+	}
+}
+
+// compact discards consumed input from the window. It must only run at
+// token boundaries: scanning functions hold indexes into src.
+func (d *Decoder) compact() {
+	if d.rd == nil || d.off < compactThreshold {
+		return
+	}
+	n := copy(d.src, d.src[d.off:])
+	d.src = d.src[:n]
+	d.base += d.off
+	d.off = 0
+}
+
 // pos returns the current input position.
-func (d *Decoder) pos() Pos { return Pos{Line: d.line, Col: d.col, Offset: d.off} }
+func (d *Decoder) pos() Pos { return Pos{Line: d.line, Col: d.col, Offset: d.base + d.off} }
 
 // errf creates a SyntaxError at the given position.
 func (d *Decoder) errf(p Pos, format string, args ...any) error {
@@ -121,6 +253,7 @@ func (d *Decoder) errf(p Pos, format string, args ...any) error {
 
 // peek returns the next rune without consuming it, or -1 at end of input.
 func (d *Decoder) peek() rune {
+	d.fill(utf8.UTFMax)
 	if d.off >= len(d.src) {
 		return -1
 	}
@@ -130,6 +263,7 @@ func (d *Decoder) peek() rune {
 
 // peekAt returns the rune n bytes ahead (only valid for ASCII lookahead).
 func (d *Decoder) peekByte(n int) byte {
+	d.fill(n + 1)
 	if d.off+n >= len(d.src) {
 		return 0
 	}
@@ -138,6 +272,7 @@ func (d *Decoder) peekByte(n int) byte {
 
 // next consumes and returns the next rune, or -1 at end of input.
 func (d *Decoder) next() rune {
+	d.fill(utf8.UTFMax)
 	if d.off >= len(d.src) {
 		return -1
 	}
@@ -162,7 +297,11 @@ func (d *Decoder) next() rune {
 
 // hasPrefix reports whether the remaining input starts with s.
 func (d *Decoder) hasPrefix(s string) bool {
-	return strings.HasPrefix(string(d.src[d.off:min(len(d.src), d.off+len(s))]), s)
+	d.fill(len(s))
+	if len(d.src)-d.off < len(s) {
+		return false
+	}
+	return string(d.src[d.off:d.off+len(s)]) == s
 }
 
 // skip consumes len(s) bytes; the caller must have verified them.
@@ -187,25 +326,60 @@ func (d *Decoder) skipSpace() bool {
 
 // Token returns the next token, or (nil, nil) at end of input.
 func (d *Decoder) Token() (*Token, error) {
+	d.compact()
+	t, ok, err := d.token()
+	if err != nil {
+		if d.readErr != nil {
+			// A truncated window produces misleading syntax errors;
+			// report the underlying read failure instead.
+			return nil, d.readErr
+		}
+		return nil, err
+	}
+	if !ok {
+		return nil, nil
+	}
+	// The returned pointer aims at a scratch slot reused by the next
+	// Token/Next call; callers that keep a token across calls must copy
+	// it (Next does).
+	d.tok = t
+	return &d.tok, nil
+}
+
+// Next returns the next token by value, or io.EOF at end of input. It is
+// the pull API used by streaming consumers (validator.StreamValidator).
+func (d *Decoder) Next() (Token, error) {
+	t, err := d.Token()
+	if err != nil {
+		return Token{}, err
+	}
+	if t == nil {
+		return Token{}, io.EOF
+	}
+	return *t, nil
+}
+
+func (d *Decoder) token() (Token, bool, error) {
 	if len(d.pending) > 0 {
 		t := d.pending[0]
 		d.pending = d.pending[1:]
-		return &t, nil
+		return t, true, nil
 	}
 	if d.eof {
-		return nil, nil
+		return Token{}, false, nil
 	}
 	if !d.started {
 		d.started = true
-		if t, err := d.xmlDecl(); err != nil {
-			return nil, err
-		} else if t != nil {
-			return t, nil
+		if t, ok, err := d.xmlDecl(); err != nil {
+			return Token{}, false, err
+		} else if ok {
+			return t, true, nil
 		}
 	}
 	for {
+		d.fill(1)
 		if d.off >= len(d.src) {
-			return nil, d.finish()
+			return Token{}, false, d.finish()
 		}
 		inContent := len(d.stack) > 0
 		r := d.peek()
@@ -214,44 +388,50 @@ func (d *Decoder) Token() (*Token, error) {
 				// Prolog / epilog: only whitespace allowed.
 				p := d.pos()
 				if !d.skipSpace() {
-					return nil, d.errf(p, "content outside of root element")
+					return Token{}, false, d.errf(p, "content outside of root element")
 				}
 				continue
 			}
-			return d.text()
+			t, err := d.text()
+			return t, err == nil, err
 		}
 		p := d.pos()
 		switch {
 		case d.hasPrefix("<!--"):
 			t, err := d.comment(p)
 			if err != nil {
-				return nil, err
+				return Token{}, false, err
 			}
 			if d.opts.SkipComments {
 				continue
 			}
-			return t, nil
+			return t, true, nil
 		case d.hasPrefix("<![CDATA["):
 			if !inContent && !d.opts.Fragment {
-				return nil, d.errf(p, "CDATA section outside of root element")
+				return Token{}, false, d.errf(p, "CDATA section outside of root element")
 			}
-			return d.cdata(p)
+			t, err := d.cdata(p)
+			return t, err == nil, err
 		case d.hasPrefix("<!DOCTYPE"):
 			if inContent || d.seenRoot {
-				return nil, d.errf(p, "DOCTYPE not allowed here")
+				return Token{}, false, d.errf(p, "DOCTYPE not allowed here")
 			}
-			return d.doctype(p)
+			t, err := d.doctype(p)
+			return t, err == nil, err
 		case d.hasPrefix("<?"):
-			return d.procInst(p)
+			t, err := d.procInst(p)
+			return t, err == nil, err
 		case d.hasPrefix("</"):
-			return d.endTag(p)
+			t, err := d.endTag(p)
+			return t, err == nil, err
 		case d.hasPrefix("<!"):
-			return nil, d.errf(p, "unexpected markup declaration")
+			return Token{}, false, d.errf(p, "unexpected markup declaration")
 		default:
 			if d.seenRoot && !inContent && !d.opts.Fragment {
-				return nil, d.errf(p, "document has more than one root element")
+				return Token{}, false, d.errf(p, "document has more than one root element")
 			}
-			return d.startTag(p)
+			t, err := d.startTag(p)
+			return t, err == nil, err
 		}
 	}
 }
@@ -259,6 +439,9 @@ func (d *Decoder) Token() (*Token, error) {
 // finish validates end-of-input conditions.
 func (d *Decoder) finish() error {
 	d.eof = true
+	if d.readErr != nil {
+		return d.readErr
+	}
 	if len(d.stack) > 0 {
 		top := d.stack[len(d.stack)-1]
 		return d.errf(d.pos(), "unexpected end of input: element <%s> opened at %s is not closed", top.rawName, top.pos)
@@ -270,38 +453,38 @@ func (d *Decoder) finish() error {
 }
 
 // xmlDecl parses an optional leading XML declaration.
-func (d *Decoder) xmlDecl() (*Token, error) {
+func (d *Decoder) xmlDecl() (Token, bool, error) {
 	if !d.hasPrefix("<?xml") {
-		return nil, nil
+		return Token{}, false, nil
 	}
 	// Must be followed by whitespace to be the declaration and not a PI
 	// with a target beginning with "xml".
 	b := d.peekByte(5)
 	if b != ' ' && b != '\t' && b != '\r' && b != '\n' {
-		return nil, nil
+		return Token{}, false, nil
 	}
 	p := d.pos()
 	d.skip("<?xml")
 	data, err := d.untilString("?>", "XML declaration")
 	if err != nil {
-		return nil, err
+		return Token{}, false, err
 	}
 	d.seenDecl = true
 	attrs, err := ParsePseudoAttrs(data)
 	if err != nil {
-		return nil, d.errf(p, "malformed XML declaration: %v", err)
+		return Token{}, false, d.errf(p, "malformed XML declaration: %v", err)
 	}
 	version, ok := attrs["version"]
 	if !ok || (version != "1.0" && version != "1.1") {
-		return nil, d.errf(p, "XML declaration must specify version 1.0 or 1.1")
+		return Token{}, false, d.errf(p, "XML declaration must specify version 1.0 or 1.1")
 	}
 	if enc, ok := attrs["encoding"]; ok {
 		lower := strings.ToLower(enc)
 		if lower != "utf-8" && lower != "utf8" && lower != "us-ascii" && lower != "ascii" {
-			return nil, d.errf(p, "unsupported encoding %q (only UTF-8 input is supported)", enc)
+			return Token{}, false, d.errf(p, "unsupported encoding %q (only UTF-8 input is supported)", enc)
 		}
 	}
-	return &Token{Kind: KindXMLDecl, Data: strings.TrimSpace(data), Pos: p}, nil
+	return Token{Kind: KindXMLDecl, Data: strings.TrimSpace(data), Pos: p}, true, nil
 }
 
 // ParsePseudoAttrs parses the name="value" pairs of XML and text
@@ -334,78 +517,91 @@ func ParsePseudoAttrs(s string) (map[string]string, error) {
 }
 
 // untilString consumes input up to and including the terminator, returning
-// the text before it.
+// the text before it. In reader mode it refills the window until the
+// terminator appears, so no index into src is held across a compaction.
 func (d *Decoder) untilString(term, what string) (string, error) {
 	start := d.off
-	idx := strings.Index(string(d.src[d.off:]), term)
-	if idx < 0 {
-		return "", d.errf(d.pos(), "unterminated %s", what)
+	searchFrom := d.off
+	for {
+		idx := bytes.Index(d.src[searchFrom:], []byte(term))
+		if idx >= 0 {
+			end := searchFrom + idx
+			for d.off < end+len(term) {
+				d.next()
+			}
+			return string(d.src[start:end]), nil
+		}
+		if d.srcDone {
+			return "", d.errf(d.pos(), "unterminated %s", what)
+		}
+		// Resume the search just before the unscanned tail so a
+		// terminator split across reads is still found.
+		if from := len(d.src) - len(term) + 1; from > searchFrom {
+			searchFrom = from
+		}
+		d.readMore()
 	}
-	for d.off < start+idx+len(term) {
-		d.next()
-	}
-	return string(d.src[start : start+idx]), nil
 }
 
 // comment parses <!-- ... -->.
-func (d *Decoder) comment(p Pos) (*Token, error) {
+func (d *Decoder) comment(p Pos) (Token, error) {
 	d.skip("<!--")
 	body, err := d.untilString("-->", "comment")
 	if err != nil {
-		return nil, err
+		return Token{}, err
 	}
 	if strings.Contains(body, "--") {
-		return nil, d.errf(p, "'--' is not permitted inside comments")
+		return Token{}, d.errf(p, "'--' is not permitted inside comments")
 	}
 	if strings.HasSuffix(body, "-") {
-		return nil, d.errf(p, "comment must not end with '--->'")
+		return Token{}, d.errf(p, "comment must not end with '--->'")
 	}
 	if err := checkChars(body); err != nil {
-		return nil, d.errf(p, "illegal character in comment: %v", err)
+		return Token{}, d.errf(p, "illegal character in comment: %v", err)
 	}
-	return &Token{Kind: KindComment, Data: body, Pos: p}, nil
+	return Token{Kind: KindComment, Data: body, Pos: p}, nil
 }
 
 // cdata parses <![CDATA[ ... ]]>.
-func (d *Decoder) cdata(p Pos) (*Token, error) {
+func (d *Decoder) cdata(p Pos) (Token, error) {
 	d.skip("<![CDATA[")
 	body, err := d.untilString("]]>", "CDATA section")
 	if err != nil {
-		return nil, err
+		return Token{}, err
 	}
 	if err := checkChars(body); err != nil {
-		return nil, d.errf(p, "illegal character in CDATA section: %v", err)
+		return Token{}, d.errf(p, "illegal character in CDATA section: %v", err)
 	}
-	return &Token{Kind: KindCData, Data: body, Pos: p}, nil
+	return Token{Kind: KindCData, Data: body, Pos: p}, nil
 }
 
 // procInst parses <?target data?>.
-func (d *Decoder) procInst(p Pos) (*Token, error) {
+func (d *Decoder) procInst(p Pos) (Token, error) {
 	d.skip("<?")
 	target, err := d.name("processing instruction target")
 	if err != nil {
-		return nil, err
+		return Token{}, err
 	}
 	if strings.EqualFold(target, "xml") {
-		return nil, d.errf(p, "processing instruction target %q is reserved", target)
+		return Token{}, d.errf(p, "processing instruction target %q is reserved", target)
 	}
 	var data string
 	if IsSpace(d.peek()) {
 		d.skipSpace()
 		data, err = d.untilString("?>", "processing instruction")
 		if err != nil {
-			return nil, err
+			return Token{}, err
 		}
 	} else {
 		if !d.hasPrefix("?>") {
-			return nil, d.errf(d.pos(), "expected '?>' or whitespace after PI target")
+			return Token{}, d.errf(d.pos(), "expected '?>' or whitespace after PI target")
 		}
 		d.skip("?>")
 	}
 	if err := checkChars(data); err != nil {
-		return nil, d.errf(p, "illegal character in processing instruction: %v", err)
+		return Token{}, d.errf(p, "illegal character in processing instruction: %v", err)
 	}
-	return &Token{Kind: KindProcInst, Target: target, Data: data, Pos: p}, nil
+	return Token{Kind: KindProcInst, Target: target, Data: data, Pos: p}, nil
 }
 
 // name scans an XML Name.
@@ -424,7 +620,7 @@ func (d *Decoder) name(what string) (string, error) {
 		}
 		d.next()
 	}
-	return string(d.src[start:d.off]), nil
+	return d.internBytes(d.src[start:d.off]), nil
 }
 
 // checkChars verifies every rune in s is a legal XML character.
@@ -438,9 +634,9 @@ func checkChars(s string) error {
 }
 
 // text parses character data up to the next '<'.
-func (d *Decoder) text() (*Token, error) {
+func (d *Decoder) text() (Token, error) {
 	p := d.pos()
-	var sb strings.Builder
+	d.buf = d.buf[:0]
 	for {
 		r := d.peek()
 		if r < 0 || r == '<' {
@@ -449,16 +645,16 @@ func (d *Decoder) text() (*Token, error) {
 		if r == '&' {
 			s, err := d.reference(false)
 			if err != nil {
-				return nil, err
+				return Token{}, err
 			}
-			sb.WriteString(s)
+			d.buf = append(d.buf, s...)
 			continue
 		}
 		if r == ']' && d.hasPrefix("]]>") {
-			return nil, d.errf(d.pos(), "']]>' is not permitted in character data")
+			return Token{}, d.errf(d.pos(), "']]>' is not permitted in character data")
 		}
 		if !IsChar(r) {
-			return nil, d.errf(d.pos(), "illegal character U+%04X in character data", r)
+			return Token{}, d.errf(d.pos(), "illegal character U+%04X in character data", r)
 		}
 		if r == '\r' {
 			// End-of-line normalization: CR and CRLF become LF.
@@ -466,13 +662,13 @@ func (d *Decoder) text() (*Token, error) {
 			if d.peek() == '\n' {
 				d.next()
 			}
-			sb.WriteByte('\n')
+			d.buf = append(d.buf, '\n')
 			continue
 		}
-		sb.WriteRune(r)
+		d.buf = utf8.AppendRune(d.buf, r)
 		d.next()
 	}
-	return &Token{Kind: KindText, Data: sb.String(), Pos: p}, nil
+	return Token{Kind: KindText, Data: d.internBytes(d.buf), Pos: p}, nil
 }
 
 // reference parses &name;, &#n; or &#xn;. inAttr selects the stricter
@@ -590,11 +786,11 @@ func (d *Decoder) expandEntityText(p Pos, s string, inAttr bool, via string) (st
 }
 
 // startTag parses <name attr="v" ...> or <name .../>.
-func (d *Decoder) startTag(p Pos) (*Token, error) {
+func (d *Decoder) startTag(p Pos) (Token, error) {
 	d.next() // consume '<'
 	raw, err := d.name("element name")
 	if err != nil {
-		return nil, err
+		return Token{}, err
 	}
 	var attrs []Attr
 	selfClosing := false
@@ -607,19 +803,19 @@ func (d *Decoder) startTag(p Pos) (*Token, error) {
 		case r == '/':
 			d.next()
 			if d.peek() != '>' {
-				return nil, d.errf(d.pos(), "expected '>' after '/' in tag <%s>", raw)
+				return Token{}, d.errf(d.pos(), "expected '>' after '/' in tag <%s>", raw)
 			}
 			d.next()
 			selfClosing = true
 		case r < 0:
-			return nil, d.errf(p, "unterminated start tag <%s>", raw)
+			return Token{}, d.errf(p, "unterminated start tag <%s>", raw)
 		default:
 			if !had {
-				return nil, d.errf(d.pos(), "expected whitespace before attribute in <%s>", raw)
+				return Token{}, d.errf(d.pos(), "expected whitespace before attribute in <%s>", raw)
 			}
 			a, err := d.attribute()
 			if err != nil {
-				return nil, err
+				return Token{}, err
 			}
 			attrs = append(attrs, a)
 			continue
@@ -630,7 +826,7 @@ func (d *Decoder) startTag(p Pos) (*Token, error) {
 	for i := range attrs {
 		for j := i + 1; j < len(attrs); j++ {
 			if attrs[i].Name.Local == attrs[j].Name.Local && attrs[i].Name.Prefix == attrs[j].Name.Prefix {
-				return nil, d.errf(attrs[j].Pos, "duplicate attribute %q in <%s>", attrs[j].Name.Qualified(), raw)
+				return Token{}, d.errf(attrs[j].Pos, "duplicate attribute %q in <%s>", attrs[j].Name.Qualified(), raw)
 			}
 		}
 	}
@@ -640,11 +836,11 @@ func (d *Decoder) startTag(p Pos) (*Token, error) {
 		var err error
 		name, attrs, nsPushed, err = d.applyNamespaces(p, raw, attrs)
 		if err != nil {
-			return nil, err
+			return Token{}, err
 		}
 	}
 	d.seenRoot = true
-	tok := &Token{Kind: KindStartElement, Name: name, Attrs: attrs, SelfClosing: selfClosing, Pos: p}
+	tok := Token{Kind: KindStartElement, Name: name, Attrs: attrs, SelfClosing: selfClosing, Pos: p}
 	if selfClosing {
 		if nsPushed {
 			d.ns = d.ns[:len(d.ns)-1]
@@ -674,7 +870,7 @@ func (d *Decoder) attribute() (Attr, error) {
 		return Attr{}, d.errf(d.pos(), "attribute value for %q must be quoted", raw)
 	}
 	d.next()
-	var sb strings.Builder
+	d.buf = d.buf[:0]
 	for {
 		r := d.peek()
 		switch {
@@ -683,7 +879,7 @@ func (d *Decoder) attribute() (Attr, error) {
 		case r == q:
 			d.next()
 			name := splitRawName(raw)
-			return Attr{Name: name, Value: sb.String(), Pos: p}, nil
+			return Attr{Name: name, Value: d.internBytes(d.buf), Pos: p}, nil
 		case r == '<':
 			return Attr{}, d.errf(d.pos(), "'<' is not permitted in attribute values")
 		case r == '&':
@@ -691,22 +887,22 @@ func (d *Decoder) attribute() (Attr, error) {
 			if err != nil {
 				return Attr{}, err
 			}
-			sb.WriteString(s)
+			d.buf = append(d.buf, s...)
 		case r == '\t' || r == '\n':
 			// Attribute-value normalization: whitespace becomes space.
-			sb.WriteByte(' ')
+			d.buf = append(d.buf, ' ')
 			d.next()
 		case r == '\r':
 			d.next()
 			if d.peek() == '\n' {
 				d.next()
 			}
-			sb.WriteByte(' ')
+			d.buf = append(d.buf, ' ')
 		default:
 			if !IsChar(r) {
 				return Attr{}, d.errf(d.pos(), "illegal character U+%04X in attribute value", r)
 			}
-			sb.WriteRune(r)
+			d.buf = utf8.AppendRune(d.buf, r)
 			d.next()
 		}
 	}
@@ -835,43 +1031,43 @@ func (d *Decoder) lookupNS(prefix string) (string, bool) {
 }
 
 // endTag parses </name>.
-func (d *Decoder) endTag(p Pos) (*Token, error) {
+func (d *Decoder) endTag(p Pos) (Token, error) {
 	d.skip("</")
 	raw, err := d.name("element name in end tag")
 	if err != nil {
-		return nil, err
+		return Token{}, err
 	}
 	d.skipSpace()
 	if d.peek() != '>' {
-		return nil, d.errf(d.pos(), "expected '>' to close end tag </%s>", raw)
+		return Token{}, d.errf(d.pos(), "expected '>' to close end tag </%s>", raw)
 	}
 	d.next()
 	if len(d.stack) == 0 {
-		return nil, d.errf(p, "unexpected end tag </%s>", raw)
+		return Token{}, d.errf(p, "unexpected end tag </%s>", raw)
 	}
 	top := d.stack[len(d.stack)-1]
 	if top.rawName != raw {
-		return nil, d.errf(p, "end tag </%s> does not match start tag <%s> opened at %s", raw, top.rawName, top.pos)
+		return Token{}, d.errf(p, "end tag </%s> does not match start tag <%s> opened at %s", raw, top.rawName, top.pos)
 	}
 	d.stack = d.stack[:len(d.stack)-1]
 	if top.nsPushed {
 		d.ns = d.ns[:len(d.ns)-1]
 	}
-	return &Token{Kind: KindEndElement, Name: top.name, Pos: p}, nil
+	return Token{Kind: KindEndElement, Name: top.name, Pos: p}, nil
 }
 
 // doctype parses <!DOCTYPE name externalID? [internal subset]? >.
 // The internal subset's raw text is returned in Token.Data; the external
 // identifier (if any) in Token.Target. ENTITY declarations in the internal
 // subset are registered for reference expansion.
-func (d *Decoder) doctype(p Pos) (*Token, error) {
+func (d *Decoder) doctype(p Pos) (Token, error) {
 	d.skip("<!DOCTYPE")
 	if !d.skipSpace() {
-		return nil, d.errf(p, "expected whitespace after <!DOCTYPE")
+		return Token{}, d.errf(p, "expected whitespace after <!DOCTYPE")
 	}
 	name, err := d.name("doctype name")
 	if err != nil {
-		return nil, err
+		return Token{}, err
 	}
 	d.skipSpace()
 	extStart := d.off
@@ -880,17 +1076,17 @@ func (d *Decoder) doctype(p Pos) (*Token, error) {
 		isPublic := d.hasPrefix("PUBLIC")
 		d.skip("SYSTEM") // both keywords are 6 bytes
 		if !d.skipSpace() {
-			return nil, d.errf(d.pos(), "expected whitespace after external ID keyword")
+			return Token{}, d.errf(d.pos(), "expected whitespace after external ID keyword")
 		}
 		if _, err := d.quotedLiteral(); err != nil {
-			return nil, err
+			return Token{}, err
 		}
 		if isPublic {
 			if !d.skipSpace() {
-				return nil, d.errf(d.pos(), "expected whitespace between public and system literals")
+				return Token{}, d.errf(d.pos(), "expected whitespace between public and system literals")
 			}
 			if _, err := d.quotedLiteral(); err != nil {
-				return nil, err
+				return Token{}, err
 			}
 		}
 	}
@@ -901,18 +1097,18 @@ func (d *Decoder) doctype(p Pos) (*Token, error) {
 		d.next()
 		subset, err = d.internalSubset(p)
 		if err != nil {
-			return nil, err
+			return Token{}, err
 		}
 	}
 	d.skipSpace()
 	if d.peek() != '>' {
-		return nil, d.errf(d.pos(), "expected '>' to close DOCTYPE")
+		return Token{}, d.errf(d.pos(), "expected '>' to close DOCTYPE")
 	}
 	d.next()
 	if err := d.registerEntities(subset); err != nil {
-		return nil, err
+		return Token{}, err
 	}
-	return &Token{Kind: KindDoctype, Name: Name{Local: name}, Target: extID, Data: subset, Pos: p}, nil
+	return Token{Kind: KindDoctype, Name: Name{Local: name}, Target: extID, Data: subset, Pos: p}, nil
 }
 
 // quotedLiteral parses a quoted literal ("..." or '...').

@@ -6,6 +6,21 @@
 // instructions, doctype declarations). Higher layers (package dom) build
 // trees from this stream.
 //
+// # Streaming entry points
+//
+// There is exactly one tokenizer code path with two input modes. NewDecoder
+// scans a complete in-memory buffer; NewReaderDecoder (and the ParseReader /
+// ParseFragmentReader conveniences) pulls input incrementally from an
+// io.Reader, keeping only a compacted window of the input resident, so
+// memory is bounded by the largest single token rather than the document.
+// Both modes produce byte-identical tokens, positions and errors — a
+// property the regression suite (TestReaderDecoderParity) and the FuzzParse
+// differential fuzzer hold permanently. Decoder.Next is the pull API for
+// streaming consumers (it returns tokens by value and io.EOF at end of
+// input); Decoder.Token returns a pointer into a scratch slot that is
+// reused by the following call, so callers that keep a token across calls
+// must copy it.
+//
 // The parser enforces well-formedness as defined by the XML recommendation:
 // matching start/end tags, a single root element, unique attributes,
 // well-formed character and entity references, no '<' in attribute values,
@@ -25,5 +40,7 @@
 // do not share one Decoder across goroutines. Distinct Decoder instances
 // (and therefore concurrent Parse calls over different inputs) are fully
 // independent, which is what lets xsdcheck parse many files in parallel.
-// Produced tokens do not alias decoder state once returned.
+// Token values returned by Next (and the copies parseAll collects) are
+// immutable and safe to retain; only the pointer returned by Token aims
+// at reused decoder state.
 package xmlparser
