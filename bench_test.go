@@ -568,3 +568,135 @@ func BenchmarkStringGen(b *testing.B) {
 		stringgen.DirectoryPageWML("/workspace/media", "/workspace", subDirs)
 	}
 }
+
+// ---------------------------------------------------------------------------
+// E10 — lazy-DFA content-model execution vs NFA position-set stepping.
+// ---------------------------------------------------------------------------
+
+// e10Models builds the stepper micro-benchmark corpus: the purchase-order
+// items model under a long repeated-child stream, and a wide synthetic
+// choice pipeline where the NFA carries many live candidates per step.
+func e10Models(b *testing.B) []struct {
+	name  string
+	g     *contentmodel.Glushkov
+	input []contentmodel.Symbol
+} {
+	items := contentmodel.NewSequence(1, 1,
+		contentmodel.NewElementLeaf(0, contentmodel.Unbounded, contentmodel.Symbol{Local: "item"}, "item"))
+	itemsInput := make([]contentmodel.Symbol, 1000)
+	for i := range itemsInput {
+		itemsInput[i] = contentmodel.Symbol{Local: "item"}
+	}
+	wide := syntheticModel(32, 16)
+	wideInput := make([]contentmodel.Symbol, 32)
+	for i := range wideInput {
+		wideInput[i] = contentmodel.Symbol{Local: fmt.Sprintf("e%d_%d", i, i%16)}
+	}
+	out := []struct {
+		name  string
+		g     *contentmodel.Glushkov
+		input []contentmodel.Symbol
+	}{
+		{"po-items-1000", nil, itemsInput},
+		{"wide-choice-k32w16", nil, wideInput},
+	}
+	for i, p := range []*contentmodel.Particle{items, wide} {
+		g, err := contentmodel.CompileGlushkov(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !g.EnableDFA(contentmodel.NewInterner(), 0) {
+			b.Fatalf("%s: EnableDFA refused", out[i].name)
+		}
+		out[i].g = g
+	}
+	return out
+}
+
+// BenchmarkE10_ContentModelStep isolates the stepper: one Run reused via
+// Reset (the validator's hot pattern), DFA execution vs NFA position sets
+// over identical inputs. The DFA is warmed by a first pass so the numbers
+// reflect steady state, as in repeated validation against a cached model.
+func BenchmarkE10_ContentModelStep(b *testing.B) {
+	for _, m := range e10Models(b) {
+		run := func(b *testing.B, r *contentmodel.Run) {
+			b.Helper()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r.Reset(m.g)
+				for _, s := range m.input {
+					if _, err := r.Step(s); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := r.End(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.Run(m.name+"/dfa", func(b *testing.B) { run(b, m.g.Start()) })
+		b.Run(m.name+"/nfa", func(b *testing.B) { run(b, m.g.StartNFA()) })
+	}
+}
+
+// BenchmarkE10_WarmValidate measures the end-to-end effect: repeated
+// whole-document validation of a 100-item purchase order through one
+// cached Validator, DFA on vs off.
+func BenchmarkE10_WarmValidate(b *testing.B) {
+	schema := poSchema(b)
+	doc, err := dom.Parse(largePOSource(100))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, cfg := range []struct {
+		name string
+		opts *validator.Options
+	}{
+		{"dfa", nil},
+		{"nodfa", &validator.Options{DisableDFA: true}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			v := validator.New(schema, cfg.opts)
+			for i := 0; i < b.N; i++ {
+				if res := v.ValidateDocument(doc); !res.OK() {
+					b.Fatal(res.Err())
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE10_ParseValidateRelease is the allocation story: the full
+// parse → validate → discard loop with the pooled DOM arena recycled via
+// Release, against the same loop leaking documents to the collector.
+func BenchmarkE10_ParseValidateRelease(b *testing.B) {
+	schema := poSchema(b)
+	src := []byte(schemas.PurchaseOrderDoc)
+	v := validator.New(schema, nil)
+	b.Run("release", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			doc, err := dom.Parse(src)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res := v.ValidateDocument(doc); !res.OK() {
+				b.Fatal(res.Err())
+			}
+			doc.Release()
+		}
+	})
+	b.Run("no-release", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			doc, err := dom.Parse(src)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res := v.ValidateDocument(doc); !res.OK() {
+				b.Fatal(res.Err())
+			}
+		}
+	})
+}

@@ -1,0 +1,57 @@
+// Command benchjson converts `go test -bench` text output into JSON.
+//
+// Usage:
+//
+//	go test -run xxx -bench 'E7|E8|E10' -benchmem . | benchjson -o BENCH_PR3.json
+//
+// With no -o flag the JSON goes to stdout. The input is also echoed to
+// stderr so the human-readable numbers stay visible when piping.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/benchjson"
+)
+
+func main() {
+	out := flag.String("o", "", "write JSON to this file instead of stdout")
+	quiet := flag.Bool("q", false, "do not echo the raw bench output to stderr")
+	flag.Parse()
+
+	raw, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: read stdin: %v\n", err)
+		os.Exit(1)
+	}
+	if !*quiet {
+		os.Stderr.Write(raw)
+	}
+	run, err := benchjson.Parse(bytes.NewReader(raw))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(run.Results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results in input")
+		os.Exit(1)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := run.Write(w); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: write: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -39,6 +39,7 @@ func main() {
 	quiet := flag.Bool("q", false, "suppress per-violation output")
 	workers := flag.Int("p", runtime.GOMAXPROCS(0), "max files processed in parallel")
 	stream := flag.Bool("stream", false, "validate incrementally while reading (O(depth) memory, no DOM)")
+	nodfa := flag.Bool("nodfa", false, "disable the lazy-DFA content-model executor (NFA stepping)")
 	flag.Parse()
 	if *schemaPath == "" || flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: xsdcheck -schema s.xsd doc.xml...")
@@ -52,7 +53,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	v := validator.New(schema, nil)
+	v := validator.New(schema, &validator.Options{DisableDFA: *nodfa})
 
 	paths := flag.Args()
 	n := *workers

@@ -1,0 +1,127 @@
+// Package benchjson parses `go test -bench` text output into a
+// machine-readable form so benchmark results can be checked in and
+// compared across PRs (the BENCH_PR*.json trajectory files).
+//
+// The parser understands the standard benchmark result line:
+//
+//	BenchmarkE7_CachedValidate/warm-cached-8   68612   17146 ns/op   6713 B/op   253 allocs/op
+//
+// plus the goos/goarch/pkg/cpu header lines, which are captured as run
+// metadata. Anything else (PASS, ok, coverage) is ignored.
+package benchjson
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	// Name is the full benchmark name with the -P procs suffix stripped,
+	// e.g. "BenchmarkE10_ContentModelStep/po-items-1000/dfa".
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix (1 when the name carries none).
+	Procs int `json:"procs"`
+	// Iterations is b.N for the reported run.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is nanoseconds per operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are present only under -benchmem;
+	// they are -1 when the line carried no memory columns.
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+}
+
+// Run is a parsed benchmark session: the environment header plus every
+// result line, in input order.
+type Run struct {
+	Goos    string   `json:"goos,omitempty"`
+	Goarch  string   `json:"goarch,omitempty"`
+	Pkg     string   `json:"pkg,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Results []Result `json:"results"`
+}
+
+// Parse reads `go test -bench` output and collects header metadata and
+// result lines. Lines that are not benchmark results are skipped; a line
+// that looks like a result but does not parse is an error.
+func Parse(r io.Reader) (*Run, error) {
+	run := &Run{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			run.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			run.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			run.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			run.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			res, err := parseResult(line)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: %w", err)
+			}
+			run.Results = append(run.Results, res)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return run, nil
+}
+
+func parseResult(line string) (Result, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || fields[3] != "ns/op" {
+		return Result{}, fmt.Errorf("not a result line: %q", line)
+	}
+	res := Result{Procs: 1, BytesPerOp: -1, AllocsPerOp: -1}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if p, err := strconv.Atoi(name[i+1:]); err == nil {
+			res.Procs = p
+			name = name[:i]
+		}
+	}
+	res.Name = name
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, fmt.Errorf("iterations in %q: %w", line, err)
+	}
+	res.Iterations = iters
+	// Remaining fields come in value/unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			if res.NsPerOp, err = strconv.ParseFloat(val, 64); err != nil {
+				return Result{}, fmt.Errorf("ns/op in %q: %w", line, err)
+			}
+		case "B/op":
+			if res.BytesPerOp, err = strconv.ParseInt(val, 10, 64); err != nil {
+				return Result{}, fmt.Errorf("B/op in %q: %w", line, err)
+			}
+		case "allocs/op":
+			if res.AllocsPerOp, err = strconv.ParseInt(val, 10, 64); err != nil {
+				return Result{}, fmt.Errorf("allocs/op in %q: %w", line, err)
+			}
+		}
+	}
+	return res, nil
+}
+
+// Write renders the run as indented JSON with a trailing newline (so the
+// checked-in file diffs cleanly).
+func (run *Run) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(run)
+}

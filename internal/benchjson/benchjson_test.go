@@ -1,0 +1,74 @@
+package benchjson
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkE7_CachedValidate/warm-cached-8         	   68612	     17146 ns/op	    6713 B/op	     253 allocs/op
+BenchmarkE10_ContentModelStep/po-items-1000/dfa-8	  160000	      7442 ns/op	       0 B/op	       0 allocs/op
+BenchmarkE3_GlushkovConstruction/k8w4            	   10000	      5000 ns/op
+PASS
+ok  	repro	12.3s
+`
+
+func TestParse(t *testing.T) {
+	run, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Goos != "linux" || run.Goarch != "amd64" || run.Pkg != "repro" {
+		t.Fatalf("bad header: %+v", run)
+	}
+	if !strings.Contains(run.CPU, "Xeon") {
+		t.Fatalf("bad cpu: %q", run.CPU)
+	}
+	if len(run.Results) != 3 {
+		t.Fatalf("want 3 results, got %d", len(run.Results))
+	}
+	r := run.Results[0]
+	if r.Name != "BenchmarkE7_CachedValidate/warm-cached" || r.Procs != 8 ||
+		r.Iterations != 68612 || r.NsPerOp != 17146 || r.BytesPerOp != 6713 || r.AllocsPerOp != 253 {
+		t.Fatalf("result 0 mismatch: %+v", r)
+	}
+	// No -P suffix and no -benchmem columns.
+	r = run.Results[2]
+	if r.Name != "BenchmarkE3_GlushkovConstruction/k8w4" || r.Procs != 1 ||
+		r.BytesPerOp != -1 || r.AllocsPerOp != -1 {
+		t.Fatalf("result 2 mismatch: %+v", r)
+	}
+}
+
+func TestParseRejectsMangledResult(t *testing.T) {
+	_, err := Parse(strings.NewReader("BenchmarkBroken-8 notanumber 12 ns/op\n"))
+	if err == nil {
+		t.Fatal("expected error for mangled iterations")
+	}
+}
+
+func TestWriteRoundTrip(t *testing.T) {
+	run, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasSuffix(buf.Bytes(), []byte("\n")) {
+		t.Fatal("output must end in newline")
+	}
+	var back Run
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Results) != len(run.Results) || back.Results[0] != run.Results[0] {
+		t.Fatalf("round trip mismatch: %+v", back.Results)
+	}
+}

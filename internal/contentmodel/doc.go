@@ -17,6 +17,19 @@
 // the P-XML preprocessor decides which V-DOM constructor argument a child
 // becomes.
 //
+// # Lazy-DFA execution
+//
+// The Glushkov matcher additionally supports deterministic execution:
+// EnableDFA attaches a lazily subset-constructed DFA whose alphabet is
+// the schema-wide Interner's dense symbol IDs (plus wildcard-admission
+// bucket classes), so stepping a child is an array walk instead of a
+// position-set scan. States are memoized on demand under a bounded
+// budget; on overflow a Run falls back mid-sequence to the NFA stepper,
+// reseeded from the DFA state's own position set. The DFA is only
+// enabled for models that pass the UPA check, which is what makes its
+// verdicts, leaf assignments and MatchError messages byte-identical to
+// the NFA's (enforced by the differential tests and FuzzDFAContentModel).
+//
 // # Role in the pipeline
 //
 // contentmodel is the shared automaton layer of the pipeline (xsd parse →
@@ -30,9 +43,14 @@
 //
 // Compilation (CompileGlushkov, NewInterp, Compile) is a pure function of
 // its input particle; callers own synchronization of the particle tree
-// while building it. The compiled matchers are immutable: Glushkov.Match
-// and Interp.Match keep all mutable state on the call stack, so a single
-// matcher instance may serve any number of concurrent Match calls — the
-// property the validator's per-Validator model cache and the xsd
-// package's once-guarded Matcher rely on.
+// while building it. The compiled matchers are safe for concurrent use:
+// Glushkov.Match and Interp.Match keep per-call state on the stack, and
+// the lazy DFA fills its transition table under an internal mutex with
+// atomically published edges, so a single matcher instance may serve any
+// number of concurrent Match calls and Runs — the property the
+// validator's per-Validator model cache and the xsd package's
+// once-guarded Matcher rely on. EnableDFA itself must happen before the
+// matcher is shared (the compile paths call it). A Run is single-owner
+// and must not be shared or interleaved between validation frames; after
+// reporting an error it panics on further use until Reset.
 package contentmodel

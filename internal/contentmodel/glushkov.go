@@ -13,6 +13,9 @@ type Glushkov struct {
 	last     map[int]bool
 	follow   [][]int
 	nullable bool
+	// dfa is the optional lazy subset construction attached by EnableDFA.
+	// It must be set before the automaton is shared between goroutines.
+	dfa *dfa
 }
 
 // ErrTooComplex is returned when count expansion would exceed the position
@@ -315,6 +318,12 @@ func (g *Glushkov) Match(input []Symbol) ([]*Leaf, *MatchError) {
 // A Run references its (immutable, shared) Glushkov automaton but owns
 // all mutable state, so any number of Runs may step concurrently over
 // one compiled automaton.
+//
+// A Run is single-owner: it must not be stepped from two goroutines or
+// interleaved between two match attempts. After Step or End returns a
+// MatchError the Run is dead — further Step/End calls panic — until Reset
+// re-arms it. The stream validator's pooled frames rely on this guard to
+// surface accidental sharing of one Run between frames.
 type Run struct {
 	g       *Glushkov
 	cand    []int  // positions that may match the next symbol
@@ -324,29 +333,74 @@ type Run struct {
 	mark    []bool // per-position dedup scratch, cleared after each Step
 	ownCand bool   // cand is an owned buffer, not an alias of g.first
 	n       int    // symbols consumed
+
+	d        *dfa    // non-nil while stepping the lazy DFA
+	ds       *dstate // current DFA state
+	memoSym  Symbol  // 1-entry symbol->class memo (hot for runs of one child name)
+	memoCls  int32
+	memoOK   bool
+	forceNFA bool // StartNFA: never re-attach the DFA on Reset
+	failed   bool // a Step/End reported an error; Reset required before reuse
 }
 
-// Start begins an incremental match.
-func (g *Glushkov) Start() *Run { return &Run{g: g, cand: g.first} }
+// Start begins an incremental match, on the lazy DFA when one is attached.
+func (g *Glushkov) Start() *Run {
+	if d := g.dfa; d != nil {
+		return &Run{g: g, d: d, ds: d.start}
+	}
+	return &Run{g: g, cand: g.first}
+}
+
+// StartNFA begins an incremental match on the NFA stepper even when a DFA
+// is attached. Differential tests and benchmarks use it to compare the two
+// executors over one compiled automaton.
+func (g *Glushkov) StartNFA() *Run { return &Run{g: g, cand: g.first, forceNFA: true} }
 
 // Reset re-arms the run for a new sequence against g, reusing its
-// internal buffers. Equivalent to replacing the Run with g.Start().
+// internal buffers. Equivalent to replacing the Run with g.Start()
+// (or g.StartNFA(), for runs started that way).
 func (r *Run) Reset(g *Glushkov) {
 	r.g = g
 	if r.ownCand {
 		r.spare = r.cand
 	}
-	r.cand = g.first
 	r.ownCand = false
 	r.matched = r.matched[:0]
 	r.n = 0
+	r.failed = false
+	d := g.dfa
+	if r.forceNFA {
+		d = nil
+	}
+	if r.d != d {
+		r.d = d
+		r.memoOK = false
+	}
+	if d != nil {
+		r.ds = d.start
+		r.cand = nil
+	} else {
+		r.ds = nil
+		r.cand = g.first
+	}
 }
 
 // Step feeds the next child symbol. On acceptance it returns the leaf
 // particle the child matched (the same assignment Match reports); on
 // rejection, the same MatchError Match would report at this index. After
-// an error the Run must not be stepped again.
+// an error the Run is dead: stepping it again panics until Reset.
 func (r *Run) Step(sym Symbol) (*Leaf, *MatchError) {
+	if r.failed {
+		panic("contentmodel: Run reused after an error without Reset")
+	}
+	if r.d != nil {
+		leaf, err, ok := r.stepDFA(sym)
+		if ok {
+			return leaf, err
+		}
+		// State budget overflowed: the run has been reseeded onto the
+		// NFA stepper from the current position set; fall through.
+	}
 	g := r.g
 	r.matched = r.matched[:0]
 	var leaf *Leaf
@@ -359,6 +413,7 @@ func (r *Run) Step(sym Symbol) (*Leaf, *MatchError) {
 		}
 	}
 	if leaf == nil {
+		r.failed = true
 		return nil, &MatchError{Index: r.n, Got: sym, Expected: g.expectedLabels(r.cand, r.n == 0 && g.nullable)}
 	}
 	if len(r.mark) < len(g.leaves) {
@@ -388,16 +443,76 @@ func (r *Run) Step(sym Symbol) (*Leaf, *MatchError) {
 	return leaf, nil
 }
 
+// stepDFA advances the lazy DFA one symbol. ok=false means the state
+// budget overflowed before the needed transition was memoized: the Run has
+// been reseeded onto the NFA stepper from the current position set and the
+// caller must retry the symbol on the NFA path.
+func (r *Run) stepDFA(sym Symbol) (*Leaf, *MatchError, bool) {
+	d := r.d
+	var cls int32
+	if r.memoOK && sym == r.memoSym {
+		cls = r.memoCls
+	} else {
+		cls = d.classOf(sym)
+		r.memoSym, r.memoCls, r.memoOK = sym, cls, true
+	}
+	st := r.ds
+	tr := &st.trans[cls]
+	next := tr.state.Load()
+	var leaf *Leaf
+	if next != nil {
+		leaf = tr.leaf
+	} else {
+		var ok bool
+		next, leaf, ok = d.buildTrans(st, cls)
+		if !ok {
+			r.fallbackNFA(st)
+			return nil, nil, false
+		}
+	}
+	if next == dfaReject {
+		r.failed = true
+		return nil, &MatchError{Index: r.n, Got: sym, Expected: d.g.expectedLabels(st.cand, r.n == 0 && d.g.nullable)}, true
+	}
+	r.ds = next
+	r.n++
+	return leaf, nil, true
+}
+
+// fallbackNFA reseeds the run onto the NFA stepper from a DFA state's
+// position-set snapshot. st.cand belongs to the (shared, immutable) state
+// and is aliased exactly like g.first, never written through.
+func (r *Run) fallbackNFA(st *dstate) {
+	r.d = nil
+	r.ds = nil
+	r.memoOK = false
+	r.cand = st.cand
+	r.ownCand = false
+	r.matched = append(r.matched[:0], st.matched...)
+}
+
 // End reports whether the sequence consumed so far is a complete match:
 // nil on acceptance, otherwise the premature-end MatchError Match would
-// report for the same sequence.
+// report for the same sequence. After an error the Run is dead until
+// Reset, like Step.
 func (r *Run) End() *MatchError {
+	if r.failed {
+		panic("contentmodel: Run reused after an error without Reset")
+	}
 	g := r.g
 	if r.n == 0 {
 		if g.nullable {
 			return nil
 		}
+		r.failed = true
 		return &MatchError{Index: 0, Premature: true, Expected: g.expectedLabels(g.first, false)}
+	}
+	if r.d != nil {
+		if r.ds.accept {
+			return nil
+		}
+		r.failed = true
+		return &MatchError{Index: r.n, Premature: true, Expected: g.expectedLabels(r.ds.cand, false)}
 	}
 	// Accept iff a position matched by the final symbol is a last
 	// position of the augmented expression.
@@ -406,6 +521,7 @@ func (r *Run) End() *MatchError {
 			return nil
 		}
 	}
+	r.failed = true
 	return &MatchError{Index: r.n, Premature: true, Expected: g.expectedLabels(r.cand, false)}
 }
 

@@ -16,6 +16,17 @@
 // validator walks them, and vdom's typed nodes materialize into them for
 // serialization.
 //
+// # Allocation
+//
+// Parse builds its documents from a pooled slab arena (NewPooledDocument):
+// Element, Text and Attr nodes are handed out from 64-entry slabs
+// recycled through sync.Pools, so the per-node allocations that dominate
+// DOM build cost disappear on warm parse loops. Callers on hot
+// parse-validate-discard paths may call Document.Release to return the
+// slabs immediately; after Release no node of that document may be
+// touched. Releasing is optional — an un-Released document is simply
+// collected by the GC.
+//
 // # Concurrency
 //
 // Documents are plain mutable trees with no internal locking or lazily

@@ -10,6 +10,9 @@ type Document struct {
 	Encoding string
 	// Doctype is the document type node, if the document had one.
 	Doctype *DocumentType
+	// arena, when set, backs Element/Text/Attr creation with pooled slabs
+	// (see arena.go); nil for documents built node by node.
+	arena *arena
 }
 
 // NewDocument creates an empty document.
@@ -46,7 +49,12 @@ func (d *Document) CreateElement(tag string) *Element {
 // CreateElementNS creates an element with the given namespace URI and
 // qualified name ("prefix:local" or "local").
 func (d *Document) CreateElementNS(ns, qname string) *Element {
-	e := &Element{}
+	var e *Element
+	if d.arena != nil {
+		e = d.arena.newElement()
+	} else {
+		e = &Element{}
+	}
 	e.self = e
 	e.doc = d
 	e.name = parseQName(ns, qname)
@@ -55,7 +63,12 @@ func (d *Document) CreateElementNS(ns, qname string) *Element {
 
 // CreateTextNode creates a text node.
 func (d *Document) CreateTextNode(data string) *Text {
-	t := &Text{}
+	var t *Text
+	if d.arena != nil {
+		t = d.arena.newText()
+	} else {
+		t = &Text{}
+	}
 	t.self = t
 	t.doc = d
 	t.Data = data
@@ -103,7 +116,12 @@ func (d *Document) CreateAttribute(qname string) *Attr {
 
 // CreateAttributeNS creates a detached namespaced attribute node.
 func (d *Document) CreateAttributeNS(ns, qname string) *Attr {
-	a := &Attr{}
+	var a *Attr
+	if d.arena != nil {
+		a = d.arena.newAttr()
+	} else {
+		a = &Attr{}
+	}
 	a.self = a
 	a.doc = d
 	a.name = parseQName(ns, qname)

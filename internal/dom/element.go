@@ -79,7 +79,13 @@ func (e *Element) SetAttributeNS(ns, qname, value string) {
 		e.attrs[i].name.Prefix = n.Prefix
 		return
 	}
-	a := &Attr{owner: e}
+	var a *Attr
+	if e.doc != nil && e.doc.arena != nil {
+		a = e.doc.arena.newAttr()
+	} else {
+		a = &Attr{}
+	}
+	a.owner = e
 	a.self = a
 	a.doc = e.doc
 	a.name = n

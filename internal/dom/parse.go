@@ -20,9 +20,17 @@ func ParseWithOptions(src []byte, opts *xmlparser.Options) (*Document, error) {
 	return parseWith(src, opts)
 }
 
-func parseWith(src []byte, opts *xmlparser.Options) (*Document, error) {
+func parseWith(src []byte, opts *xmlparser.Options) (_ *Document, err error) {
 	dec := xmlparser.NewDecoder(src, opts)
-	doc := NewDocument()
+	// Parsed documents draw their nodes from the pooled slab arena; callers
+	// on hot parse-validate-discard loops may Release them when done. On
+	// parse failure no node escapes, so the slabs go straight back.
+	doc := NewPooledDocument()
+	defer func() {
+		if err != nil {
+			doc.Release()
+		}
+	}()
 	var cur Node = doc
 	for {
 		tok, err := dec.Token()

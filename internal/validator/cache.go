@@ -21,6 +21,7 @@ import (
 // matcher instance serves every concurrent validation run.
 type modelCache struct {
 	schema *xsd.Schema
+	opts   Options  // DFA enablement knobs, fixed at Validator construction
 	models sync.Map // *xsd.ComplexType -> *modelEntry
 
 	// compiles counts actual CompileGlushkov/NewInterp builds (not
@@ -35,8 +36,8 @@ type modelEntry struct {
 }
 
 // newModelCache creates an empty cache bound to the schema.
-func newModelCache(schema *xsd.Schema) *modelCache {
-	return &modelCache{schema: schema}
+func newModelCache(schema *xsd.Schema, opts Options) *modelCache {
+	return &modelCache{schema: schema, opts: opts}
 }
 
 // matcher returns the compiled content model for ct, building it on first
@@ -53,6 +54,11 @@ func (c *modelCache) matcher(ct *xsd.ComplexType) contentmodel.Matcher {
 		c.compiles.Add(1)
 		particle := c.schema.CompileParticle(ct.Particle)
 		if g, err := contentmodel.CompileGlushkov(particle); err == nil {
+			if !c.opts.DisableDFA {
+				// Attach the lazy DFA inside the once, before the matcher
+				// is published, sharing the schema-wide symbol interner.
+				g.EnableDFA(c.schema.Symbols(), c.opts.DFAStateBudget)
+			}
 			entry.matcher = g
 		} else {
 			entry.matcher = contentmodel.NewInterp(particle)

@@ -108,7 +108,7 @@ type frame struct {
 	decl *xsd.ElementDecl
 	mode int
 
-	st    *xsd.SimpleType  // fmSimple / fmCSimple value type
+	st    *xsd.SimpleType   // fmSimple / fmCSimple value type
 	run   *contentmodel.Run // fmModel automaton state
 	mixed bool
 
@@ -129,10 +129,13 @@ type frame struct {
 	nsMark  int          // namespace-binding stack mark
 
 	// fmFallback subtree buffer.
-	fbDoc  *dom.Document
-	fbRoot *dom.Element
-	fbCur  dom.Node
+	fbDoc   *dom.Document
+	fbRoot  *dom.Element
+	fbCur   dom.Node
 	fbDepth int
+
+	// pooled marks a frame sitting on the free list; reset clears it.
+	pooled bool
 }
 
 // childCount tracks occurrences of one child tag under a frame; the small
@@ -200,8 +203,17 @@ func (sr *streamRun) newFrame(path string, decl *xsd.ElementDecl, nsMark int) *f
 }
 
 // recycle returns a popped frame to the free list. Its buffered violations
-// must already have been delivered (deliver copies them out).
-func (sr *streamRun) recycle(f *frame) { sr.free = append(sr.free, f) }
+// must already have been delivered (deliver copies them out). Recycling a
+// frame twice would hand its contentmodel.Run to two live frames at once —
+// exactly the interleaving the Run's single-owner contract forbids — so a
+// double recycle panics here instead of corrupting a later match.
+func (sr *streamRun) recycle(f *frame) {
+	if f.pooled {
+		panic("validator: stream frame recycled twice")
+	}
+	f.pooled = true
+	sr.free = append(sr.free, f)
+}
 
 func (sr *streamRun) emit(v Violation) {
 	if len(sr.res.Violations) < maxViolations {
@@ -664,7 +676,7 @@ func (sr *streamRun) closeFrame(f *frame) []Violation {
 // fragment for the recursive validator.
 func (sr *streamRun) startFallback(f *frame, tok *xmlparser.Token) {
 	f.mode = fmFallback
-	doc := dom.NewDocument()
+	doc := dom.NewPooledDocument()
 	root := doc.CreateElementNS(tok.Name.Space, tok.Name.Qualified())
 	for i := range tok.Attrs {
 		a := &tok.Attrs[i]
@@ -744,6 +756,10 @@ func (sr *streamRun) completeFallback(f *frame) {
 	nrun.element(f.fbRoot, f.decl, f.path)
 	sr.idrefs = append(sr.idrefs, nrun.idrefs...)
 	sr.deliver(nrun.res.Violations)
+	// The buffered subtree is private to this frame and the recursive run
+	// above only keeps strings, so its pooled nodes can be recycled now.
+	f.fbDoc.Release()
+	f.fbDoc, f.fbRoot, f.fbCur = nil, nil, nil
 	sr.recycle(f)
 }
 

@@ -63,6 +63,15 @@ type Options struct {
 	// negative means runtime.GOMAXPROCS(0). It has no effect on the
 	// single-document entry points.
 	Parallelism int
+	// DisableDFA turns off the lazy-DFA content-model executor and steps
+	// the Glushkov automata as NFAs (the pre-DFA behavior). Verdicts and
+	// messages are identical either way; this is an escape hatch and a
+	// benchmarking aid.
+	DisableDFA bool
+	// DFAStateBudget caps memoized DFA states per content model before a
+	// run falls back to NFA stepping. Zero means
+	// contentmodel.DefaultDFABudget.
+	DFAStateBudget int
 }
 
 // Validator validates documents against one schema.
@@ -91,7 +100,7 @@ func New(schema *xsd.Schema, opts *Options) *Validator {
 	if opts != nil {
 		o = *opts
 	}
-	return &Validator{schema: schema, opts: o, models: newModelCache(schema)}
+	return &Validator{schema: schema, opts: o, models: newModelCache(schema, o)}
 }
 
 // ValidateDocument validates a whole document: the root element must match

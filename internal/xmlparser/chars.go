@@ -55,17 +55,39 @@ func inRanges(r rune, ranges [][2]rune) bool {
 	return false
 }
 
+// asciiNameStart and asciiName are lookup tables front-ending the range
+// scans for the ASCII bytes that dominate real documents; the decoder's
+// name scanner indexes them directly per byte.
+var (
+	asciiNameStart [128]bool
+	asciiName      [128]bool
+)
+
+func init() {
+	for b := 0; b < 128; b++ {
+		r := rune(b)
+		asciiNameStart[b] = r == ':' || inRanges(r, nameStartRanges)
+		asciiName[b] = asciiNameStart[b] || inRanges(r, nameExtraRanges)
+	}
+}
+
 // IsNameStartChar reports whether r may start an XML name. The colon is
 // accepted (it is a NameStartChar in XML 1.0); namespace processing rejects
 // misplaced colons separately.
 func IsNameStartChar(r rune) bool {
-	return r == ':' || inRanges(r, nameStartRanges)
+	if r >= 0 && r < 128 {
+		return asciiNameStart[r]
+	}
+	return inRanges(r, nameStartRanges)
 }
 
 // IsNameChar reports whether r may appear in an XML name after the first
 // character.
 func IsNameChar(r rune) bool {
-	return IsNameStartChar(r) || inRanges(r, nameExtraRanges)
+	if r >= 0 && r < 128 {
+		return asciiName[r]
+	}
+	return inRanges(r, nameStartRanges) || inRanges(r, nameExtraRanges)
 }
 
 // IsName reports whether s is a legal XML Name (production [5]).

@@ -604,7 +604,9 @@ func (d *Decoder) procInst(p Pos) (Token, error) {
 	return Token{Kind: KindProcInst, Target: target, Data: data, Pos: p}, nil
 }
 
-// name scans an XML Name.
+// name scans an XML Name. The loop consumes ASCII name bytes directly off
+// the window via the lookup table (names never contain newlines, so only
+// the column advances); non-ASCII runes take the rune-decoding path.
 func (d *Decoder) name(what string) (string, error) {
 	p := d.pos()
 	start := d.off
@@ -614,6 +616,20 @@ func (d *Decoder) name(what string) (string, error) {
 	}
 	d.next()
 	for {
+		if d.off >= len(d.src) {
+			d.fill(1)
+			if d.off >= len(d.src) {
+				break
+			}
+		}
+		if c := d.src[d.off]; c < 0x80 {
+			if !asciiName[c] {
+				break
+			}
+			d.off++
+			d.col++
+			continue
+		}
 		r := d.peek()
 		if r < 0 || !IsNameChar(r) {
 			break
@@ -633,11 +649,44 @@ func checkChars(s string) error {
 	return nil
 }
 
+// plainTextByte and plainAttrByte mark ASCII bytes that need no special
+// handling in character data and attribute values respectively: they are
+// copied to the output in bulk, one slice append per run. Newlines stay on
+// the slow path (line accounting), as do the delimiters, references,
+// ']' (for the "]]>" check), CR (normalization) and control bytes.
+var (
+	plainTextByte [128]bool
+	plainAttrByte [128]bool
+)
+
+func init() {
+	for b := 0x20; b < 0x80; b++ {
+		plainTextByte[b] = b != '<' && b != '&' && b != ']'
+		plainAttrByte[b] = b != '<' && b != '&' && b != '"' && b != '\''
+	}
+	plainTextByte['\t'] = true
+}
+
 // text parses character data up to the next '<'.
 func (d *Decoder) text() (Token, error) {
 	p := d.pos()
 	d.buf = d.buf[:0]
 	for {
+		// Bulk-copy a run of plain ASCII bytes before falling back to
+		// rune-at-a-time scanning for whatever stopped the run.
+		i := d.off
+		for i < len(d.src) {
+			c := d.src[i]
+			if c >= 0x80 || !plainTextByte[c] {
+				break
+			}
+			i++
+		}
+		if i > d.off {
+			d.buf = append(d.buf, d.src[d.off:i]...)
+			d.col += i - d.off
+			d.off = i
+		}
 		r := d.peek()
 		if r < 0 || r == '<' {
 			break
@@ -872,6 +921,21 @@ func (d *Decoder) attribute() (Attr, error) {
 	d.next()
 	d.buf = d.buf[:0]
 	for {
+		// Bulk-copy plain ASCII value bytes (both quote kinds stop the
+		// run; the non-delimiting one is appended by the slow path).
+		i := d.off
+		for i < len(d.src) {
+			c := d.src[i]
+			if c >= 0x80 || !plainAttrByte[c] {
+				break
+			}
+			i++
+		}
+		if i > d.off {
+			d.buf = append(d.buf, d.src[d.off:i]...)
+			d.col += i - d.off
+			d.off = i
+		}
 		r := d.peek()
 		switch {
 		case r < 0:

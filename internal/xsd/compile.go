@@ -51,7 +51,14 @@ func (s *Schema) CompileParticle(p *Particle) *contentmodel.Particle {
 // itself immutable and safe for concurrent Match calls.
 func (c *ComplexType) Matcher(s *Schema) contentmodel.Matcher {
 	c.compileOnce.Do(func() {
-		c.compiled = contentmodel.Compile(s.CompileParticle(c.Particle))
+		m := contentmodel.Compile(s.CompileParticle(c.Particle))
+		if g, ok := m.(*contentmodel.Glushkov); ok {
+			// Attach the lazy DFA before the matcher is published; it
+			// shares the schema-wide symbol interner with every other
+			// model so transition lookups are a single array index.
+			g.EnableDFA(s.symbols, 0)
+		}
+		c.compiled = m
 	})
 	return c.compiled
 }

@@ -448,7 +448,17 @@ type Schema struct {
 	// anonTypes collects anonymous types in definition order so that
 	// normalization and code generation are deterministic.
 	anonTypes []Type
+
+	// symbols is the schema-wide content-model symbol interner: every
+	// element name across every compiled content model maps to one dense
+	// ID, so the lazy-DFA executors can index transition tables instead of
+	// comparing names.
+	symbols *contentmodel.Interner
 }
+
+// Symbols returns the schema-wide symbol interning table shared by every
+// content model compiled from this schema.
+func (s *Schema) Symbols() *contentmodel.Interner { return s.symbols }
 
 // NewSchema creates an empty schema with the built-in types preloaded.
 func NewSchema(targetNS string) *Schema {
@@ -460,6 +470,7 @@ func NewSchema(targetNS string) *Schema {
 		AttributeGroups:     map[QName]*AttributeGroupDef{},
 		Attributes:          map[QName]*AttributeDecl{},
 		substitutionMembers: map[QName][]*ElementDecl{},
+		symbols:             contentmodel.NewInterner(),
 	}
 	for _, name := range xsdtypes.Names() {
 		b, _ := xsdtypes.Lookup(name)
