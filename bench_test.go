@@ -7,7 +7,13 @@ package repro
 // validation at run-time", which V-DOM removes.
 
 import (
+	"bytes"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -16,7 +22,9 @@ import (
 	"repro/internal/gen/pogen"
 	"repro/internal/normalize"
 	"repro/internal/pxml"
+	"repro/internal/registry"
 	"repro/internal/schemas"
+	"repro/internal/server"
 	"repro/internal/stringgen"
 	"repro/internal/validator"
 	"repro/internal/vdom"
@@ -698,5 +706,72 @@ func BenchmarkE10_ParseValidateRelease(b *testing.B) {
 				b.Fatal(res.Err())
 			}
 		}
+	})
+}
+
+// ---------------------------------------------------------------------------
+// E11 — service throughput: the HTTP validation endpoints end to end.
+// ---------------------------------------------------------------------------
+
+// BenchmarkE11_ServerValidate measures what a client of xsdserved actually
+// pays: HTTP request + body transfer + validation + JSON verdict, against
+// a warm registry (schemas compiled once, content-model caches hot). The
+// DOM/stream split shows how much of the per-request cost is tree
+// materialization once the transport overhead is shared; bytes/op is the
+// request body size, so the sweep over item counts reads as throughput
+// scaling.
+func BenchmarkE11_ServerValidate(b *testing.B) {
+	dir := b.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "po.xsd"), []byte(schemas.PurchaseOrderXSD), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	reg := registry.New(dir, nil)
+	if _, err := reg.Reload(); err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(server.Config{Registry: reg}).Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	post := func(b *testing.B, url string, src []byte) {
+		b.Helper()
+		resp, err := client.Post(url, "application/xml", bytes.NewReader(src))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+	for _, n := range []int{1, 100, 1000} {
+		src := largePOSource(n)
+		for _, mode := range []struct{ name, query string }{
+			{"dom", ""},
+			{"stream", "?stream=1"},
+		} {
+			url := ts.URL + "/v1/validate/po" + mode.query
+			b.Run(fmt.Sprintf("%s/items=%d", mode.name, n), func(b *testing.B) {
+				b.ReportAllocs()
+				b.SetBytes(int64(len(src)))
+				for i := 0; i < b.N; i++ {
+					post(b, url, src)
+				}
+			})
+		}
+	}
+	// The concurrent shape: many clients against one warm server, the
+	// limiter admitting up to 4×GOMAXPROCS validations at once.
+	src := largePOSource(100)
+	url := ts.URL + "/v1/validate/po"
+	b.Run("dom/items=100/parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(src)))
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				post(b, url, src)
+			}
+		})
 	})
 }

@@ -1,0 +1,138 @@
+// Command xsdserved is the long-running validation service: a schema
+// registry served over HTTP, so consumers stop shelling out to xsdcheck
+// per document and instead POST documents at a warm, concurrent,
+// load-shedding validator — the paper's runtime validity guarantee as
+// infrastructure.
+//
+// Usage:
+//
+//	xsdserved -schemas ./schemas [-addr 127.0.0.1:8080]
+//
+// Every *.xsd file in -schemas is served by base name:
+//
+//	curl -d @po.xml 'http://127.0.0.1:8080/v1/validate/po'
+//	curl -d @po.xml 'http://127.0.0.1:8080/v1/validate/po?stream=1'
+//	curl 'http://127.0.0.1:8080/v1/schemas'
+//	curl 'http://127.0.0.1:8080/metrics'
+//
+// Schemas hot-reload on an mtime poll (-reload) and on SIGHUP; in-flight
+// requests always finish on the schema version they started with.
+// SIGINT/SIGTERM drain gracefully within -drain. Request logs are
+// JSON-structured on stderr; the bound address is announced on stdout
+// (useful with -addr :0).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/registry"
+	"repro/internal/server"
+	"repro/internal/validator"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+	dir := flag.String("schemas", "", "directory of *.xsd schema files (required)")
+	reloadEvery := flag.Duration("reload", 10*time.Second, "schema-directory poll interval (0 disables polling; SIGHUP still reloads)")
+	maxBody := flag.Int64("max-body", 16<<20, "request body cap in bytes")
+	maxConc := flag.Int("max-concurrent", 0, "concurrent validation limit (0 = 4×GOMAXPROCS); excess load is shed with 429")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request validation deadline")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown budget for in-flight requests")
+	nodfa := flag.Bool("nodfa", false, "disable the lazy-DFA content-model executor (NFA stepping)")
+	flag.Parse()
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "usage: xsdserved -schemas dir [-addr host:port]")
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+
+	metrics := &obs.Metrics{}
+	reg := registry.New(*dir, &validator.Options{DisableDFA: *nodfa})
+	reg.OnReload = func(gen int64, changed int, err error) {
+		metrics.Reloads.Inc()
+		switch {
+		case err != nil:
+			metrics.ReloadErrors.Inc()
+			logger.Warn("reload", "generation", gen, "changed", changed, "err", err.Error())
+		case changed > 0:
+			logger.Info("reload", "generation", gen, "changed", changed)
+		}
+	}
+	if _, err := reg.Reload(); err != nil && len(reg.List()) == 0 {
+		// Per-file errors are tolerated (served as load_errors), but a
+		// start with nothing loadable at all is a misconfiguration.
+		logger.Error("no schemas loadable at startup", "dir", *dir, "err", err.Error())
+		os.Exit(1)
+	}
+	for _, e := range reg.List() {
+		logger.Info("schema loaded", "name", e.Name, "version", e.Version, "path", e.Path)
+	}
+
+	srv := server.New(server.Config{
+		Registry:       reg,
+		Metrics:        metrics,
+		Logger:         logger,
+		MaxBodyBytes:   *maxBody,
+		MaxConcurrent:  *maxConc,
+		RequestTimeout: *timeout,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Error("listen", "addr", *addr, "err", err.Error())
+		os.Exit(1)
+	}
+	// Announced on stdout so wrappers (and the integration test) can
+	// discover an ephemeral port.
+	fmt.Printf("xsdserved listening on %s\n", ln.Addr())
+	logger.Info("listening", "addr", ln.Addr().String(), "schemas", len(reg.List()))
+
+	// SIGHUP kicks an immediate reload through the registry's watcher;
+	// the non-blocking send coalesces a signal burst into one reload.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	kick := make(chan struct{}, 1)
+	go func() {
+		for range hup {
+			select {
+			case kick <- struct{}{}:
+			default:
+			}
+		}
+	}()
+	go reg.Watch(ctx, *reloadEvery, kick)
+
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		logger.Error("serve", "err", err.Error())
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	logger.Info("shutting down", "drain", drain.String())
+	shCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(shCtx); err != nil {
+		logger.Warn("drain incomplete", "err", err.Error())
+		os.Exit(1)
+	}
+	logger.Info("bye")
+}

@@ -117,9 +117,20 @@ func NewPooledDocument() *Document {
 // After Release the document and every node obtained from it (elements,
 // text nodes, attributes, and strings still referenced by them) must not
 // be used; the storage is recycled for unrelated documents.
+//
+// Release is idempotent: calling it again (or calling it on a document
+// that never drew from the arena) is a no-op. This matters on error
+// paths that both defer a Release and release eagerly on success — a
+// double release must never hand the same slab to the pools twice, which
+// would alias one slab's nodes across two live documents. To keep that
+// guarantee even if zeroing panics partway (an impossibility today, but
+// the failure mode is silent cross-document corruption), the arena is
+// detached from the document before any slab is returned.
 func (d *Document) Release() {
-	if d.arena != nil {
-		d.arena.release()
-		d.arena = nil
+	a := d.arena
+	if a == nil {
+		return
 	}
+	d.arena = nil
+	a.release()
 }

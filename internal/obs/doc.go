@@ -1,0 +1,28 @@
+// Package obs provides the serving layer's observability primitives:
+// lock-cheap counters, gauges and latency histograms, aggregated into
+// per-(schema, endpoint) series and exported as plain JSON snapshots.
+// It has no external dependencies — the export format is expvar-style
+// JSON, not a metrics protocol — and nothing on the request hot path
+// takes a lock.
+//
+// The primitives are deliberately minimal:
+//
+//   - Counter and Gauge are single atomic words.
+//   - Histogram buckets latencies into factor-2 exponential buckets from
+//     1µs to ~137s; Observe is a bucket scan plus four atomic adds, and
+//     Snapshot derives p50/p90/p99 by interpolating within the containing
+//     bucket (bounded by the factor-2 resolution, which is what a
+//     "did p99 drift" dashboard needs — not what a benchmark needs; the
+//     E-series benchmarks keep using testing.B).
+//   - Metrics is the process-wide registry: Series(schema, endpoint)
+//     returns the measurement bundle on a sync.Map fast path, and
+//     Snapshot/WriteJSON export everything sorted and diffable.
+//
+// # Role in the pipeline
+//
+// obs sits beside the serving layer (registry → server → obs): package
+// server updates a Series around every validation request and serves
+// WriteJSON at /metrics, and the xsdserved integration test asserts the
+// exported counts match the load it drove. Nothing below the serving
+// layer (validator, contentmodel, dom) depends on it.
+package obs

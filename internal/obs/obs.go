@@ -1,0 +1,249 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing event count. The zero value is
+// ready to use; Add and Load are single atomic operations, so counters on
+// the request hot path cost a few nanoseconds and never contend on a lock.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current count.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous level (e.g. in-flight requests). Unlike
+// Counter it can go down.
+type Gauge struct{ v atomic.Int64 }
+
+// Inc raises the gauge by one and returns the new level.
+func (g *Gauge) Inc() int64 { return g.v.Add(1) }
+
+// Dec lowers the gauge by one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Load returns the current level.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Histogram bucket layout: exponential, factor-2 buckets starting at
+// 1µs. Bucket i covers (bounds[i-1], bounds[i]] nanoseconds; the last
+// slot collects everything above the top bound (~137s). 28 buckets span
+// every latency a validation request can plausibly have while keeping a
+// histogram at 30 words — cheap enough for one per schema × endpoint.
+const numBuckets = 28
+
+// bucketBounds returns the upper bound of bucket i in nanoseconds.
+func bucketBound(i int) int64 { return int64(1000) << uint(i) }
+
+// Histogram records a latency distribution with lock-free atomic bucket
+// counters. The zero value is ready to use. Observations and snapshots
+// may race benignly: a snapshot taken mid-Observe misses at most the
+// in-flight samples, it never tears a value.
+type Histogram struct {
+	counts [numBuckets + 1]atomic.Int64
+	sum    atomic.Int64 // total observed ns
+	count  atomic.Int64
+	max    atomic.Int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	i := 0
+	for i < numBuckets && ns > bucketBound(i) {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(ns)
+	h.count.Add(1)
+	for {
+		old := h.max.Load()
+		if ns <= old || h.max.CompareAndSwap(old, ns) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// HistogramSnapshot is a consistent-enough copy of a histogram with
+// derived quantiles, shaped for JSON export.
+type HistogramSnapshot struct {
+	Count  int64   `json:"count"`
+	MeanNs float64 `json:"mean_ns"`
+	MaxNs  int64   `json:"max_ns"`
+	P50Ns  int64   `json:"p50_ns"`
+	P90Ns  int64   `json:"p90_ns"`
+	P99Ns  int64   `json:"p99_ns"`
+}
+
+// Snapshot copies the histogram and derives its summary quantiles.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var counts [numBuckets + 1]int64
+	var total int64
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	s := HistogramSnapshot{Count: total, MaxNs: h.max.Load()}
+	if total == 0 {
+		return s
+	}
+	s.MeanNs = float64(h.sum.Load()) / float64(total)
+	s.P50Ns = quantile(&counts, total, s.MaxNs, 0.50)
+	s.P90Ns = quantile(&counts, total, s.MaxNs, 0.90)
+	s.P99Ns = quantile(&counts, total, s.MaxNs, 0.99)
+	return s
+}
+
+// quantile estimates the q-quantile from bucket counts by linear
+// interpolation within the containing bucket. Estimates are bounded by
+// the bucket resolution (a factor of 2), which is plenty for "is p99
+// drifting" dashboards; the overflow bucket reports the observed max.
+func quantile(counts *[numBuckets + 1]int64, total int64, maxNs int64, q float64) int64 {
+	rank := int64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var cum int64
+	for i := 0; i <= numBuckets; i++ {
+		if counts[i] == 0 {
+			continue
+		}
+		cum += counts[i]
+		if cum > rank {
+			if i == numBuckets {
+				return maxNs
+			}
+			lo := int64(0)
+			if i > 0 {
+				lo = bucketBound(i - 1)
+			}
+			hi := bucketBound(i)
+			if hi > maxNs && maxNs > lo {
+				hi = maxNs // never report above the observed max
+			}
+			// Position of the rank within this bucket's count.
+			inBucket := rank - (cum - counts[i])
+			return lo + (hi-lo)*(inBucket+1)/counts[i]
+		}
+	}
+	return maxNs
+}
+
+// Series is the per-(schema, endpoint) measurement bundle the server
+// updates on every request. All fields are independently atomic; there is
+// no per-request lock anywhere in the package.
+type Series struct {
+	Schema   string
+	Endpoint string
+
+	Requests Counter // requests that reached a validator
+	Invalid  Counter // completed validations with a non-empty violation list
+	Errors   Counter // requests that failed before/without a verdict (4xx/5xx)
+	Shed     Counter // requests rejected by the concurrency limiter (429)
+	Latency  Histogram
+}
+
+// Metrics is the process-wide registry of measurement series, keyed by
+// (schema, endpoint). Lookup is a sync.Map read on the hot path; series
+// are created on first use and never removed (the key space — schemas ×
+// endpoints — is small and bounded by the schema registry).
+type Metrics struct {
+	series sync.Map // seriesKey -> *Series
+
+	// Reloads counts registry swap attempts observed by the process;
+	// ReloadErrors the ones that failed. InFlight is the live request
+	// level, exported so load tests can see the limiter working.
+	Reloads      Counter
+	ReloadErrors Counter
+	InFlight     Gauge
+}
+
+type seriesKey struct{ schema, endpoint string }
+
+// Series returns the measurement bundle for (schema, endpoint), creating
+// it on first use.
+func (m *Metrics) Series(schema, endpoint string) *Series {
+	k := seriesKey{schema, endpoint}
+	if s, ok := m.series.Load(k); ok {
+		return s.(*Series)
+	}
+	s, _ := m.series.LoadOrStore(k, &Series{Schema: schema, Endpoint: endpoint})
+	return s.(*Series)
+}
+
+// SeriesSnapshot is one exported series.
+type SeriesSnapshot struct {
+	Schema   string            `json:"schema"`
+	Endpoint string            `json:"endpoint"`
+	Requests int64             `json:"requests"`
+	Invalid  int64             `json:"invalid"`
+	Errors   int64             `json:"errors"`
+	Shed     int64             `json:"shed"`
+	Latency  HistogramSnapshot `json:"latency"`
+}
+
+// Snapshot is a point-in-time JSON-marshalable view of every series plus
+// the process-level counters.
+type Snapshot struct {
+	Reloads      int64            `json:"reloads"`
+	ReloadErrors int64            `json:"reload_errors"`
+	InFlight     int64            `json:"in_flight"`
+	Series       []SeriesSnapshot `json:"series"`
+}
+
+// Snapshot captures every series. Series are sorted by (schema, endpoint)
+// so exports are diffable.
+func (m *Metrics) Snapshot() *Snapshot {
+	snap := &Snapshot{
+		Reloads:      m.Reloads.Load(),
+		ReloadErrors: m.ReloadErrors.Load(),
+		InFlight:     m.InFlight.Load(),
+	}
+	m.series.Range(func(_, v any) bool {
+		s := v.(*Series)
+		snap.Series = append(snap.Series, SeriesSnapshot{
+			Schema:   s.Schema,
+			Endpoint: s.Endpoint,
+			Requests: s.Requests.Load(),
+			Invalid:  s.Invalid.Load(),
+			Errors:   s.Errors.Load(),
+			Shed:     s.Shed.Load(),
+			Latency:  s.Latency.Snapshot(),
+		})
+		return true
+	})
+	sort.Slice(snap.Series, func(i, j int) bool {
+		a, b := snap.Series[i], snap.Series[j]
+		if a.Schema != b.Schema {
+			return a.Schema < b.Schema
+		}
+		return a.Endpoint < b.Endpoint
+	})
+	return snap
+}
+
+// WriteJSON writes the current snapshot as indented JSON — the payload of
+// the server's /metrics endpoint (expvar-style: plain JSON, no external
+// metrics protocol).
+func (m *Metrics) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m.Snapshot())
+}

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 1000 observations spread uniformly over 1ms..100ms: the quantile
+	// estimates must land within a factor-2 bucket of the true values.
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * 100 * time.Microsecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("count = %d, want 1000", s.Count)
+	}
+	if s.MaxNs != int64(100*time.Millisecond) {
+		t.Errorf("max = %d, want %d", s.MaxNs, int64(100*time.Millisecond))
+	}
+	check := func(name string, got, trueVal int64) {
+		t.Helper()
+		if got < trueVal/2 || got > trueVal*2 {
+			t.Errorf("%s = %dns, want within factor 2 of %dns", name, got, trueVal)
+		}
+	}
+	check("p50", s.P50Ns, int64(50*time.Millisecond))
+	check("p90", s.P90Ns, int64(90*time.Millisecond))
+	check("p99", s.P99Ns, int64(99*time.Millisecond))
+	if s.P50Ns > s.P90Ns || s.P90Ns > s.P99Ns {
+		t.Errorf("quantiles not monotone: p50=%d p90=%d p99=%d", s.P50Ns, s.P90Ns, s.P99Ns)
+	}
+	if s.P99Ns > s.MaxNs {
+		t.Errorf("p99 %d above observed max %d", s.P99Ns, s.MaxNs)
+	}
+}
+
+func TestHistogramEmptyAndOverflow(t *testing.T) {
+	var h Histogram
+	if s := h.Snapshot(); s.Count != 0 || s.P99Ns != 0 {
+		t.Fatalf("empty snapshot not zero: %+v", s)
+	}
+	// Beyond the top bucket bound: the overflow bucket reports the max.
+	h.Observe(10 * time.Minute)
+	if s := h.Snapshot(); s.P99Ns != int64(10*time.Minute) {
+		t.Errorf("overflow p99 = %d, want observed max %d", s.P99Ns, int64(10*time.Minute))
+	}
+}
+
+func TestMetricsConcurrent(t *testing.T) {
+	var m Metrics
+	const goroutines, rounds = 8, 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				s := m.Series("po", "dom")
+				s.Requests.Inc()
+				s.Latency.Observe(time.Millisecond)
+				m.Series("po", "stream").Requests.Inc()
+				m.InFlight.Inc()
+				m.InFlight.Dec()
+			}
+		}()
+	}
+	wg.Wait()
+	snap := m.Snapshot()
+	if len(snap.Series) != 2 {
+		t.Fatalf("series count = %d, want 2", len(snap.Series))
+	}
+	// Sorted by endpoint within the schema: dom before stream.
+	if snap.Series[0].Endpoint != "dom" || snap.Series[1].Endpoint != "stream" {
+		t.Fatalf("series not sorted: %+v", snap.Series)
+	}
+	want := int64(goroutines * rounds)
+	if snap.Series[0].Requests != want || snap.Series[0].Latency.Count != want {
+		t.Errorf("dom series lost updates: %+v", snap.Series[0])
+	}
+	if snap.InFlight != 0 {
+		t.Errorf("in-flight gauge = %d after balanced inc/dec", snap.InFlight)
+	}
+}
+
+func TestWriteJSONRoundTrips(t *testing.T) {
+	var m Metrics
+	s := m.Series("po", "dom")
+	s.Requests.Add(3)
+	s.Invalid.Inc()
+	s.Latency.Observe(2 * time.Millisecond)
+	m.Reloads.Inc()
+
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if snap.Reloads != 1 || len(snap.Series) != 1 || snap.Series[0].Requests != 3 || snap.Series[0].Invalid != 1 {
+		t.Errorf("round-tripped snapshot diverged: %+v", snap)
+	}
+}

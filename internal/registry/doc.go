@@ -1,0 +1,34 @@
+// Package registry serves named, versioned, compiled XML Schemas loaded
+// from a directory, with atomic hot-swap on change — the schema-evolution
+// story of the paper's §5 (naming stability across schema versions)
+// operationalized for a long-running validation service.
+//
+// Each *.xsd file in the directory becomes one Entry keyed by its base
+// name, carrying the parsed xsd.Schema, a shared validator.Validator
+// (whose compiled content-model cache is warm for the entry's lifetime),
+// and a monotonically increasing per-name Version.
+//
+// # Swap protocol
+//
+// The registry's whole state is one immutable snapshot behind an
+// atomic.Pointer. Readers (Get, List, Errors, Generation) are wait-free:
+// one atomic load, then plain reads of immutable data. Reload builds the
+// next snapshot entirely aside — reusing the Entry (and its warm caches)
+// for files whose (ModTime, Size) is unchanged, parsing and compiling
+// changed files before anything is published — and then swaps the
+// pointer. There is no state a reader can observe half-updated, and an
+// in-flight validation that already resolved an Entry drains on the old
+// version untouched; its Validator is reclaimed by the garbage collector
+// once the last request lets go. A file that fails to parse keeps its
+// previous good version serving and reports through Errors.
+//
+// Watch polls on an interval and on a kick channel (the xsdserved binary
+// wires SIGHUP into it); there is deliberately no fsnotify dependency.
+//
+// # Role in the pipeline
+//
+// registry is the bottom of the serving layer (registry → server → obs):
+// package server resolves every request's schema through Get, and the
+// hot-swap race test in this package is the serving-layer counterpart of
+// the validator's concurrency suite.
+package registry

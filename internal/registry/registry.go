@@ -1,0 +1,268 @@
+package registry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/validator"
+	"repro/internal/xsd"
+)
+
+// Entry is one named, versioned, compiled schema. Entries are immutable
+// after publication: a reload that changes a schema publishes a new Entry
+// rather than mutating the old one, so a request that resolved an Entry
+// keeps a consistent (schema, validator, version) triple for its whole
+// lifetime no matter how many swaps happen meanwhile.
+type Entry struct {
+	// Name is the registry key: the schema file's base name without the
+	// .xsd extension ("po.xsd" serves as "po").
+	Name string
+	// Version starts at 1 and increments every time the file's content is
+	// observed to have changed. It survives transient load errors (a bad
+	// intermediate write does not reset the sequence).
+	Version int
+	// Path, ModTime and Size identify the file state this entry was
+	// compiled from; an unchanged (ModTime, Size) pair short-circuits
+	// recompilation on reload, which is what keeps the validator's
+	// compiled content-model cache warm across no-op reloads.
+	Path    string
+	ModTime time.Time
+	Size    int64
+	// LoadedAt is when this version was compiled.
+	LoadedAt time.Time
+
+	Schema    *xsd.Schema
+	Validator *validator.Validator
+	Stream    *validator.StreamValidator
+}
+
+// snapshot is one immutable registry state. Readers load it with a single
+// atomic pointer read; Reload builds a fresh one aside and publishes it
+// with a single atomic store, so there is no state a reader can observe
+// half-swapped.
+type snapshot struct {
+	gen     int64
+	entries map[string]*Entry
+	names   []string          // sorted keys of entries
+	errs    map[string]string // name -> last load error (entry may still serve stale)
+}
+
+var emptySnapshot = &snapshot{entries: map[string]*Entry{}, errs: map[string]string{}}
+
+// Registry serves named schemas loaded from one directory and hot-swaps
+// them when the files change. Get/List/Errors are wait-free snapshot
+// reads; Reload is serialized by a mutex and publishes atomically.
+//
+// Old versions are drained, not torn down: an Entry stays alive for as
+// long as any in-flight request references it, and its Validator's
+// compiled-model cache goes away only when the garbage collector proves
+// nobody can use it again. A schema file that fails to parse keeps its
+// previous good version serving and surfaces the error via Errors.
+type Registry struct {
+	dir   string
+	vopts *validator.Options
+
+	mu  sync.Mutex // serializes Reload
+	cur atomic.Pointer[snapshot]
+
+	// OnReload, when set before the first Reload/Watch call, observes
+	// every reload attempt (generation, number of changed entries, and
+	// the aggregated load error, nil when clean). The server uses it for
+	// structured logging and reload metrics.
+	OnReload func(gen int64, changed int, err error)
+}
+
+// New creates a registry over dir. The validator options are applied to
+// every compiled schema (nil selects the defaults). The registry starts
+// empty; call Reload to perform the initial load.
+func New(dir string, vopts *validator.Options) *Registry {
+	r := &Registry{dir: dir, vopts: vopts}
+	r.cur.Store(emptySnapshot)
+	return r
+}
+
+// Dir returns the directory the registry loads from.
+func (r *Registry) Dir() string { return r.dir }
+
+// Get returns the current entry for name. The returned entry remains
+// valid (and its validator usable) even if a reload replaces it while the
+// caller is still validating — that is the drain guarantee.
+func (r *Registry) Get(name string) (*Entry, bool) {
+	e, ok := r.cur.Load().entries[name]
+	return e, ok
+}
+
+// List returns the current entries sorted by name.
+func (r *Registry) List() []*Entry {
+	s := r.cur.Load()
+	out := make([]*Entry, 0, len(s.names))
+	for _, n := range s.names {
+		out = append(out, s.entries[n])
+	}
+	return out
+}
+
+// Errors returns the last load error per schema name, for names whose
+// most recent file state failed to parse or compile. A name present here
+// may still be served from its previous good version.
+func (r *Registry) Errors() map[string]string {
+	s := r.cur.Load()
+	out := make(map[string]string, len(s.errs))
+	for k, v := range s.errs {
+		out[k] = v
+	}
+	return out
+}
+
+// Generation returns the published snapshot's generation, which
+// increments on every Reload (including no-op ones). Tests and the
+// integration harness use it to await a swap.
+func (r *Registry) Generation() int64 { return r.cur.Load().gen }
+
+// Reload rescans the directory and atomically publishes a new snapshot.
+// Unchanged files (same ModTime and Size) keep their existing Entry —
+// same Validator, same warm compiled-model cache. Changed or new files
+// are parsed and compiled aside before the swap, so readers never see a
+// partially-loaded state. The returned count is the number of entries
+// added, replaced or removed; the error aggregates per-file failures
+// (which do not prevent the other files from loading).
+func (r *Registry) Reload() (changed int, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	old := r.cur.Load()
+	next := &snapshot{
+		gen:     old.gen + 1,
+		entries: make(map[string]*Entry, len(old.entries)),
+		errs:    map[string]string{},
+	}
+
+	dirents, derr := os.ReadDir(r.dir)
+	if derr != nil {
+		// Directory unreadable: keep serving the old set, bump nothing.
+		if r.OnReload != nil {
+			r.OnReload(old.gen, 0, derr)
+		}
+		return 0, derr
+	}
+
+	var errs []error
+	seen := map[string]bool{}
+	for _, de := range dirents {
+		name := de.Name()
+		if de.IsDir() || !strings.HasSuffix(name, ".xsd") {
+			continue
+		}
+		key := strings.TrimSuffix(name, ".xsd")
+		seen[key] = true
+		path := filepath.Join(r.dir, name)
+		info, ierr := de.Info()
+		if ierr != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", key, ierr))
+			r.keepStale(old, next, key, ierr)
+			continue
+		}
+		prev := old.entries[key]
+		if prev != nil && prev.ModTime.Equal(info.ModTime()) && prev.Size == info.Size() {
+			next.entries[key] = prev // unchanged: keep the warm validator
+			continue
+		}
+		entry, lerr := r.load(key, path, info)
+		if lerr != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", key, lerr))
+			r.keepStale(old, next, key, lerr)
+			continue
+		}
+		if prev != nil {
+			entry.Version = prev.Version + 1
+		}
+		next.entries[key] = entry
+		changed++
+	}
+	for key := range old.entries {
+		if !seen[key] {
+			changed++ // removed from disk: removed from serving
+		}
+	}
+
+	next.names = make([]string, 0, len(next.entries))
+	for k := range next.entries {
+		next.names = append(next.names, k)
+	}
+	sort.Strings(next.names)
+
+	r.cur.Store(next)
+	err = errors.Join(errs...)
+	if r.OnReload != nil {
+		r.OnReload(next.gen, changed, err)
+	}
+	return changed, err
+}
+
+// keepStale carries a previously-good entry into the next snapshot when
+// its file's current state is unloadable, and records the error.
+func (r *Registry) keepStale(old, next *snapshot, key string, err error) {
+	if prev := old.entries[key]; prev != nil {
+		next.entries[key] = prev
+	}
+	next.errs[key] = err.Error()
+}
+
+// load reads, parses and compiles one schema file into a fresh Entry.
+func (r *Registry) load(key, path string, info os.FileInfo) (*Entry, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	schema, err := xsd.Parse(src, nil)
+	if err != nil {
+		return nil, err
+	}
+	v := validator.New(schema, r.vopts)
+	return &Entry{
+		Name:      key,
+		Version:   1,
+		Path:      path,
+		ModTime:   info.ModTime(),
+		Size:      info.Size(),
+		LoadedAt:  time.Now(),
+		Schema:    schema,
+		Validator: v,
+		Stream:    v.Stream(),
+	}, nil
+}
+
+// Watch reloads on a fixed interval and whenever kick delivers (the
+// binary wires SIGHUP into kick), until ctx is cancelled. There is no
+// fsnotify dependency: mtime polling is portable and one stat per schema
+// per interval is free at this scale. Reload errors are reported through
+// OnReload and the next tick tries again.
+func (r *Registry) Watch(ctx context.Context, interval time.Duration, kick <-chan struct{}) {
+	var tick <-chan time.Time
+	if interval > 0 {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick:
+		case _, ok := <-kick:
+			if !ok {
+				kick = nil
+				continue
+			}
+		}
+		r.Reload() //nolint:errcheck // surfaced via OnReload and Errors
+	}
+}

@@ -1,0 +1,41 @@
+// Package server is the HTTP face of the validation service: it turns
+// the registry's compiled validators into network endpoints with the
+// protections a long-running, shared service needs — body caps,
+// per-request deadlines, load shedding and metrics — while keeping the
+// library's verdict semantics exactly.
+//
+// # Endpoints
+//
+//	POST /v1/validate/{schema}          validate the body (DOM path)
+//	POST /v1/validate/{schema}?stream=1 validate incrementally (O(depth))
+//	GET  /v1/schemas                    registry contents + load errors
+//	GET  /healthz                       liveness (503 when nothing loaded)
+//	GET  /metrics                       obs JSON snapshot
+//
+// A 200 always carries a verdict: valid:true, or valid:false with the
+// violation list (malformed XML is a verdict too, mirroring
+// validator.ValidateBytes). Non-200s mean no verdict was produced:
+// 404 unknown schema, 413 body over the cap, 429 shed by the
+// concurrency limiter (with Retry-After), 504 deadline exceeded.
+//
+// # Backpressure
+//
+// Admission is a semaphore sized by Config.MaxConcurrent. A request that
+// cannot get a slot is rejected immediately with 429 — before its body
+// is read — rather than queued: under sustained overload a queue only
+// converts overload into latency for everyone. Each admitted request's
+// validation runs in a worker goroutine; when the per-request deadline
+// fires while the worker is parked in a blocked body read, the handler
+// pokes the connection's read deadline (http.ResponseController) to fail
+// that read, collects the worker, and answers 504. The worker holds the
+// semaphore slot until its validation truly stops, so a slowloris client
+// cannot make the limiter overadmit.
+//
+// # Role in the pipeline
+//
+// server is the middle of the serving layer (registry → server → obs):
+// it resolves schemas through registry.Get — inheriting the hot-swap
+// drain guarantee, an in-flight request finishes on the version it
+// resolved — and records every request into an obs.Metrics. cmd/xsdserved
+// wires it to flags, signals and graceful shutdown.
+package server

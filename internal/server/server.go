@@ -1,0 +1,380 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"runtime"
+	"time"
+
+	"repro/internal/dom"
+	"repro/internal/obs"
+	"repro/internal/registry"
+	"repro/internal/validator"
+)
+
+// Config tunes the validation service. The zero value of every field
+// selects a production-safe default; only Registry is required.
+type Config struct {
+	// Registry resolves schema names to compiled validators. Required.
+	Registry *registry.Registry
+	// Metrics receives per-request measurements. Nil allocates a private
+	// one (exported at /metrics either way).
+	Metrics *obs.Metrics
+	// Logger receives structured request logs. Nil disables logging.
+	Logger *slog.Logger
+	// MaxBodyBytes caps request bodies (http.MaxBytesReader). Zero means
+	// 16 MiB. Oversized bodies get 413 without being read to the end.
+	MaxBodyBytes int64
+	// MaxConcurrent bounds simultaneously-running validations; arrivals
+	// beyond it are shed immediately with 429 + Retry-After rather than
+	// queued (queueing under overload only converts overload into
+	// latency). Zero means 4 × GOMAXPROCS — validation is CPU-bound, so
+	// a small multiple keeps cores busy through the read/parse phases
+	// without letting work pile up.
+	MaxConcurrent int
+	// RequestTimeout is the per-request validation deadline. Zero means
+	// 30 seconds.
+	RequestTimeout time.Duration
+}
+
+// Server is the HTTP validation service: request routing, body caps,
+// deadlines, load shedding and metrics around the registry's validators.
+// Create one with New and mount Handler on an http.Server.
+type Server struct {
+	reg     *registry.Registry
+	metrics *obs.Metrics
+	log     *slog.Logger
+	maxBody int64
+	timeout time.Duration
+	sem     chan struct{}
+	mux     *http.ServeMux
+}
+
+// New assembles the service from cfg.
+func New(cfg Config) *Server {
+	if cfg.Registry == nil {
+		panic("server: Config.Registry is required")
+	}
+	m := cfg.Metrics
+	if m == nil {
+		m = &obs.Metrics{}
+	}
+	maxBody := cfg.MaxBodyBytes
+	if maxBody <= 0 {
+		maxBody = 16 << 20
+	}
+	maxConc := cfg.MaxConcurrent
+	if maxConc <= 0 {
+		maxConc = 4 * runtime.GOMAXPROCS(0)
+	}
+	timeout := cfg.RequestTimeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	s := &Server{
+		reg:     cfg.Registry,
+		metrics: m,
+		log:     cfg.Logger,
+		maxBody: maxBody,
+		timeout: timeout,
+		sem:     make(chan struct{}, maxConc),
+		mux:     http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /v1/validate/{schema}", s.handleValidate)
+	s.mux.HandleFunc("GET /v1/schemas", s.handleSchemas)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Metrics returns the server's metrics registry (the one /metrics
+// exports), so the binary can feed reload counters into it.
+func (s *Server) Metrics() *obs.Metrics { return s.metrics }
+
+// Handler returns the root handler: the route mux wrapped in request
+// logging.
+func (s *Server) Handler() http.Handler {
+	if s.log == nil {
+		return s.mux
+	}
+	return s.logging(s.mux)
+}
+
+// statusWriter records the response code for the request log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// Unwrap lets http.ResponseController reach the underlying writer (the
+// deadline-poke in handleValidate needs the real connection).
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+func (s *Server) logging(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		s.log.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"query", r.URL.RawQuery,
+			"status", sw.status,
+			"remote", r.RemoteAddr,
+			"dur_ms", float64(time.Since(start).Microseconds())/1000)
+	})
+}
+
+// --- response shapes ---
+
+type violationJSON struct {
+	Path string `json:"path"`
+	Msg  string `json:"msg"`
+}
+
+type validateResponse struct {
+	Schema        string          `json:"schema"`
+	SchemaVersion int             `json:"schema_version"`
+	Mode          string          `json:"mode"`
+	Valid         bool            `json:"valid"`
+	Violations    []violationJSON `json:"violations,omitempty"`
+	ElapsedNs     int64           `json:"elapsed_ns"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // client gone; nothing to do
+}
+
+// outcome is what the validation worker goroutine reports back to the
+// handler. code/errMsg are set for failures that never reached a verdict.
+type outcome struct {
+	res    *validator.Result
+	code   int
+	errMsg string
+}
+
+// handleValidate runs POST /v1/validate/{schema}[?stream=1].
+//
+// The verdict contract matches the library: a well-formed document that
+// violates the schema is a 200 with valid:false (validation succeeded,
+// the document didn't), and — like validator.ValidateBytes — a malformed
+// document is a 200 with valid:false carrying the parse error as its one
+// violation. Non-200s mean the service couldn't produce a verdict:
+// unknown schema (404), body over the cap (413), shed load (429),
+// deadline (504).
+func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("schema")
+	entry, ok := s.reg.Get(name)
+	if !ok {
+		// No metrics series for unknown names: the series key space must
+		// stay bounded by the registry, not by what clients probe for.
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("unknown schema %q", name)})
+		return
+	}
+	mode := "dom"
+	if r.URL.Query().Get("stream") == "1" {
+		mode = "stream"
+	}
+	series := s.metrics.Series(name, mode)
+
+	// Load shedding: a full semaphore means every validation slot is
+	// busy. Reject now — cheaply, before touching the body — so the
+	// client can back off and retry against a server that isn't drowning.
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		series.Shed.Inc()
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "server at concurrency limit, retry later"})
+		return
+	}
+	s.metrics.InFlight.Inc()
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+	defer cancel()
+	body := http.MaxBytesReader(w, r.Body, s.maxBody)
+	start := time.Now()
+
+	// The validation itself runs in a worker goroutine so the handler
+	// stays responsive to the deadline even while the worker sits in a
+	// blocked body Read (a slow client). The worker — not the handler —
+	// releases the semaphore, so a timed-out request keeps occupying its
+	// slot until its validation actually stops; shedding stays honest
+	// under slowloris load.
+	outc := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			s.metrics.InFlight.Dec()
+			<-s.sem
+			if p := recover(); p != nil {
+				outc <- outcome{code: http.StatusInternalServerError, errMsg: fmt.Sprintf("validator panic: %v", p)}
+			}
+		}()
+		outc <- s.runValidation(ctx, entry, mode, body)
+	}()
+
+	var out outcome
+	select {
+	case out = <-outc:
+	case <-ctx.Done():
+		// Deadline while the worker may be parked in a body Read. That
+		// Read must not outlive this handler — net/http's connection
+		// bookkeeping deadlocks if r.Body is still being read when
+		// ServeHTTP returns — so poke the connection's read deadline to
+		// fail the pending Read, then collect the worker. It surfaces
+		// within microseconds; whatever it produced, the request is
+		// answered as timed out.
+		http.NewResponseController(w).SetReadDeadline(time.Now()) //nolint:errcheck // best effort; h1 and h2 both support it
+		<-outc
+		out = outcome{code: http.StatusGatewayTimeout, errMsg: "validation deadline exceeded"}
+	}
+
+	if out.code != 0 {
+		series.Errors.Inc()
+		writeJSON(w, out.code, errorResponse{Error: out.errMsg})
+		return
+	}
+	series.Requests.Inc()
+	series.Latency.Observe(time.Since(start))
+	if !out.res.OK() {
+		series.Invalid.Inc()
+	}
+	resp := validateResponse{
+		Schema:        entry.Name,
+		SchemaVersion: entry.Version,
+		Mode:          mode,
+		Valid:         out.res.OK(),
+		ElapsedNs:     int64(time.Since(start)),
+	}
+	for _, v := range out.res.Violations {
+		resp.Violations = append(resp.Violations, violationJSON{Path: v.Path, Msg: v.Msg})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// capTracker notes whether a read failed because http.MaxBytesReader
+// tripped. The streaming decoder folds reader errors into its parse
+// verdict, so without this the DOM and stream paths would answer an
+// oversized body differently (413 vs a violation quoting the transport
+// error); the tracker lets the stream path give the same 413.
+type capTracker struct {
+	r   io.Reader
+	hit bool
+}
+
+func (c *capTracker) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			c.hit = true
+		}
+	}
+	return n, err
+}
+
+// runValidation produces a verdict through the requested path.
+func (s *Server) runValidation(ctx context.Context, entry *registry.Entry, mode string, body io.Reader) outcome {
+	if mode == "stream" {
+		tracked := &capTracker{r: body}
+		res, err := entry.Stream.ValidateReaderContext(ctx, tracked)
+		if tracked.hit {
+			return outcome{code: http.StatusRequestEntityTooLarge,
+				errMsg: fmt.Sprintf("request body exceeds the %d-byte limit", s.maxBody)}
+		}
+		if err != nil {
+			// Deadline/cancel mid-stream; the handler's select arm has
+			// (or will) put the 504 on the wire.
+			return outcome{code: http.StatusGatewayTimeout, errMsg: "validation deadline exceeded"}
+		}
+		return outcome{res: res}
+	}
+	data, err := io.ReadAll(body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return outcome{code: http.StatusRequestEntityTooLarge,
+				errMsg: fmt.Sprintf("request body exceeds the %d-byte limit", tooBig.Limit)}
+		}
+		return outcome{code: http.StatusBadRequest, errMsg: fmt.Sprintf("reading request body: %v", err)}
+	}
+	if ctx.Err() != nil {
+		return outcome{code: http.StatusGatewayTimeout, errMsg: "validation deadline exceeded"}
+	}
+	doc, perr := dom.Parse(data)
+	if perr != nil {
+		// Library parity (validator.ValidateBytes): malformedness is the
+		// verdict, not a transport error.
+		return outcome{res: &validator.Result{Violations: []validator.Violation{{Path: "/", Msg: perr.Error()}}}}
+	}
+	res := entry.Validator.ValidateDocument(doc)
+	doc.Release()
+	return outcome{res: res}
+}
+
+// --- introspection endpoints ---
+
+type schemaInfo struct {
+	Name     string    `json:"name"`
+	Version  int       `json:"version"`
+	LoadedAt time.Time `json:"loaded_at"`
+	Path     string    `json:"path"`
+}
+
+type schemasResponse struct {
+	Generation int64             `json:"generation"`
+	Schemas    []schemaInfo      `json:"schemas"`
+	LoadErrors map[string]string `json:"load_errors,omitempty"`
+}
+
+func (s *Server) handleSchemas(w http.ResponseWriter, _ *http.Request) {
+	resp := schemasResponse{Generation: s.reg.Generation(), Schemas: []schemaInfo{}}
+	for _, e := range s.reg.List() {
+		resp.Schemas = append(resp.Schemas, schemaInfo{
+			Name: e.Name, Version: e.Version, LoadedAt: e.LoadedAt, Path: e.Path,
+		})
+	}
+	if errs := s.reg.Errors(); len(errs) > 0 {
+		resp.LoadErrors = errs
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type healthResponse struct {
+	Status  string `json:"status"`
+	Schemas int    `json:"schemas"`
+}
+
+// handleHealthz reports liveness plus a degraded flag when the registry
+// serves nothing (an empty or unreadable schema directory): a load
+// balancer should stop routing to an instance that can't validate
+// anything.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	n := len(s.reg.List())
+	if n == 0 {
+		writeJSON(w, http.StatusServiceUnavailable, healthResponse{Status: "no schemas loaded", Schemas: 0})
+		return
+	}
+	writeJSON(w, http.StatusOK, healthResponse{Status: "ok", Schemas: n})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	s.metrics.WriteJSON(w) //nolint:errcheck // client gone; nothing to do
+}

@@ -1,0 +1,324 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/registry"
+	"repro/internal/schemas"
+)
+
+// newTestServer boots a registry over a temp dir holding the paper's
+// purchase-order schema and mounts the service on httptest.
+func newTestServer(t *testing.T, cfg Config) (*httptest.Server, *Server) {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "po.xsd"), []byte(schemas.PurchaseOrderXSD), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reg := registry.New(dir, nil)
+	if _, err := reg.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Registry = reg
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts, s
+}
+
+func postDoc(t *testing.T, url, doc string) (int, validateResponse) {
+	t.Helper()
+	resp, err := http.Post(url, "application/xml", strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var vr validateResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&vr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode, vr
+}
+
+func TestValidateEndpoints(t *testing.T) {
+	ts, s := newTestServer(t, Config{})
+	invalidDoc := strings.Replace(schemas.PurchaseOrderDoc, "<quantity>1</quantity>", "<quantity>9999</quantity>", 1)
+
+	for _, mode := range []string{"dom", "stream"} {
+		url := ts.URL + "/v1/validate/po"
+		if mode == "stream" {
+			url += "?stream=1"
+		}
+		t.Run(mode, func(t *testing.T) {
+			code, vr := postDoc(t, url, schemas.PurchaseOrderDoc)
+			if code != http.StatusOK || !vr.Valid {
+				t.Fatalf("valid doc: code=%d resp=%+v", code, vr)
+			}
+			if vr.Schema != "po" || vr.SchemaVersion != 1 || vr.Mode != mode {
+				t.Errorf("response metadata wrong: %+v", vr)
+			}
+			code, vr = postDoc(t, url, invalidDoc)
+			if code != http.StatusOK || vr.Valid || len(vr.Violations) == 0 {
+				t.Fatalf("invalid doc: code=%d resp=%+v", code, vr)
+			}
+			if !strings.Contains(vr.Violations[0].Path, "quantity") {
+				t.Errorf("violation path %q does not name the quantity element", vr.Violations[0].Path)
+			}
+		})
+	}
+
+	t.Run("malformed is a verdict", func(t *testing.T) {
+		code, vr := postDoc(t, ts.URL+"/v1/validate/po", "<purchaseOrder><unclosed>")
+		if code != http.StatusOK || vr.Valid || len(vr.Violations) != 1 {
+			t.Fatalf("malformed doc: code=%d resp=%+v", code, vr)
+		}
+	})
+
+	t.Run("unknown schema 404", func(t *testing.T) {
+		code, _ := postDoc(t, ts.URL+"/v1/validate/nosuch", schemas.PurchaseOrderDoc)
+		if code != http.StatusNotFound {
+			t.Fatalf("code = %d, want 404", code)
+		}
+	})
+
+	t.Run("schemas listing", func(t *testing.T) {
+		resp, err := http.Get(ts.URL + "/v1/schemas")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var sr schemasResponse
+		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+			t.Fatal(err)
+		}
+		if len(sr.Schemas) != 1 || sr.Schemas[0].Name != "po" || sr.Schemas[0].Version != 1 {
+			t.Fatalf("schemas = %+v", sr)
+		}
+	})
+
+	t.Run("healthz", func(t *testing.T) {
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("healthz = %d", resp.StatusCode)
+		}
+	})
+
+	t.Run("metrics match driven load", func(t *testing.T) {
+		resp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var snap obs.Snapshot
+		if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+			t.Fatal(err)
+		}
+		series := map[string]obs.SeriesSnapshot{}
+		for _, ss := range snap.Series {
+			series[ss.Schema+"/"+ss.Endpoint] = ss
+		}
+		// dom: valid + invalid + malformed = 3 requests, 2 invalid.
+		if d := series["po/dom"]; d.Requests != 3 || d.Invalid != 2 || d.Errors != 0 {
+			t.Errorf("po/dom series = %+v, want requests=3 invalid=2", d)
+		}
+		// stream: valid + invalid = 2 requests, 1 invalid.
+		if st := series["po/stream"]; st.Requests != 2 || st.Invalid != 1 {
+			t.Errorf("po/stream series = %+v, want requests=2 invalid=1", st)
+		}
+		if d := series["po/dom"]; d.Latency.Count != 3 || d.Latency.P99Ns <= 0 {
+			t.Errorf("po/dom latency histogram empty: %+v", d.Latency)
+		}
+		// The unknown-schema probe must not have minted a series.
+		for key := range series {
+			if strings.HasPrefix(key, "nosuch/") {
+				t.Errorf("unknown schema leaked into metrics: %s", key)
+			}
+		}
+		if s.Metrics().InFlight.Load() != 0 {
+			t.Errorf("in-flight gauge nonzero at rest")
+		}
+	})
+}
+
+// TestSheddingUnderConcurrencyLimit proves the limiter: with one slot, a
+// stream request parked on a slow body occupies it, the next arrival is
+// shed with 429 + Retry-After, and the parked request still completes
+// with a correct verdict — zero failed in-flight validations.
+func TestSheddingUnderConcurrencyLimit(t *testing.T) {
+	ts, s := newTestServer(t, Config{MaxConcurrent: 1})
+
+	pr, pw := io.Pipe()
+	type result struct {
+		code int
+		vr   validateResponse
+	}
+	firstDone := make(chan result, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/validate/po?stream=1", "application/xml", pr)
+		if err != nil {
+			firstDone <- result{code: -1}
+			return
+		}
+		defer resp.Body.Close()
+		var vr validateResponse
+		json.NewDecoder(resp.Body).Decode(&vr) //nolint:errcheck
+		firstDone <- result{code: resp.StatusCode, vr: vr}
+	}()
+
+	// Feed a prefix, then wait until the request occupies the only slot.
+	doc := schemas.PurchaseOrderDoc
+	if _, err := pw.Write([]byte(doc[:80])); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Metrics().InFlight.Load() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("first request never occupied the validation slot")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Second arrival: must be shed, not queued.
+	resp, err := http.Post(ts.URL+"/v1/validate/po", "application/xml", strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second request code = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 response missing Retry-After")
+	}
+
+	// Unpark the first request: it must finish with a clean verdict.
+	if _, err := pw.Write([]byte(doc[80:])); err != nil {
+		t.Fatal(err)
+	}
+	pw.Close()
+	first := <-firstDone
+	if first.code != http.StatusOK || !first.vr.Valid {
+		t.Fatalf("in-flight request failed during shedding: code=%d resp=%+v", first.code, first.vr)
+	}
+
+	snap := s.Metrics().Snapshot()
+	var shed, requests int64
+	for _, ss := range snap.Series {
+		shed += ss.Shed
+		requests += ss.Requests
+	}
+	if shed != 1 || requests != 1 {
+		t.Errorf("metrics after shedding: shed=%d requests=%d, want 1/1", shed, requests)
+	}
+}
+
+// TestDeadlineAnswers504 proves a stalled client cannot hold a handler
+// forever: the deadline fires while the worker is parked in a body read,
+// and the slot is released once the aborted body unblocks the worker.
+func TestDeadlineAnswers504(t *testing.T) {
+	ts, s := newTestServer(t, Config{RequestTimeout: 150 * time.Millisecond, MaxConcurrent: 1})
+
+	pr, pw := io.Pipe()
+	defer pw.Close()
+	// Feed a prefix so the request (headers + first chunk) reaches the
+	// server, then stall: the handler must answer at its deadline, not
+	// wait for the body.
+	go pw.Write([]byte(schemas.PurchaseOrderDoc[:80])) //nolint:errcheck
+	resp, err := http.Post(ts.URL+"/v1/validate/po?stream=1", "application/xml", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("code = %d, want 504", resp.StatusCode)
+	}
+	// The handler answered, net/http tears down the request body, the
+	// worker unblocks and frees the slot.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Metrics().InFlight.Load() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("validation slot never released after deadline")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestBodyCap(t *testing.T) {
+	ts, _ := newTestServer(t, Config{MaxBodyBytes: 1024})
+	big := strings.Replace(schemas.PurchaseOrderDoc, "Hurry, my lawn is going wild",
+		strings.Repeat("x", 4096), 1)
+	for _, mode := range []string{"dom", "stream"} {
+		url := ts.URL + "/v1/validate/po"
+		if mode == "stream" {
+			url += "?stream=1"
+		}
+		resp, err := http.Post(url, "application/xml", strings.NewReader(big))
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Errorf("%s oversized body: code = %d, want 413", mode, resp.StatusCode)
+		}
+	}
+}
+
+// TestReloadVisibleThroughAPI drives a registry swap and checks the
+// service surfaces the new version on the very next request.
+func TestReloadVisibleThroughAPI(t *testing.T) {
+	ts, s := newTestServer(t, Config{})
+	reg := s.reg
+	poPath := filepath.Join(reg.Dir(), "po.xsd")
+	v2 := strings.Replace(schemas.PurchaseOrderXSD,
+		`<xsd:element name="items" type="Items"/>`,
+		`<xsd:element name="items" type="Items"/>
+      <xsd:element name="priority" type="xsd:string" minOccurs="0"/>`, 1)
+	if err := os.WriteFile(poPath, []byte(v2), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stamp := time.Now().Add(time.Minute)
+	if err := os.Chtimes(poPath, stamp, stamp); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	code, vr := postDoc(t, ts.URL+"/v1/validate/po", schemas.PurchaseOrderDoc)
+	if code != http.StatusOK || !vr.Valid || vr.SchemaVersion != 2 {
+		t.Fatalf("after reload: code=%d resp=%+v, want valid at schema_version 2", code, vr)
+	}
+}
+
+func TestHealthzDegradedWhenEmpty(t *testing.T) {
+	reg := registry.New(t.TempDir(), nil)
+	if _, err := reg.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(Config{Registry: reg}).Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("empty registry healthz = %d, want 503", resp.StatusCode)
+	}
+}

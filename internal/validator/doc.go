@@ -24,7 +24,11 @@
 // incrementally from the token stream instead of a materialized tree:
 // StreamValidator.ValidateReader consumes an io.Reader with memory
 // proportional to tree depth (O(depth), no DOM allocation), and
-// StreamValidator.ValidateBytes is its in-memory counterpart. Both drive
+// StreamValidator.ValidateBytes is its in-memory counterpart.
+// ValidateReaderContext is the cancellable form — it checks the context
+// between token batches and returns (nil, ctx.Err()) on expiry, the
+// same contract as ValidateBatchContext; servers use it to stop
+// validating when a request's deadline fires mid-stream. Both drive
 // the same cached Glushkov automata as the DOM path through an explicit
 // element/automaton-state stack and reproduce ValidateDocument's
 // verdicts, violation order and messages exactly (held by the

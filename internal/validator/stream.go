@@ -31,6 +31,7 @@ package validator
 // validated by the ordinary recursive path, sharing the global ID state.
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strconv"
@@ -62,19 +63,60 @@ func (v *Validator) Stream() *StreamValidator { return &StreamValidator{v: v} }
 // identity constraints), not document size. The verdict, violation order
 // and messages match ValidateBytes on the same input.
 func (sv *StreamValidator) ValidateReader(r io.Reader) *Result {
-	return sv.validate(xmlparser.NewReaderDecoder(r, nil))
+	res, _ := sv.ValidateReaderContext(context.Background(), r)
+	return res
+}
+
+// ValidateReaderContext is ValidateReader with cancellation, mirroring
+// ValidateBatchContext's semantics: when ctx is cancelled the run stops
+// at the next token boundary, the partial verdict is discarded (a prefix
+// proves nothing about the document) and the returned error is ctx.Err().
+// A nil error means the stream was fully consumed and the Result is the
+// same one ValidateReader would have produced.
+//
+// Cancellation is checked between tokens, so a Read blocked indefinitely
+// on a dead reader is not interrupted by ctx alone; servers should pair
+// the deadline with a transport-level one (net/http request bodies
+// already fail their Reads when the connection closes).
+func (sv *StreamValidator) ValidateReaderContext(ctx context.Context, r io.Reader) (*Result, error) {
+	return sv.validate(ctx, xmlparser.NewReaderDecoder(r, nil))
 }
 
 // ValidateBytes validates an in-memory document through the streaming
 // path (no DOM is built). It is the drop-in counterpart of the package
 // function ValidateBytes.
 func (sv *StreamValidator) ValidateBytes(src []byte) *Result {
-	return sv.validate(xmlparser.NewDecoder(src, nil))
+	res, _ := sv.validate(context.Background(), xmlparser.NewDecoder(src, nil))
+	return res
 }
 
-func (sv *StreamValidator) validate(dec *xmlparser.Decoder) *Result {
+// ctxCheckEvery is how many tokens the streaming loop processes between
+// cancellation checks: rare enough that the select never shows up in
+// profiles, frequent enough that a deadline trips within microseconds.
+const ctxCheckEvery = 256
+
+func (sv *StreamValidator) validate(ctx context.Context, dec *xmlparser.Decoder) (*Result, error) {
+	done := ctx.Done()
+	if done != nil {
+		select {
+		case <-done:
+			return nil, ctx.Err()
+		default:
+		}
+	}
 	sr := &streamRun{v: sv.v, ids: map[string]string{}}
+	sinceCheck := 0
 	for {
+		if done != nil {
+			if sinceCheck++; sinceCheck >= ctxCheckEvery {
+				sinceCheck = 0
+				select {
+				case <-done:
+					return nil, ctx.Err()
+				default:
+				}
+			}
+		}
 		tok, err := dec.Next()
 		if err == io.EOF {
 			break
@@ -83,12 +125,12 @@ func (sv *StreamValidator) validate(dec *xmlparser.Decoder) *Result {
 			// Parity with ValidateBytes: a malformed document yields
 			// only the parse error, regardless of violations already
 			// observed in the prefix.
-			return &Result{Violations: []Violation{{Path: "/", Msg: err.Error()}}}
+			return &Result{Violations: []Violation{{Path: "/", Msg: err.Error()}}}, nil
 		}
 		sr.token(&tok)
 	}
 	sr.finish()
-	return &sr.res
+	return &sr.res, nil
 }
 
 // frame modes.

@@ -1,7 +1,9 @@
 package validator
 
 import (
+	"context"
 	"fmt"
+	"io"
 	"strings"
 	"sync"
 	"testing"
@@ -127,4 +129,73 @@ func TestStreamConcurrent(t *testing.T) {
 	if n := v.CompiledModels(); n == 0 || n > 8 {
 		t.Errorf("compiled %d models across concurrent stream+DOM runs — cache not shared", n)
 	}
+}
+
+// cancelAfterReader cancels a context after n Reads, then keeps serving
+// data — modelling a deadline tripping mid-stream rather than a closed
+// connection.
+type cancelAfterReader struct {
+	r      io.Reader
+	cancel context.CancelFunc
+	reads  int
+	after  int
+}
+
+func (c *cancelAfterReader) Read(p []byte) (int, error) {
+	c.reads++
+	if c.reads == c.after {
+		c.cancel()
+	}
+	if len(p) > 16 {
+		p = p[:16] // small reads so cancellation lands mid-document
+	}
+	return c.r.Read(p)
+}
+
+func TestStreamValidateReaderContext(t *testing.T) {
+	v := poValidator(t)
+	sv := v.Stream()
+
+	t.Run("uncancelled matches ValidateReader", func(t *testing.T) {
+		res, err := sv.ValidateReaderContext(context.Background(), strings.NewReader(schemas.PurchaseOrderDoc))
+		if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		if !res.OK() {
+			t.Fatalf("valid document rejected: %v", res.Err())
+		}
+	})
+
+	t.Run("pre-cancelled returns immediately", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		res, err := sv.ValidateReaderContext(ctx, strings.NewReader(schemas.PurchaseOrderDoc))
+		if err != context.Canceled {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+		if res != nil {
+			t.Fatalf("partial result returned on cancellation: %+v", res)
+		}
+	})
+
+	t.Run("cancel mid-stream stops the run", func(t *testing.T) {
+		// A document long enough that > ctxCheckEvery tokens remain after
+		// the cancellation point.
+		var sb strings.Builder
+		sb.WriteString(`<purchaseOrder orderDate="1999-10-20"><shipTo country="US"><name>a</name><street>s</street><city>c</city><state>CA</state><zip>1</zip></shipTo><billTo country="US"><name>b</name><street>s</street><city>c</city><state>PA</state><zip>2</zip></billTo><items>`)
+		for i := 0; i < 2000; i++ {
+			fmt.Fprintf(&sb, `<item partNum="%03d-AB"><productName>p</productName><quantity>1</quantity><USPrice>1.00</USPrice></item>`, i%1000)
+		}
+		sb.WriteString(`</items></purchaseOrder>`)
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		r := &cancelAfterReader{r: strings.NewReader(sb.String()), cancel: cancel, after: 8}
+		res, err := sv.ValidateReaderContext(ctx, r)
+		if err != context.Canceled {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+		if res != nil {
+			t.Fatalf("partial result returned on cancellation")
+		}
+	})
 }

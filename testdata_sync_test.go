@@ -1,0 +1,22 @@
+package repro
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/schemas"
+)
+
+// TestCheckedInSchemaInSync guards testdata/schemas/po.xsd — the on-disk
+// copy of the embedded purchase-order schema that the README quickstart
+// points xsdserved at — against drifting from the constant the rest of
+// the repo compiles in.
+func TestCheckedInSchemaInSync(t *testing.T) {
+	disk, err := os.ReadFile("testdata/schemas/po.xsd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(disk) != schemas.PurchaseOrderXSD {
+		t.Fatal("testdata/schemas/po.xsd differs from schemas.PurchaseOrderXSD; regenerate the file from the constant")
+	}
+}

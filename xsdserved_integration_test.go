@@ -1,0 +1,233 @@
+//go:build unix
+
+package repro
+
+// Integration test for cmd/xsdserved: boots the real binary on a loopback
+// port and drives it over HTTP — validation (DOM and stream), health,
+// schema listing, metrics, SIGHUP hot-reload, and SIGTERM graceful
+// shutdown. This is the one test that proves the pieces (registry, server,
+// obs, signal wiring) assemble into a working service, not just into
+// packages that pass their own tests.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/schemas"
+)
+
+// serveResponse mirrors the server's validate-endpoint JSON.
+type serveResponse struct {
+	Schema        string `json:"schema"`
+	SchemaVersion int    `json:"schema_version"`
+	Mode          string `json:"mode"`
+	Valid         bool   `json:"valid"`
+}
+
+type serveSchemas struct {
+	Generation int64 `json:"generation"`
+	Schemas    []struct {
+		Name    string `json:"name"`
+		Version int    `json:"version"`
+	} `json:"schemas"`
+}
+
+func postForVerdict(t *testing.T, url, doc string) serveResponse {
+	t.Helper()
+	resp, err := http.Post(url, "application/xml", strings.NewReader(doc))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("POST %s: status %d: %s", url, resp.StatusCode, body)
+	}
+	var v serveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("decode verdict: %v", err)
+	}
+	return v
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("GET %s: decode: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestXsdservedIntegration(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not available")
+	}
+	if testing.Short() {
+		t.Skip("integration test builds and boots a binary")
+	}
+
+	bin := filepath.Join(t.TempDir(), "xsdserved")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/xsdserved").CombinedOutput(); err != nil {
+		t.Fatalf("building xsdserved: %v\n%s", err, out)
+	}
+
+	schemaDir := t.TempDir()
+	poPath := filepath.Join(schemaDir, "po.xsd")
+	base := time.Now().Add(-time.Hour)
+	if err := os.WriteFile(poPath, []byte(schemas.PurchaseOrderXSD), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(poPath, base, base); err != nil {
+		t.Fatal(err)
+	}
+
+	// -reload 0 turns the mtime poll off so the reload later in the test is
+	// attributable to SIGHUP alone.
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-schemas", schemaDir,
+		"-reload", "0",
+		"-timeout", "10s",
+		"-drain", "5s")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill() //nolint:errcheck
+			cmd.Wait()         //nolint:errcheck
+		}
+		if t.Failed() {
+			t.Logf("xsdserved stderr:\n%s", stderr.String())
+		}
+	})
+
+	// The binary announces its bound address on stdout — that is the
+	// contract that makes -addr :0 usable by wrappers like this test.
+	addrc := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if a, ok := strings.CutPrefix(sc.Text(), "xsdserved listening on "); ok {
+				addrc <- a
+				return
+			}
+		}
+	}()
+	var baseURL string
+	select {
+	case a := <-addrc:
+		baseURL = "http://" + a
+	case <-time.After(15 * time.Second):
+		t.Fatalf("no listening line on stdout; stderr:\n%s", stderr.String())
+	}
+
+	// DOM path: the paper's Figure 1 document is valid at version 1.
+	v := postForVerdict(t, baseURL+"/v1/validate/po", schemas.PurchaseOrderDoc)
+	if !v.Valid || v.Mode != "dom" || v.SchemaVersion != 1 {
+		t.Fatalf("dom verdict = %+v, want valid v1 dom", v)
+	}
+
+	// Stream path: a constraint violation is a 200 with valid:false.
+	badDoc := strings.Replace(schemas.PurchaseOrderDoc, "<quantity>1</quantity>", "<quantity>9999</quantity>", 1)
+	v = postForVerdict(t, baseURL+"/v1/validate/po?stream=1", badDoc)
+	if v.Valid || v.Mode != "stream" {
+		t.Fatalf("stream verdict = %+v, want invalid stream", v)
+	}
+
+	if code := getJSON(t, baseURL+"/healthz", nil); code != http.StatusOK {
+		t.Fatalf("healthz = %d", code)
+	}
+
+	var listing serveSchemas
+	getJSON(t, baseURL+"/v1/schemas", &listing)
+	if len(listing.Schemas) != 1 || listing.Schemas[0].Name != "po" || listing.Schemas[0].Version != 1 {
+		t.Fatalf("schemas listing = %+v", listing)
+	}
+
+	// SIGHUP hot-reload: rewrite the schema (backward-compatible v2) and
+	// watch the served version advance without restarting the process.
+	poV2 := strings.Replace(schemas.PurchaseOrderXSD,
+		`<xsd:element name="items" type="Items"/>`,
+		`<xsd:element name="items" type="Items"/>
+      <xsd:element name="priority" type="xsd:string" minOccurs="0"/>`, 1)
+	if err := os.WriteFile(poPath, []byte(poV2), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Process.Signal(syscall.SIGHUP); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var l serveSchemas
+		getJSON(t, baseURL+"/v1/schemas", &l)
+		if len(l.Schemas) == 1 && l.Schemas[0].Version == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("schema version never reached 2 after SIGHUP: %+v", l)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	v = postForVerdict(t, baseURL+"/v1/validate/po", schemas.PurchaseOrderDoc)
+	if !v.Valid || v.SchemaVersion != 2 {
+		t.Fatalf("post-reload verdict = %+v, want valid v2", v)
+	}
+
+	// Metrics must agree with the load this test drove: 2 DOM requests
+	// (one per version), 1 stream request (the invalid one), ≥1 reload.
+	var snap obs.Snapshot
+	getJSON(t, baseURL+"/metrics", &snap)
+	got := map[string][2]int64{}
+	for _, s := range snap.Series {
+		got[s.Schema+"/"+s.Endpoint] = [2]int64{s.Requests, s.Invalid}
+	}
+	if got["po/dom"] != [2]int64{2, 0} {
+		t.Errorf("po/dom series = %v, want {2 0}", got["po/dom"])
+	}
+	if got["po/stream"] != [2]int64{1, 1} {
+		t.Errorf("po/stream series = %v, want {1 1}", got["po/stream"])
+	}
+	if snap.Reloads < 1 {
+		t.Errorf("reloads = %d, want >= 1", snap.Reloads)
+	}
+
+	// SIGTERM drains gracefully: exit status 0, not a kill.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	waitc := make(chan error, 1)
+	go func() { waitc <- cmd.Wait() }()
+	select {
+	case err := <-waitc:
+		if err != nil {
+			t.Fatalf("xsdserved exited non-zero after SIGTERM: %v\nstderr:\n%s", err, stderr.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("xsdserved did not exit after SIGTERM")
+	}
+}
