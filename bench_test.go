@@ -8,6 +8,7 @@ package repro
 
 import (
 	"bytes"
+	"encoding/xml"
 	"fmt"
 	"io"
 	"net/http"
@@ -17,6 +18,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/bind"
 	"repro/internal/contentmodel"
 	"repro/internal/dom"
 	"repro/internal/gen/pogen"
@@ -773,5 +775,117 @@ func BenchmarkE11_ServerValidate(b *testing.B) {
 				post(b, url, src)
 			}
 		})
+	})
+}
+
+// ---------------------------------------------------------------------------
+// E12 — schema-directed binding: validate+decode in one pass vs the parts.
+// ---------------------------------------------------------------------------
+
+// e12POJSON is the untyped struct encoding/xml users reach for when they
+// want "the purchase order as data" — the no-schema baseline: decoded
+// fields are strings, nothing is validated, and attribute defaults are
+// simply absent.
+type e12PO struct {
+	OrderDate string `xml:"orderDate,attr"`
+	Items     struct {
+		Item []struct {
+			PartNum     string `xml:"partNum,attr"`
+			ProductName string `xml:"productName"`
+			Quantity    string `xml:"quantity"`
+			USPrice     string `xml:"USPrice"`
+		} `xml:"item"`
+	} `xml:"items"`
+}
+
+// BenchmarkE12_Decode measures what the one-pass promise costs: stream
+// validation alone (the floor the decoder rides on), DOM decode (parse →
+// validate → walk the tree), stream decode (typed values built from the
+// same frames that validate, no DOM), and encoding/xml (decode without
+// any verdict). The acceptance bar is stream decode ≤ 2× the stream
+// validator's B/op at 1000 items — the typed value tree is the only
+// extra allocation the binding adds.
+func BenchmarkE12_Decode(b *testing.B) {
+	schema := poSchema(b)
+	v := validator.New(schema, nil)
+	bn := bind.New(schema, v)
+	sv := v.Stream()
+	for _, n := range []int{1, 100, 1000} {
+		src := largePOSource(n)
+		b.Run(fmt.Sprintf("validate-stream/items=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(len(src)))
+			for i := 0; i < b.N; i++ {
+				if res := sv.ValidateBytes(src); !res.OK() {
+					b.Fatal(res.Err())
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("decode-dom/items=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(len(src)))
+			for i := 0; i < b.N; i++ {
+				val, res := bn.DecodeBytes(src)
+				if val == nil {
+					b.Fatal(res.Err())
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("decode-stream/items=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(len(src)))
+			for i := 0; i < b.N; i++ {
+				val, res, err := bn.DecodeStreamBytes(src)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if val == nil {
+					b.Fatal(res.Err())
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("encoding-xml/items=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(len(src)))
+			for i := 0; i < b.N; i++ {
+				var po e12PO
+				if err := xml.Unmarshal(src, &po); err != nil {
+					b.Fatal(err)
+				}
+				if len(po.Items.Item) != n {
+					b.Fatalf("decoded %d items, want %d", len(po.Items.Item), n)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE12_JSONAndMarshal covers the other two legs of the round
+// trip at a fixed size: projecting a decoded value to canonical JSON,
+// and marshalling it back to XML (which re-parses and re-validates the
+// output — the cost of the schema-valid-by-construction guarantee).
+func BenchmarkE12_JSONAndMarshal(b *testing.B) {
+	schema := poSchema(b)
+	bn := bind.New(schema, nil)
+	src := largePOSource(100)
+	val, res := bn.DecodeBytes(src)
+	if val == nil {
+		b.Fatal(res.Err())
+	}
+	b.Run("json/items=100", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if len(bn.JSON(val)) == 0 {
+				b.Fatal("empty JSON")
+			}
+		}
+	})
+	b.Run("marshal/items=100", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := bn.Marshal(val); err != nil {
+				b.Fatal(err)
+			}
+		}
 	})
 }

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	xsdcheck -schema po.xsd doc1.xml [doc2.xml ...]
+//	xsdcheck -schema po.xsd -json doc.xml       # decode valid documents to canonical JSON
 //
 // Multiple documents are read, parsed and validated concurrently through
 // one shared validator (bounded by -p workers, default GOMAXPROCS), so
@@ -14,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +23,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/bind"
 	"repro/internal/dom"
 	"repro/internal/validator"
 	"repro/internal/xsd"
@@ -39,6 +42,7 @@ func main() {
 	quiet := flag.Bool("q", false, "suppress per-violation output")
 	workers := flag.Int("p", runtime.GOMAXPROCS(0), "max files processed in parallel")
 	stream := flag.Bool("stream", false, "validate incrementally while reading (O(depth) memory, no DOM)")
+	jsonOut := flag.Bool("json", false, "decode valid documents to canonical JSON in the same pass (invalid ones still report violations)")
 	nodfa := flag.Bool("nodfa", false, "disable the lazy-DFA content-model executor (NFA stepping)")
 	flag.Parse()
 	if *schemaPath == "" || flag.NArg() == 0 {
@@ -54,6 +58,10 @@ func main() {
 		fatal(err)
 	}
 	v := validator.New(schema, &validator.Options{DisableDFA: *nodfa})
+	var binder *bind.Binder
+	if *jsonOut {
+		binder = bind.New(schema, v)
+	}
 
 	paths := flag.Args()
 	n := *workers
@@ -71,9 +79,12 @@ func main() {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				if *stream {
+				switch {
+				case binder != nil:
+					reports[i] = checkFileJSON(binder, paths[i], *quiet, *stream)
+				case *stream:
 					reports[i] = checkFileStream(v.Stream(), paths[i], *quiet)
-				} else {
+				default:
 					reports[i] = checkFile(v, paths[i], *quiet)
 				}
 			}
@@ -127,6 +138,35 @@ func checkFileStream(sv *validator.StreamValidator, path string, quiet bool) rep
 	defer f.Close()
 	res := sv.ValidateReader(f)
 	return renderResult(path, res, quiet)
+}
+
+// checkFileJSON validates and decodes one document in the same pass,
+// printing the canonical JSON for valid documents and the usual violation
+// report otherwise.
+func checkFileJSON(b *bind.Binder, path string, quiet, stream bool) report {
+	var val *bind.Value
+	var res *validator.Result
+	if stream {
+		f, err := os.Open(path)
+		if err != nil {
+			return report{errText: fmt.Sprintf("xsdcheck: %v\n", err), failed: true}
+		}
+		val, res, err = b.DecodeReader(context.Background(), f)
+		f.Close()
+		if err != nil {
+			return report{errText: fmt.Sprintf("%s: %v\n", path, err), failed: true}
+		}
+	} else {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return report{errText: fmt.Sprintf("xsdcheck: %v\n", err), failed: true}
+		}
+		val, res = b.DecodeBytes(src)
+	}
+	if val == nil {
+		return renderResult(path, res, quiet)
+	}
+	return report{out: string(b.JSONIndent(val)) + "\n"}
 }
 
 // renderResult formats one validation outcome.

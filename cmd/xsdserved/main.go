@@ -12,6 +12,9 @@
 //
 //	curl -d @po.xml 'http://127.0.0.1:8080/v1/validate/po'
 //	curl -d @po.xml 'http://127.0.0.1:8080/v1/validate/po?stream=1'
+//	curl -d @po.xml 'http://127.0.0.1:8080/v1/decode/po'          # validate + decode to canonical JSON
+//	curl -d @po.xml 'http://127.0.0.1:8080/v1/decode/po?stream=1' # same, one pass over the wire bytes
+//	curl -d @po.json 'http://127.0.0.1:8080/v1/encode/po'         # canonical JSON back to schema-valid XML
 //	curl 'http://127.0.0.1:8080/v1/schemas'
 //	curl 'http://127.0.0.1:8080/metrics'
 //

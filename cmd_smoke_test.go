@@ -1,6 +1,6 @@
 package repro
 
-// Smoke tests for the four CLI tools: each binary is exercised through
+// Smoke tests for the CLI tools: each binary is exercised through
 // `go run` on the paper's artifacts. They prove the Fig. 9 pipeline works
 // from the command line, not just through library calls.
 
@@ -53,6 +53,43 @@ func TestCmdXsdcheck(t *testing.T) {
 	out = runCmd(t, false, "xsdcheck", "-schema", schema, bad)
 	if !strings.Contains(out, "INVALID") {
 		t.Errorf("xsdcheck bad: %s", out)
+	}
+	// -json decodes a valid document to canonical JSON in the same pass.
+	out = runCmd(t, true, "xsdcheck", "-schema", schema, "-json", good)
+	if !strings.Contains(out, `"$element": "purchaseOrder"`) {
+		t.Errorf("xsdcheck -json: %s", out)
+	}
+	out = runCmd(t, false, "xsdcheck", "-schema", schema, "-json", bad)
+	if !strings.Contains(out, "INVALID") {
+		t.Errorf("xsdcheck -json bad: %s", out)
+	}
+}
+
+func TestCmdXsdbind(t *testing.T) {
+	schema := writeTemp(t, "po.xsd", schemas.PurchaseOrderXSD)
+	good := writeTemp(t, "good.xml", schemas.PurchaseOrderDoc)
+	bad := writeTemp(t, "bad.xml", strings.Replace(schemas.PurchaseOrderDoc, "<quantity>1</quantity>", "<quantity>9999</quantity>", 1))
+
+	// Decode (DOM and stream paths must agree), then encode the JSON back
+	// and decode once more: the canonical JSON is the fixed point.
+	j := runCmd(t, true, "xsdbind", "-schema", schema, "-compact", good)
+	if !strings.Contains(j, `"$element":"purchaseOrder"`) {
+		t.Fatalf("xsdbind decode: %s", j)
+	}
+	js := runCmd(t, true, "xsdbind", "-schema", schema, "-compact", "-stream", good)
+	if j != js {
+		t.Errorf("stream decode diverged:\n  dom:    %s\n  stream: %s", j, js)
+	}
+	jsonPath := writeTemp(t, "good.json", j)
+	xml := runCmd(t, true, "xsdbind", "-schema", schema, "-encode", jsonPath)
+	xmlPath := writeTemp(t, "roundtrip.xml", xml)
+	j2 := runCmd(t, true, "xsdbind", "-schema", schema, "-compact", xmlPath)
+	if j != j2 {
+		t.Errorf("round trip changed the value:\n  before: %s\n  after:  %s", j, j2)
+	}
+	out := runCmd(t, false, "xsdbind", "-schema", schema, bad)
+	if !strings.Contains(out, "INVALID") {
+		t.Errorf("xsdbind bad: %s", out)
 	}
 }
 

@@ -1,0 +1,221 @@
+package repro
+
+// E12 correctness harness: the two decode paths (DOM and streaming) must
+// agree byte-for-byte on the verdict, the canonical JSON and the
+// marshaled XML, and decode∘marshal must be the identity modulo
+// canonicalization, on every bundled schema plus wildcard coverage.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/iotest"
+
+	"repro/internal/bind"
+	"repro/internal/schemas"
+	"repro/internal/wml"
+	"repro/internal/xsd"
+)
+
+// bindAnyXSD exercises the wildcard binding paths: xs:any children that
+// resolve to a global declaration, raw subtrees with no declaration, and
+// attribute wildcards.
+const bindAnyXSD = `<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:element name="envelope">
+    <xsd:complexType>
+      <xsd:sequence>
+        <xsd:element name="head" type="xsd:string"/>
+        <xsd:any minOccurs="0" maxOccurs="unbounded" processContents="lax"/>
+      </xsd:sequence>
+      <xsd:anyAttribute processContents="lax"/>
+    </xsd:complexType>
+  </xsd:element>
+  <xsd:element name="extra" type="xsd:string"/>
+</xsd:schema>
+`
+
+// bindCases extends the validation differential corpus (diffCases) with
+// schemas whose decode shapes matter specifically for binding.
+var bindCases = []diffCase{
+	{
+		name:   "wml",
+		xsdSrc: wml.Schema,
+		instances: map[string]string{
+			"mixed inline markup":       `<wml><card id="c1" title="T"><p align="left">Hello <b>bold</b> and <a href="http://example.org/" title="t">link</a> tail</p></card></wml>`,
+			"select with options":       `<wml><card><p><select name="s" multiple="true"><option value="v1">One</option><option>Two</option></select></p></card></wml>`,
+			"line break and empty card": `<wml><card><p>one<br/>two</p></card><card/></wml>`,
+			"bad alignment":             `<wml><card><p align="diagonal">x</p></card></wml>`,
+			"unknown inline element":    `<wml><card><p>text <strong>x</strong></p></card></wml>`,
+		},
+	},
+	{
+		name:   "wildcards",
+		xsdSrc: bindAnyXSD,
+		instances: map[string]string{
+			"declared global via any": `<envelope><head>h</head><extra>e</extra></envelope>`,
+			"raw undeclared subtree":  `<envelope><head>h</head><foo xmlns="urn:mystery" a="b">text<inner/><!--c--></foo></envelope>`,
+			"wildcard attribute":      `<envelope loose="yes"><head>h</head></envelope>`,
+			"mixed raw and declared":  `<envelope><head>h</head><extra>one</extra><bar/><extra>two</extra></envelope>`,
+		},
+	},
+}
+
+// decodeBoth runs one instance through both decode paths (the streaming
+// path twice, once through a one-byte reader) and asserts identical
+// verdicts and identical values.
+func decodeBoth(t *testing.T, b *bind.Binder, label, src string) (*bind.Value, bool) {
+	t.Helper()
+	domVal, domRes := b.DecodeBytes([]byte(src))
+	streamVal, streamRes, err := b.DecodeStreamBytes([]byte(src))
+	if err != nil {
+		t.Errorf("%s: stream decode error: %v", label, err)
+		return nil, false
+	}
+	assertSameResult(t, label, domRes, streamRes)
+	if (domVal == nil) != (streamVal == nil) {
+		t.Errorf("%s: value presence diverged: dom=%v stream=%v", label, domVal != nil, streamVal != nil)
+		return nil, false
+	}
+	if domVal == nil {
+		if domRes.OK() {
+			t.Errorf("%s: no value from a valid document", label)
+		}
+		return nil, false
+	}
+	domJSON, streamJSON := b.JSON(domVal), b.JSON(streamVal)
+	if !bytes.Equal(domJSON, streamJSON) {
+		t.Errorf("%s: JSON diverged:\n  dom:    %s\n  stream: %s", label, domJSON, streamJSON)
+		return nil, false
+	}
+	readerVal, readerRes, err := b.DecodeReader(t.Context(), iotest.OneByteReader(strings.NewReader(src)))
+	if err != nil || !readerRes.OK() || !bytes.Equal(b.JSON(readerVal), domJSON) {
+		t.Errorf("%s: one-byte reader decode diverged (err=%v)", label, err)
+	}
+	return domVal, true
+}
+
+// assertRoundTrip checks decode∘marshal = id (via the canonical JSON) and
+// that FromJSON inverts the JSON projection.
+func assertRoundTrip(t *testing.T, b *bind.Binder, label string, v *bind.Value) {
+	t.Helper()
+	out, err := b.Marshal(v)
+	if err != nil {
+		t.Errorf("%s: marshal: %v", label, err)
+		return
+	}
+	v2, res := b.DecodeBytes(out)
+	if v2 == nil {
+		t.Errorf("%s: marshaled document failed to decode: %v\n  xml: %s", label, res.Violations, out)
+		return
+	}
+	j1, j2 := b.JSON(v), b.JSON(v2)
+	if !bytes.Equal(j1, j2) {
+		t.Errorf("%s: round trip changed the value:\n  before: %s\n  after:  %s\n  xml: %s", label, j1, j2, out)
+		return
+	}
+	v3, err := b.FromJSON(j1)
+	if err != nil {
+		t.Errorf("%s: FromJSON: %v\n  json: %s", label, err, j1)
+		return
+	}
+	out3, err := b.Marshal(v3)
+	if err != nil {
+		t.Errorf("%s: marshal after FromJSON: %v\n  json: %s", label, err, j1)
+		return
+	}
+	if !bytes.Equal(out, out3) {
+		t.Errorf("%s: JSON round trip changed the document:\n  direct:    %s\n  via JSON:  %s", label, out, out3)
+	}
+}
+
+// TestBindStreamMatchesDOM is the binding differential: every schema and
+// instance from the validation differential corpus, plus WML and wildcard
+// coverage, through both decode paths and the round-trip property.
+func TestBindStreamMatchesDOM(t *testing.T) {
+	cases := append(append([]diffCase{}, diffCases...), bindCases...)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			schema, err := xsd.ParseString(tc.xsdSrc, nil)
+			if err != nil {
+				t.Fatalf("schema: %v", err)
+			}
+			b := bind.New(schema, nil)
+			for label, src := range tc.instances {
+				if v, ok := decodeBoth(t, b, label, src); ok {
+					assertRoundTrip(t, b, label, v)
+				}
+			}
+		})
+	}
+}
+
+// TestBindMutationCorpus replays E1's generated mutants through both
+// decode paths: every mutant must produce the same verdict and, when
+// valid, the same value.
+func TestBindMutationCorpus(t *testing.T) {
+	schema, err := xsd.ParseString(schemas.PurchaseOrderXSD, nil)
+	if err != nil {
+		t.Fatalf("schema: %v", err)
+	}
+	b := bind.New(schema, nil)
+	for _, m := range poMutations {
+		if v, ok := decodeBoth(t, b, m.name, m.xmlOutput); ok {
+			assertRoundTrip(t, b, m.name, v)
+		}
+	}
+}
+
+// FuzzBindRoundTrip feeds arbitrary documents to both decode paths: the
+// paths must agree on verdict and value, and any accepted document must
+// survive decode → marshal → decode unchanged.
+func FuzzBindRoundTrip(f *testing.F) {
+	schema, err := xsd.ParseString(schemas.PurchaseOrderXSD, nil)
+	if err != nil {
+		f.Fatalf("schema: %v", err)
+	}
+	b := bind.New(schema, nil)
+	f.Add(schemas.PurchaseOrderDoc)
+	for _, tc := range diffCases {
+		if tc.xsdSrc != schemas.PurchaseOrderXSD {
+			continue
+		}
+		for _, src := range tc.instances {
+			f.Add(src)
+		}
+	}
+	for _, m := range poMutations {
+		f.Add(m.xmlOutput)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		domVal, domRes := b.DecodeBytes([]byte(src))
+		streamVal, streamRes, err := b.DecodeStreamBytes([]byte(src))
+		if err != nil {
+			t.Fatalf("stream decode error: %v", err)
+		}
+		if domRes.OK() != streamRes.OK() {
+			t.Fatalf("verdict diverged: dom=%v stream=%v", domRes.Violations, streamRes.Violations)
+		}
+		if (domVal == nil) != (streamVal == nil) {
+			t.Fatalf("value presence diverged")
+		}
+		if domVal == nil {
+			return
+		}
+		j1, j2 := b.JSON(domVal), b.JSON(streamVal)
+		if !bytes.Equal(j1, j2) {
+			t.Fatalf("JSON diverged:\n  dom:    %s\n  stream: %s", j1, j2)
+		}
+		out, err := b.Marshal(domVal)
+		if err != nil {
+			t.Fatalf("marshal rejected a decoded value: %v\n  json: %s", err, j1)
+		}
+		v2, res := b.DecodeBytes(out)
+		if v2 == nil {
+			t.Fatalf("marshaled document invalid: %v\n  xml: %s", res.Violations, out)
+		}
+		if !bytes.Equal(j1, b.JSON(v2)) {
+			t.Fatalf("round trip changed the value:\n  before: %s\n  after:  %s", j1, b.JSON(v2))
+		}
+	})
+}

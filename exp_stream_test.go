@@ -62,9 +62,9 @@ var diffCases = []diffCase{
 		name:   "purchase order",
 		xsdSrc: schemas.PurchaseOrderXSD,
 		instances: map[string]string{
-			"paper fig 1": schemas.PurchaseOrderDoc,
-			"empty items": `<purchaseOrder><shipTo country="US"><name>n</name><street>s</street><city>c</city><state>st</state><zip>1</zip></shipTo><billTo country="US"><name>n</name><street>s</street><city>c</city><state>st</state><zip>1</zip></billTo><items/></purchaseOrder>`,
-			"unknown root": `<notAnOrder/>`,
+			"paper fig 1":                schemas.PurchaseOrderDoc,
+			"empty items":                `<purchaseOrder><shipTo country="US"><name>n</name><street>s</street><city>c</city><state>st</state><zip>1</zip></shipTo><billTo country="US"><name>n</name><street>s</street><city>c</city><state>st</state><zip>1</zip></billTo><items/></purchaseOrder>`,
+			"unknown root":               `<notAnOrder/>`,
 			"bad order date and bad zip": `<purchaseOrder orderDate="soon"><shipTo country="US"><name>n</name><street>s</street><city>c</city><state>st</state><zip>abc</zip></shipTo><billTo country="US"><name>n</name><street>s</street><city>c</city><state>st</state><zip>1</zip></billTo><items/></purchaseOrder>`,
 		},
 	},
@@ -72,9 +72,9 @@ var diffCases = []diffCase{
 		name:   "evolved purchase order",
 		xsdSrc: schemas.EvolvedPurchaseOrderXSD,
 		instances: map[string]string{
-			"single address": `<purchaseOrder><singAddr country="US"><name>n</name><street>s</street><city>c</city><state>st</state><zip>1</zip></singAddr><items/></purchaseOrder>`,
-			"two addresses":  `<purchaseOrder><twoAddr><first country="US"><name>n</name><street>s</street><city>c</city><state>st</state><zip>1</zip></first><second country="US"><name>n</name><street>s</street><city>c</city><state>st</state><zip>1</zip></second></twoAddr><items/></purchaseOrder>`,
-			"both alternatives": `<purchaseOrder><singAddr country="US"><name>n</name><street>s</street><city>c</city><state>st</state><zip>1</zip></singAddr><twoAddr><first country="US"><name>n</name><street>s</street><city>c</city><state>st</state><zip>1</zip></first><second country="US"><name>n</name><street>s</street><city>c</city><state>st</state><zip>1</zip></second></twoAddr><items/></purchaseOrder>`,
+			"single address":      `<purchaseOrder><singAddr country="US"><name>n</name><street>s</street><city>c</city><state>st</state><zip>1</zip></singAddr><items/></purchaseOrder>`,
+			"two addresses":       `<purchaseOrder><twoAddr><first country="US"><name>n</name><street>s</street><city>c</city><state>st</state><zip>1</zip></first><second country="US"><name>n</name><street>s</street><city>c</city><state>st</state><zip>1</zip></second></twoAddr><items/></purchaseOrder>`,
+			"both alternatives":   `<purchaseOrder><singAddr country="US"><name>n</name><street>s</street><city>c</city><state>st</state><zip>1</zip></singAddr><twoAddr><first country="US"><name>n</name><street>s</street><city>c</city><state>st</state><zip>1</zip></first><second country="US"><name>n</name><street>s</street><city>c</city><state>st</state><zip>1</zip></second></twoAddr><items/></purchaseOrder>`,
 			"neither alternative": `<purchaseOrder><items/></purchaseOrder>`,
 		},
 	},
@@ -82,49 +82,49 @@ var diffCases = []diffCase{
 		name:   "address derivation and substitution",
 		xsdSrc: schemas.AddressDerivationXSD,
 		instances: map[string]string{
-			"base address":  `<address><name>n</name><street>s</street><city>c</city></address>`,
-			"xsi:type extension": `<address xmlns:xsi="http://www.w3.org/2001/XMLSchema-instance" xsi:type="USAddress"><name>n</name><street>s</street><city>c</city><state>st</state><zip>1</zip></address>`,
-			"xsi:type unknown": `<address xmlns:xsi="http://www.w3.org/2001/XMLSchema-instance" xsi:type="NoSuchType"><name>n</name></address>`,
-			"xsi:type undeclared prefix": `<address xmlns:xsi="http://www.w3.org/2001/XMLSchema-instance" xsi:type="po:USAddress"><name>n</name></address>`,
-			"substitution group": `<commentBlock><comment>a</comment><shipComment>b</shipComment><customerComment>c</customerComment></commentBlock>`,
+			"base address":                `<address><name>n</name><street>s</street><city>c</city></address>`,
+			"xsi:type extension":          `<address xmlns:xsi="http://www.w3.org/2001/XMLSchema-instance" xsi:type="USAddress"><name>n</name><street>s</street><city>c</city><state>st</state><zip>1</zip></address>`,
+			"xsi:type unknown":            `<address xmlns:xsi="http://www.w3.org/2001/XMLSchema-instance" xsi:type="NoSuchType"><name>n</name></address>`,
+			"xsi:type undeclared prefix":  `<address xmlns:xsi="http://www.w3.org/2001/XMLSchema-instance" xsi:type="po:USAddress"><name>n</name></address>`,
+			"substitution group":          `<commentBlock><comment>a</comment><shipComment>b</shipComment><customerComment>c</customerComment></commentBlock>`,
 			"abstract head used directly": `<noteBlock><note>x</note></noteBlock>`,
-			"abstract head substituted": `<noteBlock><shipNote>x</shipNote></noteBlock>`,
-			"xsi:nil on non-nillable": `<address xmlns:xsi="http://www.w3.org/2001/XMLSchema-instance" xsi:nil="true"/>`,
+			"abstract head substituted":   `<noteBlock><shipNote>x</shipNote></noteBlock>`,
+			"xsi:nil on non-nillable":     `<address xmlns:xsi="http://www.w3.org/2001/XMLSchema-instance" xsi:nil="true"/>`,
 		},
 	},
 	{
 		name:   "namespaced order",
 		xsdSrc: schemas.NamespacedOrderXSD,
 		instances: map[string]string{
-			"valid qualified": `<po:order xmlns:po="urn:example:po" priority="3"><po:id>7</po:id><po:note>hi</po:note></po:order>`,
-			"default namespace": `<order xmlns="urn:example:po"><id>7</id></order>`,
+			"valid qualified":      `<po:order xmlns:po="urn:example:po" priority="3"><po:id>7</po:id><po:note>hi</po:note></po:order>`,
+			"default namespace":    `<order xmlns="urn:example:po"><id>7</id></order>`,
 			"unqualified children": `<po:order xmlns:po="urn:example:po"><id>7</id></po:order>`,
-			"wrong namespace": `<order xmlns="urn:example:other"><id>7</id></order>`,
-			"bad priority": `<po:order xmlns:po="urn:example:po" priority="high"><po:id>7</po:id></po:order>`,
+			"wrong namespace":      `<order xmlns="urn:example:other"><id>7</id></order>`,
+			"bad priority":         `<po:order xmlns:po="urn:example:po" priority="high"><po:id>7</po:id></po:order>`,
 		},
 	},
 	{
 		name:   "complex groups",
 		xsdSrc: schemas.ComplexGroupsXSD,
 		instances: map[string]string{
-			"summary form": `<report version="1"><title>t</title><summary>s</summary></report>`,
+			"summary form":         `<report version="1"><title>t</title><summary>s</summary></report>`,
 			"name form with pairs": `<report version="1"><title>t</title><first>f</first><last>l</last><key>k1</key><value>v1</value><key>k2</key><value>v2</value></report>`,
-			"entries with ids": `<report><title>t</title><summary>s</summary><entry id="a"><when>2001-01-01</when></entry><entry id="b"><when>2001-01-02</when></entry></report>`,
-			"duplicate id": `<report><title>t</title><summary>s</summary><entry id="a"><when>2001-01-01</when></entry><entry id="a"><when>2001-01-02</when></entry></report>`,
+			"entries with ids":     `<report><title>t</title><summary>s</summary><entry id="a"><when>2001-01-01</when></entry><entry id="b"><when>2001-01-02</when></entry></report>`,
+			"duplicate id":         `<report><title>t</title><summary>s</summary><entry id="a"><when>2001-01-01</when></entry><entry id="a"><when>2001-01-02</when></entry></report>`,
 			// The journal test: entry's ID is tracked, then the content
 			// model fails at <bogus/>; the DOM path never sees the ID.
 			"id rollback on content failure": `<report><title>t</title><summary>s</summary><entry id="a"><when>2001-01-01</when></entry><bogus/><entry id="a"><when>2001-01-03</when></entry></report>`,
-			"dangling key without value": `<report><title>t</title><summary>s</summary><key>k</key></report>`,
-			"text in element-only": `<report><title>t</title>stray<summary>s</summary></report>`,
+			"dangling key without value":     `<report><title>t</title><summary>s</summary><key>k</key></report>`,
+			"text in element-only":           `<report><title>t</title>stray<summary>s</summary></report>`,
 		},
 	},
 	{
 		name:   "named group",
 		xsdSrc: schemas.NamedGroupXSD,
 		instances: map[string]string{
-			"choice first": `<purchaseOrder><singAddr>a</singAddr><items>i</items></purchaseOrder>`,
+			"choice first":  `<purchaseOrder><singAddr>a</singAddr><items>i</items></purchaseOrder>`,
 			"choice second": `<purchaseOrder><twoAddr>a</twoAddr><comment>c</comment><items>i</items></purchaseOrder>`,
-			"both choices": `<purchaseOrder><singAddr>a</singAddr><twoAddr>b</twoAddr><items>i</items></purchaseOrder>`,
+			"both choices":  `<purchaseOrder><singAddr>a</singAddr><twoAddr>b</twoAddr><items>i</items></purchaseOrder>`,
 			"missing items": `<purchaseOrder><singAddr>a</singAddr></purchaseOrder>`,
 		},
 	},
@@ -132,28 +132,28 @@ var diffCases = []diffCase{
 		name:   "stream feature coverage",
 		xsdSrc: streamFeaturesXSD,
 		instances: map[string]string{
-			"all features valid": `<doc xmlns:xsi="http://www.w3.org/2001/XMLSchema-instance"><marker tag="m"/><para>mixed <em>text</em> here</para><opt xsi:nil="true"/><code>A1</code><node id="n1" ref="n2"/><node id="n2"/></doc>`,
-			"empty content violated by element": `<doc><marker><oops/></marker></doc>`,
-			"empty content violated by text": `<doc><marker>stray</marker></doc>`,
-			"nilled with content": `<doc xmlns:xsi="http://www.w3.org/2001/XMLSchema-instance"><opt xsi:nil="true">text</opt></doc>`,
-			"nilled with comment": `<doc xmlns:xsi="http://www.w3.org/2001/XMLSchema-instance"><opt xsi:nil="true"><!--c--></opt></doc>`,
-			"xsi:nil false validates normally": `<doc xmlns:xsi="http://www.w3.org/2001/XMLSchema-instance"><opt xsi:nil="false"></opt></doc>`,
-			"fixed value mismatch": `<doc><code>B2</code></doc>`,
-			"fixed value empty uses fixed": `<doc><code/></doc>`,
-			"dangling idref": `<doc><node id="n1" ref="ghost"/></doc>`,
-			"mixed content accepts text": `<doc><para>just text</para></doc>`,
+			"all features valid":                  `<doc xmlns:xsi="http://www.w3.org/2001/XMLSchema-instance"><marker tag="m"/><para>mixed <em>text</em> here</para><opt xsi:nil="true"/><code>A1</code><node id="n1" ref="n2"/><node id="n2"/></doc>`,
+			"empty content violated by element":   `<doc><marker><oops/></marker></doc>`,
+			"empty content violated by text":      `<doc><marker>stray</marker></doc>`,
+			"nilled with content":                 `<doc xmlns:xsi="http://www.w3.org/2001/XMLSchema-instance"><opt xsi:nil="true">text</opt></doc>`,
+			"nilled with comment":                 `<doc xmlns:xsi="http://www.w3.org/2001/XMLSchema-instance"><opt xsi:nil="true"><!--c--></opt></doc>`,
+			"xsi:nil false validates normally":    `<doc xmlns:xsi="http://www.w3.org/2001/XMLSchema-instance"><opt xsi:nil="false"></opt></doc>`,
+			"fixed value mismatch":                `<doc><code>B2</code></doc>`,
+			"fixed value empty uses fixed":        `<doc><code/></doc>`,
+			"dangling idref":                      `<doc><node id="n1" ref="ghost"/></doc>`,
+			"mixed content accepts text":          `<doc><para>just text</para></doc>`,
 			"mixed content rejects unknown child": `<doc><para>text <strong>x</strong></para></doc>`,
-			"cdata in element-only": `<doc><![CDATA[raw]]><marker/></doc>`,
+			"cdata in element-only":               `<doc><![CDATA[raw]]><marker/></doc>`,
 		},
 	},
 	{
 		name:   "malformed input",
 		xsdSrc: schemas.PurchaseOrderXSD,
 		instances: map[string]string{
-			"mismatched tags":  `<purchaseOrder><shipTo></purchaseOrder>`,
-			"truncated":        `<purchaseOrder><shipTo country="US"><name>n</nam`,
-			"empty input":      ``,
-			"garbage":          `not xml at all`,
+			"mismatched tags":   `<purchaseOrder><shipTo></purchaseOrder>`,
+			"truncated":         `<purchaseOrder><shipTo country="US"><name>n</nam`,
+			"empty input":       ``,
+			"garbage":           `not xml at all`,
 			"undeclared prefix": `<purchaseOrder><po:items/></purchaseOrder>`,
 			// Well-formedness error after a validity error: both paths
 			// must report only the parse error.

@@ -1,0 +1,124 @@
+package bind
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dom"
+	"repro/internal/validator"
+	"repro/internal/xmlparser"
+	"repro/internal/xsd"
+	"repro/internal/xsdtypes"
+)
+
+// Binder decodes XML into typed values (and JSON) and marshals values
+// back, always through the schema's validator. A Binder is immutable and
+// safe for concurrent use; it shares the validator's compiled-model cache,
+// so automata built by either consumer serve both.
+type Binder struct {
+	schema *xsd.Schema
+	v      *validator.Validator
+	sv     *validator.StreamValidator
+	plan   *Plan
+}
+
+// New builds a binder over a resolved schema. v may be nil, in which case
+// a validator with default options is created; passing the serving layer's
+// validator shares its warm model cache.
+func New(schema *xsd.Schema, v *validator.Validator) *Binder {
+	if v == nil {
+		v = validator.New(schema, nil)
+	}
+	return &Binder{schema: schema, v: v, sv: v.Stream(), plan: NewPlan(schema)}
+}
+
+// Plan returns the derived binding plan.
+func (b *Binder) Plan() *Plan { return b.plan }
+
+// Schema returns the schema the binder was built from.
+func (b *Binder) Schema() *xsd.Schema { return b.schema }
+
+// rawAttr is a lexical attribute before typing, common to both decode
+// paths (DOM attributes and start-tag tokens).
+type rawAttr struct {
+	name  xsd.QName
+	value string
+}
+
+func isMetaSpace(space string) bool {
+	return space == xmlparser.XMLNSNamespace || space == xsd.XSINamespace || space == xmlparser.XMLNamespace
+}
+
+// typedAttrs parses the element's attributes into the declared value
+// spaces (wildcard-admitted ones stay strings) and materializes absent
+// defaulted or fixed attributes, so decoded values are self-contained.
+func (b *Binder) typedAttrs(ct *xsd.ComplexType, raw []rawAttr) []Attr {
+	var out []Attr
+	for _, a := range raw {
+		use := ct.FindAttributeUse(a.name)
+		if use == nil || use.Prohibited {
+			out = append(out, Attr{Name: a.name, Value: xsdtypes.Value{Kind: xsdtypes.VString, Str: a.value}})
+			continue
+		}
+		val, err := use.Decl.Type.Parse(a.value)
+		if err != nil {
+			// Only reachable on invalid documents (the verdict carries
+			// the violation); keep the lexical form.
+			val = xsdtypes.Value{Kind: xsdtypes.VString, Str: a.value}
+		}
+		out = append(out, Attr{Name: a.name, Value: val})
+	}
+	for _, use := range ct.AttributeUses {
+		def := use.Default
+		if def == nil {
+			def = use.Fixed
+		}
+		if use.Prohibited || def == nil {
+			continue
+		}
+		present := false
+		for _, a := range raw {
+			if a.name == use.Decl.Name {
+				present = true
+				break
+			}
+		}
+		if present {
+			continue
+		}
+		if val, err := use.Decl.Type.Parse(*def); err == nil {
+			out = append(out, Attr{Name: use.Decl.Name, Value: val})
+		}
+	}
+	return out
+}
+
+// resolveQName resolves a lexical QName (an xsi:type value) against the
+// namespace declarations in scope at el.
+func resolveQName(el *dom.Element, lexical string) (xsd.QName, error) {
+	lexical = strings.TrimSpace(lexical)
+	prefix, local := "", lexical
+	if i := strings.IndexByte(lexical, ':'); i >= 0 {
+		prefix, local = lexical[:i], lexical[i+1:]
+	}
+	if prefix == "xml" {
+		return xsd.QName{Space: xmlparser.XMLNamespace, Local: local}, nil
+	}
+	key := prefix
+	if key == "" {
+		key = "xmlns"
+	}
+	for n := dom.Node(el); n != nil; n = n.ParentNode() {
+		e, ok := n.(*dom.Element)
+		if !ok {
+			break
+		}
+		if e.HasAttributeNS(xmlparser.XMLNSNamespace, key) {
+			return xsd.QName{Space: e.GetAttributeNS(xmlparser.XMLNSNamespace, key), Local: local}, nil
+		}
+	}
+	if prefix != "" {
+		return xsd.QName{}, fmt.Errorf("undeclared prefix %q in %q", prefix, lexical)
+	}
+	return xsd.QName{Local: local}, nil
+}

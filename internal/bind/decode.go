@@ -1,0 +1,184 @@
+package bind
+
+// The DOM decode path: validate first (the verdict is authoritative), then
+// walk the tree assuming validity. Child classification re-runs the cached
+// content-model matcher once per element — the same automata the validator
+// used — so wildcard admissions and substitution resolution agree with the
+// verdict by construction.
+
+import (
+	"fmt"
+
+	"repro/internal/contentmodel"
+	"repro/internal/dom"
+	"repro/internal/validator"
+	"repro/internal/xsd"
+)
+
+// DecodeBytes parses, validates and decodes a document. An unparseable
+// document yields the parse-error verdict (matching ValidateBytes); an
+// invalid one yields its violations; in both cases the Value is nil.
+func (b *Binder) DecodeBytes(src []byte) (*Value, *validator.Result) {
+	doc, err := dom.Parse(src)
+	if err != nil {
+		return nil, &validator.Result{Violations: []validator.Violation{{Path: "/", Msg: err.Error()}}}
+	}
+	return b.DecodeDocument(doc)
+}
+
+// DecodeDocument validates the document and, when valid, decodes it into
+// a typed Value. The returned Result is always the full verdict.
+func (b *Binder) DecodeDocument(doc *dom.Document) (*Value, *validator.Result) {
+	res := b.v.ValidateDocument(doc)
+	if !res.OK() {
+		return nil, res
+	}
+	root := doc.DocumentElement()
+	if root == nil {
+		return nil, res
+	}
+	decl, ok := b.schema.LookupElement(xsd.QName{Space: root.NamespaceURI(), Local: root.LocalName()})
+	if !ok {
+		return nil, res
+	}
+	v, err := b.decodeElement(root, decl, false)
+	if err != nil {
+		// Defensive: a document the validator accepted must decode; any
+		// error here is a binder bug surfaced as a verdict.
+		return nil, &validator.Result{Violations: []validator.Violation{{Path: "/", Msg: "bind: " + err.Error()}}}
+	}
+	return v, res
+}
+
+// decodeElement decodes one validated element governed by decl.
+func (b *Binder) decodeElement(el *dom.Element, decl *xsd.ElementDecl, wild bool) (*Value, error) {
+	v := &Value{Name: xsd.QName{Space: el.NamespaceURI(), Local: el.LocalName()}, Wild: wild}
+	typ := decl.Type
+	if lex := el.GetAttributeNS(xsd.XSINamespace, "type"); lex != "" {
+		q, err := resolveQName(el, lex)
+		if err != nil {
+			return nil, err
+		}
+		t, ok := b.schema.LookupType(q)
+		if !ok {
+			return nil, fmt.Errorf("xsi:type %s names an unknown type", q)
+		}
+		typ = t
+		v.TypeName = t.TypeName()
+	}
+	v.typ = typ
+	ct, isComplex := typ.(*xsd.ComplexType)
+	if isComplex {
+		v.Attrs = b.typedAttrs(ct, domRawAttrs(el))
+	}
+	if lex := el.GetAttributeNS(xsd.XSINamespace, "nil"); lex == "true" || lex == "1" {
+		v.Kind = KindNil
+		return v, nil
+	}
+	if st, ok := typ.(*xsd.SimpleType); ok {
+		text := el.TextContent()
+		if text == "" && decl.Fixed != nil {
+			text = *decl.Fixed
+		}
+		if text == "" && decl.Default != nil {
+			text = *decl.Default
+		}
+		val, err := st.Parse(text)
+		if err != nil {
+			return nil, err
+		}
+		v.Kind = KindSimple
+		v.Simple = val
+		return v, nil
+	}
+	switch ct.Kind {
+	case xsd.ContentSimple:
+		val, err := ct.SimpleContentType.Parse(el.TextContent())
+		if err != nil {
+			return nil, err
+		}
+		v.Kind = KindSimple
+		v.Simple = val
+		return v, nil
+	case xsd.ContentEmpty:
+		v.Kind = KindEmpty
+		return v, nil
+	default:
+		return v, b.decodeModel(v, el, ct)
+	}
+}
+
+// decodeModel decodes element-only or mixed content by matching the child
+// sequence against the type's content model.
+func (b *Binder) decodeModel(v *Value, el *dom.Element, ct *xsd.ComplexType) error {
+	kids := el.ChildNodes()
+	var elems []*dom.Element
+	var syms []contentmodel.Symbol
+	for _, k := range kids {
+		if e, ok := k.(*dom.Element); ok {
+			elems = append(elems, e)
+			syms = append(syms, contentmodel.Symbol{Space: e.NamespaceURI(), Local: e.LocalName()})
+		}
+	}
+	leaves, merr := ct.Matcher(b.schema).Match(syms)
+	if merr != nil {
+		return fmt.Errorf("content model rejected validated children: %s", merr.Error())
+	}
+	vals := make([]*Value, len(elems))
+	for i, e := range elems {
+		name := xsd.QName{Space: syms[i].Space, Local: syms[i].Local}
+		var cv *Value
+		var err error
+		switch data := leaves[i].Data.(type) {
+		case *xsd.ElementDecl:
+			resolved, rerr := b.schema.ResolveChild(data, name)
+			if rerr != nil {
+				return rerr
+			}
+			cv, err = b.decodeElement(e, resolved, false)
+		case *contentmodel.Wildcard:
+			if gdecl, ok := b.schema.LookupElement(name); ok {
+				cv, err = b.decodeElement(e, gdecl, true)
+			} else {
+				cv = &Value{Name: name, Kind: KindRaw, Wild: true, Raw: dom.ToString(e)}
+			}
+		default:
+			return fmt.Errorf("child %s matched no declaration or wildcard", name)
+		}
+		if err != nil {
+			return err
+		}
+		vals[i] = cv
+	}
+	if ct.Kind == xsd.ContentMixed {
+		v.Kind = KindMixed
+		ei := 0
+		for _, k := range kids {
+			switch n := k.(type) {
+			case *dom.Element:
+				v.Segments = append(v.Segments, Segment{Child: vals[ei]})
+				ei++
+			case *dom.Text:
+				v.Segments = appendText(v.Segments, n.Data)
+			case *dom.CDATASection:
+				v.Segments = appendText(v.Segments, n.Data)
+			}
+		}
+		return nil
+	}
+	v.Kind = KindStruct
+	v.Children = vals
+	return nil
+}
+
+func domRawAttrs(el *dom.Element) []rawAttr {
+	var out []rawAttr
+	for _, a := range el.Attributes() {
+		n := a.Name()
+		if isMetaSpace(n.Space) {
+			continue
+		}
+		out = append(out, rawAttr{name: xsd.QName{Space: n.Space, Local: n.Local}, value: a.Value()})
+	}
+	return out
+}

@@ -1,0 +1,27 @@
+// Package bind is the schema-directed data-binding subsystem: it turns a
+// compiled xsd.Schema into a binding plan and uses it to decode XML
+// documents into typed Go values (and canonical JSON) in the same pass as
+// validation, and to marshal those values back into schema-valid XML.
+//
+// The premise mirrors the paper's: an XML Schema carries enough static
+// information to make document construction type-safe, and the same
+// compiled artifacts — resolved declarations, content-model automata,
+// simple-type value spaces — decide statically which children repeat
+// (maxOccurs > 1 becomes a JSON array), which text is an integer or a
+// date (xsdtypes decoders), which branch of a choice was taken, and where
+// mixed content degrades to ordered segments.
+//
+// Two decode paths produce identical values:
+//
+//   - the DOM path re-uses validator.ValidateDocument and then walks the
+//     tree, classifying children with the cached content-model matchers;
+//   - the streaming path hooks validator.StreamValidator's frame
+//     transitions (validator.StreamEvents), building the value tree in
+//     O(depth) alongside the lazy-DFA stepping, with no DOM.
+//
+// Marshal is the reverse direction: a Value (decoded, or built from JSON
+// via FromJSON) is serialized to XML and checked through the same content
+// models, which yields the round-trip property decode∘marshal = id modulo
+// canonicalization (attribute defaults materialized, lexical forms
+// canonicalized, comments and insignificant whitespace dropped).
+package bind

@@ -1,0 +1,495 @@
+package bind
+
+// JSON → Value: the inverse of the canonical projection, used by the
+// /v1/encode endpoint and the xsdbind CLI. A JSON object's key order is
+// meaningless, so the child sequence is reconstructed by stepping the
+// type's content-model automaton greedily over the pending children
+// (plan order breaks ties): models that interleave fields, like
+// (key, value)+, reassemble correctly from their grouped arrays. Marshal
+// re-validates, so a sequence the greedy walk cannot reassemble surfaces
+// as an encode error, never as silently invalid XML.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/contentmodel"
+	"repro/internal/dom"
+	"repro/internal/xsd"
+	"repro/internal/xsdtypes"
+)
+
+// FromJSON reconstructs a typed Value from canonical JSON. The top-level
+// object must carry "$element" naming a global element declaration.
+func (b *Binder) FromJSON(data []byte) (*Value, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber()
+	var node any
+	if err := dec.Decode(&node); err != nil {
+		return nil, fmt.Errorf("bind: bad JSON: %w", err)
+	}
+	obj, ok := node.(map[string]any)
+	if !ok {
+		return nil, fmt.Errorf("bind: top-level JSON must be an object with $element")
+	}
+	name, _ := obj["$element"].(string)
+	if name == "" {
+		return nil, fmt.Errorf("bind: top-level JSON object is missing $element")
+	}
+	decl := b.globalByLocal(name)
+	if decl == nil {
+		return nil, fmt.Errorf("bind: no global element declaration named %q", name)
+	}
+	return b.valueFromJSON(decl, node, false)
+}
+
+// globalByLocal finds a global element declaration by local name,
+// preferring the target namespace.
+func (b *Binder) globalByLocal(local string) *xsd.ElementDecl {
+	if d, ok := b.schema.Elements[xsd.QName{Space: b.schema.TargetNamespace, Local: local}]; ok {
+		return d
+	}
+	if d, ok := b.schema.Elements[xsd.QName{Local: local}]; ok {
+		return d
+	}
+	var names []xsd.QName
+	for q := range b.schema.Elements {
+		if q.Local == local {
+			names = append(names, q)
+		}
+	}
+	if len(names) == 0 {
+		return nil
+	}
+	sort.Slice(names, func(i, j int) bool { return names[i].Space < names[j].Space })
+	return b.schema.Elements[names[0]]
+}
+
+// typeByLocal resolves a "$type" discriminator to a named type.
+func (b *Binder) typeByLocal(local string) xsd.Type {
+	if t, ok := b.schema.LookupType(xsd.QName{Space: b.schema.TargetNamespace, Local: local}); ok {
+		return t
+	}
+	if t, ok := b.schema.LookupType(xsd.QName{Space: xsd.XSDNamespace, Local: local}); ok {
+		return t
+	}
+	if t, ok := b.schema.LookupType(xsd.QName{Local: local}); ok {
+		return t
+	}
+	var names []xsd.QName
+	for q := range b.schema.Types {
+		if q.Local == local {
+			names = append(names, q)
+		}
+	}
+	if len(names) == 0 {
+		return nil
+	}
+	sort.Slice(names, func(i, j int) bool { return names[i].Space < names[j].Space })
+	t, _ := b.schema.LookupType(names[0])
+	return t
+}
+
+func (b *Binder) valueFromJSON(decl *xsd.ElementDecl, node any, wild bool) (*Value, error) {
+	v := &Value{Name: decl.Name, Wild: wild}
+	typ := decl.Type
+	obj, isObj := node.(map[string]any)
+	if isObj {
+		if tn, ok := obj["$type"].(string); ok && tn != "" {
+			t := b.typeByLocal(tn)
+			if t == nil {
+				return nil, fmt.Errorf("bind: $type %q names no type in the schema", tn)
+			}
+			typ = t
+			v.TypeName = t.TypeName()
+		}
+		if raw, ok := obj["$raw"].(string); ok {
+			v.Kind = KindRaw
+			v.Wild = true
+			v.Raw = raw
+			return v, nil
+		}
+	}
+	v.typ = typ
+	ct, isComplex := typ.(*xsd.ComplexType)
+	if isComplex && isObj {
+		attrs, err := b.attrsFromJSON(decl, ct, obj)
+		if err != nil {
+			return nil, err
+		}
+		v.Attrs = attrs
+	}
+	if node == nil || (isObj && obj["$nil"] == true) {
+		if !decl.Nillable {
+			return nil, fmt.Errorf("bind: element %s is not nillable", decl.Name)
+		}
+		v.Kind = KindNil
+		if v.typ == nil {
+			v.typ = typ
+		}
+		return v, nil
+	}
+	if st, ok := typ.(*xsd.SimpleType); ok {
+		scalar := node
+		if isObj {
+			scalar = obj["$value"]
+		}
+		val, err := scalarValue(st, scalar)
+		if err != nil {
+			return nil, fmt.Errorf("bind: element %s: %w", decl.Name, err)
+		}
+		v.Kind = KindSimple
+		v.Simple = val
+		return v, nil
+	}
+	switch ct.Kind {
+	case xsd.ContentSimple:
+		scalar := node
+		if isObj {
+			scalar = obj["$value"]
+		}
+		val, err := scalarValue(ct.SimpleContentType, scalar)
+		if err != nil {
+			return nil, fmt.Errorf("bind: element %s: %w", decl.Name, err)
+		}
+		v.Kind = KindSimple
+		v.Simple = val
+		return v, nil
+	case xsd.ContentEmpty:
+		v.Kind = KindEmpty
+		return v, nil
+	case xsd.ContentMixed:
+		v.Kind = KindMixed
+		return v, b.mixedFromJSON(v, ct, obj)
+	default:
+		v.Kind = KindStruct
+		return v, b.structFromJSON(v, ct, obj)
+	}
+}
+
+func (b *Binder) structFromJSON(v *Value, ct *xsd.ComplexType, obj map[string]any) error {
+	tp := b.plan.For(ct)
+	if tp == nil {
+		return fmt.Errorf("bind: no binding plan for type %s", ct.Name)
+	}
+	known := map[string]bool{"$element": true, "$type": true, "$any": true}
+	for _, f := range tp.Fields {
+		known[f.Key] = true
+		jv, ok := obj[f.Key]
+		if !ok {
+			continue
+		}
+		items, isArr := jv.([]any)
+		if !isArr {
+			items = []any{jv}
+		}
+		for _, item := range items {
+			cv, err := b.childFromJSON(tp, f, item)
+			if err != nil {
+				return err
+			}
+			v.Children = append(v.Children, cv)
+		}
+	}
+	if anyv, ok := obj["$any"]; ok {
+		items, isArr := anyv.([]any)
+		if !isArr {
+			items = []any{anyv}
+		}
+		for _, item := range items {
+			cv, err := b.anyFromJSON(item)
+			if err != nil {
+				return err
+			}
+			v.Children = append(v.Children, cv)
+		}
+	}
+	for key := range obj {
+		if !known[key] && !strings.HasPrefix(key, "@") {
+			return fmt.Errorf("bind: unknown field %q for type %s", key, ct.Name)
+		}
+	}
+	v.Children = b.orderChildren(ct, v.Children)
+	return nil
+}
+
+// orderChildren arranges reconstructed children into a sequence the
+// type's content model accepts, by greedily stepping the compiled
+// automaton: at each position the first pending child (in plan-grouped
+// order) whose symbol the automaton admits is emitted next. Models whose
+// repetitions interleave fields — (key, value)+ — reassemble from
+// grouped JSON arrays this way. If the walk dead-ends the original order
+// is returned and Marshal's re-validation reports the failure.
+func (b *Binder) orderChildren(ct *xsd.ComplexType, children []*Value) []*Value {
+	if len(children) < 2 {
+		return children
+	}
+	g, ok := ct.Matcher(b.schema).(*contentmodel.Glushkov)
+	if !ok {
+		return children
+	}
+	syms := make([]contentmodel.Symbol, len(children))
+	for i, c := range children {
+		syms[i] = contentmodel.Symbol{Space: c.Name.Space, Local: c.Name.Local}
+	}
+	// Fast path: the grouped order is already admissible.
+	if _, merr := g.Match(syms); merr == nil {
+		return children
+	}
+	pending := append([]*Value{}, children...)
+	pendSyms := append([]contentmodel.Symbol{}, syms...)
+	var order []*Value
+	var prefix []contentmodel.Symbol
+	for len(pending) > 0 {
+		chosen := -1
+		for i := range pending {
+			r := g.Start()
+			ok := true
+			for _, s := range prefix {
+				if _, merr := r.Step(s); merr != nil {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				break
+			}
+			if _, merr := r.Step(pendSyms[i]); merr == nil {
+				chosen = i
+				break
+			}
+		}
+		if chosen < 0 {
+			return children
+		}
+		order = append(order, pending[chosen])
+		prefix = append(prefix, pendSyms[chosen])
+		pending = append(pending[:chosen], pending[chosen+1:]...)
+		pendSyms = append(pendSyms[:chosen], pendSyms[chosen+1:]...)
+	}
+	return order
+}
+
+// childFromJSON builds one field occurrence, resolving a "$element"
+// discriminator to a substitution-group member when present.
+func (b *Binder) childFromJSON(tp *TypePlan, f *FieldPlan, item any) (*Value, error) {
+	decl := f.Decl
+	if m, ok := item.(map[string]any); ok {
+		if en, ok := m["$element"].(string); ok && en != "" && en != f.Decl.Name.Local {
+			_, member := tp.fieldByLocal(en)
+			if member == nil {
+				return nil, fmt.Errorf("bind: $element %q is not admissible for field %q", en, f.Key)
+			}
+			if _, err := b.schema.ResolveChild(f.Decl, member.Name); err != nil {
+				return nil, fmt.Errorf("bind: $element %q: %w", en, err)
+			}
+			decl = member
+		}
+	}
+	if decl.Abstract {
+		return nil, fmt.Errorf("bind: element %s is abstract; name a concrete substitute with $element", decl.Name)
+	}
+	return b.valueFromJSON(decl, item, false)
+}
+
+// anyFromJSON builds one "$any" entry: a string is a raw XML fragment, an
+// object names a global element with "$element".
+func (b *Binder) anyFromJSON(item any) (*Value, error) {
+	switch x := item.(type) {
+	case string:
+		return rawValue(x)
+	case map[string]any:
+		if raw, ok := x["$raw"].(string); ok {
+			return rawValue(raw)
+		}
+		en, _ := x["$element"].(string)
+		if en == "" {
+			return nil, fmt.Errorf("bind: $any entries must be raw XML strings or objects with $element")
+		}
+		decl := b.globalByLocal(en)
+		if decl == nil {
+			return nil, fmt.Errorf("bind: $any element %q has no global declaration", en)
+		}
+		return b.valueFromJSON(decl, item, true)
+	default:
+		return nil, fmt.Errorf("bind: $any entries must be raw XML strings or objects with $element")
+	}
+}
+
+func (b *Binder) mixedFromJSON(v *Value, ct *xsd.ComplexType, obj map[string]any) error {
+	tp := b.plan.For(ct)
+	if tp == nil {
+		return fmt.Errorf("bind: no binding plan for type %s", ct.Name)
+	}
+	for key := range obj {
+		if key != "$element" && key != "$type" && key != "$mixed" && !strings.HasPrefix(key, "@") {
+			return fmt.Errorf("bind: unknown field %q for mixed type %s", key, ct.Name)
+		}
+	}
+	segs, _ := obj["$mixed"].([]any)
+	for _, s := range segs {
+		switch x := s.(type) {
+		case string:
+			v.Segments = appendText(v.Segments, x)
+		case map[string]any:
+			en, _ := x["$element"].(string)
+			if en == "" {
+				return fmt.Errorf("bind: $mixed element segments need $element")
+			}
+			f, decl := tp.fieldByLocal(en)
+			if decl == nil {
+				if gdecl := b.globalByLocal(en); gdecl != nil && tp.HasWildcard {
+					cv, err := b.valueFromJSON(gdecl, x, true)
+					if err != nil {
+						return err
+					}
+					v.Segments = append(v.Segments, Segment{Child: cv})
+					continue
+				}
+				return nil
+			}
+			_ = f
+			cv, err := b.valueFromJSON(decl, x, false)
+			if err != nil {
+				return err
+			}
+			v.Segments = append(v.Segments, Segment{Child: cv})
+		default:
+			return fmt.Errorf("bind: $mixed segments must be strings or element objects")
+		}
+	}
+	return nil
+}
+
+// attrsFromJSON parses "@..." keys into typed attributes in declaration
+// order (wildcard-admitted extras sorted by key for determinism).
+func (b *Binder) attrsFromJSON(decl *xsd.ElementDecl, ct *xsd.ComplexType, obj map[string]any) ([]Attr, error) {
+	byName := map[xsd.QName]any{}
+	var extras []string
+	for key, jv := range obj {
+		if !strings.HasPrefix(key, "@") {
+			continue
+		}
+		name := parseAttrKey(key[1:])
+		use := ct.FindAttributeUse(name)
+		if use == nil && name.Space == "" {
+			// A bare local may name a qualified declared attribute.
+			for _, u := range ct.AttributeUses {
+				if u.Decl.Name.Local == name.Local {
+					name = u.Decl.Name
+					use = u
+					break
+				}
+			}
+		}
+		if use == nil || use.Prohibited {
+			if ct.AttrWildcard == nil || !ct.AttrWildcard.Admits(name.Space) {
+				return nil, fmt.Errorf("bind: attribute %q is not declared for element %s", key, decl.Name)
+			}
+			extras = append(extras, key)
+			continue
+		}
+		byName[use.Decl.Name] = jv
+	}
+	var out []Attr
+	for _, use := range ct.AttributeUses {
+		jv, ok := byName[use.Decl.Name]
+		if !ok {
+			def := use.Default
+			if def == nil {
+				def = use.Fixed
+			}
+			if use.Prohibited || def == nil {
+				continue
+			}
+			val, err := use.Decl.Type.Parse(*def)
+			if err != nil {
+				continue
+			}
+			out = append(out, Attr{Name: use.Decl.Name, Value: val})
+			continue
+		}
+		val, err := scalarValue(use.Decl.Type, jv)
+		if err != nil {
+			return nil, fmt.Errorf("bind: attribute %q: %w", use.Decl.Name.Local, err)
+		}
+		out = append(out, Attr{Name: use.Decl.Name, Value: val})
+	}
+	sort.Strings(extras)
+	for _, key := range extras {
+		lex, err := jsonLexical(obj[key])
+		if err != nil {
+			return nil, fmt.Errorf("bind: attribute %q: %w", key, err)
+		}
+		out = append(out, Attr{Name: parseAttrKey(key[1:]), Value: xsdtypes.Value{Kind: xsdtypes.VString, Str: lex}})
+	}
+	return out, nil
+}
+
+// rawValue wraps a raw XML fragment, parsing it to recover the element
+// name (which child ordering and serialization need).
+func rawValue(raw string) (*Value, error) {
+	doc, err := dom.Parse([]byte(raw))
+	if err != nil {
+		return nil, fmt.Errorf("bind: $raw fragment does not parse: %w", err)
+	}
+	root := doc.DocumentElement()
+	if root == nil {
+		return nil, fmt.Errorf("bind: $raw fragment has no element")
+	}
+	name := xsd.QName{Space: root.NamespaceURI(), Local: root.LocalName()}
+	return &Value{Name: name, Kind: KindRaw, Wild: true, Raw: raw}, nil
+}
+
+// parseAttrKey inverts attrKey: Clark notation or a bare local name.
+func parseAttrKey(s string) xsd.QName {
+	if strings.HasPrefix(s, "{") {
+		if i := strings.IndexByte(s, '}'); i > 0 {
+			return xsd.QName{Space: s[1:i], Local: s[i+1:]}
+		}
+	}
+	return xsd.QName{Local: s}
+}
+
+// scalarValue parses a JSON scalar (or array, for list types) through a
+// simple type's lexical space.
+func scalarValue(st *xsd.SimpleType, node any) (xsdtypes.Value, error) {
+	lex, err := jsonLexical(node)
+	if err != nil {
+		return xsdtypes.Value{}, err
+	}
+	return st.Parse(lex)
+}
+
+// jsonLexical renders a JSON scalar as an XSD lexical form; arrays join
+// with single spaces (the list lexical space).
+func jsonLexical(node any) (string, error) {
+	switch x := node.(type) {
+	case string:
+		return x, nil
+	case json.Number:
+		return x.String(), nil
+	case bool:
+		if x {
+			return "true", nil
+		}
+		return "false", nil
+	case nil:
+		return "", nil
+	case []any:
+		parts := make([]string, len(x))
+		for i, it := range x {
+			p, err := jsonLexical(it)
+			if err != nil {
+				return "", err
+			}
+			parts[i] = p
+		}
+		return strings.Join(parts, " "), nil
+	default:
+		return "", fmt.Errorf("unsupported JSON value for a simple type")
+	}
+}

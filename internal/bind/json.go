@@ -1,0 +1,201 @@
+package bind
+
+// Canonical JSON projection of decoded values. The mapping (DESIGN.md
+// §12): attributes become "@name" keys, simple content "$value", plural
+// fields are always arrays, choices surface as whichever field key is
+// present, substitution members and mixed/any children carry an
+// "$element" discriminator, xsi:nil becomes null, wildcard content binds
+// under "$any" (raw fragments as "$raw" strings). Emission order is
+// deterministic — plan order for fields, document order within a field —
+// so equal values render byte-equal JSON.
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+
+	"repro/internal/xsd"
+	"repro/internal/xsdtypes"
+)
+
+// JSON renders a decoded value as canonical JSON.
+func (b *Binder) JSON(v *Value) []byte {
+	var buf bytes.Buffer
+	b.writeJSON(&buf, v, true)
+	return buf.Bytes()
+}
+
+// JSONIndent is JSON pretty-printed for humans (CLI output).
+func (b *Binder) JSONIndent(v *Value) []byte {
+	var out bytes.Buffer
+	if err := json.Indent(&out, b.JSON(v), "", "  "); err != nil {
+		return b.JSON(v)
+	}
+	return out.Bytes()
+}
+
+func writeJSONString(w *bytes.Buffer, s string) {
+	enc, _ := json.Marshal(s)
+	w.Write(enc)
+}
+
+// attrKey renders an attribute name as a JSON key: "@local", expanded
+// with the namespace for qualified attributes.
+func attrKey(name xsd.QName) string {
+	if name.Space == "" {
+		return "@" + name.Local
+	}
+	return "@" + name.String()
+}
+
+func (b *Binder) writeJSON(w *bytes.Buffer, v *Value, withElem bool) {
+	if v == nil {
+		w.WriteString("null")
+		return
+	}
+	// Scalar and null shortcuts for undecorated field values.
+	if !withElem && v.TypeName.IsZero() && len(v.Attrs) == 0 {
+		switch v.Kind {
+		case KindSimple:
+			writeScalar(w, v.Simple)
+			return
+		case KindNil:
+			w.WriteString("null")
+			return
+		}
+	}
+	w.WriteByte('{')
+	first := true
+	field := func(key string) {
+		if !first {
+			w.WriteByte(',')
+		}
+		first = false
+		writeJSONString(w, key)
+		w.WriteByte(':')
+	}
+	if withElem && !v.Name.IsZero() {
+		field("$element")
+		writeJSONString(w, v.Name.Local)
+	}
+	if !v.TypeName.IsZero() {
+		field("$type")
+		writeJSONString(w, v.TypeName.Local)
+	}
+	for _, a := range v.Attrs {
+		field(attrKey(a.Name))
+		writeScalar(w, a.Value)
+	}
+	switch v.Kind {
+	case KindNil:
+		field("$nil")
+		w.WriteString("true")
+	case KindSimple:
+		field("$value")
+		writeScalar(w, v.Simple)
+	case KindRaw:
+		field("$raw")
+		writeJSONString(w, v.Raw)
+	case KindMixed:
+		field("$mixed")
+		w.WriteByte('[')
+		for i, s := range v.Segments {
+			if i > 0 {
+				w.WriteByte(',')
+			}
+			if s.Child == nil {
+				writeJSONString(w, s.Text)
+			} else {
+				b.writeJSON(w, s.Child, true)
+			}
+		}
+		w.WriteByte(']')
+	case KindStruct:
+		b.writeStructFields(w, v, field)
+	}
+	w.WriteByte('}')
+}
+
+// writeStructFields groups document-order children into plan-order fields.
+func (b *Binder) writeStructFields(w *bytes.Buffer, v *Value, field func(string)) {
+	tp := b.plan.For(v.typ)
+	var any []*Value
+	byField := map[*FieldPlan][]*Value{}
+	for _, c := range v.Children {
+		var f *FieldPlan
+		if tp != nil && !c.Wild {
+			f = tp.byName[c.Name]
+		}
+		if f == nil {
+			any = append(any, c)
+			continue
+		}
+		byField[f] = append(byField[f], c)
+	}
+	if tp != nil {
+		for _, f := range tp.Fields {
+			vals := byField[f]
+			if len(vals) == 0 {
+				continue
+			}
+			field(f.Key)
+			if f.Plural || len(vals) > 1 {
+				w.WriteByte('[')
+				for i, c := range vals {
+					if i > 0 {
+						w.WriteByte(',')
+					}
+					b.writeJSON(w, c, c.Name != f.Decl.Name)
+				}
+				w.WriteByte(']')
+			} else {
+				b.writeJSON(w, vals[0], vals[0].Name != f.Decl.Name)
+			}
+		}
+	}
+	if len(any) > 0 {
+		field("$any")
+		w.WriteByte('[')
+		for i, c := range any {
+			if i > 0 {
+				w.WriteByte(',')
+			}
+			b.writeJSON(w, c, c.Kind != KindRaw)
+		}
+		w.WriteByte(']')
+	}
+}
+
+// writeScalar renders an xsdtypes value as a JSON scalar: booleans and
+// finite numbers natively, lists as arrays, everything else (including
+// INF/NaN, whose canonical lexical forms are not JSON numbers) as the
+// canonical lexical string.
+func writeScalar(w *bytes.Buffer, val xsdtypes.Value) {
+	switch val.Kind {
+	case xsdtypes.VBool:
+		if val.Bool {
+			w.WriteString("true")
+		} else {
+			w.WriteString("false")
+		}
+	case xsdtypes.VDecimal:
+		w.WriteString(val.Dec.String())
+	case xsdtypes.VFloat:
+		if math.IsInf(val.F, 0) || math.IsNaN(val.F) {
+			writeJSONString(w, val.String())
+			return
+		}
+		w.WriteString(val.String())
+	case xsdtypes.VList:
+		w.WriteByte('[')
+		for i, it := range val.Items {
+			if i > 0 {
+				w.WriteByte(',')
+			}
+			writeScalar(w, it)
+		}
+		w.WriteByte(']')
+	default:
+		writeJSONString(w, val.String())
+	}
+}

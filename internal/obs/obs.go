@@ -199,12 +199,22 @@ type SeriesSnapshot struct {
 	Latency  HistogramSnapshot `json:"latency"`
 }
 
+// RegistryInfo is the schema registry's state at snapshot time, attached
+// by the serving layer (obs itself has no registry dependency): the
+// published snapshot generation and how many schemas it serves. Scrapers
+// correlate metric movements with config swaps through the generation.
+type RegistryInfo struct {
+	Generation int64 `json:"generation"`
+	Schemas    int   `json:"schemas"`
+}
+
 // Snapshot is a point-in-time JSON-marshalable view of every series plus
 // the process-level counters.
 type Snapshot struct {
 	Reloads      int64            `json:"reloads"`
 	ReloadErrors int64            `json:"reload_errors"`
 	InFlight     int64            `json:"in_flight"`
+	Registry     *RegistryInfo    `json:"registry,omitempty"`
 	Series       []SeriesSnapshot `json:"series"`
 }
 

@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/bind"
 	"repro/internal/validator"
 	"repro/internal/xsd"
 )
@@ -42,6 +43,11 @@ type Entry struct {
 	Schema    *xsd.Schema
 	Validator *validator.Validator
 	Stream    *validator.StreamValidator
+	// Binder decodes documents against this schema version into typed
+	// values / canonical JSON and marshals them back. It shares Validator
+	// (and therefore its warm compiled-model cache), and is immutable like
+	// the rest of the entry.
+	Binder *bind.Binder
 }
 
 // snapshot is one immutable registry state. Readers load it with a single
@@ -237,6 +243,7 @@ func (r *Registry) load(key, path string, info os.FileInfo) (*Entry, error) {
 		Schema:    schema,
 		Validator: v,
 		Stream:    v.Stream(),
+		Binder:    bind.New(schema, v),
 	}, nil
 }
 

@@ -86,6 +86,8 @@ func New(cfg Config) *Server {
 		mux:     http.NewServeMux(),
 	}
 	s.mux.HandleFunc("POST /v1/validate/{schema}", s.handleValidate)
+	s.mux.HandleFunc("POST /v1/decode/{schema}", s.handleDecode)
+	s.mux.HandleFunc("POST /v1/encode/{schema}", s.handleEncode)
 	s.mux.HandleFunc("GET /v1/schemas", s.handleSchemas)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -161,12 +163,67 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	json.NewEncoder(w).Encode(v) //nolint:errcheck // client gone; nothing to do
 }
 
-// outcome is what the validation worker goroutine reports back to the
-// handler. code/errMsg are set for failures that never reached a verdict.
+// outcome is what the worker goroutine reports back to the handler.
+// code/errMsg are set for failures that never reached a verdict; data is
+// the payload for decode (canonical JSON) and encode (marshaled XML).
 type outcome struct {
 	res    *validator.Result
+	data   []byte
 	code   int
 	errMsg string
+}
+
+// withWorker runs fn against the request body inside a reserved
+// concurrency slot, with the request deadline enforced. It owns the
+// tricky parts shared by validate/decode/encode: load shedding (written
+// as 429 before the body is touched, reported via ok=false), running fn
+// in a worker goroutine so the handler stays responsive to the deadline
+// while the worker may be parked in a body read, the read-deadline poke
+// that unblocks such a worker, and semaphore release only when fn has
+// actually stopped — shedding stays honest under slowloris load.
+func (s *Server) withWorker(w http.ResponseWriter, r *http.Request, series *obs.Series,
+	fn func(ctx context.Context, body io.Reader) outcome) (outcome, bool) {
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		series.Shed.Inc()
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "server at concurrency limit, retry later"})
+		return outcome{}, false
+	}
+	s.metrics.InFlight.Inc()
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+	defer cancel()
+	body := http.MaxBytesReader(w, r.Body, s.maxBody)
+
+	outc := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			s.metrics.InFlight.Dec()
+			<-s.sem
+			if p := recover(); p != nil {
+				outc <- outcome{code: http.StatusInternalServerError, errMsg: fmt.Sprintf("worker panic: %v", p)}
+			}
+		}()
+		outc <- fn(ctx, body)
+	}()
+
+	select {
+	case out := <-outc:
+		return out, true
+	case <-ctx.Done():
+		// Deadline while the worker may be parked in a body Read. That
+		// Read must not outlive this handler — net/http's connection
+		// bookkeeping deadlocks if r.Body is still being read when
+		// ServeHTTP returns — so poke the connection's read deadline to
+		// fail the pending Read, then collect the worker. It surfaces
+		// within microseconds; whatever it produced, the request is
+		// answered as timed out.
+		http.NewResponseController(w).SetReadDeadline(time.Now()) //nolint:errcheck // best effort; h1 and h2 both support it
+		<-outc
+		return outcome{code: http.StatusGatewayTimeout, errMsg: "request deadline exceeded"}, true
+	}
 }
 
 // handleValidate runs POST /v1/validate/{schema}[?stream=1].
@@ -192,59 +249,13 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 		mode = "stream"
 	}
 	series := s.metrics.Series(name, mode)
-
-	// Load shedding: a full semaphore means every validation slot is
-	// busy. Reject now — cheaply, before touching the body — so the
-	// client can back off and retry against a server that isn't drowning.
-	select {
-	case s.sem <- struct{}{}:
-	default:
-		series.Shed.Inc()
-		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "server at concurrency limit, retry later"})
+	start := time.Now()
+	out, ok := s.withWorker(w, r, series, func(ctx context.Context, body io.Reader) outcome {
+		return s.runValidation(ctx, entry, mode, body)
+	})
+	if !ok {
 		return
 	}
-	s.metrics.InFlight.Inc()
-
-	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
-	defer cancel()
-	body := http.MaxBytesReader(w, r.Body, s.maxBody)
-	start := time.Now()
-
-	// The validation itself runs in a worker goroutine so the handler
-	// stays responsive to the deadline even while the worker sits in a
-	// blocked body Read (a slow client). The worker — not the handler —
-	// releases the semaphore, so a timed-out request keeps occupying its
-	// slot until its validation actually stops; shedding stays honest
-	// under slowloris load.
-	outc := make(chan outcome, 1)
-	go func() {
-		defer func() {
-			s.metrics.InFlight.Dec()
-			<-s.sem
-			if p := recover(); p != nil {
-				outc <- outcome{code: http.StatusInternalServerError, errMsg: fmt.Sprintf("validator panic: %v", p)}
-			}
-		}()
-		outc <- s.runValidation(ctx, entry, mode, body)
-	}()
-
-	var out outcome
-	select {
-	case out = <-outc:
-	case <-ctx.Done():
-		// Deadline while the worker may be parked in a body Read. That
-		// Read must not outlive this handler — net/http's connection
-		// bookkeeping deadlocks if r.Body is still being read when
-		// ServeHTTP returns — so poke the connection's read deadline to
-		// fail the pending Read, then collect the worker. It surfaces
-		// within microseconds; whatever it produced, the request is
-		// answered as timed out.
-		http.NewResponseController(w).SetReadDeadline(time.Now()) //nolint:errcheck // best effort; h1 and h2 both support it
-		<-outc
-		out = outcome{code: http.StatusGatewayTimeout, errMsg: "validation deadline exceeded"}
-	}
-
 	if out.code != 0 {
 		series.Errors.Inc()
 		writeJSON(w, out.code, errorResponse{Error: out.errMsg})
@@ -328,6 +339,164 @@ func (s *Server) runValidation(ctx context.Context, entry *registry.Entry, mode 
 	return outcome{res: res}
 }
 
+// decodeResponse extends the validation verdict with the decoded
+// document as canonical JSON (present only when the document is valid).
+type decodeResponse struct {
+	Schema        string          `json:"schema"`
+	SchemaVersion int             `json:"schema_version"`
+	Mode          string          `json:"mode"`
+	Valid         bool            `json:"valid"`
+	Violations    []violationJSON `json:"violations,omitempty"`
+	Data          json.RawMessage `json:"data,omitempty"`
+	ElapsedNs     int64           `json:"elapsed_ns"`
+}
+
+// handleDecode runs POST /v1/decode/{schema}[?stream=1]: validate and
+// decode in one pass, answering the verdict plus — when valid — the
+// document as canonical JSON. The status-code contract matches
+// /v1/validate: an invalid document is a 200 with valid:false and no
+// data, not an error.
+func (s *Server) handleDecode(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("schema")
+	entry, ok := s.reg.Get(name)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("unknown schema %q", name)})
+		return
+	}
+	mode := "decode-dom"
+	if r.URL.Query().Get("stream") == "1" {
+		mode = "decode-stream"
+	}
+	series := s.metrics.Series(name, mode)
+	start := time.Now()
+	out, ok := s.withWorker(w, r, series, func(ctx context.Context, body io.Reader) outcome {
+		return s.runDecode(ctx, entry, mode, body)
+	})
+	if !ok {
+		return
+	}
+	if out.code != 0 {
+		series.Errors.Inc()
+		writeJSON(w, out.code, errorResponse{Error: out.errMsg})
+		return
+	}
+	series.Requests.Inc()
+	series.Latency.Observe(time.Since(start))
+	if !out.res.OK() {
+		series.Invalid.Inc()
+	}
+	resp := decodeResponse{
+		Schema:        entry.Name,
+		SchemaVersion: entry.Version,
+		Mode:          mode,
+		Valid:         out.res.OK(),
+		Data:          out.data,
+		ElapsedNs:     int64(time.Since(start)),
+	}
+	for _, v := range out.res.Violations {
+		resp.Violations = append(resp.Violations, violationJSON{Path: v.Path, Msg: v.Msg})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// runDecode produces a verdict and, when valid, the canonical JSON.
+func (s *Server) runDecode(ctx context.Context, entry *registry.Entry, mode string, body io.Reader) outcome {
+	if mode == "decode-stream" {
+		tracked := &capTracker{r: body}
+		v, res, err := entry.Binder.DecodeReader(ctx, tracked)
+		if tracked.hit {
+			return outcome{code: http.StatusRequestEntityTooLarge,
+				errMsg: fmt.Sprintf("request body exceeds the %d-byte limit", s.maxBody)}
+		}
+		if err != nil {
+			if ctx.Err() != nil {
+				return outcome{code: http.StatusGatewayTimeout, errMsg: "request deadline exceeded"}
+			}
+			return outcome{code: http.StatusInternalServerError, errMsg: err.Error()}
+		}
+		out := outcome{res: res}
+		if v != nil {
+			out.data = entry.Binder.JSON(v)
+		}
+		return out
+	}
+	data, err := io.ReadAll(body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return outcome{code: http.StatusRequestEntityTooLarge,
+				errMsg: fmt.Sprintf("request body exceeds the %d-byte limit", tooBig.Limit)}
+		}
+		return outcome{code: http.StatusBadRequest, errMsg: fmt.Sprintf("reading request body: %v", err)}
+	}
+	if ctx.Err() != nil {
+		return outcome{code: http.StatusGatewayTimeout, errMsg: "request deadline exceeded"}
+	}
+	v, res := entry.Binder.DecodeBytes(data)
+	out := outcome{res: res}
+	if v != nil {
+		out.data = entry.Binder.JSON(v)
+	}
+	return out
+}
+
+// handleEncode runs POST /v1/encode/{schema}: the body is canonical JSON
+// (the /v1/decode projection); the response is the marshaled, re-validated
+// XML document. Malformed or unmappable JSON is a 400; JSON that maps to
+// a schema-invalid document is a 422 carrying the first violation.
+func (s *Server) handleEncode(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("schema")
+	entry, ok := s.reg.Get(name)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("unknown schema %q", name)})
+		return
+	}
+	series := s.metrics.Series(name, "encode")
+	start := time.Now()
+	out, ok := s.withWorker(w, r, series, func(ctx context.Context, body io.Reader) outcome {
+		return s.runEncode(ctx, entry, body)
+	})
+	if !ok {
+		return
+	}
+	if out.code != 0 {
+		series.Errors.Inc()
+		writeJSON(w, out.code, errorResponse{Error: out.errMsg})
+		return
+	}
+	series.Requests.Inc()
+	series.Latency.Observe(time.Since(start))
+	w.Header().Set("Content-Type", "application/xml")
+	w.Header().Set("X-Schema-Version", fmt.Sprintf("%d", entry.Version))
+	w.WriteHeader(http.StatusOK)
+	w.Write(out.data) //nolint:errcheck // client gone; nothing to do
+}
+
+// runEncode maps canonical JSON back to schema-valid XML.
+func (s *Server) runEncode(ctx context.Context, entry *registry.Entry, body io.Reader) outcome {
+	data, err := io.ReadAll(body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return outcome{code: http.StatusRequestEntityTooLarge,
+				errMsg: fmt.Sprintf("request body exceeds the %d-byte limit", tooBig.Limit)}
+		}
+		return outcome{code: http.StatusBadRequest, errMsg: fmt.Sprintf("reading request body: %v", err)}
+	}
+	if ctx.Err() != nil {
+		return outcome{code: http.StatusGatewayTimeout, errMsg: "request deadline exceeded"}
+	}
+	v, err := entry.Binder.FromJSON(data)
+	if err != nil {
+		return outcome{code: http.StatusBadRequest, errMsg: err.Error()}
+	}
+	xml, err := entry.Binder.Marshal(v)
+	if err != nil {
+		return outcome{code: http.StatusUnprocessableEntity, errMsg: err.Error()}
+	}
+	return outcome{data: xml}
+}
+
 // --- introspection endpoints ---
 
 type schemaInfo struct {
@@ -374,7 +543,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, healthResponse{Status: "ok", Schemas: n})
 }
 
+// handleMetrics exports the metrics snapshot enriched with the registry's
+// published generation and schema count, so scrapers can correlate metric
+// movements with hot reloads.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	s.metrics.WriteJSON(w) //nolint:errcheck // client gone; nothing to do
+	snap := s.metrics.Snapshot()
+	snap.Registry = &obs.RegistryInfo{Generation: s.reg.Generation(), Schemas: len(s.reg.List())}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(snap) //nolint:errcheck // client gone; nothing to do
 }

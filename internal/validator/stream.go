@@ -41,6 +41,7 @@ import (
 	"repro/internal/dom"
 	"repro/internal/xmlparser"
 	"repro/internal/xsd"
+	"repro/internal/xsdtypes"
 )
 
 // StreamValidator validates documents incrementally from a token stream.
@@ -79,14 +80,14 @@ func (sv *StreamValidator) ValidateReader(r io.Reader) *Result {
 // the deadline with a transport-level one (net/http request bodies
 // already fail their Reads when the connection closes).
 func (sv *StreamValidator) ValidateReaderContext(ctx context.Context, r io.Reader) (*Result, error) {
-	return sv.validate(ctx, xmlparser.NewReaderDecoder(r, nil))
+	return sv.validate(ctx, xmlparser.NewReaderDecoder(r, nil), nil)
 }
 
 // ValidateBytes validates an in-memory document through the streaming
 // path (no DOM is built). It is the drop-in counterpart of the package
 // function ValidateBytes.
 func (sv *StreamValidator) ValidateBytes(src []byte) *Result {
-	res, _ := sv.validate(context.Background(), xmlparser.NewDecoder(src, nil))
+	res, _ := sv.validate(context.Background(), xmlparser.NewDecoder(src, nil), nil)
 	return res
 }
 
@@ -95,7 +96,7 @@ func (sv *StreamValidator) ValidateBytes(src []byte) *Result {
 // profiles, frequent enough that a deadline trips within microseconds.
 const ctxCheckEvery = 256
 
-func (sv *StreamValidator) validate(ctx context.Context, dec *xmlparser.Decoder) (*Result, error) {
+func (sv *StreamValidator) validate(ctx context.Context, dec *xmlparser.Decoder, ev StreamEvents) (*Result, error) {
 	done := ctx.Done()
 	if done != nil {
 		select {
@@ -104,7 +105,7 @@ func (sv *StreamValidator) validate(ctx context.Context, dec *xmlparser.Decoder)
 		default:
 		}
 	}
-	sr := &streamRun{v: sv.v, ids: map[string]string{}}
+	sr := &streamRun{v: sv.v, ids: map[string]string{}, events: ev}
 	sinceCheck := 0
 	for {
 		if done != nil {
@@ -170,6 +171,14 @@ type frame struct {
 	refMark int          // pending-IDREF mark
 	nsMark  int          // namespace-binding stack mark
 
+	// Event-observer bookkeeping: announced marks frames whose OpenElement
+	// was delivered (and so owe a CloseElement); wild marks wildcard-
+	// admitted elements; evVal carries the parsed simple value from
+	// closeFrame to the CloseElement callback.
+	announced bool
+	wild      bool
+	evVal     *xsdtypes.Value
+
 	// fmFallback subtree buffer.
 	fbDoc   *dom.Document
 	fbRoot  *dom.Element
@@ -215,6 +224,12 @@ type streamRun struct {
 	free      []*frame // recycled frames; popped elements return here
 	skipDepth int      // >0: inside an unvalidated subtree
 	rootDone  bool
+
+	// events, when non-nil, receives the structural callbacks; rawSkip
+	// marks the current skipped subtree as observer-visible (a wildcard
+	// match with no declaration) rather than an invalid one.
+	events  StreamEvents
+	rawSkip bool
 
 	ns       []nsBinding
 	attrSeen []xsd.QName // scratch for attributes()
@@ -270,11 +285,16 @@ func (sr *streamRun) skip() { sr.skipDepth = 1 }
 // token dispatches one parse event.
 func (sr *streamRun) token(tok *xmlparser.Token) {
 	if sr.skipDepth > 0 {
+		if sr.rawSkip {
+			sr.events.RawToken(tok)
+		}
 		switch tok.Kind {
 		case xmlparser.KindStartElement:
 			sr.skipDepth++
 		case xmlparser.KindEndElement:
-			sr.skipDepth--
+			if sr.skipDepth--; sr.skipDepth == 0 {
+				sr.rawSkip = false
+			}
 		}
 		return
 	}
@@ -359,8 +379,14 @@ func (sr *streamRun) startElement(tok *xmlparser.Token) {
 			// Lax wildcard processing: validate when a global
 			// declaration exists, accept otherwise.
 			if gdecl, ok := sr.v.schema.LookupElement(xsd.QName{Space: tok.Name.Space, Local: tok.Name.Local}); ok {
-				sr.openFrame(tok, gdecl, cpath, nsMark)
+				sr.openWildFrame(tok, gdecl, cpath, nsMark)
 			} else {
+				if sr.events != nil {
+					// Deliver the unvalidated subtree raw, starting with
+					// this start tag.
+					sr.events.RawToken(tok)
+					sr.rawSkip = true
+				}
 				sr.skipChild(nsMark)
 			}
 		default:
@@ -396,7 +422,27 @@ func (sr *streamRun) skipChild(nsMark int) {
 // openFrame replicates run.element's prologue (xsi:type, abstract,
 // xsi:nil) and pushes the frame for the element's content.
 func (sr *streamRun) openFrame(tok *xmlparser.Token, decl *xsd.ElementDecl, path string, nsMark int) {
+	sr.pushFrame(tok, decl, path, nsMark, false)
+}
+
+// openWildFrame is openFrame for wildcard-admitted elements; the observer
+// is told the element was reached through a wildcard, not a declaration.
+func (sr *streamRun) openWildFrame(tok *xmlparser.Token, decl *xsd.ElementDecl, path string, nsMark int) {
+	sr.pushFrame(tok, decl, path, nsMark, true)
+}
+
+// announce delivers OpenElement for a frame that passed the prologue.
+func (sr *streamRun) announce(f *frame, typ xsd.Type, tok *xmlparser.Token, nilled bool) {
+	if sr.events == nil {
+		return
+	}
+	f.announced = true
+	sr.events.OpenElement(f.decl, typ, tok, nilled, f.wild)
+}
+
+func (sr *streamRun) pushFrame(tok *xmlparser.Token, decl *xsd.ElementDecl, path string, nsMark int, wild bool) {
 	f := sr.newFrame(path, decl, nsMark)
+	f.wild = wild
 	typ := decl.Type
 	if lex, _ := tok.Attr(xsd.XSINamespace, "type"); lex != "" {
 		q, err := sr.resolveQName(lex)
@@ -427,6 +473,7 @@ func (sr *streamRun) openFrame(tok *xmlparser.Token, decl *xsd.ElementDecl, path
 		if lex == "true" || lex == "1" {
 			f.mode = fmNilled
 			sr.frames = append(sr.frames, f)
+			sr.announce(f, typ, tok, true)
 			return
 		}
 	}
@@ -476,6 +523,7 @@ func (sr *streamRun) openFrame(tok *xmlparser.Token, decl *xsd.ElementDecl, path
 	f.idMark = len(sr.idJournal)
 	f.refMark = len(sr.idrefs)
 	sr.frames = append(sr.frames, f)
+	sr.announce(f, typ, tok, false)
 }
 
 func (sr *streamRun) pushDead(f *frame, msg string) {
@@ -589,6 +637,9 @@ func (sr *streamRun) textNode(data string, cdata bool) {
 	switch f.mode {
 	case fmModel:
 		if f.mixed {
+			if sr.events != nil {
+				sr.events.MixedText(data)
+			}
 			return
 		}
 		if cdata {
@@ -620,6 +671,9 @@ func (sr *streamRun) endElement() {
 	sr.frames = sr.frames[:n-1]
 	sr.ns = sr.ns[:f.nsMark]
 	sr.deliver(sr.closeFrame(f))
+	if f.announced {
+		sr.events.CloseElement(f.evVal)
+	}
 	sr.recycle(f)
 }
 
@@ -680,6 +734,9 @@ func (sr *streamRun) closeFrame(f *frame) []Violation {
 			if err != nil {
 				viols = append(viols, Violation{Path: f.path, Msg: err.Error()})
 			} else {
+				if f.announced {
+					f.evVal = &val
+				}
 				if f.decl.Fixed != nil {
 					want, ferr := f.st.Parse(*f.decl.Fixed)
 					if ferr == nil && !val.Equal(want) {
@@ -699,8 +756,11 @@ func (sr *streamRun) closeFrame(f *frame) []Violation {
 			viols = append(viols, Violation{Path: f.path, Msg: "element content is not allowed in simple content"})
 		} else {
 			text := string(f.textBuf)
-			if _, err := f.st.Parse(text); err != nil {
+			val, err := f.st.Parse(text)
+			if err != nil {
 				viols = append(viols, Violation{Path: f.path, Msg: err.Error()})
+			} else if f.announced {
+				f.evVal = &val
 			}
 			sr.trackIDs(f.st, text, f.path, &viols)
 		}
@@ -798,6 +858,9 @@ func (sr *streamRun) completeFallback(f *frame) {
 	nrun.element(f.fbRoot, f.decl, f.path)
 	sr.idrefs = append(sr.idrefs, nrun.idrefs...)
 	sr.deliver(nrun.res.Violations)
+	if sr.events != nil {
+		sr.events.FallbackElement(f.decl, f.fbRoot, f.wild)
+	}
 	// The buffered subtree is private to this frame and the recursive run
 	// above only keeps strings, so its pooled nodes can be recycled now.
 	f.fbDoc.Release()

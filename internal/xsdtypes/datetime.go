@@ -69,8 +69,10 @@ func parseTZ(s string) (rest string, hasTZ bool, tzMin int, err error) {
 	if len(s) >= 6 {
 		tail := s[len(s)-6:]
 		if (tail[0] == '+' || tail[0] == '-') && tail[3] == ':' {
-			h, err1 := strconv.Atoi(tail[1:3])
-			m, err2 := strconv.Atoi(tail[4:6])
+			// fixed2, not Atoi: Atoi accepts a sign, so "+-5:59" would
+			// parse as hour -5 and sail under the h > 14 check.
+			h, err1 := fixed2(tail[1:3], "timezone hour")
+			m, err2 := fixed2(tail[4:6], "timezone minute")
 			if err1 != nil || err2 != nil || h > 14 || m > 59 || (h == 14 && m != 0) {
 				return "", false, 0, fmt.Errorf("bad timezone %q", tail)
 			}
@@ -96,6 +98,14 @@ func parseYear(s string) (int, error) {
 	}
 	if len(s) > 4 && s[0] == '0' {
 		return 0, fmt.Errorf("year %q must not have extraneous leading zeros", s)
+	}
+	// Digits only: the lexical space has no '+', and the '-' sign was
+	// already consumed above, so anything Atoi would tolerate here
+	// ("+2001", "-+123") is outside the lexical space.
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return 0, fmt.Errorf("bad year %q", s)
+		}
 	}
 	y, err := strconv.Atoi(s)
 	if err != nil {
@@ -516,16 +526,16 @@ func ParseDuration(s string) (Duration, error) {
 			if sawDot {
 				dot := strings.IndexByte(digits, '.')
 				whole, frac := digits[:dot], digits[dot+1:]
-				if whole == "" && frac == "" {
+				// The grammar is [0-9]+(\.[0-9]+)?S: digits are required on
+				// both sides of the point, so "1.S" and ".5S" are out.
+				if whole == "" || frac == "" {
 					return d, fmt.Errorf("duration %q: bad seconds", orig)
 				}
-				if whole != "" {
-					w, err := strconv.ParseInt(whole, 10, 64)
-					if err != nil {
-						return d, err
-					}
-					d.Secs += w
+				w, err := strconv.ParseInt(whole, 10, 64)
+				if err != nil {
+					return d, err
 				}
+				d.Secs += w
 				if len(frac) > 9 {
 					frac = frac[:9]
 				}

@@ -61,6 +61,33 @@ func postForVerdict(t *testing.T, url, doc string) serveResponse {
 	return v
 }
 
+// decodeServeResponse mirrors the server's decode-endpoint JSON.
+type decodeServeResponse struct {
+	Schema        string          `json:"schema"`
+	SchemaVersion int             `json:"schema_version"`
+	Mode          string          `json:"mode"`
+	Valid         bool            `json:"valid"`
+	Data          json.RawMessage `json:"data"`
+}
+
+func postForDecode(t *testing.T, url, doc string) decodeServeResponse {
+	t.Helper()
+	resp, err := http.Post(url, "application/xml", strings.NewReader(doc))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("POST %s: status %d: %s", url, resp.StatusCode, body)
+	}
+	var v decodeServeResponse
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	return v
+}
+
 func getJSON(t *testing.T, url string, out any) int {
 	t.Helper()
 	resp, err := http.Get(url)
@@ -163,6 +190,40 @@ func TestXsdservedIntegration(t *testing.T) {
 		t.Fatalf("healthz = %d", code)
 	}
 
+	// Decode endpoint: one-pass validate+decode, DOM and stream paths must
+	// produce byte-identical canonical JSON.
+	d := postForDecode(t, baseURL+"/v1/decode/po", schemas.PurchaseOrderDoc)
+	if !d.Valid || d.Mode != "decode-dom" || len(d.Data) == 0 {
+		t.Fatalf("decode verdict = %+v, want valid decode-dom with data", d)
+	}
+	if !strings.Contains(string(d.Data), `"$element":"purchaseOrder"`) {
+		t.Fatalf("decode data missing root discriminator: %s", d.Data)
+	}
+	ds := postForDecode(t, baseURL+"/v1/decode/po?stream=1", schemas.PurchaseOrderDoc)
+	if !ds.Valid || ds.Mode != "decode-stream" || !bytes.Equal(d.Data, ds.Data) {
+		t.Fatalf("stream decode diverged from dom:\n  dom:    %s\n  stream: %s", d.Data, ds.Data)
+	}
+	di := postForDecode(t, baseURL+"/v1/decode/po", badDoc)
+	if di.Valid || len(di.Data) != 0 {
+		t.Fatalf("invalid decode = %+v, want valid:false without data", di)
+	}
+
+	// Encode endpoint: the decoded JSON maps back to schema-valid XML,
+	// which decodes to the same JSON — the round trip holds through HTTP.
+	encResp, err := http.Post(baseURL+"/v1/encode/po", "application/json", bytes.NewReader(d.Data))
+	if err != nil {
+		t.Fatalf("POST encode: %v", err)
+	}
+	encXML, _ := io.ReadAll(encResp.Body)
+	encResp.Body.Close()
+	if encResp.StatusCode != http.StatusOK || encResp.Header.Get("Content-Type") != "application/xml" {
+		t.Fatalf("encode: status %d content-type %q: %s", encResp.StatusCode, encResp.Header.Get("Content-Type"), encXML)
+	}
+	d2 := postForDecode(t, baseURL+"/v1/decode/po", string(encXML))
+	if !d2.Valid || !bytes.Equal(d.Data, d2.Data) {
+		t.Fatalf("encode/decode round trip changed the value:\n  before: %s\n  after:  %s", d.Data, d2.Data)
+	}
+
 	var listing serveSchemas
 	getJSON(t, baseURL+"/v1/schemas", &listing)
 	if len(listing.Schemas) != 1 || listing.Schemas[0].Name != "po" || listing.Schemas[0].Version != 1 {
@@ -212,8 +273,20 @@ func TestXsdservedIntegration(t *testing.T) {
 	if got["po/stream"] != [2]int64{1, 1} {
 		t.Errorf("po/stream series = %v, want {1 1}", got["po/stream"])
 	}
+	if got["po/decode-dom"] != [2]int64{3, 1} {
+		t.Errorf("po/decode-dom series = %v, want {3 1}", got["po/decode-dom"])
+	}
+	if got["po/decode-stream"] != [2]int64{1, 0} {
+		t.Errorf("po/decode-stream series = %v, want {1 0}", got["po/decode-stream"])
+	}
+	if got["po/encode"] != [2]int64{1, 0} {
+		t.Errorf("po/encode series = %v, want {1 0}", got["po/encode"])
+	}
 	if snap.Reloads < 1 {
 		t.Errorf("reloads = %d, want >= 1", snap.Reloads)
+	}
+	if snap.Registry == nil || snap.Registry.Generation < 2 || snap.Registry.Schemas != 1 {
+		t.Errorf("metrics registry info = %+v, want generation >= 2 with 1 schema", snap.Registry)
 	}
 
 	// SIGTERM drains gracefully: exit status 0, not a kill.
