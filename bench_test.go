@@ -19,8 +19,10 @@ import (
 	"testing"
 
 	"repro/internal/bind"
+	"repro/internal/compat"
 	"repro/internal/contentmodel"
 	"repro/internal/dom"
+	"repro/internal/gen/evolvedgen"
 	"repro/internal/gen/pogen"
 	"repro/internal/normalize"
 	"repro/internal/pxml"
@@ -888,4 +890,141 @@ func BenchmarkE12_JSONAndMarshal(b *testing.B) {
 			}
 		}
 	})
+}
+
+// ---------------------------------------------------------------------------
+// E13 — registry cold-start and compatibility checking at fleet scale.
+// ---------------------------------------------------------------------------
+
+// writeSchemaGraph materializes an n-schema import graph: one shared
+// library under lib/ plus n top-level schemas, each in its own namespace,
+// importing it. This is the worst case for the per-reload cache (every
+// dependent pulls the same file) and the best case for the parallel pool
+// (compilations are independent).
+func writeSchemaGraph(b *testing.B, n int) string {
+	b.Helper()
+	dir := b.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, "lib"), 0o755); err != nil {
+		b.Fatal(err)
+	}
+	lib := `<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema" targetNamespace="urn:shared"
+            xmlns:s="urn:shared">
+  <xsd:complexType name="Meta">
+    <xsd:sequence>
+      <xsd:element name="id" type="xsd:string"/>
+      <xsd:element name="rev" type="xsd:positiveInteger" minOccurs="0"/>
+    </xsd:sequence>
+  </xsd:complexType>
+</xsd:schema>`
+	if err := os.WriteFile(filepath.Join(dir, "lib", "common.xsd"), []byte(lib), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		src := fmt.Sprintf(`<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema" targetNamespace="urn:s%d"
+            xmlns:s="urn:shared" elementFormDefault="qualified">
+  <xsd:import namespace="urn:shared" schemaLocation="lib/common.xsd"/>
+  <xsd:element name="doc%d">
+    <xsd:complexType>
+      <xsd:sequence>
+        <xsd:element name="meta" type="s:Meta"/>
+        <xsd:element name="body" type="xsd:string" minOccurs="0" maxOccurs="unbounded"/>
+      </xsd:sequence>
+      <xsd:attribute name="lang" type="xsd:language" default="en"/>
+    </xsd:complexType>
+  </xsd:element>
+</xsd:schema>`, i, i)
+		if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf("s%04d.xsd", i)), []byte(src), 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// BenchmarkE13_ColdStart prices bringing a registry from empty to serving
+// over an n-schema import graph: every iteration starts a fresh registry
+// (cold caches) and runs one full Reload. The serial leg pins the compile
+// pool to one worker; the parallel/serial ratio is the payoff of
+// compiling changed schemas concurrently under the shared per-reload
+// stat/read cache.
+func BenchmarkE13_ColdStart(b *testing.B) {
+	for _, n := range []int{200, 1000} {
+		dir := writeSchemaGraph(b, n)
+		for _, mode := range []struct {
+			name    string
+			workers int
+		}{
+			{"parallel", 0},
+			{"serial", 1},
+		} {
+			b.Run(fmt.Sprintf("%s/schemas=%d", mode.name, n), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					reg := registry.New(dir, nil)
+					reg.Workers = mode.workers
+					changed, err := reg.Reload()
+					if err != nil {
+						b.Fatal(err)
+					}
+					if changed != n {
+						b.Fatalf("cold start loaded %d schemas, want %d", changed, n)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkE13_WarmReload prices the steady state the watcher lives in: a
+// no-op Reload over an already-loaded 1000-schema graph, where change
+// detection stats each closure file once (shared library included) and
+// every entry keeps its warm validator.
+func BenchmarkE13_WarmReload(b *testing.B) {
+	const n = 1000
+	dir := writeSchemaGraph(b, n)
+	reg := registry.New(dir, nil)
+	if _, err := reg.Reload(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		changed, err := reg.Reload()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if changed != 0 {
+			b.Fatalf("warm reload recompiled %d schemas, want 0", changed)
+		}
+	}
+}
+
+// BenchmarkE13_CompatClassify prices the compatibility gate itself:
+// classifying every evolvedgen old/new schema pair (inclusion checks over
+// Glushkov product constructions plus the structural simple-type walk).
+// Parsing is hoisted out — a reload classifies already-parsed schemas.
+func BenchmarkE13_CompatClassify(b *testing.B) {
+	type parsedPair struct{ old, new *xsd.Schema }
+	var pairs []parsedPair
+	for _, p := range evolvedgen.Pairs() {
+		oldS, err := xsd.ParseString(p.Old, nil)
+		if err != nil {
+			b.Fatalf("%s old: %v", p.Name, err)
+		}
+		newS, err := xsd.ParseString(p.New, nil)
+		if err != nil {
+			b.Fatalf("%s new: %v", p.Name, err)
+		}
+		pairs = append(pairs, parsedPair{oldS, newS})
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, p := range pairs {
+			if rep := compat.Classify(p.old, p.new); rep == nil {
+				b.Fatal("nil report")
+			}
+		}
+	}
 }

@@ -1,31 +1,44 @@
-// Command xsdcheck validates XML documents against an XML Schema at
+// Command xsdcheck validates XML documents against XML Schemas at
 // runtime — the paper's baseline workflow that V-DOM renders unnecessary
 // for generated documents.
 //
 // Usage:
 //
 //	xsdcheck -schema po.xsd doc1.xml [doc2.xml ...]
-//	xsdcheck -schema po.xsd -json doc.xml       # decode valid documents to canonical JSON
+//	xsdcheck -schema po.xsd,inv.xsd docs/*.xml    # several schemas; documents dispatch by root element
+//	xsdcheck -schemadir ./schemas docs/*.xml      # every top-level *.xsd in a directory tree
+//	xsdcheck -schema po.xsd -json doc.xml         # decode valid documents to canonical JSON
+//
+// Schemas may include or import other documents: references resolve
+// relative to the referring file, confined to the schema's directory
+// tree (-schemadir confines to that directory, so sibling folders like
+// lib/ work). With more than one schema loaded, each document is routed
+// to the schema that declares its root element as a global element.
 //
 // Multiple documents are read, parsed and validated concurrently through
-// one shared validator (bounded by -p workers, default GOMAXPROCS), so
-// the schema's content models compile once and every core helps with a
-// bulk run. Reports are still printed in argument order. The exit status
-// is 0 when every document is valid, 1 otherwise.
+// shared validators (bounded by -p workers, default GOMAXPROCS), so each
+// schema's content models compile once and every core helps with a bulk
+// run. Reports are still printed in argument order. The exit status is 0
+// when every document is valid, 1 otherwise.
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 
 	"repro/internal/bind"
 	"repro/internal/dom"
 	"repro/internal/validator"
+	"repro/internal/xmlparser"
 	"repro/internal/xsd"
 )
 
@@ -37,30 +50,110 @@ type report struct {
 	failed  bool
 }
 
+// schemaEntry is one loaded schema with its shared validator (and binder
+// when -json is on).
+type schemaEntry struct {
+	path   string
+	schema *xsd.Schema
+	v      *validator.Validator
+	binder *bind.Binder
+}
+
+// schemaSet routes documents to schemas. With one schema every document
+// goes to it (the validator reports unknown roots itself); with several,
+// the document's root element picks the schema declaring it.
+type schemaSet struct {
+	entries []*schemaEntry
+	byRoot  map[xsd.QName]*schemaEntry
+}
+
+func loadSchemas(paths []string, root string, vopts *validator.Options, withBinder bool) (*schemaSet, error) {
+	set := &schemaSet{byRoot: map[xsd.QName]*schemaEntry{}}
+	for _, p := range paths {
+		opts := &xsd.ParseOptions{}
+		if root != "" {
+			opts.Resolver = xsd.NewDirResolver(root)
+		}
+		schema, err := xsd.ParseFile(p, opts)
+		if err != nil {
+			return nil, err
+		}
+		e := &schemaEntry{path: p, schema: schema, v: validator.New(schema, vopts)}
+		if withBinder {
+			e.binder = bind.New(schema, e.v)
+		}
+		set.entries = append(set.entries, e)
+		for q := range schema.Elements {
+			if _, taken := set.byRoot[q]; !taken {
+				set.byRoot[q] = e // first schema in argument order wins
+			}
+		}
+	}
+	return set, nil
+}
+
+// forDoc picks the schema for a document by sniffing its root element.
+func (s *schemaSet) forDoc(src []byte) (*schemaEntry, error) {
+	if len(s.entries) == 1 {
+		return s.entries[0], nil
+	}
+	d := xmlparser.NewDecoder(src, nil)
+	for {
+		tok, err := d.Next()
+		if err != nil {
+			return nil, fmt.Errorf("not well-formed: %w", err)
+		}
+		if tok.Kind == xmlparser.KindStartElement {
+			q := xsd.QName{Space: tok.Name.Space, Local: tok.Name.Local}
+			e, ok := s.byRoot[q]
+			if !ok {
+				return nil, fmt.Errorf("no loaded schema declares root element %s", q)
+			}
+			return e, nil
+		}
+	}
+}
+
 func main() {
-	schemaPath := flag.String("schema", "", "path to the XML Schema (required)")
+	schemaPath := flag.String("schema", "", "XML Schema path(s), comma-separated")
+	schemaDir := flag.String("schemadir", "", "directory whose top-level *.xsd files are all loaded (references may reach anywhere under it)")
 	quiet := flag.Bool("q", false, "suppress per-violation output")
 	workers := flag.Int("p", runtime.GOMAXPROCS(0), "max files processed in parallel")
-	stream := flag.Bool("stream", false, "validate incrementally while reading (O(depth) memory, no DOM)")
+	stream := flag.Bool("stream", false, "validate incrementally while reading (O(depth) memory, no DOM; with several schemas the file is buffered for root dispatch)")
 	jsonOut := flag.Bool("json", false, "decode valid documents to canonical JSON in the same pass (invalid ones still report violations)")
 	nodfa := flag.Bool("nodfa", false, "disable the lazy-DFA content-model executor (NFA stepping)")
 	flag.Parse()
-	if *schemaPath == "" || flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: xsdcheck -schema s.xsd doc.xml...")
+
+	var schemaFiles []string
+	for _, p := range strings.Split(*schemaPath, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			schemaFiles = append(schemaFiles, p)
+		}
+	}
+	if *schemaDir != "" {
+		dirents, err := os.ReadDir(*schemaDir)
+		if err != nil {
+			fatal(err)
+		}
+		var names []string
+		for _, de := range dirents {
+			if !de.IsDir() && strings.HasSuffix(de.Name(), ".xsd") {
+				names = append(names, de.Name())
+			}
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			schemaFiles = append(schemaFiles, filepath.Join(*schemaDir, n))
+		}
+	}
+	if len(schemaFiles) == 0 || flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: xsdcheck -schema s.xsd[,t.xsd...] | -schemadir dir  doc.xml...")
 		os.Exit(2)
 	}
-	schemaSrc, err := os.ReadFile(*schemaPath)
+
+	set, err := loadSchemas(schemaFiles, *schemaDir, &validator.Options{DisableDFA: *nodfa}, *jsonOut)
 	if err != nil {
 		fatal(err)
-	}
-	schema, err := xsd.Parse(schemaSrc, nil)
-	if err != nil {
-		fatal(err)
-	}
-	v := validator.New(schema, &validator.Options{DisableDFA: *nodfa})
-	var binder *bind.Binder
-	if *jsonOut {
-		binder = bind.New(schema, v)
 	}
 
 	paths := flag.Args()
@@ -79,14 +172,7 @@ func main() {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				switch {
-				case binder != nil:
-					reports[i] = checkFileJSON(binder, paths[i], *quiet, *stream)
-				case *stream:
-					reports[i] = checkFileStream(v.Stream(), paths[i], *quiet)
-				default:
-					reports[i] = checkFile(v, paths[i], *quiet)
-				}
+				reports[i] = checkOne(set, paths[i], *quiet, *stream, *jsonOut)
 			}
 		}()
 	}
@@ -111,18 +197,41 @@ func main() {
 	os.Exit(exit)
 }
 
-// checkFile reads, parses and validates one document against the shared
-// validator, returning its rendered report.
-func checkFile(v *validator.Validator, path string, quiet bool) report {
+// checkOne routes one document to its schema and through the requested
+// pipeline. True single-schema streaming never buffers the file; the
+// multi-schema cases read it first to sniff the root element.
+func checkOne(set *schemaSet, path string, quiet, stream, jsonOut bool) report {
+	if stream && !jsonOut && len(set.entries) == 1 {
+		return checkFileStream(set.entries[0].v.Stream(), path, quiet)
+	}
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return report{errText: fmt.Sprintf("xsdcheck: %v\n", err), failed: true}
 	}
+	e, err := set.forDoc(src)
+	if err != nil {
+		return report{errText: fmt.Sprintf("%s: %v\n", path, err), failed: true}
+	}
+	switch {
+	case jsonOut:
+		return checkJSON(e.binder, path, src, quiet, stream)
+	case stream:
+		res := e.v.Stream().ValidateReader(bytes.NewReader(src))
+		return renderResult(path, res, quiet)
+	default:
+		return checkDOM(e.v, path, src, quiet)
+	}
+}
+
+// checkDOM parses and validates one document against the shared
+// validator, returning its rendered report.
+func checkDOM(v *validator.Validator, path string, src []byte, quiet bool) report {
 	doc, err := dom.Parse(src)
 	if err != nil {
 		return report{errText: fmt.Sprintf("%s: not well-formed: %v\n", path, err), failed: true}
 	}
 	res := v.ValidateDocument(doc)
+	doc.Release()
 	return renderResult(path, res, quiet)
 }
 
@@ -140,27 +249,19 @@ func checkFileStream(sv *validator.StreamValidator, path string, quiet bool) rep
 	return renderResult(path, res, quiet)
 }
 
-// checkFileJSON validates and decodes one document in the same pass,
-// printing the canonical JSON for valid documents and the usual violation
-// report otherwise.
-func checkFileJSON(b *bind.Binder, path string, quiet, stream bool) report {
+// checkJSON validates and decodes one document in the same pass, printing
+// the canonical JSON for valid documents and the usual violation report
+// otherwise.
+func checkJSON(b *bind.Binder, path string, src []byte, quiet, stream bool) report {
 	var val *bind.Value
 	var res *validator.Result
 	if stream {
-		f, err := os.Open(path)
-		if err != nil {
-			return report{errText: fmt.Sprintf("xsdcheck: %v\n", err), failed: true}
-		}
-		val, res, err = b.DecodeReader(context.Background(), f)
-		f.Close()
-		if err != nil {
+		var err error
+		val, res, err = b.DecodeReader(context.Background(), bytes.NewReader(src))
+		if err != nil && err != io.EOF {
 			return report{errText: fmt.Sprintf("%s: %v\n", path, err), failed: true}
 		}
 	} else {
-		src, err := os.ReadFile(path)
-		if err != nil {
-			return report{errText: fmt.Sprintf("xsdcheck: %v\n", err), failed: true}
-		}
 		val, res = b.DecodeBytes(src)
 	}
 	if val == nil {

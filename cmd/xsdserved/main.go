@@ -37,6 +37,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/compat"
 	"repro/internal/obs"
 	"repro/internal/registry"
 	"repro/internal/server"
@@ -52,15 +53,37 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request validation deadline")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown budget for in-flight requests")
 	nodfa := flag.Bool("nodfa", false, "disable the lazy-DFA content-model executor (NFA stepping)")
+	gate := flag.String("compat-gate", "none", "reject reloaded schema versions below this compatibility level vs the serving version (none|backward|forward|full)")
 	flag.Parse()
 	if *dir == "" {
 		fmt.Fprintln(os.Stderr, "usage: xsdserved -schemas dir [-addr host:port]")
+		os.Exit(2)
+	}
+	gateLevel, err := compat.ParseLevel(*gate)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
 
 	metrics := &obs.Metrics{}
 	reg := registry.New(*dir, &validator.Options{DisableDFA: *nodfa})
+	reg.Gate = gateLevel
+	reg.OnCompat = func(name string, rep *compat.Report, gated bool) {
+		metrics.Compat.Observe(rep.Level.String(), gated)
+		attrs := []any{"schema", name, "level", rep.Level.String(), "gated", gated}
+		if len(rep.BackwardBreaks) > 0 {
+			attrs = append(attrs, "backward_breaks", rep.BackwardBreaks)
+		}
+		if len(rep.ForwardBreaks) > 0 {
+			attrs = append(attrs, "forward_breaks", rep.ForwardBreaks)
+		}
+		if gated {
+			logger.Warn("schema version rejected by compatibility gate", attrs...)
+		} else {
+			logger.Info("schema compatibility", attrs...)
+		}
+	}
 	reg.OnReload = func(gen int64, changed int, err error) {
 		metrics.Reloads.Inc()
 		switch {

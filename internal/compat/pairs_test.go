@@ -1,0 +1,45 @@
+package compat
+
+import (
+	"testing"
+
+	"repro/internal/gen/evolvedgen"
+	"repro/internal/xsd"
+)
+
+// reversed maps the expected level of old → new to that of new → old.
+var reversed = map[string]string{
+	"backward": "forward",
+	"forward":  "backward",
+	"full":     "full",
+	"none":     "none",
+}
+
+// TestEvolvedPairs runs the classifier over the generated evolution
+// corpus: each evolved schema must classify at its declared level, and
+// the reversed pair at the mirrored level (a backward evolution read
+// backwards is a forward one).
+func TestEvolvedPairs(t *testing.T) {
+	for _, pair := range evolvedgen.Pairs() {
+		t.Run(pair.Name, func(t *testing.T) {
+			oldS, err := xsd.ParseString(pair.Old, nil)
+			if err != nil {
+				t.Fatalf("parse old: %v", err)
+			}
+			newS, err := xsd.ParseString(pair.New, nil)
+			if err != nil {
+				t.Fatalf("parse new: %v", err)
+			}
+			r := Classify(oldS, newS)
+			if r.Level.String() != pair.Want {
+				t.Errorf("Classify(old, new) = %s, want %s\nbackward breaks: %v\nforward breaks: %v",
+					r.Level, pair.Want, r.BackwardBreaks, r.ForwardBreaks)
+			}
+			rev := Classify(newS, oldS)
+			if rev.Level.String() != reversed[pair.Want] {
+				t.Errorf("Classify(new, old) = %s, want %s\nbackward breaks: %v\nforward breaks: %v",
+					rev.Level, reversed[pair.Want], rev.BackwardBreaks, rev.ForwardBreaks)
+			}
+		})
+	}
+}

@@ -30,14 +30,25 @@
 // verdicts, leaf assignments and MatchError messages byte-identical to
 // the NFA's (enforced by the differential tests and FuzzDFAContentModel).
 //
+// # Language inclusion
+//
+// Beyond matching single sequences, Includes decides whether one
+// compiled model accepts every word another does — a product subset
+// construction over the two Glushkov automata, explored over a finite
+// alphabet drawn from both models' symbols plus per-namespace wildcard
+// probes, under an explicit state budget (ErrInclusionBudget) that turns
+// pathological blowups into a conservative "not provable" instead of a
+// hang. The schema-evolution classifier (package compat) is built on it.
+//
 // # Role in the pipeline
 //
 // contentmodel is the shared automaton layer of the pipeline (xsd parse →
 // normalize → contentmodel → codegen/vdom → validator → pxml): package
 // xsd lowers its schema particles into this package's Particle form, and
 // the compiled matchers serve the runtime validator, the vdom runtime's
-// mixed-content checks, the P-XML preprocessor's static checks, and the
-// DTD baseline alike.
+// mixed-content checks, the P-XML preprocessor's static checks, the
+// schema-evolution classifier's inclusion checks, and the DTD baseline
+// alike.
 //
 // # Concurrency
 //

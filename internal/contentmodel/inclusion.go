@@ -1,0 +1,205 @@
+package contentmodel
+
+import (
+	"errors"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ErrInclusionBudget is returned by Includes when the product construction
+// exceeds its state budget before reaching a verdict. Callers should treat
+// the relation as unknown and fall back to a conservative answer.
+var ErrInclusionBudget = errors.New("contentmodel: inclusion check exceeded its state budget")
+
+// defaultInclusionBudget bounds the number of visited product states. Real
+// schema content models determinize to a handful of states; the budget
+// exists for adversarial choice nests, not for normal schemas.
+const defaultInclusionBudget = 1 << 14
+
+// probeLocal is the local name used for wildcard probe symbols. It is not
+// a valid NCName, so it can never collide with a concrete element name
+// declared by any schema; a probe symbol is accepted only by wildcard
+// leaves whose namespace predicate admits the probe's namespace.
+const probeLocal = "\x01wildcard-probe"
+
+// probeNamespace stands for "every namespace neither automaton mentions".
+// All such namespaces are indistinguishable to the leaf predicates we
+// compile (exact names, ##any, ##other, namespace lists), so one
+// representative is enough to make the finite test alphabet complete.
+const probeNamespace = "\x01urn:contentmodel:fresh-namespace"
+
+// Includes reports whether the language of sup contains the language of
+// sub: every child-element sequence sub accepts, sup accepts too. This is
+// the decision procedure behind schema-evolution compatibility — "does the
+// new content model still admit everything the old one did" is
+// Includes(new, old).
+//
+// The check runs a product subset construction over the two position
+// automata. The alphabet of the product is finite even though wildcards
+// admit infinitely many names: leaf predicates only distinguish exact
+// names and namespace membership, so the concrete names of both automata
+// plus one probe symbol per mentioned namespace (and one for a fresh,
+// unmentioned namespace) cover every equivalence class of symbols.
+//
+// stateLimit bounds the visited product states (<= 0 selects the default,
+// 16384). On overflow the verdict is unknown and ErrInclusionBudget is
+// returned.
+func Includes(sup, sub *Glushkov, stateLimit int) (bool, error) {
+	if stateLimit <= 0 {
+		stateLimit = defaultInclusionBudget
+	}
+	// The empty sequence first: nullability is acceptance at the start
+	// state, which the BFS below never revisits.
+	if sub.nullable && !sup.nullable {
+		return false, nil
+	}
+	alphabet := testAlphabet(sup, sub)
+
+	// A determinized state is the set of positions matched by the last
+	// consumed symbol (nil at the start). Every Glushkov position is
+	// coaccessible — it came from a leaf of the expression, so some word
+	// through it reaches acceptance — which is what makes "sub alive, sup
+	// dead" an immediate non-inclusion witness below.
+	type state struct {
+		sub, sup []int
+		start    bool
+	}
+	startState := state{start: true}
+	seen := map[string]bool{key(startState.sub, startState.sup, true): true}
+	queue := []state{startState}
+
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, sym := range alphabet {
+			subNext := stepSet(sub, cur.sub, cur.start, sym)
+			if len(subNext) == 0 {
+				continue // sub rejects every word through here
+			}
+			supNext := stepSet(sup, cur.sup, cur.start, sym)
+			if len(supNext) == 0 {
+				// sub can still reach acceptance (coaccessibility), sup is
+				// dead: some word is in L(sub) \ L(sup).
+				return false, nil
+			}
+			if acceptSet(sub, subNext) && !acceptSet(sup, supNext) {
+				return false, nil
+			}
+			k := key(subNext, supNext, false)
+			if seen[k] {
+				continue
+			}
+			if len(seen) >= stateLimit {
+				return false, ErrInclusionBudget
+			}
+			seen[k] = true
+			queue = append(queue, state{sub: subNext, sup: supNext})
+		}
+	}
+	return true, nil
+}
+
+// Equivalent reports whether two automata accept exactly the same
+// language, under the same budget semantics as Includes.
+func Equivalent(a, b *Glushkov, stateLimit int) (bool, error) {
+	ab, err := Includes(a, b, stateLimit)
+	if err != nil || !ab {
+		return false, err
+	}
+	return Includes(b, a, stateLimit)
+}
+
+// testAlphabet derives the finite symbol set that distinguishes every pair
+// of determinized states of the given automata: all concrete names, plus
+// one probe per namespace any leaf mentions (wildcard target namespaces
+// and namespace lists included, and the empty namespace for ##local),
+// plus one probe in a namespace nobody mentions.
+func testAlphabet(gs ...*Glushkov) []Symbol {
+	names := map[Symbol]bool{}
+	namespaces := map[string]bool{"": true, probeNamespace: true}
+	for _, g := range gs {
+		for _, l := range g.leaves {
+			for _, n := range l.Names {
+				names[n] = true
+				namespaces[n.Space] = true
+			}
+			if w := l.Wildcard; w != nil {
+				namespaces[w.TargetNS] = true
+				for _, ns := range w.Namespaces {
+					namespaces[ns] = true
+				}
+			}
+		}
+	}
+	out := make([]Symbol, 0, len(names)+len(namespaces))
+	for n := range names {
+		out = append(out, n)
+	}
+	for ns := range namespaces {
+		out = append(out, Symbol{Space: ns, Local: probeLocal})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Space != out[j].Space {
+			return out[i].Space < out[j].Space
+		}
+		return out[i].Local < out[j].Local
+	})
+	return out
+}
+
+// stepSet advances a determinized state by one symbol: the positions
+// reachable from cur (first positions at the start) whose leaves accept
+// sym, deduplicated and sorted for canonical keying.
+func stepSet(g *Glushkov, cur []int, atStart bool, sym Symbol) []int {
+	var next []int
+	seen := map[int]bool{}
+	add := func(q int) {
+		if !seen[q] && g.leaves[q].Accepts(sym) {
+			seen[q] = true
+			next = append(next, q)
+		}
+	}
+	if atStart {
+		for _, q := range g.first {
+			add(q)
+		}
+	} else {
+		for _, p := range cur {
+			for _, q := range g.follow[p] {
+				add(q)
+			}
+		}
+	}
+	sort.Ints(next)
+	return next
+}
+
+// acceptSet reports whether a determinized (non-start) state is accepting:
+// some matched position is a last position of the expression.
+func acceptSet(g *Glushkov, set []int) bool {
+	for _, p := range set {
+		if g.last[p] {
+			return true
+		}
+	}
+	return false
+}
+
+// key canonically encodes a product state.
+func key(sub, sup []int, start bool) string {
+	var b strings.Builder
+	if start {
+		b.WriteByte('S')
+	}
+	for _, p := range sub {
+		b.WriteString(strconv.Itoa(p))
+		b.WriteByte(',')
+	}
+	b.WriteByte('|')
+	for _, p := range sup {
+		b.WriteString(strconv.Itoa(p))
+		b.WriteByte(',')
+	}
+	return b.String()
+}

@@ -1,0 +1,193 @@
+package contentmodel
+
+import "testing"
+
+func mustGlushkov(t *testing.T, p *Particle) *Glushkov {
+	t.Helper()
+	g, err := CompileGlushkov(p)
+	if err != nil {
+		t.Fatalf("CompileGlushkov: %v", err)
+	}
+	return g
+}
+
+func leaf(min, max int, local string) *Particle {
+	return NewElementLeaf(min, max, sym(local), nil)
+}
+
+func wildcardLeaf(min, max int, w *Wildcard) *Particle {
+	return &Particle{Min: min, Max: max, Leaf: &Leaf{Wildcard: w, Data: w}}
+}
+
+func TestIncludes(t *testing.T) {
+	cases := []struct {
+		name     string
+		sup, sub *Particle
+		want     bool
+	}{
+		{"identical", NewSequence(1, 1, leaf(1, 1, "a"), leaf(1, 1, "b")),
+			NewSequence(1, 1, leaf(1, 1, "a"), leaf(1, 1, "b")), true},
+		{"added optional trailing element", NewSequence(1, 1, leaf(1, 1, "a"), leaf(0, 1, "b")),
+			NewSequence(1, 1, leaf(1, 1, "a")), true},
+		{"reverse of added optional", NewSequence(1, 1, leaf(1, 1, "a")),
+			NewSequence(1, 1, leaf(1, 1, "a"), leaf(0, 1, "b")), false},
+		{"maxOccurs widened to unbounded", leaf(1, Unbounded, "a"), leaf(1, 3, "a"), true},
+		{"maxOccurs narrowed", leaf(1, 3, "a"), leaf(1, Unbounded, "a"), false},
+		{"minOccurs relaxed", leaf(0, 1, "a"), leaf(1, 1, "a"), true},
+		{"minOccurs tightened rejects empty", leaf(1, 1, "a"), leaf(0, 1, "a"), false},
+		{"new choice alternative", NewChoice(1, 1, leaf(1, 1, "a"), leaf(1, 1, "b")),
+			leaf(1, 1, "a"), true},
+		{"choice alternative removed", leaf(1, 1, "a"),
+			NewChoice(1, 1, leaf(1, 1, "a"), leaf(1, 1, "b")), false},
+		{"renamed element", leaf(1, 1, "b"), leaf(1, 1, "a"), false},
+		{"sequence reordered", NewSequence(1, 1, leaf(1, 1, "b"), leaf(1, 1, "a")),
+			NewSequence(1, 1, leaf(1, 1, "a"), leaf(1, 1, "b")), false},
+		{"interleave covers sequence",
+			NewAll(1, 1, leaf(1, 1, "a"), leaf(1, 1, "b")),
+			NewSequence(1, 1, leaf(1, 1, "a"), leaf(1, 1, "b")), true},
+		{"sequence does not cover interleave",
+			NewSequence(1, 1, leaf(1, 1, "a"), leaf(1, 1, "b")),
+			NewAll(1, 1, leaf(1, 1, "a"), leaf(1, 1, "b")), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sup, sub := mustGlushkov(t, tc.sup), mustGlushkov(t, tc.sub)
+			got, err := Includes(sup, sub, 0)
+			if err != nil {
+				t.Fatalf("Includes: %v", err)
+			}
+			if got != tc.want {
+				t.Errorf("Includes(%s, %s) = %v, want %v", tc.sup, tc.sub, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestIncludesWildcards(t *testing.T) {
+	const tns = "urn:test"
+	anyW := &Wildcard{Kind: WildAny}
+	otherW := &Wildcard{Kind: WildOther, TargetNS: tns}
+	listW := &Wildcard{Kind: WildList, Namespaces: []string{tns}}
+	named := func(space, local string) *Particle {
+		return NewElementLeaf(1, 1, Symbol{Space: space, Local: local}, nil)
+	}
+	cases := []struct {
+		name     string
+		sup, sub *Particle
+		want     bool
+	}{
+		{"##any covers a named element", wildcardLeaf(1, 1, anyW), named(tns, "a"), true},
+		{"named element does not cover ##any", named(tns, "a"), wildcardLeaf(1, 1, anyW), false},
+		{"##any covers ##other", wildcardLeaf(1, 1, anyW), wildcardLeaf(1, 1, otherW), true},
+		{"##other does not cover ##any", wildcardLeaf(1, 1, otherW), wildcardLeaf(1, 1, anyW), false},
+		{"##other excludes the target namespace", wildcardLeaf(1, 1, otherW), named(tns, "a"), false},
+		{"##other admits foreign namespaces", wildcardLeaf(1, 1, otherW), named("urn:elsewhere", "a"), true},
+		{"namespace list covers its namespace", wildcardLeaf(1, 1, listW), named(tns, "a"), true},
+		{"namespace list rejects others", wildcardLeaf(1, 1, listW), named("urn:elsewhere", "a"), false},
+		{"list does not cover ##other (fresh namespaces)", wildcardLeaf(1, 1, listW), wildcardLeaf(1, 1, otherW), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sup, sub := mustGlushkov(t, tc.sup), mustGlushkov(t, tc.sub)
+			got, err := Includes(sup, sub, 0)
+			if err != nil {
+				t.Fatalf("Includes: %v", err)
+			}
+			if got != tc.want {
+				t.Errorf("Includes = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestIncludesEmptyWord(t *testing.T) {
+	empty := &Particle{Min: 1, Max: 1, Group: &Group{Kind: Sequence}}
+	optA := leaf(0, 1, "a")
+	reqA := leaf(1, 1, "a")
+	sup, sub := mustGlushkov(t, optA), mustGlushkov(t, empty)
+	if ok, err := Includes(sup, sub, 0); err != nil || !ok {
+		t.Errorf("a? should include the empty language: ok=%v err=%v", ok, err)
+	}
+	sup, sub = mustGlushkov(t, reqA), mustGlushkov(t, empty)
+	if ok, err := Includes(sup, sub, 0); err != nil || ok {
+		t.Errorf("a should not include the empty language: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestEquivalent(t *testing.T) {
+	// (a, b) | (a, c)  ==  a, (b | c)
+	left := NewChoice(1, 1,
+		NewSequence(1, 1, leaf(1, 1, "a"), leaf(1, 1, "b")),
+		NewSequence(1, 1, leaf(1, 1, "a"), leaf(1, 1, "c")))
+	right := NewSequence(1, 1, leaf(1, 1, "a"), NewChoice(1, 1, leaf(1, 1, "b"), leaf(1, 1, "c")))
+	ok, err := Equivalent(mustGlushkov(t, left), mustGlushkov(t, right), 0)
+	if err != nil || !ok {
+		t.Errorf("factored choice should be equivalent: ok=%v err=%v", ok, err)
+	}
+	ok, err = Equivalent(mustGlushkov(t, left), mustGlushkov(t, leaf(1, 1, "a")), 0)
+	if err != nil || ok {
+		t.Errorf("distinct languages reported equivalent: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestIncludesBudget(t *testing.T) {
+	a := mustGlushkov(t, NewSequence(1, 1, leaf(1, 1, "a"), leaf(1, 1, "b"), leaf(1, 1, "c")))
+	if _, err := Includes(a, a, 1); err != ErrInclusionBudget {
+		t.Errorf("stateLimit 1 should overflow, got err=%v", err)
+	}
+	// A verdict reached within the budget reports no error.
+	if ok, err := Includes(a, a, 100); err != nil || !ok {
+		t.Errorf("self-inclusion within budget: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestIncludesAgreesWithMatch cross-checks the inclusion verdict against
+// brute-force membership: enumerate all words up to length 4 over a tiny
+// alphabet and verify set containment matches Includes.
+func TestIncludesAgreesWithMatch(t *testing.T) {
+	models := []*Particle{
+		NewSequence(1, 1, leaf(1, 1, "a"), leaf(0, 1, "b")),
+		NewSequence(1, 1, leaf(1, 1, "a"), leaf(1, 1, "b")),
+		NewChoice(1, 1, leaf(1, 1, "a"), NewSequence(1, 1, leaf(1, 1, "a"), leaf(1, 1, "b"))),
+		leaf(0, 3, "a"),
+		leaf(1, Unbounded, "b"),
+		NewAll(1, 1, leaf(1, 1, "a"), leaf(0, 1, "b")),
+	}
+	alphabet := []Symbol{sym("a"), sym("b")}
+	var words [][]Symbol
+	var grow func(prefix []Symbol, depth int)
+	grow = func(prefix []Symbol, depth int) {
+		words = append(words, append([]Symbol(nil), prefix...))
+		if depth == 0 {
+			return
+		}
+		for _, s := range alphabet {
+			grow(append(prefix, s), depth-1)
+		}
+	}
+	grow(nil, 4)
+
+	accepts := func(g *Glushkov, w []Symbol) bool {
+		_, err := g.Match(w)
+		return err == nil
+	}
+	for i, ps := range models {
+		for j, pb := range models {
+			gs, gb := mustGlushkov(t, ps), mustGlushkov(t, pb)
+			want := true
+			for _, w := range words {
+				if accepts(gb, w) && !accepts(gs, w) {
+					want = false
+					break
+				}
+			}
+			got, err := Includes(gs, gb, 0)
+			if err != nil {
+				t.Fatalf("models %d⊇%d: %v", i, j, err)
+			}
+			if got != want {
+				t.Errorf("Includes(%s, %s) = %v, brute force says %v", ps, pb, got, want)
+			}
+		}
+	}
+}

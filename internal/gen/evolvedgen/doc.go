@@ -2,6 +2,14 @@
 // evolvedgen.go is emitted by cmd/vdomgen (run internal/gen/regen to
 // refresh it) from the evolved purchase-order schema (paper §3 choice-evolution example).
 //
+// The hand-written pairs.go also survives regeneration: Pairs derives a
+// schema-evolution corpus (old/new schema sources with known
+// backward/forward/full/none verdicts) from the generated SchemaSource
+// constants, which the compatibility classifier (internal/compat) and
+// the registry's reload gates test against — each pair is checked
+// forward and reversed, since reversing a pair must swap backward and
+// forward.
+//
 // # Role in the pipeline
 //
 // The package is a checked-in output of the codegen stage (xsd parse →

@@ -1,0 +1,104 @@
+// pairs.go is hand-written and survives regeneration (like doc.go): it
+// derives a schema-evolution corpus from the generated SchemaSource
+// constants, for the compatibility classifier (internal/compat) and the
+// registry's reload gates to test against.
+
+package evolvedgen
+
+import (
+	"strings"
+
+	"repro/internal/gen/pogen"
+)
+
+// SchemaPair couples an old schema version with an evolved one, plus the
+// compatibility level a correct classifier must assign to the evolution
+// old → new: "backward" (new accepts every old document), "forward" (old
+// accepts every new document), "full" (both) or "none" (neither).
+// Reversing a pair swaps backward and forward.
+type SchemaPair struct {
+	Name string
+	Old  string
+	New  string
+	Want string
+}
+
+// Pairs returns the evolution corpus: widening evolutions of the paper's
+// purchase-order schema (each must classify backward), one no-op
+// evolution (full), and the paper's choice rewrite — pogen.SchemaSource
+// against this package's SchemaSource — which renames the address
+// elements and therefore breaks both directions (none).
+//
+// The widened versions are produced by anchored text replacement on the
+// generated source; mustEvolve panics if regeneration moved an anchor,
+// so the corpus can never silently drift out of sync with the
+// generators.
+func Pairs() []SchemaPair {
+	po := pogen.SchemaSource
+	return []SchemaPair{
+		{
+			Name: "unchanged",
+			Old:  po,
+			New:  po,
+			Want: "full",
+		},
+		{
+			Name: "optional element added",
+			Old:  po,
+			New: mustEvolve(po,
+				`<xsd:element name="items" type="Items"/>`,
+				`<xsd:element name="items" type="Items"/>
+      <xsd:element name="deliveryNotes" type="xsd:string" minOccurs="0"/>`),
+			Want: "backward",
+		},
+		{
+			Name: "comment repetition widened",
+			Old:  po,
+			New: mustEvolve(po,
+				`<xsd:element ref="comment" minOccurs="0"/>
+      <xsd:element name="items" type="Items"/>`,
+				`<xsd:element ref="comment" minOccurs="0" maxOccurs="unbounded"/>
+      <xsd:element name="items" type="Items"/>`),
+			Want: "backward",
+		},
+		{
+			Name: "partNum pattern dropped",
+			Old:  po,
+			New: mustEvolve(po,
+				`<xsd:attribute name="partNum" type="SKU" use="required"/>`,
+				`<xsd:attribute name="partNum" type="xsd:string" use="required"/>`),
+			Want: "backward",
+		},
+		{
+			Name: "quantity bound dropped",
+			Old:  po,
+			New: mustEvolve(po,
+				`<xsd:maxExclusive value="100"/>`,
+				``),
+			Want: "backward",
+		},
+		{
+			Name: "orderDate attribute made required",
+			Old:  po,
+			New: mustEvolve(po,
+				`<xsd:attribute name="orderDate" type="xsd:date"/>`,
+				`<xsd:attribute name="orderDate" type="xsd:date" use="required"/>`),
+			Want: "forward",
+		},
+		{
+			Name: "paper choice rewrite",
+			Old:  po,
+			New:  SchemaSource,
+			Want: "none",
+		},
+	}
+}
+
+// mustEvolve applies one anchored replacement, panicking when the anchor
+// is absent — which means a generator change invalidated the corpus.
+func mustEvolve(src, anchor, replacement string) string {
+	if !strings.Contains(src, anchor) {
+		panic("evolvedgen: evolution anchor not found in generated schema source: " + anchor)
+	}
+	return strings.Replace(src, anchor, replacement, 1)
+}

@@ -17,6 +17,9 @@
 //   - Metrics is the process-wide registry: Series(schema, endpoint)
 //     returns the measurement bundle on a sync.Map fast path, and
 //     Snapshot/WriteJSON export everything sorted and diffable.
+//   - CompatCounts tallies the schema-evolution classifications reloads
+//     produce (backward/forward/full/none, plus gate rejections), keyed
+//     by level strings so obs stays free of schema-layer dependencies.
 //
 // # Role in the pipeline
 //

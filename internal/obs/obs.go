@@ -173,6 +173,49 @@ type Metrics struct {
 	Reloads      Counter
 	ReloadErrors Counter
 	InFlight     Gauge
+
+	// Compat aggregates the compatibility classifications reloads
+	// produce (one observation per recompiled schema that replaced —
+	// or was gated from replacing — a previous version).
+	Compat CompatCounts
+}
+
+// CompatCounts tallies schema-evolution classifications by level, plus
+// the versions a compatibility gate refused to publish. Levels are
+// carried as strings so obs stays free of schema-layer dependencies.
+type CompatCounts struct {
+	Backward Counter
+	Forward  Counter
+	Full     Counter
+	None     Counter
+	Gated    Counter
+}
+
+// Observe records one classification ("backward", "forward", "full" or
+// "none"; anything else counts as none) and whether the gate rejected it.
+func (c *CompatCounts) Observe(level string, gated bool) {
+	switch level {
+	case "backward":
+		c.Backward.Inc()
+	case "forward":
+		c.Forward.Inc()
+	case "full":
+		c.Full.Inc()
+	default:
+		c.None.Inc()
+	}
+	if gated {
+		c.Gated.Inc()
+	}
+}
+
+// CompatSnapshot is the exported view of CompatCounts.
+type CompatSnapshot struct {
+	Backward int64 `json:"backward"`
+	Forward  int64 `json:"forward"`
+	Full     int64 `json:"full"`
+	None     int64 `json:"none"`
+	Gated    int64 `json:"gated"`
 }
 
 type seriesKey struct{ schema, endpoint string }
@@ -214,6 +257,7 @@ type Snapshot struct {
 	Reloads      int64            `json:"reloads"`
 	ReloadErrors int64            `json:"reload_errors"`
 	InFlight     int64            `json:"in_flight"`
+	Compat       CompatSnapshot   `json:"compat"`
 	Registry     *RegistryInfo    `json:"registry,omitempty"`
 	Series       []SeriesSnapshot `json:"series"`
 }
@@ -225,6 +269,13 @@ func (m *Metrics) Snapshot() *Snapshot {
 		Reloads:      m.Reloads.Load(),
 		ReloadErrors: m.ReloadErrors.Load(),
 		InFlight:     m.InFlight.Load(),
+		Compat: CompatSnapshot{
+			Backward: m.Compat.Backward.Load(),
+			Forward:  m.Compat.Forward.Load(),
+			Full:     m.Compat.Full.Load(),
+			None:     m.Compat.None.Load(),
+			Gated:    m.Compat.Gated.Load(),
+		},
 	}
 	m.series.Range(func(_, v any) bool {
 		s := v.(*Series)

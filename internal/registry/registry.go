@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -13,9 +14,18 @@ import (
 	"time"
 
 	"repro/internal/bind"
+	"repro/internal/compat"
 	"repro/internal/validator"
 	"repro/internal/xsd"
 )
+
+// FileStat records one document of an entry's dependency closure with
+// the file state it was compiled from.
+type FileStat struct {
+	Path    string
+	ModTime time.Time
+	Size    int64
+}
 
 // Entry is one named, versioned, compiled schema. Entries are immutable
 // after publication: a reload that changes a schema publishes a new Entry
@@ -26,17 +36,25 @@ type Entry struct {
 	// Name is the registry key: the schema file's base name without the
 	// .xsd extension ("po.xsd" serves as "po").
 	Name string
-	// Version starts at 1 and increments every time the file's content is
-	// observed to have changed. It survives transient load errors (a bad
-	// intermediate write does not reset the sequence).
+	// Version starts at 1 and increments every time the entry's file
+	// closure is observed to have changed. It survives transient load
+	// errors (a bad intermediate write does not reset the sequence).
 	Version int
-	// Path, ModTime and Size identify the file state this entry was
-	// compiled from; an unchanged (ModTime, Size) pair short-circuits
-	// recompilation on reload, which is what keeps the validator's
-	// compiled content-model cache warm across no-op reloads.
+	// Path, ModTime and Size identify the root file state this entry was
+	// compiled from.
 	Path    string
 	ModTime time.Time
 	Size    int64
+	// Files is the dependency closure the entry was compiled from — the
+	// root document first, then every included/imported/redefined file in
+	// load order, each with the state observed at compile time. A change
+	// to ANY of these invalidates the entry on the next reload; an
+	// unchanged closure keeps the entry (and its warm compiled-model
+	// caches) across reloads.
+	Files []FileStat
+	// Compat classifies this version against the previous served version
+	// of the same name (nil for version 1).
+	Compat *compat.Report
 	// LoadedAt is when this version was compiled.
 	LoadedAt time.Time
 
@@ -48,6 +66,35 @@ type Entry struct {
 	// (and therefore its warm compiled-model cache), and is immutable like
 	// the rest of the entry.
 	Binder *bind.Binder
+}
+
+// GateError reports a recompiled schema rejected by the registry's
+// compatibility gate; the previous version keeps serving.
+type GateError struct {
+	Name   string
+	Gate   compat.Level
+	Report *compat.Report
+}
+
+// Error summarizes the violated gate with the first break reasons.
+func (e *GateError) Error() string {
+	breaks := e.Report.BackwardBreaks
+	if e.Gate == compat.Forward {
+		breaks = e.Report.ForwardBreaks
+	}
+	msg := fmt.Sprintf("compatibility gate: new version classified %q, gate requires %q",
+		e.Report.Level, e.Gate)
+	if len(breaks) > 0 {
+		n := len(breaks)
+		if n > 3 {
+			breaks = breaks[:3]
+		}
+		msg += ": " + strings.Join(breaks, "; ")
+		if n > 3 {
+			msg += fmt.Sprintf("; and %d more", n-3)
+		}
+	}
+	return msg
 }
 
 // snapshot is one immutable registry state. Readers load it with a single
@@ -63,9 +110,14 @@ type snapshot struct {
 
 var emptySnapshot = &snapshot{entries: map[string]*Entry{}, errs: map[string]string{}}
 
-// Registry serves named schemas loaded from one directory and hot-swaps
-// them when the files change. Get/List/Errors are wait-free snapshot
-// reads; Reload is serialized by a mutex and publishes atomically.
+// Registry serves named schemas loaded from one directory tree and
+// hot-swaps them when files change. Every top-level *.xsd file is an
+// entry; the documents it reaches through xs:include / xs:import /
+// xs:redefine may live anywhere under the same directory (subdirectories
+// are not scanned for entries, so a conventional lib/ or common/ folder
+// holds shared parts without serving them as schemas of their own).
+// Get/List/Errors are wait-free snapshot reads; Reload is serialized by a
+// mutex and publishes atomically.
 //
 // Old versions are drained, not torn down: an Entry stays alive for as
 // long as any in-flight request references it, and its Validator's
@@ -79,11 +131,30 @@ type Registry struct {
 	mu  sync.Mutex // serializes Reload
 	cur atomic.Pointer[snapshot]
 
+	// Gate, when set before the first Reload/Watch call, rejects any
+	// recompiled schema whose compatibility classification against the
+	// previous version does not satisfy the level: the old version keeps
+	// serving and the violation surfaces through Errors (as a *GateError)
+	// and OnCompat. The zero value (compat.None) accepts everything and
+	// only records reports.
+	Gate compat.Level
+
 	// OnReload, when set before the first Reload/Watch call, observes
 	// every reload attempt (generation, number of changed entries, and
 	// the aggregated load error, nil when clean). The server uses it for
 	// structured logging and reload metrics.
 	OnReload func(gen int64, changed int, err error)
+
+	// OnCompat, when set before the first Reload/Watch call, observes
+	// every compatibility classification a reload produces (one per
+	// recompiled schema that had a previous good version), with gated
+	// reporting whether the gate rejected the new version.
+	OnCompat func(name string, report *compat.Report, gated bool)
+
+	// Workers caps the parallel-compile pool a Reload uses for changed
+	// schemas. Zero (the default) means GOMAXPROCS; 1 compiles serially.
+	// Exists for benchmarks that price the parallelism itself.
+	Workers int
 }
 
 // New creates a registry over dir. The validator options are applied to
@@ -133,13 +204,102 @@ func (r *Registry) Errors() map[string]string {
 // integration harness use it to await a swap.
 func (r *Registry) Generation() int64 { return r.cur.Load().gen }
 
+// reloadCache deduplicates filesystem work within one Reload: every file
+// is statted at most once (change detection over closures shares
+// dependencies) and read at most once (many schemas importing one common
+// file cost one read, not one per dependent).
+type reloadCache struct {
+	mu    sync.Mutex
+	stats map[string]statResult
+	reads map[string]readResult
+}
+
+type statResult struct {
+	mod  time.Time
+	size int64
+	err  error
+}
+
+type readResult struct {
+	src []byte
+	err error
+}
+
+func newReloadCache() *reloadCache {
+	return &reloadCache{stats: map[string]statResult{}, reads: map[string]readResult{}}
+}
+
+func (c *reloadCache) stat(path string) (time.Time, int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s, ok := c.stats[path]; ok {
+		return s.mod, s.size, s.err
+	}
+	var s statResult
+	if info, err := os.Stat(path); err != nil {
+		s.err = err
+	} else {
+		s.mod, s.size = info.ModTime(), info.Size()
+	}
+	c.stats[path] = s
+	return s.mod, s.size, s.err
+}
+
+// readFile is installed as the DirResolver's ReadFile hook; it also
+// captures the stat so closure stamps reflect the state that was read.
+func (c *reloadCache) readFile(path string) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if r, ok := c.reads[path]; ok {
+		return r.src, r.err
+	}
+	var s statResult
+	if info, err := os.Stat(path); err != nil {
+		s.err = err
+	} else {
+		s.mod, s.size = info.ModTime(), info.Size()
+	}
+	if _, ok := c.stats[path]; !ok {
+		c.stats[path] = s
+	}
+	var r readResult
+	if s.err != nil {
+		r.err = s.err
+	} else {
+		r.src, r.err = os.ReadFile(path)
+	}
+	c.reads[path] = r
+	return r.src, r.err
+}
+
+// changedSince reports whether any file in the entry's compile-time
+// closure differs from its recorded state (or can no longer be statted).
+func changedSince(prev *Entry, cache *reloadCache) bool {
+	if len(prev.Files) == 0 {
+		return true // pre-closure entry: always recompile
+	}
+	for _, fs := range prev.Files {
+		mod, size, err := cache.stat(fs.Path)
+		if err != nil || !mod.Equal(fs.ModTime) || size != fs.Size {
+			return true
+		}
+	}
+	return false
+}
+
 // Reload rescans the directory and atomically publishes a new snapshot.
-// Unchanged files (same ModTime and Size) keep their existing Entry —
-// same Validator, same warm compiled-model cache. Changed or new files
-// are parsed and compiled aside before the swap, so readers never see a
-// partially-loaded state. The returned count is the number of entries
-// added, replaced or removed; the error aggregates per-file failures
-// (which do not prevent the other files from loading).
+// Entries whose whole dependency closure is unchanged (same ModTime and
+// Size for every file) keep their existing Entry — same Validator, same
+// warm compiled-model cache — while a change to any imported or included
+// file recompiles exactly the dependents whose closure contains it.
+// Changed schemas are parsed and compiled aside, in parallel, before the
+// swap, so readers never see a partially-loaded state; a shared per-reload
+// cache stats and reads every file at most once no matter how many
+// schemas import it. Recompiled schemas that had a previous version are
+// classified against it (Entry.Compat) and, when Gate is set, rejected if
+// the classification does not satisfy it. The returned count is the
+// number of entries added, replaced or removed; the error aggregates
+// per-file failures (which do not prevent the other files from loading).
 func (r *Registry) Reload() (changed int, err error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -160,7 +320,12 @@ func (r *Registry) Reload() (changed int, err error) {
 		return 0, derr
 	}
 
-	var errs []error
+	cache := newReloadCache()
+	type work struct {
+		key, path string
+		prev      *Entry
+	}
+	var pending []work
 	seen := map[string]bool{}
 	for _, de := range dirents {
 		name := de.Name()
@@ -170,28 +335,61 @@ func (r *Registry) Reload() (changed int, err error) {
 		key := strings.TrimSuffix(name, ".xsd")
 		seen[key] = true
 		path := filepath.Join(r.dir, name)
-		info, ierr := de.Info()
-		if ierr != nil {
-			errs = append(errs, fmt.Errorf("%s: %w", key, ierr))
-			r.keepStale(old, next, key, ierr)
+		if prev := old.entries[key]; prev != nil && !changedSince(prev, cache) {
+			next.entries[key] = prev // unchanged closure: keep the warm validator
 			continue
 		}
-		prev := old.entries[key]
-		if prev != nil && prev.ModTime.Equal(info.ModTime()) && prev.Size == info.Size() {
-			next.entries[key] = prev // unchanged: keep the warm validator
-			continue
+		pending = append(pending, work{key, path, old.entries[key]})
+	}
+
+	// Compile every changed schema aside, in parallel. Parsing dominates
+	// cold-start cost; the pool is bounded so a 1000-schema start does not
+	// spawn 1000 goroutines fighting over the allocator.
+	type result struct {
+		entry *Entry
+		err   error
+	}
+	results := make([]result, len(pending))
+	if len(pending) > 0 {
+		workers := r.Workers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
 		}
-		entry, lerr := r.load(key, path, info)
+		if workers > len(pending) {
+			workers = len(pending)
+		}
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, workers)
+		for i := range pending {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				e, lerr := r.load(pending[i].key, pending[i].path, pending[i].prev, cache)
+				results[i] = result{e, lerr}
+			}(i)
+		}
+		wg.Wait()
+	}
+
+	var errs []error
+	for i, w := range pending {
+		entry, lerr := results[i].entry, results[i].err
 		if lerr != nil {
-			errs = append(errs, fmt.Errorf("%s: %w", key, lerr))
-			r.keepStale(old, next, key, lerr)
+			errs = append(errs, fmt.Errorf("%s: %w", w.key, lerr))
+			r.keepStale(old, next, w.key, lerr)
+			var ge *GateError
+			if errors.As(lerr, &ge) && r.OnCompat != nil {
+				r.OnCompat(w.key, ge.Report, true)
+			}
 			continue
 		}
-		if prev != nil {
-			entry.Version = prev.Version + 1
-		}
-		next.entries[key] = entry
+		next.entries[w.key] = entry
 		changed++
+		if entry.Compat != nil && r.OnCompat != nil {
+			r.OnCompat(w.key, entry.Compat, false)
+		}
 	}
 	for key := range old.entries {
 		if !seen[key] {
@@ -222,36 +420,54 @@ func (r *Registry) keepStale(old, next *snapshot, key string, err error) {
 	next.errs[key] = err.Error()
 }
 
-// load reads, parses and compiles one schema file into a fresh Entry.
-func (r *Registry) load(key, path string, info os.FileInfo) (*Entry, error) {
-	src, err := os.ReadFile(path)
+// load reads, parses and compiles one schema file — following its
+// import/include/redefine references through the shared reload cache —
+// into a fresh Entry, classifying it against prev when there is one.
+func (r *Registry) load(key, path string, prev *Entry, cache *reloadCache) (*Entry, error) {
+	res := xsd.NewDirResolver(r.dir)
+	res.ReadFile = cache.readFile
+	schema, err := xsd.ParseFile(path, &xsd.ParseOptions{Resolver: res})
 	if err != nil {
 		return nil, err
 	}
-	schema, err := xsd.Parse(src, nil)
-	if err != nil {
-		return nil, err
+	sources := schema.Sources()
+	files := make([]FileStat, 0, len(sources))
+	for _, src := range sources {
+		mod, size, serr := cache.stat(src)
+		if serr != nil {
+			return nil, serr
+		}
+		files = append(files, FileStat{Path: src, ModTime: mod, Size: size})
 	}
 	v := validator.New(schema, r.vopts)
-	return &Entry{
+	entry := &Entry{
 		Name:      key,
 		Version:   1,
 		Path:      path,
-		ModTime:   info.ModTime(),
-		Size:      info.Size(),
+		ModTime:   files[0].ModTime,
+		Size:      files[0].Size,
+		Files:     files,
 		LoadedAt:  time.Now(),
 		Schema:    schema,
 		Validator: v,
 		Stream:    v.Stream(),
 		Binder:    bind.New(schema, v),
-	}, nil
+	}
+	if prev != nil {
+		entry.Version = prev.Version + 1
+		entry.Compat = compat.Classify(prev.Schema, schema)
+		if !entry.Compat.Satisfies(r.Gate) {
+			return nil, &GateError{Name: key, Gate: r.Gate, Report: entry.Compat}
+		}
+	}
+	return entry, nil
 }
 
 // Watch reloads on a fixed interval and whenever kick delivers (the
 // binary wires SIGHUP into kick), until ctx is cancelled. There is no
-// fsnotify dependency: mtime polling is portable and one stat per schema
-// per interval is free at this scale. Reload errors are reported through
-// OnReload and the next tick tries again.
+// fsnotify dependency: mtime polling is portable and one stat per closure
+// file per interval is free at this scale. Reload errors are reported
+// through OnReload and the next tick tries again.
 func (r *Registry) Watch(ctx context.Context, interval time.Duration, kick <-chan struct{}) {
 	var tick <-chan time.Time
 	if interval > 0 {

@@ -1,0 +1,201 @@
+package registry
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/compat"
+	"repro/internal/schemas"
+)
+
+const sharedLib = `<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema" targetNamespace="urn:shared"
+            xmlns:s="urn:shared">
+  <xsd:complexType name="Meta">
+    <xsd:sequence>
+      <xsd:element name="id" type="xsd:string"/>
+    </xsd:sequence>
+  </xsd:complexType>
+</xsd:schema>`
+
+// importerOf returns a schema in its own namespace importing the shared
+// library, declaring one root element with an extra optional child.
+func importerOf(ns, root, extra string) string {
+	return `<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema" targetNamespace="` + ns + `"
+            xmlns:s="urn:shared" elementFormDefault="qualified">
+  <xsd:import namespace="urn:shared" schemaLocation="lib/common.xsd"/>
+  <xsd:element name="` + root + `">
+    <xsd:complexType>
+      <xsd:sequence>
+        <xsd:element name="meta" type="s:Meta"/>` + extra + `
+      </xsd:sequence>
+    </xsd:complexType>
+  </xsd:element>
+</xsd:schema>`
+}
+
+// TestClosureInvalidation is the satellite fix: editing an *imported*
+// file must recompile every schema whose dependency closure contains it
+// — and only those.
+func TestClosureInvalidation(t *testing.T) {
+	dir := t.TempDir()
+	base := time.Now().Add(-time.Hour)
+	if err := os.MkdirAll(filepath.Join(dir, "lib"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	libPath := filepath.Join(dir, "lib", "common.xsd")
+	writeSchema(t, libPath, sharedLib, base)
+	writeSchema(t, filepath.Join(dir, "a.xsd"), importerOf("urn:a", "adoc", ""), base)
+	writeSchema(t, filepath.Join(dir, "standalone.xsd"), schemas.PurchaseOrderXSD, base)
+
+	r := New(dir, nil)
+	if _, err := r.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	a1, ok := r.Get("a")
+	if !ok {
+		t.Fatal("a.xsd did not load")
+	}
+	if len(a1.Files) != 2 || filepath.Base(a1.Files[1].Path) != "common.xsd" {
+		t.Fatalf("a closure = %+v, want root + lib/common.xsd", a1.Files)
+	}
+	if _, ok := r.Get("lib"); ok {
+		t.Fatal("subdirectory content must not serve as an entry")
+	}
+	s1, _ := r.Get("standalone")
+
+	// Edit only the imported library: a widening change.
+	widened := strings.Replace(sharedLib,
+		`<xsd:element name="id" type="xsd:string"/>`,
+		`<xsd:element name="id" type="xsd:string"/>
+      <xsd:element name="note" type="xsd:string" minOccurs="0"/>`, 1)
+	writeSchema(t, libPath, widened, base.Add(time.Minute))
+	changed, err := r.Reload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed != 1 {
+		t.Fatalf("changed = %d, want 1 (only the importer of lib/common.xsd)", changed)
+	}
+	a2, _ := r.Get("a")
+	if a2 == a1 || a2.Version != 2 {
+		t.Fatalf("a not recompiled after its import changed: version %d", a2.Version)
+	}
+	if a2.Compat == nil || a2.Compat.Level != compat.Backward {
+		t.Errorf("a.Compat = %+v, want backward (optional element added)", a2.Compat)
+	}
+	if s2, _ := r.Get("standalone"); s2 != s1 {
+		t.Error("standalone entry was rebuilt although nothing in its closure changed")
+	}
+}
+
+// TestCompatGate verifies the reload gate: a breaking rewrite is
+// rejected, the previous version keeps serving, and OnCompat observes
+// the gated report.
+func TestCompatGate(t *testing.T) {
+	dir := t.TempDir()
+	base := time.Now().Add(-time.Hour)
+	path := filepath.Join(dir, "po.xsd")
+	writeSchema(t, path, schemas.PurchaseOrderXSD, base)
+
+	r := New(dir, nil)
+	r.Gate = compat.Backward
+	type obs struct {
+		name  string
+		level compat.Level
+		gated bool
+	}
+	var seen []obs
+	r.OnCompat = func(name string, rep *compat.Report, gated bool) {
+		seen = append(seen, obs{name, rep.Level, gated})
+	}
+	if _, err := r.Reload(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Backward-compatible evolution passes the gate.
+	writeSchema(t, path, poV2, base.Add(time.Minute))
+	if _, err := r.Reload(); err != nil {
+		t.Fatalf("backward evolution rejected: %v", err)
+	}
+	e, _ := r.Get("po")
+	if e.Version != 2 || e.Compat == nil || !e.Compat.Backward() {
+		t.Fatalf("entry after compatible swap: version %d compat %+v", e.Version, e.Compat)
+	}
+
+	// A breaking rewrite (required element renamed) is rejected.
+	broken := strings.Replace(poV2,
+		`<xsd:element name="shipTo" type="USAddress"/>`,
+		`<xsd:element name="destination" type="USAddress"/>`, 1)
+	writeSchema(t, path, broken, base.Add(2*time.Minute))
+	if _, err := r.Reload(); err == nil || !strings.Contains(err.Error(), "compatibility gate") {
+		t.Fatalf("gate did not reject breaking rewrite: err = %v", err)
+	}
+	e, _ = r.Get("po")
+	if e.Version != 2 {
+		t.Fatalf("breaking version published: version %d", e.Version)
+	}
+	if msg := r.Errors()["po"]; !strings.Contains(msg, "compatibility gate") {
+		t.Errorf("Errors()[po] = %q, want gate message", msg)
+	}
+	if len(seen) != 2 || seen[0].gated || !seen[1].gated {
+		t.Errorf("OnCompat observations = %+v, want pass then gated", seen)
+	}
+
+	// Reverting to the served content clears the violation.
+	writeSchema(t, path, poV2, base.Add(3*time.Minute))
+	if _, err := r.Reload(); err != nil {
+		t.Fatalf("revert rejected: %v", err)
+	}
+	if e, _ = r.Get("po"); e.Version != 3 {
+		t.Errorf("revert version = %d, want 3", e.Version)
+	}
+}
+
+// TestParallelColdStart loads a 200-schema import graph sharing one
+// library file, then verifies a no-op reload keeps every warm entry.
+func TestParallelColdStart(t *testing.T) {
+	dir := t.TempDir()
+	base := time.Now().Add(-time.Hour)
+	if err := os.MkdirAll(filepath.Join(dir, "lib"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	writeSchema(t, filepath.Join(dir, "lib", "common.xsd"), sharedLib, base)
+	const n = 200
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("s%03d", i)
+		writeSchema(t, filepath.Join(dir, name+".xsd"),
+			importerOf("urn:"+name, "doc", ""), base)
+	}
+
+	r := New(dir, nil)
+	changed, err := r.Reload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed != n {
+		t.Fatalf("cold start changed = %d, want %d", changed, n)
+	}
+	first := map[string]*Entry{}
+	for _, e := range r.List() {
+		first[e.Name] = e
+	}
+	if len(first) != n {
+		t.Fatalf("serving %d entries, want %d", len(first), n)
+	}
+
+	changed, err = r.Reload()
+	if err != nil || changed != 0 {
+		t.Fatalf("no-op reload: changed=%d err=%v", changed, err)
+	}
+	for _, e := range r.List() {
+		if first[e.Name] != e {
+			t.Fatalf("entry %s rebuilt on a no-op reload", e.Name)
+		}
+	}
+}

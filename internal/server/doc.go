@@ -8,9 +8,18 @@
 //
 //	POST /v1/validate/{schema}          validate the body (DOM path)
 //	POST /v1/validate/{schema}?stream=1 validate incrementally (O(depth))
-//	GET  /v1/schemas                    registry contents + load errors
+//	POST /v1/decode/{schema}            validate + decode to canonical JSON (?stream=1 one-pass)
+//	POST /v1/encode/{schema}            canonical JSON back to schema-valid XML
+//	GET  /v1/schemas                    registry contents, versions, closure sizes, load errors
+//	GET  /v1/schemas/{schema}/compat    evolution report for the last accepted reload
 //	GET  /healthz                       liveness (503 when nothing loaded)
-//	GET  /metrics                       obs JSON snapshot
+//	GET  /metrics                       obs JSON snapshot (incl. compat tallies)
+//
+// The compat endpoint exposes the registry's classification of the
+// schema's most recent version transition (backward/forward/full/none,
+// with per-direction break reasons); version 1 carries an explanatory
+// message instead of a level, and a pending load or gate rejection is
+// surfaced as load_error alongside the serving version's report.
 //
 // A 200 always carries a verdict: valid:true, or valid:false with the
 // violation list (malformed XML is a verdict too, mirroring

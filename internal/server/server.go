@@ -89,6 +89,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/decode/{schema}", s.handleDecode)
 	s.mux.HandleFunc("POST /v1/encode/{schema}", s.handleEncode)
 	s.mux.HandleFunc("GET /v1/schemas", s.handleSchemas)
+	s.mux.HandleFunc("GET /v1/schemas/{schema}/compat", s.handleCompat)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
@@ -504,6 +505,12 @@ type schemaInfo struct {
 	Version  int       `json:"version"`
 	LoadedAt time.Time `json:"loaded_at"`
 	Path     string    `json:"path"`
+	// Files is the size of the dependency closure (root plus every
+	// included/imported document).
+	Files int `json:"files"`
+	// Compat is the classification of this version against the previous
+	// one; empty for a first version.
+	Compat string `json:"compat,omitempty"`
 }
 
 type schemasResponse struct {
@@ -515,12 +522,62 @@ type schemasResponse struct {
 func (s *Server) handleSchemas(w http.ResponseWriter, _ *http.Request) {
 	resp := schemasResponse{Generation: s.reg.Generation(), Schemas: []schemaInfo{}}
 	for _, e := range s.reg.List() {
-		resp.Schemas = append(resp.Schemas, schemaInfo{
+		info := schemaInfo{
 			Name: e.Name, Version: e.Version, LoadedAt: e.LoadedAt, Path: e.Path,
-		})
+			Files: len(e.Files),
+		}
+		if e.Compat != nil {
+			info.Compat = e.Compat.Level.String()
+		}
+		resp.Schemas = append(resp.Schemas, info)
 	}
 	if errs := s.reg.Errors(); len(errs) > 0 {
 		resp.LoadErrors = errs
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// compatResponse is the payload of GET /v1/schemas/{schema}/compat: the
+// compatibility classification of the serving version against the one it
+// replaced. A first version has no predecessor, so level is absent and
+// message explains why.
+type compatResponse struct {
+	Schema         string   `json:"schema"`
+	SchemaVersion  int      `json:"schema_version"`
+	Level          string   `json:"level,omitempty"`
+	Backward       bool     `json:"backward"`
+	Forward        bool     `json:"forward"`
+	BackwardBreaks []string `json:"backward_breaks,omitempty"`
+	ForwardBreaks  []string `json:"forward_breaks,omitempty"`
+	Message        string   `json:"message,omitempty"`
+	// LoadError surfaces a pending load failure for the name — including
+	// a gate rejection, in which case the served version predates it.
+	LoadError string `json:"load_error,omitempty"`
+}
+
+// handleCompat reports how the served version of a schema compares to
+// its predecessor (backward / forward / full / none), with the concrete
+// break reasons. 404 for unknown names.
+func (s *Server) handleCompat(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("schema")
+	entry, ok := s.reg.Get(name)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("unknown schema %q", name)})
+		return
+	}
+	resp := compatResponse{
+		Schema:        entry.Name,
+		SchemaVersion: entry.Version,
+		LoadError:     s.reg.Errors()[name],
+	}
+	if entry.Compat == nil {
+		resp.Message = "first loaded version; no previous version to compare against"
+	} else {
+		resp.Level = entry.Compat.Level.String()
+		resp.Backward = entry.Compat.Backward()
+		resp.Forward = entry.Compat.Forward()
+		resp.BackwardBreaks = entry.Compat.BackwardBreaks
+		resp.ForwardBreaks = entry.Compat.ForwardBreaks
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

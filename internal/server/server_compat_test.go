@@ -1,0 +1,97 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/registry"
+	"repro/internal/schemas"
+)
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestCompatEndpoint walks a schema through an evolution and reads the
+// classification back through GET /v1/schemas/{name}/compat.
+func TestCompatEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "po.xsd")
+	stamp := time.Now().Add(-time.Hour)
+	if err := os.WriteFile(path, []byte(schemas.PurchaseOrderXSD), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(path, stamp, stamp); err != nil {
+		t.Fatal(err)
+	}
+	reg := registry.New(dir, nil)
+	if _, err := reg.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(Config{Registry: reg}).Handler())
+	defer ts.Close()
+
+	var cr compatResponse
+	if code := getJSON(t, ts.URL+"/v1/schemas/po/compat", &cr); code != http.StatusOK {
+		t.Fatalf("first-version compat: status %d", code)
+	}
+	if cr.SchemaVersion != 1 || cr.Level != "" || cr.Message == "" {
+		t.Errorf("first-version compat = %+v, want message and no level", cr)
+	}
+
+	// Backward-compatible evolution: optional element appended.
+	evolved := strings.Replace(schemas.PurchaseOrderXSD,
+		`<xsd:element name="items" type="Items"/>`,
+		`<xsd:element name="items" type="Items"/>
+      <xsd:element name="priority" type="xsd:string" minOccurs="0"/>`, 1)
+	if err := os.WriteFile(path, []byte(evolved), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(path, stamp.Add(time.Minute), stamp.Add(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Reload(); err != nil {
+		t.Fatal(err)
+	}
+
+	cr = compatResponse{}
+	if code := getJSON(t, ts.URL+"/v1/schemas/po/compat", &cr); code != http.StatusOK {
+		t.Fatalf("evolved compat: status %d", code)
+	}
+	if cr.SchemaVersion != 2 || cr.Level != "backward" || !cr.Backward || cr.Forward {
+		t.Errorf("evolved compat = %+v, want backward level at version 2", cr)
+	}
+	if len(cr.ForwardBreaks) == 0 {
+		t.Error("forward breaks empty; the added element should be reported")
+	}
+
+	// The schema listing carries the classification and closure size too.
+	var sr schemasResponse
+	if code := getJSON(t, ts.URL+"/v1/schemas", &sr); code != http.StatusOK {
+		t.Fatalf("schemas listing: status %d", code)
+	}
+	if len(sr.Schemas) != 1 || sr.Schemas[0].Compat != "backward" || sr.Schemas[0].Files != 1 {
+		t.Errorf("schema listing = %+v, want compat=backward files=1", sr.Schemas)
+	}
+
+	if code := getJSON(t, ts.URL+"/v1/schemas/nosuch/compat", &cr); code != http.StatusNotFound {
+		t.Errorf("unknown schema compat: status %d, want 404", code)
+	}
+}

@@ -454,7 +454,21 @@ type Schema struct {
 	// ID, so the lazy-DFA executors can index transition tables instead of
 	// comparing names.
 	symbols *contentmodel.Interner
+
+	// sources lists the canonical keys of every document that contributed
+	// components (root first, then referenced documents in load order).
+	// Populated only when the schema was parsed through a Resolver
+	// (ParseFile); the registry stats this closure to decide which schemas
+	// a file edit invalidates.
+	sources []string
 }
+
+// Sources returns the canonical document keys (file paths, for
+// DirResolver) this schema was composed from: the root document first,
+// then every included/imported/redefined document in load order. Empty for
+// schemas parsed from bytes without a Resolver. The returned slice is
+// owned by the schema; callers must not mutate it.
+func (s *Schema) Sources() []string { return s.sources }
 
 // Symbols returns the schema-wide symbol interning table shared by every
 // content model compiled from this schema.

@@ -5,6 +5,18 @@
 // relations (extension, restriction, substitution groups, abstractness)
 // that §3 of the paper maps onto V-DOM interface inheritance.
 //
+// # Multi-document schema sets
+//
+// A schema may be spread over several documents: ParseFile follows
+// xs:include, xs:import and xs:redefine through a Resolver, with
+// DirResolver confining schemaLocation resolution to one directory root
+// (relative to the referring file; URLs and root-escaping paths are
+// rejected, so untrusted trees load without touching the network).
+// Loading is cycle-safe, include is chameleon-aware, import enforces
+// namespace coherence, and redefine applies replacement semantics. The
+// compiled Schema records the full document list (Sources, root first),
+// which the registry uses as the entry's invalidation closure.
+//
 // # Role in the pipeline
 //
 // xsd is the head of the pipeline (xsd parse → normalize → contentmodel →

@@ -31,10 +31,27 @@ func (m MapLoader) Load(location string) ([]byte, error) {
 // ParseOptions configures schema parsing.
 type ParseOptions struct {
 	// Loader resolves xs:include and xs:import schemaLocation values.
-	// Without a loader, include/import with a location is an error.
+	// Without a loader (or Resolver), include/import with a location is an
+	// error.
 	Loader Loader
+	// Resolver resolves schemaLocation values with referring-document
+	// context and canonical keys (multi-file directory trees). When set it
+	// takes precedence over Loader.
+	Resolver Resolver
 	// SkipUPACheck disables the Unique Particle Attribution check.
 	SkipUPACheck bool
+}
+
+// resolver returns the effective Resolver (the Loader adapted, if that is
+// all the options carry), or nil.
+func (o *ParseOptions) resolver() Resolver {
+	if o.Resolver != nil {
+		return o.Resolver
+	}
+	if o.Loader != nil {
+		return loaderResolver{o.Loader}
+	}
+	return nil
 }
 
 // Parse parses a schema document into a resolved Schema.
@@ -43,6 +60,13 @@ func Parse(src []byte, opts *ParseOptions) (*Schema, error) {
 	if opts != nil {
 		o = *opts
 	}
+	return parseRoot(src, o, "")
+}
+
+// parseRoot parses the root schema document (canonical key docKey, "" when
+// the source did not come from a resolver) and resolves the full component
+// graph reachable from it.
+func parseRoot(src []byte, o ParseOptions, docKey string) (*Schema, error) {
 	doc, err := dom.Parse(src)
 	if err != nil {
 		return nil, fmt.Errorf("xsd: %w", err)
@@ -53,14 +77,19 @@ func Parse(src []byte, opts *ParseOptions) (*Schema, error) {
 	}
 	p := &parser{
 		opts:     o,
+		resolver: o.resolver(),
 		schema:   NewSchema(root.GetAttribute("targetNamespace")),
 		globals:  map[globalKey]*dom.Element{},
 		building: map[globalKey]bool{},
 		loaded:   map[string]bool{},
 	}
+	if docKey != "" {
+		p.loaded[docKey] = true
+		p.schema.sources = append(p.schema.sources, docKey)
+	}
 	p.schema.QualifiedLocal = root.GetAttribute("elementFormDefault") == "qualified"
 	p.schema.QualifiedLocalAttr = root.GetAttribute("attributeFormDefault") == "qualified"
-	if err := p.collect(root, p.schema.TargetNamespace); err != nil {
+	if err := p.collect(root, p.schema.TargetNamespace, docKey); err != nil {
 		return nil, err
 	}
 	if err := p.buildAll(); err != nil {
@@ -110,8 +139,9 @@ type globalKey struct {
 
 // parser carries parse state.
 type parser struct {
-	opts   ParseOptions
-	schema *Schema
+	opts     ParseOptions
+	resolver Resolver
+	schema   *Schema
 	// globals maps each declared global component to its DOM element;
 	// components build lazily so forward references work.
 	globals map[globalKey]*dom.Element
@@ -128,8 +158,11 @@ func errAt(el *dom.Element, format string, args ...any) error {
 	return fmt.Errorf("xsd: <%s>: %s", el.TagName(), fmt.Sprintf(format, args...))
 }
 
-// collect registers all global components of a schema document.
-func (p *parser) collect(root *dom.Element, tns string) error {
+// collect registers all global components of a schema document. docKey is
+// the document's canonical key under the resolver ("" when the document
+// was parsed from bytes); relative schemaLocation values resolve against
+// it.
+func (p *parser) collect(root *dom.Element, tns, docKey string) error {
 	if p.elemTNS == nil {
 		p.elemTNS = map[*dom.Element]string{}
 	}
@@ -138,14 +171,18 @@ func (p *parser) collect(root *dom.Element, tns string) error {
 			return errAt(el, "foreign top-level element")
 		}
 		switch el.LocalName() {
-		case "annotation", "notation", "redefine":
+		case "annotation", "notation":
 			continue
 		case "include":
-			if err := p.loadRef(el, tns, true); err != nil {
+			if _, err := p.loadRef(el, tns, docKey, refInclude); err != nil {
 				return err
 			}
 		case "import":
-			if err := p.loadRef(el, el.GetAttribute("namespace"), false); err != nil {
+			if err := p.loadImport(el, tns, docKey); err != nil {
+				return err
+			}
+		case "redefine":
+			if err := p.loadRedefine(el, tns, docKey); err != nil {
 				return err
 			}
 		case "element", "complexType", "simpleType", "group", "attributeGroup", "attribute":
@@ -153,11 +190,7 @@ func (p *parser) collect(root *dom.Element, tns string) error {
 			if name == "" {
 				return errAt(el, "top-level component requires a name")
 			}
-			kind := map[string]componentKind{
-				"element": kindElement, "complexType": kindType, "simpleType": kindType,
-				"group": kindGroup, "attributeGroup": kindAttributeGroup, "attribute": kindAttribute,
-			}[el.LocalName()]
-			key := globalKey{kind: kind, name: QName{Space: tns, Local: name}}
+			key := globalKey{kind: kindOf(el.LocalName()), name: QName{Space: tns, Local: name}}
 			if _, dup := p.globals[key]; dup {
 				return errAt(el, "duplicate global %s %q", el.LocalName(), name)
 			}
@@ -170,44 +203,119 @@ func (p *parser) collect(root *dom.Element, tns string) error {
 	return nil
 }
 
-// loadRef handles include/import.
-func (p *parser) loadRef(el *dom.Element, tns string, isInclude bool) error {
+// kindOf maps a top-level construct name to its symbol space.
+func kindOf(local string) componentKind {
+	return map[string]componentKind{
+		"element": kindElement, "complexType": kindType, "simpleType": kindType,
+		"group": kindGroup, "attributeGroup": kindAttributeGroup, "attribute": kindAttribute,
+	}[local]
+}
+
+// refKind distinguishes the three composition constructs, which share the
+// document-loading mechanics but differ in namespace rules and in what
+// happens to the loaded components.
+type refKind int
+
+const (
+	refInclude refKind = iota
+	refImport
+	refRedefine
+)
+
+// loadImport handles xs:import: components of a *different* namespace.
+func (p *parser) loadImport(el *dom.Element, tns, docKey string) error {
+	nsAttr := el.GetAttribute("namespace")
+	if nsAttr == tns && nsAttr != "" {
+		return errAt(el, "import of the importing schema's own target namespace %q (use include)", nsAttr)
+	}
+	_, err := p.loadRef(el, nsAttr, docKey, refImport)
+	return err
+}
+
+// loadRedefine handles xs:redefine: the referenced same-namespace document
+// is composed exactly like an include, then the redefine's own child
+// definitions *replace* the loaded ones of the same name.
+//
+// Supported semantics are replacement: a redefining type may not use
+// itself as its own derivation base (the W3C "pervasive" self-referential
+// form); such a redefinition reports a definition cycle. Replacement
+// covers the common vocabulary-pinning use and keeps the component graph
+// acyclic.
+func (p *parser) loadRedefine(el *dom.Element, tns, docKey string) error {
+	if _, err := p.loadRef(el, tns, docKey, refRedefine); err != nil {
+		return err
+	}
+	for _, c := range schemaChildren(el) {
+		switch c.LocalName() {
+		case "complexType", "simpleType", "group", "attributeGroup":
+			name := c.GetAttribute("name")
+			if name == "" {
+				return errAt(c, "redefined component requires a name")
+			}
+			key := globalKey{kind: kindOf(c.LocalName()), name: QName{Space: tns, Local: name}}
+			if _, ok := p.globals[key]; !ok {
+				return errAt(c, "redefined %s %q is not declared by the redefined schema", c.LocalName(), name)
+			}
+			p.globals[key] = c // replace the loaded definition
+			p.elemTNS[c] = tns
+		default:
+			return errAt(c, "unsupported construct inside redefine")
+		}
+	}
+	return nil
+}
+
+// loadRef loads and collects the document referenced by an
+// include/import/redefine element. It returns whether a document was
+// actually loaded (false for a location-less import, or a reference
+// already composed through another path — canonical keys make the same
+// file reachable through different relative spellings load once, which is
+// also what terminates reference cycles).
+func (p *parser) loadRef(el *dom.Element, tns, docKey string, kind refKind) (bool, error) {
 	loc := el.GetAttribute("schemaLocation")
 	if loc == "" {
-		if isInclude {
-			return errAt(el, "include requires schemaLocation")
+		if kind != refImport {
+			return false, errAt(el, "%s requires schemaLocation", el.LocalName())
 		}
-		return nil // import without location: components expected elsewhere
+		return false, nil // import without location: components expected elsewhere
 	}
-	if p.loaded[loc] {
-		return nil
+	if p.resolver == nil {
+		return false, errAt(el, "schemaLocation %q cannot be resolved without a Loader or Resolver", loc)
 	}
-	p.loaded[loc] = true
-	if p.opts.Loader == nil {
-		return errAt(el, "schemaLocation %q cannot be resolved without a Loader", loc)
-	}
-	src, err := p.opts.Loader.Load(loc)
+	key, src, err := p.resolver.Resolve(docKey, loc)
 	if err != nil {
-		return errAt(el, "loading %q: %v", loc, err)
+		return false, errAt(el, "loading %q: %v", loc, err)
 	}
+	if p.loaded[key] {
+		return false, nil
+	}
+	p.loaded[key] = true
+	p.schema.sources = append(p.schema.sources, key)
 	doc, err := dom.Parse(src)
 	if err != nil {
-		return errAt(el, "parsing %q: %v", loc, err)
+		return false, errAt(el, "parsing %q: %v", loc, err)
 	}
 	sub := doc.DocumentElement()
 	if sub == nil || sub.NamespaceURI() != XSDNamespace || sub.LocalName() != "schema" {
-		return errAt(el, "%q is not a schema document", loc)
+		return false, errAt(el, "%q is not a schema document", loc)
 	}
 	subTNS := sub.GetAttribute("targetNamespace")
-	if isInclude {
+	switch kind {
+	case refInclude, refRedefine:
 		// Chameleon include: a no-namespace document adopts ours.
 		if subTNS == "" {
 			subTNS = tns
 		} else if subTNS != tns {
-			return errAt(el, "included schema has target namespace %q, want %q", subTNS, tns)
+			return false, errAt(el, "%s schema has target namespace %q, want %q", el.LocalName(), subTNS, tns)
+		}
+	case refImport:
+		// Namespace coherence: the document must declare the namespace the
+		// import promised (or none, when the import named none).
+		if subTNS != tns {
+			return false, errAt(el, "imported schema has target namespace %q, import declares %q", subTNS, tns)
 		}
 	}
-	return p.collect(sub, subTNS)
+	return true, p.collect(sub, subTNS, key)
 }
 
 // buildAll forces construction of every registered global component.

@@ -1,0 +1,117 @@
+package xsd
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Resolver resolves xs:include / xs:import / xs:redefine schemaLocation
+// references to schema documents. Unlike the simpler Loader, a Resolver
+// sees the *referring* document's canonical key, so relative locations
+// resolve the way authors expect ("../common/types.xsd" means relative to
+// the file containing the reference, not to some global search path), and
+// it returns a canonical key per document so that one file reached through
+// two different relative spellings is loaded exactly once — which is also
+// what makes reference cycles terminate.
+type Resolver interface {
+	// Resolve returns the canonical key of the document at location,
+	// relative to the document with canonical key base ("" for the root
+	// document), together with its bytes.
+	Resolve(base, location string) (key string, src []byte, err error)
+}
+
+// DirResolver resolves schemaLocation references against the referring
+// document's directory, confined to one root directory tree. Canonical
+// keys are absolute cleaned file paths, so diamonds and cycles in the
+// reference graph are detected no matter how each edge spells its path.
+//
+// References that would escape the root (via "..", absolute paths outside
+// it, or symlink-free lexical tricks) are rejected: a schema directory
+// served by the registry must not be able to read arbitrary files.
+type DirResolver struct {
+	root string
+
+	// ReadFile loads the bytes of an already-confinement-checked absolute
+	// path; os.ReadFile when nil. The registry injects a per-reload cache
+	// here so a dependency shared by many schemas is read (and statted)
+	// once per reload instead of once per dependent.
+	ReadFile func(path string) ([]byte, error)
+}
+
+// NewDirResolver creates a resolver confined to the directory tree rooted
+// at root.
+func NewDirResolver(root string) *DirResolver {
+	return &DirResolver{root: root}
+}
+
+// Resolve implements Resolver.
+func (d *DirResolver) Resolve(base, location string) (string, []byte, error) {
+	if strings.Contains(location, "://") {
+		return "", nil, fmt.Errorf("remote schemaLocation %q is not supported", location)
+	}
+	absRoot, err := filepath.Abs(d.root)
+	if err != nil {
+		return "", nil, err
+	}
+	baseDir := absRoot
+	if base != "" {
+		baseDir = filepath.Dir(base)
+	}
+	cand := location
+	if !filepath.IsAbs(cand) {
+		cand = filepath.Join(baseDir, cand)
+	}
+	cand = filepath.Clean(cand)
+	rel, err := filepath.Rel(absRoot, cand)
+	if err != nil || rel == ".." || strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+		return "", nil, fmt.Errorf("schemaLocation %q escapes the schema root %s", location, d.root)
+	}
+	read := d.ReadFile
+	if read == nil {
+		read = os.ReadFile
+	}
+	src, err := read(cand)
+	if err != nil {
+		return "", nil, err
+	}
+	return cand, src, nil
+}
+
+// loaderResolver adapts the legacy location-keyed Loader to the Resolver
+// interface: no relative resolution, the location string is the key.
+type loaderResolver struct{ l Loader }
+
+func (r loaderResolver) Resolve(_, location string) (string, []byte, error) {
+	src, err := r.l.Load(location)
+	return location, src, err
+}
+
+// ParseFile parses the schema document at path, following its
+// xs:include / xs:import / xs:redefine references relative to each
+// referring document. When opts carries no Resolver, references are
+// confined to the document's own directory tree; pass a DirResolver
+// rooted higher (e.g. at a schema-registry directory) to allow sibling
+// directories. The resulting schema records the canonical paths of every
+// document that contributed components (Schema.Sources), which is what
+// dependency-closure invalidation in the registry is built on.
+func ParseFile(path string, opts *ParseOptions) (*Schema, error) {
+	o := ParseOptions{}
+	if opts != nil {
+		o = *opts
+	}
+	if o.Resolver == nil {
+		o.Resolver = NewDirResolver(filepath.Dir(path))
+		o.Loader = nil
+	}
+	abs, err := filepath.Abs(path)
+	if err != nil {
+		return nil, err
+	}
+	key, src, err := o.Resolver.Resolve("", abs)
+	if err != nil {
+		return nil, fmt.Errorf("xsd: %w", err)
+	}
+	return parseRoot(src, o, key)
+}

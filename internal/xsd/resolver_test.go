@@ -1,0 +1,283 @@
+package xsd
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTree writes a file tree under root, creating directories as needed.
+func writeTree(t *testing.T, root string, files map[string]string) {
+	t.Helper()
+	for rel, content := range files {
+		path := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+const commonTypes = `<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema" targetNamespace="urn:common"
+            xmlns:c="urn:common">
+  <xsd:complexType name="Address">
+    <xsd:sequence>
+      <xsd:element name="street" type="xsd:string"/>
+      <xsd:element name="city" type="xsd:string"/>
+    </xsd:sequence>
+  </xsd:complexType>
+</xsd:schema>`
+
+func TestParseFileImportGraph(t *testing.T) {
+	dir := t.TempDir()
+	writeTree(t, dir, map[string]string{
+		"lib/common.xsd": commonTypes,
+		"order.xsd": `<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema" targetNamespace="urn:order"
+            xmlns:c="urn:common">
+  <xsd:import namespace="urn:common" schemaLocation="lib/common.xsd"/>
+  <xsd:element name="order">
+    <xsd:complexType>
+      <xsd:sequence>
+        <xsd:element name="shipTo" type="c:Address"/>
+      </xsd:sequence>
+    </xsd:complexType>
+  </xsd:element>
+</xsd:schema>`,
+	})
+	s, err := ParseFile(filepath.Join(dir, "order.xsd"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.LookupType(QName{Space: "urn:common", Local: "Address"}); !ok {
+		t.Error("imported type Address missing")
+	}
+	srcs := s.Sources()
+	if len(srcs) != 2 {
+		t.Fatalf("Sources() = %v, want root + import", srcs)
+	}
+	if filepath.Base(srcs[0]) != "order.xsd" || filepath.Base(srcs[1]) != "common.xsd" {
+		t.Errorf("Sources() order = %v", srcs)
+	}
+}
+
+// TestParseFileDiamond loads a diamond (root includes a and b, both of
+// which include shared) and verifies the shared document is composed once
+// even though the two edges spell its path differently.
+func TestParseFileDiamond(t *testing.T) {
+	dir := t.TempDir()
+	shared := `<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema" targetNamespace="urn:d">
+  <xsd:simpleType name="Code"><xsd:restriction base="xsd:string"/></xsd:simpleType>
+</xsd:schema>`
+	sub := func(local, loc string) string {
+		return `<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema" targetNamespace="urn:d">
+  <xsd:include schemaLocation="` + loc + `"/>
+  <xsd:element name="` + local + `" type="xsd:string"/>
+</xsd:schema>`
+	}
+	writeTree(t, dir, map[string]string{
+		"parts/shared.xsd": shared,
+		"parts/a.xsd":      sub("a", "shared.xsd"),
+		"parts/b.xsd":      sub("b", "./shared.xsd"), // same file, different spelling
+		"root.xsd": `<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema" targetNamespace="urn:d">
+  <xsd:include schemaLocation="parts/a.xsd"/>
+  <xsd:include schemaLocation="parts/b.xsd"/>
+</xsd:schema>`,
+	})
+	s, err := ParseFile(filepath.Join(dir, "root.xsd"), nil)
+	if err != nil {
+		t.Fatal(err) // a duplicate-global error here would mean shared loaded twice
+	}
+	if len(s.Sources()) != 4 {
+		t.Errorf("Sources() = %v, want 4 distinct documents", s.Sources())
+	}
+}
+
+// TestParseFileCycle verifies mutually-including documents terminate.
+func TestParseFileCycle(t *testing.T) {
+	dir := t.TempDir()
+	writeTree(t, dir, map[string]string{
+		"a.xsd": `<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema" targetNamespace="urn:c">
+  <xsd:include schemaLocation="b.xsd"/>
+  <xsd:element name="a" type="xsd:string"/>
+</xsd:schema>`,
+		"b.xsd": `<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema" targetNamespace="urn:c">
+  <xsd:include schemaLocation="a.xsd"/>
+  <xsd:element name="b" type="xsd:string"/>
+</xsd:schema>`,
+	})
+	s, err := ParseFile(filepath.Join(dir, "a.xsd"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"a", "b"} {
+		if _, ok := s.LookupElement(QName{Space: "urn:c", Local: name}); !ok {
+			t.Errorf("element %s missing after cyclic include", name)
+		}
+	}
+}
+
+func TestParseFileEscapeRejected(t *testing.T) {
+	dir := t.TempDir()
+	writeTree(t, dir, map[string]string{
+		"outside.xsd": commonTypes,
+		"tree/main.xsd": `<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema" targetNamespace="urn:common">
+  <xsd:include schemaLocation="../outside.xsd"/>
+</xsd:schema>`,
+	})
+	_, err := ParseFile(filepath.Join(dir, "tree", "main.xsd"), nil)
+	if err == nil || !strings.Contains(err.Error(), "escapes the schema root") {
+		t.Errorf("escaping include: err = %v, want confinement error", err)
+	}
+	// The same reference is fine when the resolver is rooted high enough.
+	_, err = ParseFile(filepath.Join(dir, "tree", "main.xsd"),
+		&ParseOptions{Resolver: NewDirResolver(dir)})
+	if err != nil {
+		t.Errorf("wider root: %v", err)
+	}
+}
+
+func TestParseFileRemoteLocationRejected(t *testing.T) {
+	dir := t.TempDir()
+	writeTree(t, dir, map[string]string{
+		"main.xsd": `<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:include schemaLocation="https://example.com/evil.xsd"/>
+</xsd:schema>`,
+	})
+	_, err := ParseFile(filepath.Join(dir, "main.xsd"), nil)
+	if err == nil || !strings.Contains(err.Error(), "not supported") {
+		t.Errorf("remote include: err = %v, want unsupported error", err)
+	}
+}
+
+func TestImportNamespaceCoherence(t *testing.T) {
+	dir := t.TempDir()
+	writeTree(t, dir, map[string]string{"lib/common.xsd": commonTypes})
+	cases := []struct {
+		name, importEl, wantErr string
+	}{
+		{"declared namespace mismatch",
+			`<xsd:import namespace="urn:wrong" schemaLocation="lib/common.xsd"/>`,
+			`target namespace "urn:common", import declares "urn:wrong"`},
+		{"undeclared namespace but namespaced document",
+			`<xsd:import schemaLocation="lib/common.xsd"/>`,
+			`import declares ""`},
+		{"import of own target namespace",
+			`<xsd:import namespace="urn:order" schemaLocation="lib/common.xsd"/>`,
+			"use include"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			writeTree(t, dir, map[string]string{
+				"main.xsd": `<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema" targetNamespace="urn:order">
+  ` + tc.importEl + `
+</xsd:schema>`,
+			})
+			_, err := ParseFile(filepath.Join(dir, "main.xsd"), nil)
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("err = %v, want %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestRedefine(t *testing.T) {
+	dir := t.TempDir()
+	writeTree(t, dir, map[string]string{
+		"base.xsd": `<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema" targetNamespace="urn:r" xmlns:r="urn:r">
+  <xsd:complexType name="Item">
+    <xsd:sequence><xsd:element name="sku" type="xsd:string"/></xsd:sequence>
+  </xsd:complexType>
+  <xsd:element name="item" type="r:Item"/>
+</xsd:schema>`,
+		"main.xsd": `<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema" targetNamespace="urn:r" xmlns:r="urn:r">
+  <xsd:redefine schemaLocation="base.xsd">
+    <xsd:complexType name="Item">
+      <xsd:sequence>
+        <xsd:element name="sku" type="xsd:string"/>
+        <xsd:element name="qty" type="xsd:int"/>
+      </xsd:sequence>
+    </xsd:complexType>
+  </xsd:redefine>
+</xsd:schema>`,
+	})
+	s, err := ParseFile(filepath.Join(dir, "main.xsd"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	item, ok := s.LookupType(QName{Space: "urn:r", Local: "Item"})
+	if !ok {
+		t.Fatal("redefined type Item missing")
+	}
+	ct := item.(*ComplexType)
+	if got := s.CompileParticle(ct.Particle).String(); !strings.Contains(got, "qty") {
+		t.Errorf("element item should use the redefined type; content model = %s", got)
+	}
+	// The global element from the redefined document must resolve to the
+	// replacement type.
+	el, ok := s.LookupElement(QName{Space: "urn:r", Local: "item"})
+	if !ok {
+		t.Fatal("element item missing")
+	}
+	if el.Type != item {
+		t.Error("element item bound to the original type, not the redefinition")
+	}
+}
+
+func TestRedefineUnknownName(t *testing.T) {
+	dir := t.TempDir()
+	writeTree(t, dir, map[string]string{
+		"base.xsd": `<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema" targetNamespace="urn:r">
+  <xsd:complexType name="Item"><xsd:sequence/></xsd:complexType>
+</xsd:schema>`,
+		"main.xsd": `<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema" targetNamespace="urn:r">
+  <xsd:redefine schemaLocation="base.xsd">
+    <xsd:complexType name="NoSuchType"><xsd:sequence/></xsd:complexType>
+  </xsd:redefine>
+</xsd:schema>`,
+	})
+	_, err := ParseFile(filepath.Join(dir, "main.xsd"), nil)
+	if err == nil || !strings.Contains(err.Error(), "not declared by the redefined schema") {
+		t.Errorf("err = %v, want undeclared-redefinition error", err)
+	}
+}
+
+// TestChameleonIncludeViaFile exercises the chameleon rule through the
+// file resolver: a no-namespace document adopts the including schema's
+// target namespace.
+func TestChameleonIncludeViaFile(t *testing.T) {
+	dir := t.TempDir()
+	writeTree(t, dir, map[string]string{
+		"parts.xsd": `<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:simpleType name="Part"><xsd:restriction base="xsd:string"/></xsd:simpleType>
+</xsd:schema>`,
+		"main.xsd": `<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema" targetNamespace="urn:cham">
+  <xsd:include schemaLocation="parts.xsd"/>
+</xsd:schema>`,
+	})
+	s, err := ParseFile(filepath.Join(dir, "main.xsd"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.LookupType(QName{Space: "urn:cham", Local: "Part"}); !ok {
+		t.Error("chameleon include did not adopt the target namespace")
+	}
+}
