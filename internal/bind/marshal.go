@@ -24,11 +24,7 @@ func (b *Binder) Marshal(v *Value) ([]byte, error) {
 	if v == nil {
 		return nil, fmt.Errorf("bind: cannot marshal a nil value")
 	}
-	ns := newNSTable()
-	collectSpaces(v, ns)
-	var buf bytes.Buffer
-	writeXML(&buf, v, ns, true)
-	out := buf.Bytes()
+	out := Serialize(v)
 	doc, err := dom.Parse(out)
 	if err != nil {
 		return nil, fmt.Errorf("bind: marshaled document does not parse: %w", err)
@@ -39,6 +35,18 @@ func (b *Binder) Marshal(v *Value) ([]byte, error) {
 		return nil, fmt.Errorf("bind: marshaled document is schema-invalid at %s: %s", viol.Path, viol.Msg)
 	}
 	return out, nil
+}
+
+// Serialize renders a value tree as deterministic XML without the
+// re-parse/re-validate round trip. Generated binding packages use it as
+// the serialization half of their specialized Marshal, pairing it with
+// their own compiled validator instead of the interpreted one.
+func Serialize(v *Value) []byte {
+	ns := newNSTable()
+	collectSpaces(v, ns)
+	var buf bytes.Buffer
+	writeXML(&buf, v, ns, true)
+	return buf.Bytes()
 }
 
 // nsTable assigns stable prefixes to namespaces used in a value tree.

@@ -6,6 +6,8 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/gen/cmbench"
+	"repro/internal/gen/manifest"
 	"repro/internal/normalize"
 	"repro/internal/schemas"
 	"repro/internal/wml"
@@ -21,27 +23,12 @@ func generate(t *testing.T, src string, scheme normalize.Scheme) string {
 	return code
 }
 
-// TestGoldenGeneratedPackages verifies the checked-in binding packages
-// under internal/gen/ are exactly what the generator produces today.
+// TestGoldenGeneratedPackages verifies the checked-in binding AND
+// validator packages under internal/gen/ are exactly what the generator
+// produces today, iterating the same manifest regen writes from.
 func TestGoldenGeneratedPackages(t *testing.T) {
-	targets := []struct {
-		pkg, source, comment string
-	}{
-		{"pogen", schemas.PurchaseOrderXSD, "the purchase order schema (paper Fig. 2/3)"},
-		{"evolvedgen", schemas.EvolvedPurchaseOrderXSD, "the evolved purchase order schema (paper §3 choice example)"},
-		{"derivgen", schemas.AddressDerivationXSD, "the address derivation schema (paper §3 extension/substitution examples)"},
-		{"wmlgen", wml.Schema, "the WML subset schema (paper §5)"},
-		{"nsgen", schemas.NamespacedOrderXSD, "the namespaced order schema (namespace-handling coverage)"},
-		{"mixgen", schemas.ComplexGroupsXSD, "the nested-groups schema (group-promotion coverage)"},
-	}
-	for _, tgt := range targets {
-		code, err := Generate(tgt.source, Options{
-			Package: tgt.pkg, Scheme: normalize.SchemePaper, SchemaComment: tgt.comment,
-		})
-		if err != nil {
-			t.Fatalf("%s: %v", tgt.pkg, err)
-		}
-		path := filepath.Join("..", "gen", tgt.pkg, tgt.pkg+".go")
+	compare := func(path, code string) {
+		t.Helper()
 		want, err := os.ReadFile(path)
 		if err != nil {
 			t.Fatalf("read %s: %v", path, err)
@@ -50,6 +37,41 @@ func TestGoldenGeneratedPackages(t *testing.T) {
 			t.Errorf("%s is stale: run `go run ./internal/gen/regen`", path)
 		}
 	}
+	for _, tgt := range manifest.Targets {
+		opts := Options{
+			Package: tgt.Pkg, Scheme: normalize.SchemePaper, SchemaComment: tgt.Comment,
+		}
+		if tgt.CorpusGlob != "" {
+			corpus, err := manifest.LoadCorpus(filepath.Join("..", ".."), tgt.CorpusGlob)
+			if err != nil {
+				t.Fatalf("%s: corpus: %v", tgt.Pkg, err)
+			}
+			if len(corpus) == 0 {
+				t.Fatalf("%s: corpus glob %q matched nothing", tgt.Pkg, tgt.CorpusGlob)
+			}
+			for _, d := range corpus {
+				opts.Corpus = append(opts.Corpus, CorpusDoc{Name: d.Name, Source: d.Source})
+			}
+		}
+		code, err := Generate(tgt.Source, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", tgt.Pkg, err)
+		}
+		compare(filepath.Join("..", "gen", tgt.Pkg, tgt.Pkg+".go"), code)
+		vcode, err := GenerateValidator(tgt.Source, opts)
+		if err != nil {
+			t.Fatalf("%s: validator: %v", tgt.Pkg, err)
+		}
+		compare(filepath.Join("..", "gen", tgt.Pkg, tgt.Pkg+"_validator.go"), vcode)
+	}
+	matchers, err := GenerateMatchers("cmbench", []MatcherSpec{
+		{Name: "Items", Particle: cmbench.ItemsModel(), Comment: "the purchase-order items model (item*)"},
+		{Name: "WideChoice", Particle: cmbench.WideChoiceModel(), Comment: "the scaled-down E10 synthetic wide-choice model (16 groups x 8 alternatives)"},
+	})
+	if err != nil {
+		t.Fatalf("cmbench: %v", err)
+	}
+	compare(filepath.Join("..", "gen", "cmbench", "matchers.go"), matchers)
 }
 
 // TestFig5UnionInterface regenerates the paper's Figure 5: the rejected
@@ -171,12 +193,17 @@ func TestGenerateAllSchemasAllSchemes(t *testing.T) {
 		schemas.NamedGroupXSD,
 		schemas.NamespacedOrderXSD,
 		schemas.ComplexGroupsXSD,
+		schemas.WildcardEnvelopeXSD,
 		wml.Schema,
 	}
 	for i, src := range sources {
 		for _, scheme := range []normalize.Scheme{normalize.SchemePaper, normalize.SchemeSynthesized, normalize.SchemeInherited} {
-			if _, err := Generate(src, Options{Package: "p", Scheme: scheme, SchemaComment: "t"}); err != nil {
+			opts := Options{Package: "p", Scheme: scheme, SchemaComment: "t"}
+			if _, err := Generate(src, opts); err != nil {
 				t.Errorf("schema %d scheme %v: %v", i, scheme, err)
+			}
+			if _, err := GenerateValidator(src, opts); err != nil {
+				t.Errorf("schema %d scheme %v: validator: %v", i, scheme, err)
 			}
 		}
 	}

@@ -74,7 +74,12 @@ func AssignNames(norm *normalize.Result) *Names {
 		Elements: map[*xsd.ElementDecl]ElemNames{},
 		Types:    map[xsd.Type]TypeNames{},
 		Groups:   map[*xsd.ModelGroup]GroupNames{},
-		used:     map[string]bool{"Document": true, "NewDocument": true, "SchemaSource": true, "RT": true},
+		used: map[string]bool{
+			"Document": true, "NewDocument": true, "SchemaSource": true, "RT": true,
+			// Public API of the companion validator file (GenerateValidator).
+			"Validate": true, "ValidateBytes": true, "Decode": true,
+			"DecodeBytes": true, "JSON": true, "Marshal": true,
+		},
 	}
 	// Types first: their names anchor everything else.
 	for _, ti := range norm.Types {

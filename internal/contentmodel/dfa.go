@@ -93,6 +93,53 @@ func (g *Glushkov) EnableDFA(in *Interner, budget int) bool {
 	if budget <= 0 {
 		budget = DefaultDFABudget
 	}
+	cls := g.buildClasses()
+	if len(cls.wilds) > maxDFAWildcards {
+		return false
+	}
+	for _, s := range cls.syms {
+		in.Intern(s)
+	}
+	named := make([]int32, in.Len())
+	for i := range named {
+		named[i] = -1
+	}
+	for _, s := range cls.syms {
+		named[in.Intern(s)] = cls.seenSym[s]
+	}
+	d := &dfa{
+		g:        g,
+		in:       in,
+		budget:   budget,
+		named:    named,
+		nnamed:   len(cls.syms),
+		wilds:    cls.wilds,
+		nclasses: cls.nclasses,
+		accSets:  cls.accSets,
+		bySet:    map[string]*dstate{},
+		scratch:  make([]bool, len(g.leaves)),
+	}
+	d.start = &dstate{cand: g.first, accept: g.nullable, trans: make([]dtrans, cls.nclasses)}
+	d.nstates = 1
+	g.dfa = d
+	return true
+}
+
+// classes is the alphabet partition shared by the lazy DFA and the eager
+// exporter: one class per element name the model declares (first-seen leaf
+// order), plus one bucket class per subset of wildcards.
+type classes struct {
+	syms     []Symbol
+	seenSym  map[Symbol]int32
+	wilds    []*Leaf
+	nclasses int
+	accSets  [][]int // class -> positions accepting that class (ascending)
+}
+
+// buildClasses partitions the alphabet. Both EnableDFA and ExportDFA build
+// their transition structure from this one partition, so the two can never
+// disagree on which positions a symbol activates.
+func (g *Glushkov) buildClasses() classes {
 	var wilds []*Leaf
 	seenWild := map[*Leaf]bool{}
 	seenSym := map[Symbol]int32{}
@@ -111,19 +158,6 @@ func (g *Glushkov) EnableDFA(in *Interner, budget int) bool {
 				syms = append(syms, n)
 			}
 		}
-	}
-	if len(wilds) > maxDFAWildcards {
-		return false
-	}
-	for _, s := range syms {
-		in.Intern(s)
-	}
-	named := make([]int32, in.Len())
-	for i := range named {
-		named[i] = -1
-	}
-	for _, s := range syms {
-		named[in.Intern(s)] = seenSym[s]
 	}
 	nclasses := len(syms) + (1 << len(wilds))
 	accSets := make([][]int, nclasses)
@@ -158,22 +192,7 @@ func (g *Glushkov) EnableDFA(in *Interner, budget int) bool {
 	for c := range accSets {
 		sort.Ints(accSets[c])
 	}
-	d := &dfa{
-		g:        g,
-		in:       in,
-		budget:   budget,
-		named:    named,
-		nnamed:   len(syms),
-		wilds:    wilds,
-		nclasses: nclasses,
-		accSets:  accSets,
-		bySet:    map[string]*dstate{},
-		scratch:  make([]bool, len(g.leaves)),
-	}
-	d.start = &dstate{cand: g.first, accept: g.nullable, trans: make([]dtrans, nclasses)}
-	d.nstates = 1
-	g.dfa = d
-	return true
+	return classes{syms: syms, seenSym: seenSym, wilds: wilds, nclasses: nclasses, accSets: accSets}
 }
 
 // DFAEnabled reports whether a lazy DFA is attached.

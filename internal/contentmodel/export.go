@@ -1,0 +1,221 @@
+package contentmodel
+
+import (
+	"fmt"
+)
+
+// This file is the eager counterpart of the lazy subset construction in
+// dfa.go, built for ahead-of-time code emission: codegen's validator back
+// end determinizes a content model once at generation time and prints the
+// whole transition table as Go switch statements. The construction mirrors
+// the lazy one step for step — same alphabet classes (buildClasses), same
+// candidate ordering, same first-matched leaf assignment, same
+// canonical-set state identity — so a generated validator walks exactly
+// the states the lazy DFA would have memoized and reports byte-identical
+// MatchError values.
+
+// DFATable is a fully materialized DFA over one Glushkov automaton.
+// State 0 is the start state. Named transitions are indexed by the
+// position of the symbol in Syms; symbols the model does not declare are
+// routed through the wildcard-admission bucket for their namespace
+// (bit i of a bucket mask = Wilds[i].Wildcard admits the namespace).
+type DFATable struct {
+	Syms     []Symbol // named alphabet, first-seen leaf order
+	Wilds    []*Leaf  // distinct wildcard leaves, first-seen order
+	Leaves   []*Leaf  // dense leaf universe referenced by arcs
+	States   []DFAState
+	Nullable bool
+}
+
+// DFAState is one determinized position set.
+type DFAState struct {
+	Accept bool
+	// StepExpected is the Expected slice of the MatchError a Step reports
+	// from this state (sorted, deduplicated — exactly what the lazy path
+	// computes from its candidate set). EndExpected is the Expected slice
+	// of the premature-end MatchError.
+	StepExpected []string
+	EndExpected  []string
+	Named        []DFAArc // per named symbol, parallel to Syms
+	Buckets      []DFAArc // per wildcard subset mask, len 1<<len(Wilds)
+}
+
+// DFAArc is one transition: the successor state and the leaf particle the
+// symbol is attributed to. Next < 0 means reject.
+type DFAArc struct {
+	Next int
+	Leaf int // index into Leaves, -1 on reject
+}
+
+// Label returns the human-readable particle label used in MatchError
+// expected lists ("name", "a|b" for substitution heads, "any").
+func (l *Leaf) Label() string { return l.label() }
+
+// ExportDFA determinizes the automaton eagerly. It refuses — mirroring
+// EnableDFA — when the model violates Unique Particle Attribution (subset
+// canonicalization is only observation-equivalent when at most one
+// particle competes per symbol), when it has more than maxDFAWildcards
+// distinct wildcards, or when determinization exceeds the state budget
+// (callers fall back to the interpreted path). A budget <= 0 selects
+// DefaultDFABudget.
+func (g *Glushkov) ExportDFA(budget int) (*DFATable, error) {
+	if err := g.CheckUPA(); err != nil {
+		return nil, fmt.Errorf("contentmodel: cannot export DFA: %w", err)
+	}
+	if budget <= 0 {
+		budget = DefaultDFABudget
+	}
+	cls := g.buildClasses()
+	if len(cls.wilds) > maxDFAWildcards {
+		return nil, fmt.Errorf("contentmodel: cannot export DFA: %d distinct wildcards exceeds the limit of %d", len(cls.wilds), maxDFAWildcards)
+	}
+
+	t := &DFATable{Syms: cls.syms, Wilds: cls.wilds, Nullable: g.nullable}
+	leafIdx := map[*Leaf]int{}
+	leafOf := func(l *Leaf) int {
+		if i, ok := leafIdx[l]; ok {
+			return i
+		}
+		i := len(t.Leaves)
+		leafIdx[l] = i
+		t.Leaves = append(t.Leaves, l)
+		return i
+	}
+
+	// cands[i] is state i's candidate set in NFA order; the start state's
+	// set is g.first and successors derive from the matched set exactly as
+	// dfa.newState replays it.
+	cands := [][]int{g.first}
+	accepts := []bool{g.nullable}
+	bySet := map[string]int{}
+	scratch := make([]bool, len(g.leaves))
+	type arcs struct{ named, buckets []DFAArc }
+	var all []arcs
+
+	for si := 0; si < len(cands); si++ {
+		cand := cands[si]
+		a := arcs{
+			named:   make([]DFAArc, len(cls.syms)),
+			buckets: make([]DFAArc, 1<<len(cls.wilds)),
+		}
+		for c := 0; c < cls.nclasses; c++ {
+			arc := DFAArc{Next: -1, Leaf: -1}
+			acc := cls.accSets[c]
+			for _, p := range acc {
+				scratch[p] = true
+			}
+			var matched []int
+			leaf := -1
+			for _, p := range cand {
+				if scratch[p] {
+					if leaf < 0 {
+						leaf = leafOf(g.leaves[p])
+					}
+					matched = append(matched, p)
+				}
+			}
+			for _, p := range acc {
+				scratch[p] = false
+			}
+			if leaf >= 0 {
+				key := setKey(matched)
+				next, ok := bySet[key]
+				if !ok {
+					if len(cands) >= budget {
+						return nil, fmt.Errorf("contentmodel: cannot export DFA: state budget %d exceeded", budget)
+					}
+					// Successor candidate set: follow-set union in matched
+					// order with keep-first dedup, as dfa.newState does.
+					var nc []int
+					for _, p := range matched {
+						for _, q := range g.follow[p] {
+							if !scratch[q] {
+								scratch[q] = true
+								nc = append(nc, q)
+							}
+						}
+					}
+					for _, q := range nc {
+						scratch[q] = false
+					}
+					acceptState := false
+					for _, p := range matched {
+						if g.last[p] {
+							acceptState = true
+							break
+						}
+					}
+					next = len(cands)
+					bySet[key] = next
+					cands = append(cands, nc)
+					accepts = append(accepts, acceptState)
+				}
+				arc = DFAArc{Next: next, Leaf: leaf}
+			}
+			if c < len(cls.syms) {
+				a.named[c] = arc
+			} else {
+				a.buckets[c-len(cls.syms)] = arc
+			}
+		}
+		all = append(all, a)
+	}
+
+	for si, cand := range cands {
+		t.States = append(t.States, DFAState{
+			Accept:       accepts[si],
+			StepExpected: g.expectedLabels(cand, si == 0 && g.nullable),
+			EndExpected:  g.expectedLabels(cand, false),
+			Named:        all[si].named,
+			Buckets:      all[si].buckets,
+		})
+	}
+	return t, nil
+}
+
+// Match runs the exported table over a child-name sequence, producing the
+// verdict the Glushkov stepper would. It exists for differential tests:
+// generated validators inline this walk, and this reference implementation
+// pins its semantics against the lazy path.
+func (t *DFATable) Match(input []Symbol) ([]*Leaf, *MatchError) {
+	st := 0
+	var assigned []*Leaf
+	if len(input) > 0 {
+		assigned = make([]*Leaf, len(input))
+	}
+	for i, sym := range input {
+		arc := t.step(st, sym)
+		if arc.Next < 0 {
+			return nil, &MatchError{Index: i, Got: sym, Expected: t.States[st].StepExpected}
+		}
+		assigned[i] = t.Leaves[arc.Leaf]
+		st = arc.Next
+	}
+	if len(input) == 0 {
+		if t.Nullable {
+			return nil, nil
+		}
+		return nil, &MatchError{Index: 0, Premature: true, Expected: t.States[0].EndExpected}
+	}
+	if !t.States[st].Accept {
+		return nil, &MatchError{Index: len(input), Premature: true, Expected: t.States[st].EndExpected}
+	}
+	return assigned, nil
+}
+
+// step resolves one transition: named symbols through Syms, everything
+// else through the wildcard bucket for its namespace.
+func (t *DFATable) step(st int, sym Symbol) DFAArc {
+	for i, s := range t.Syms {
+		if s == sym {
+			return t.States[st].Named[i]
+		}
+	}
+	mask := 0
+	for i, w := range t.Wilds {
+		if w.Wildcard.Admits(sym.Space) {
+			mask |= 1 << i
+		}
+	}
+	return t.States[st].Buckets[mask]
+}

@@ -1,0 +1,71 @@
+// Package manifest is the single list of checked-in generated binding
+// packages under internal/gen/. The regen command and the codegen golden
+// tests both iterate it, so a schema added here is generated and
+// golden-guarded in one step.
+package manifest
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/schemas"
+	"repro/internal/wml"
+)
+
+// Target describes one generated package: its embedded schema, the
+// comment stamped into the file header, and (optionally) the instance
+// corpus that prunes its generated validator.
+type Target struct {
+	// Pkg is the package (and directory) name under internal/gen/.
+	Pkg string
+	// Source is the schema document compiled into the package.
+	Source string
+	// Comment is the human-readable schema description in the header.
+	Comment string
+	// CorpusGlob, when non-empty, is a repo-root-relative glob of
+	// instance documents; the generated validator is pruned to the
+	// declarations that corpus reaches.
+	CorpusGlob string
+}
+
+// Targets lists every checked-in generated package, in generation order.
+var Targets = []Target{
+	{Pkg: "pogen", Source: schemas.PurchaseOrderXSD, Comment: "the purchase order schema (paper Fig. 2/3)"},
+	{Pkg: "evolvedgen", Source: schemas.EvolvedPurchaseOrderXSD, Comment: "the evolved purchase order schema (paper §3 choice example)"},
+	{Pkg: "derivgen", Source: schemas.AddressDerivationXSD, Comment: "the address derivation schema (paper §3 extension/substitution examples)"},
+	{Pkg: "wmlgen", Source: wml.Schema, Comment: "the WML subset schema (paper §5)"},
+	{Pkg: "nsgen", Source: schemas.NamespacedOrderXSD, Comment: "the namespaced order schema (namespace-handling coverage)"},
+	{Pkg: "mixgen", Source: schemas.ComplexGroupsXSD, Comment: "the nested-groups schema (group-promotion coverage)"},
+	{Pkg: "wildgen", Source: schemas.WildcardEnvelopeXSD, Comment: "the wildcard envelope schema (lax any/anyAttribute coverage)"},
+	{Pkg: "popruned", Source: schemas.PurchaseOrderXSD, Comment: "the purchase order schema, validator pruned to the shipping corpus", CorpusGlob: "testdata/corpus/po/*.xml"},
+}
+
+// CorpusDoc is one pruning-corpus instance document.
+type CorpusDoc struct {
+	// Name is the document's base filename, stamped into the generated
+	// header.
+	Name string
+	// Source is the document text.
+	Source string
+}
+
+// LoadCorpus reads a target's pruning corpus. root is the repository
+// root (regen runs there; tests pass a relative prefix). The result is
+// sorted by filename so generation is deterministic.
+func LoadCorpus(root, glob string) ([]CorpusDoc, error) {
+	paths, err := filepath.Glob(filepath.Join(root, glob))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	var docs []CorpusDoc
+	for _, p := range paths {
+		src, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		docs = append(docs, CorpusDoc{Name: filepath.Base(p), Source: string(src)})
+	}
+	return docs, nil
+}

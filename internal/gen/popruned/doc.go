@@ -1,0 +1,21 @@
+// This doc.go is hand-written and survives regeneration; the sibling
+// popruned.go and popruned_validator.go are emitted by cmd/vdomgen
+// (run internal/gen/regen to refresh them) from the purchase-order
+// schema with the corpus-pruning pass on: the instance documents under
+// testdata/corpus/po/ never use <comment>, so its generated validator
+// and decoder are two-line stubs delegating to the interpreted walk —
+// the differential tests prove verdicts stay byte-identical anyway.
+//
+// # Role in the pipeline
+//
+// The package is a checked-in output of the codegen stage (xsd parse →
+// normalize → contentmodel → codegen/vdom → validator → pxml), kept in
+// sync with the generator by codegen.TestGoldenGeneratedPackages and
+// with its corpus by TestPrunedCorpusInSync.
+//
+// # Concurrency
+//
+// As with all V-DOM bindings, build and marshal each typed tree from a
+// single goroutine; the underlying schema and compiled content models
+// are safe to share (see package vdom).
+package popruned

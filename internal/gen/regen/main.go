@@ -6,48 +6,65 @@ import (
 	"path/filepath"
 
 	"repro/internal/codegen"
+	"repro/internal/gen/cmbench"
+	"repro/internal/gen/manifest"
 	"repro/internal/normalize"
-	"repro/internal/schemas"
-	"repro/internal/wml"
 )
-
-// Targets lists the generated binding packages. Exported so the golden
-// test can iterate the same list.
-var targets = []struct {
-	Pkg     string
-	Source  string
-	Comment string
-}{
-	{"pogen", schemas.PurchaseOrderXSD, "the purchase order schema (paper Fig. 2/3)"},
-	{"evolvedgen", schemas.EvolvedPurchaseOrderXSD, "the evolved purchase order schema (paper §3 choice example)"},
-	{"derivgen", schemas.AddressDerivationXSD, "the address derivation schema (paper §3 extension/substitution examples)"},
-	{"wmlgen", wml.Schema, "the WML subset schema (paper §5)"},
-	{"nsgen", schemas.NamespacedOrderXSD, "the namespaced order schema (namespace-handling coverage)"},
-	{"mixgen", schemas.ComplexGroupsXSD, "the nested-groups schema (group-promotion coverage)"},
-}
 
 func main() {
 	root := "internal/gen"
-	for _, t := range targets {
-		code, err := codegen.Generate(t.Source, codegen.Options{
+	for _, t := range manifest.Targets {
+		opts := codegen.Options{
 			Package:       t.Pkg,
 			Scheme:        normalize.SchemePaper,
 			SchemaComment: t.Comment,
-		})
+		}
+		if t.CorpusGlob != "" {
+			corpus, err := manifest.LoadCorpus(".", t.CorpusGlob)
+			if err != nil {
+				fatal(fmt.Errorf("regen %s: corpus: %w", t.Pkg, err))
+			}
+			if len(corpus) == 0 {
+				fatal(fmt.Errorf("regen %s: corpus glob %q matched nothing", t.Pkg, t.CorpusGlob))
+			}
+			for _, d := range corpus {
+				opts.Corpus = append(opts.Corpus, codegen.CorpusDoc{Name: d.Name, Source: d.Source})
+			}
+		}
+		bindings, err := codegen.Generate(t.Source, opts)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "regen %s: %v\n", t.Pkg, err)
-			os.Exit(1)
+			fatal(fmt.Errorf("regen %s: %w", t.Pkg, err))
+		}
+		vcode, err := codegen.GenerateValidator(t.Source, opts)
+		if err != nil {
+			fatal(fmt.Errorf("regen %s: validator: %w", t.Pkg, err))
 		}
 		dir := filepath.Join(root, t.Pkg)
 		if err := os.MkdirAll(dir, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fatal(err)
 		}
-		out := filepath.Join(dir, t.Pkg+".go")
-		if err := os.WriteFile(out, []byte(code), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		fmt.Printf("wrote %s (%d bytes)\n", out, len(code))
+		write(filepath.Join(dir, t.Pkg+".go"), bindings)
+		write(filepath.Join(dir, t.Pkg+"_validator.go"), vcode)
 	}
+	// Compiled matchers for the E14 stepper benchmark.
+	matchers, err := codegen.GenerateMatchers("cmbench", []codegen.MatcherSpec{
+		{Name: "Items", Particle: cmbench.ItemsModel(), Comment: "the purchase-order items model (item*)"},
+		{Name: "WideChoice", Particle: cmbench.WideChoiceModel(), Comment: "the scaled-down E10 synthetic wide-choice model (16 groups x 8 alternatives)"},
+	})
+	if err != nil {
+		fatal(fmt.Errorf("regen cmbench: %w", err))
+	}
+	write(filepath.Join(root, "cmbench", "matchers.go"), matchers)
+}
+
+func write(path, code string) {
+	if err := os.WriteFile(path, []byte(code), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d bytes)\n", path, len(code))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
 }

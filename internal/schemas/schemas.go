@@ -274,6 +274,47 @@ const ComplexGroupsXSD = `<?xml version="1.0"?>
 </xsd:schema>
 `
 
+// WildcardEnvelopeXSD exercises the wildcard surfaces the paper's
+// examples avoid: a lax xsd:any content model (known globals validate,
+// foreign content passes) and an open attribute set via xsd:anyAttribute.
+const WildcardEnvelopeXSD = `<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+
+  <xsd:element name="envelope" type="Envelope"/>
+  <xsd:element name="extra" type="xsd:string"/>
+  <xsd:element name="record" type="Record"/>
+
+  <xsd:complexType name="Envelope">
+    <xsd:sequence>
+      <xsd:any minOccurs="0" maxOccurs="unbounded" processContents="lax"/>
+    </xsd:sequence>
+    <xsd:attribute name="version" type="xsd:positiveInteger"/>
+    <xsd:anyAttribute/>
+  </xsd:complexType>
+
+  <xsd:complexType name="Record">
+    <xsd:sequence>
+      <xsd:element name="key" type="xsd:string"/>
+      <xsd:element name="value" type="xsd:string"/>
+    </xsd:sequence>
+  </xsd:complexType>
+
+</xsd:schema>
+`
+
+// WildcardEnvelopeDoc is a valid instance of WildcardEnvelopeXSD mixing
+// known globals with foreign content under the lax wildcard.
+const WildcardEnvelopeDoc = `<?xml version="1.0"?>
+<envelope version="2" x-trace="abc">
+  <extra>first note</extra>
+  <record>
+    <key>color</key>
+    <value>green</value>
+  </record>
+  <unknown attr="kept"><nested/>text</unknown>
+</envelope>
+`
+
 // NamedGroupXSD is the paper's explicit-naming example: the address choice
 // is pulled into a named group AddressGroup (§3).
 const NamedGroupXSD = `<?xml version="1.0"?>

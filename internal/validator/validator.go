@@ -72,6 +72,12 @@ type Options struct {
 	// run falls back to NFA stepping. Zero means
 	// contentmodel.DefaultDFABudget.
 	DFAStateBudget int
+	// ElementObserver, when non-nil, is invoked with the governing
+	// declaration of every element the walk visits. It exists for
+	// instrumentation — codegen's instance-corpus pruning pass uses it to
+	// record which declarations a sample document set reaches — and has no
+	// effect on verdicts.
+	ElementObserver func(decl *xsd.ElementDecl)
 }
 
 // Validator validates documents against one schema.
@@ -159,6 +165,9 @@ func (r *run) violate(path, msg string) {
 
 // element validates el against its governing declaration.
 func (r *run) element(el *dom.Element, decl *xsd.ElementDecl, path string) {
+	if obs := r.v.opts.ElementObserver; obs != nil {
+		obs(decl)
+	}
 	if len(r.res.Violations) >= maxViolations {
 		return
 	}
@@ -262,23 +271,37 @@ func (r *run) trackIDs(st *xsd.SimpleType, lexical string, path string) {
 	if b == nil {
 		return
 	}
-	norm := strings.Join(strings.Fields(lexical), " ")
 	switch b.Name {
 	case "ID":
-		if prev, dup := r.ids[norm]; dup {
-			r.violate(path, fmt.Sprintf("duplicate ID %q (first declared at %s)", norm, prev))
-		} else {
-			r.ids[norm] = path
-			if r.onIDInsert != nil {
-				r.onIDInsert(norm)
-			}
-		}
+		r.trackID(lexical, path)
 	case "IDREF":
-		r.idrefs = append(r.idrefs, pendingRef{id: norm, path: path})
+		r.trackIDRef(lexical, path)
 	case "IDREFS":
-		for _, ref := range strings.Fields(norm) {
-			r.idrefs = append(r.idrefs, pendingRef{id: ref, path: path})
+		r.trackIDRefs(lexical, path)
+	}
+}
+
+func (r *run) trackID(lexical, path string) {
+	norm := strings.Join(strings.Fields(lexical), " ")
+	if prev, dup := r.ids[norm]; dup {
+		r.violate(path, fmt.Sprintf("duplicate ID %q (first declared at %s)", norm, prev))
+	} else {
+		r.ids[norm] = path
+		if r.onIDInsert != nil {
+			r.onIDInsert(norm)
 		}
+	}
+}
+
+func (r *run) trackIDRef(lexical, path string) {
+	norm := strings.Join(strings.Fields(lexical), " ")
+	r.idrefs = append(r.idrefs, pendingRef{id: norm, path: path})
+}
+
+func (r *run) trackIDRefs(lexical, path string) {
+	norm := strings.Join(strings.Fields(lexical), " ")
+	for _, ref := range strings.Fields(norm) {
+		r.idrefs = append(r.idrefs, pendingRef{id: ref, path: path})
 	}
 }
 
