@@ -1028,3 +1028,132 @@ func BenchmarkE13_CompatClassify(b *testing.B) {
 		}
 	}
 }
+
+// ---------------------------------------------------------------------------
+// E15 — zero-copy SWAR tokenization + intra-document parallel validation.
+// ---------------------------------------------------------------------------
+
+// e15TextDoc builds a ~1MB text-dominated document: long character runs
+// with newlines, the shape the SWAR word sweep is built for.
+func e15TextDoc() []byte {
+	var sb strings.Builder
+	sb.WriteString("<doc>")
+	for i := 0; i < 2000; i++ {
+		fmt.Fprintf(&sb, "<p>line %d: ", i)
+		sb.WriteString(strings.Repeat("the quick brown fox jumps over the lazy dog\n", 10))
+		sb.WriteString("</p>")
+	}
+	sb.WriteString("</doc>")
+	return []byte(sb.String())
+}
+
+// BenchmarkE15_TokenizerScan prices a full tokenization pass two ways:
+// zero-copy (tokens consumed through Bytes, nothing materialized) and
+// materialized (Data() on every token — the pre-zero-copy behavior every
+// consumer was forced into). The B/op gap is the tentpole metric: the
+// zero-copy scan allocates near-nothing per document regardless of size.
+func BenchmarkE15_TokenizerScan(b *testing.B) {
+	docs := []struct {
+		name string
+		src  []byte
+	}{
+		{"text-heavy-1MB", e15TextDoc()},
+		{"markup-heavy-1MB", []byte(strings.Repeat(`<item partNum="001-AB"><productName>Widget</productName><quantity>1</quantity><USPrice>9.95</USPrice></item>`, 9000))},
+	}
+	for _, d := range docs {
+		b.Run(d.name+"/zero-copy", func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(len(d.src)))
+			for i := 0; i < b.N; i++ {
+				dec := xmlparser.NewDecoder(d.src, &xmlparser.Options{Fragment: true})
+				var n int
+				for {
+					tok, err := dec.Token()
+					if err != nil {
+						b.Fatal(err)
+					}
+					if tok == nil {
+						break
+					}
+					n += len(tok.Bytes())
+				}
+				if n == 0 {
+					b.Fatal("no bytes scanned")
+				}
+			}
+		})
+		b.Run(d.name+"/materialized", func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(len(d.src)))
+			for i := 0; i < b.N; i++ {
+				dec := xmlparser.NewDecoder(d.src, &xmlparser.Options{Fragment: true})
+				var n int
+				for {
+					tok, err := dec.Token()
+					if err != nil {
+						b.Fatal(err)
+					}
+					if tok == nil {
+						break
+					}
+					n += len(tok.Data())
+				}
+				if n == 0 {
+					b.Fatal("no bytes scanned")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE15_ParallelValidate prices the intra-document worker pool on
+// a ~4.5MB purchase order (30k items): the workers=1 leg is the plain
+// sequential walk; the scaling legs split the depth-1 subtrees across
+// explicit pool sizes. Verdict equality with the sequential walk is
+// enforced by the E15 differential suite; this measures only the speedup.
+func BenchmarkE15_ParallelValidate(b *testing.B) {
+	schema, err := xsd.ParseString(schemas.PurchaseOrderXSD, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := []byte(syntheticOrder(30000, false))
+	doc, err := dom.Parse(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := validator.New(schema, nil)
+	if res := v.ValidateDocument(doc); !res.OK() {
+		b.Fatalf("bench document invalid: %v", res.Err())
+	}
+	b.Logf("document: %.1f MB", float64(len(src))/(1<<20))
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(len(src)))
+			for i := 0; i < b.N; i++ {
+				var res *validator.Result
+				if workers == 1 {
+					res = v.ValidateDocument(doc)
+				} else {
+					res = v.ParallelValidate(doc, workers)
+				}
+				if !res.OK() {
+					b.Fatal("verdict flipped")
+				}
+			}
+		})
+	}
+	// End-to-end leg: bytes in, verdict out (parse + parallel validate),
+	// the shape the server's ?parallel=1 path runs.
+	b.Run("bytes-to-verdict/parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(src)))
+		for i := 0; i < b.N; i++ {
+			d, res := validator.ParallelValidateBytes(schema, src, 0)
+			if res == nil || !res.OK() {
+				b.Fatal("verdict flipped")
+			}
+			d.Release()
+		}
+	})
+}

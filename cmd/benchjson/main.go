@@ -40,6 +40,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results in input")
 		os.Exit(1)
 	}
+	// benchjson runs in the same pipeline as the benchmarks, so the host
+	// it sees is the host that produced the numbers.
+	run.StampHost()
 	w := os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)

@@ -12,6 +12,7 @@
 //
 //	curl -d @po.xml 'http://127.0.0.1:8080/v1/validate/po'
 //	curl -d @po.xml 'http://127.0.0.1:8080/v1/validate/po?stream=1'
+//	curl -d @big.xml 'http://127.0.0.1:8080/v1/validate/po?parallel=1' # split large documents across cores
 //	curl -d @po.xml 'http://127.0.0.1:8080/v1/decode/po'          # validate + decode to canonical JSON
 //	curl -d @po.xml 'http://127.0.0.1:8080/v1/decode/po?stream=1' # same, one pass over the wire bytes
 //	curl -d @po.json 'http://127.0.0.1:8080/v1/encode/po'         # canonical JSON back to schema-valid XML
@@ -32,6 +33,7 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers profiling handlers on DefaultServeMux; served only via -pprof-addr
 	"os"
 	"os/signal"
 	"syscall"
@@ -44,6 +46,33 @@ import (
 	"repro/internal/validator"
 )
 
+// startPprof serves the net/http/pprof handlers on their own listener,
+// refusing any address that does not resolve to a loopback interface.
+func startPprof(logger *slog.Logger, addr string) error {
+	host, _, err := net.SplitHostPort(addr)
+	if err != nil {
+		return fmt.Errorf("bad -pprof-addr: %w", err)
+	}
+	if ip := net.ParseIP(host); ip == nil || !ip.IsLoopback() {
+		return fmt.Errorf("-pprof-addr %q is not a loopback address; profiling is local-only", addr)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	logger.Info("pprof listening", "addr", ln.Addr().String())
+	go func() {
+		// DefaultServeMux carries the net/http/pprof registrations; the
+		// service's own routes live on a private mux, so nothing else is
+		// reachable here.
+		srv := &http.Server{Handler: http.DefaultServeMux, ReadHeaderTimeout: 10 * time.Second}
+		if err := srv.Serve(ln); err != nil {
+			logger.Warn("pprof server stopped", "err", err.Error())
+		}
+	}()
+	return nil
+}
+
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
 	dir := flag.String("schemas", "", "directory of *.xsd schema files (required)")
@@ -54,6 +83,7 @@ func main() {
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown budget for in-flight requests")
 	nodfa := flag.Bool("nodfa", false, "disable the lazy-DFA content-model executor (NFA stepping)")
 	gate := flag.String("compat-gate", "none", "reject reloaded schema versions below this compatibility level vs the serving version (none|backward|forward|full)")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this loopback address (e.g. 127.0.0.1:6060; empty disables, non-loopback refused)")
 	flag.Parse()
 	if *dir == "" {
 		fmt.Fprintln(os.Stderr, "usage: xsdserved -schemas dir [-addr host:port]")
@@ -112,6 +142,16 @@ func main() {
 		MaxConcurrent:  *maxConc,
 		RequestTimeout: *timeout,
 	})
+
+	if *pprofAddr != "" {
+		// Profiling is opt-in and loopback-only: the pprof mux exposes heap
+		// contents and symbol tables, so it never rides on the service
+		// listener and never binds a routable interface.
+		if err := startPprof(logger, *pprofAddr); err != nil {
+			logger.Error("pprof", "addr", *pprofAddr, "err", err.Error())
+			os.Exit(1)
+		}
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -54,6 +54,15 @@ func TestCmdXsdcheck(t *testing.T) {
 	if !strings.Contains(out, "INVALID") {
 		t.Errorf("xsdcheck bad: %s", out)
 	}
+	// -parallel uses the intra-document worker pool; verdicts must match.
+	out = runCmd(t, true, "xsdcheck", "-schema", schema, "-parallel", good)
+	if !strings.Contains(out, "valid") {
+		t.Errorf("xsdcheck -parallel good: %s", out)
+	}
+	out = runCmd(t, false, "xsdcheck", "-schema", schema, "-parallel", bad)
+	if !strings.Contains(out, "INVALID") {
+		t.Errorf("xsdcheck -parallel bad: %s", out)
+	}
 	// -json decodes a valid document to canonical JSON in the same pass.
 	out = runCmd(t, true, "xsdcheck", "-schema", schema, "-json", good)
 	if !strings.Contains(out, `"$element": "purchaseOrder"`) {

@@ -15,6 +15,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"runtime"
 	"strconv"
 	"strings"
 )
@@ -39,11 +40,24 @@ type Result struct {
 // Run is a parsed benchmark session: the environment header plus every
 // result line, in input order.
 type Run struct {
-	Goos    string   `json:"goos,omitempty"`
-	Goarch  string   `json:"goarch,omitempty"`
-	Pkg     string   `json:"pkg,omitempty"`
-	CPU     string   `json:"cpu,omitempty"`
-	Results []Result `json:"results"`
+	Goos   string `json:"goos,omitempty"`
+	Goarch string `json:"goarch,omitempty"`
+	Pkg    string `json:"pkg,omitempty"`
+	// CPU is the model string from the `cpu:` header line.
+	CPU string `json:"cpu,omitempty"`
+	// NumCPU and Gomaxprocs describe the machine the session ran on;
+	// they are stamped by StampHost (scaling numbers — the E15 parallel
+	// speedups especially — are meaningless without them).
+	NumCPU     int      `json:"num_cpu,omitempty"`
+	Gomaxprocs int      `json:"gomaxprocs,omitempty"`
+	Results    []Result `json:"results"`
+}
+
+// StampHost records the current machine's core counts on the run. Call it
+// only in the process (or pipeline) that actually ran the benchmarks.
+func (run *Run) StampHost() {
+	run.NumCPU = runtime.NumCPU()
+	run.Gomaxprocs = runtime.GOMAXPROCS(0)
 }
 
 // Parse reads `go test -bench` output and collects header metadata and

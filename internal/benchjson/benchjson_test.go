@@ -72,3 +72,20 @@ func TestWriteRoundTrip(t *testing.T) {
 		t.Fatalf("round trip mismatch: %+v", back.Results)
 	}
 }
+
+func TestStampHost(t *testing.T) {
+	run := &Run{}
+	run.StampHost()
+	if run.NumCPU < 1 || run.Gomaxprocs < 1 {
+		t.Fatalf("StampHost left zero core counts: %+v", run)
+	}
+	var buf bytes.Buffer
+	if err := run.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"num_cpu"`, `"gomaxprocs"`} {
+		if !bytes.Contains(buf.Bytes(), []byte(key)) {
+			t.Errorf("serialized run missing %s: %s", key, buf.String())
+		}
+	}
+}

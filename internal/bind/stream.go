@@ -156,25 +156,25 @@ func (sb *streamBinder) RawToken(tok *xmlparser.Token) {
 		}
 		sb.rawCur = sb.rawCur.ParentNode()
 	case xmlparser.KindText:
-		if tok.Data == "" || sb.rawDepth == 0 {
+		if tok.Data() == "" || sb.rawDepth == 0 {
 			return
 		}
-		_, _ = sb.rawCur.AppendChild(sb.rawDoc.CreateTextNode(tok.Data))
+		_, _ = sb.rawCur.AppendChild(sb.rawDoc.CreateTextNode(tok.Data()))
 	case xmlparser.KindCData:
 		if sb.rawDepth == 0 {
 			return
 		}
-		_, _ = sb.rawCur.AppendChild(sb.rawDoc.CreateCDATASection(tok.Data))
+		_, _ = sb.rawCur.AppendChild(sb.rawDoc.CreateCDATASection(tok.Data()))
 	case xmlparser.KindComment:
 		if sb.rawDepth == 0 {
 			return
 		}
-		_, _ = sb.rawCur.AppendChild(sb.rawDoc.CreateComment(tok.Data))
+		_, _ = sb.rawCur.AppendChild(sb.rawDoc.CreateComment(tok.Data()))
 	case xmlparser.KindProcInst:
 		if sb.rawDepth == 0 {
 			return
 		}
-		_, _ = sb.rawCur.AppendChild(sb.rawDoc.CreateProcessingInstruction(tok.Target, tok.Data))
+		_, _ = sb.rawCur.AppendChild(sb.rawDoc.CreateProcessingInstruction(tok.Target, tok.Data()))
 	}
 }
 

@@ -42,12 +42,10 @@ func parseWith(src []byte, opts *xmlparser.Options) (_ *Document, err error) {
 		}
 		switch tok.Kind {
 		case xmlparser.KindXMLDecl:
-			attrs := tok.Data
-			_ = attrs
-			doc.Version = pseudoAttr(tok.Data, "version")
-			doc.Encoding = pseudoAttr(tok.Data, "encoding")
+			doc.Version = pseudoAttr(tok.Data(), "version")
+			doc.Encoding = pseudoAttr(tok.Data(), "encoding")
 		case xmlparser.KindDoctype:
-			dt := &DocumentType{Name: tok.Name.Local, ExternalID: tok.Target, InternalSubset: tok.Data}
+			dt := &DocumentType{Name: tok.Name.Local, ExternalID: tok.Target, InternalSubset: tok.Data()}
 			dt.self = dt
 			dt.doc = doc
 			doc.Doctype = dt
@@ -72,26 +70,26 @@ func parseWith(src []byte, opts *xmlparser.Options) (_ *Document, err error) {
 				// Fragment mode: attach top-level text only if
 				// non-empty after the parser allowed it; documents
 				// never reach here with text.
-				if isAllSpace(tok.Data) {
+				if isAllSpace(tok.Data()) {
 					continue
 				}
 			}
-			if tok.Data == "" {
+			if tok.Data() == "" {
 				continue
 			}
-			if _, err := cur.AppendChild(doc.CreateTextNode(tok.Data)); err != nil {
+			if _, err := cur.AppendChild(doc.CreateTextNode(tok.Data())); err != nil {
 				return nil, fmt.Errorf("at %s: %w", tok.Pos, err)
 			}
 		case xmlparser.KindCData:
-			if _, err := cur.AppendChild(doc.CreateCDATASection(tok.Data)); err != nil {
+			if _, err := cur.AppendChild(doc.CreateCDATASection(tok.Data())); err != nil {
 				return nil, fmt.Errorf("at %s: %w", tok.Pos, err)
 			}
 		case xmlparser.KindComment:
-			if _, err := cur.AppendChild(doc.CreateComment(tok.Data)); err != nil {
+			if _, err := cur.AppendChild(doc.CreateComment(tok.Data())); err != nil {
 				return nil, fmt.Errorf("at %s: %w", tok.Pos, err)
 			}
 		case xmlparser.KindProcInst:
-			if _, err := cur.AppendChild(doc.CreateProcessingInstruction(tok.Target, tok.Data)); err != nil {
+			if _, err := cur.AppendChild(doc.CreateProcessingInstruction(tok.Target, tok.Data())); err != nil {
 				return nil, fmt.Errorf("at %s: %w", tok.Pos, err)
 			}
 		}

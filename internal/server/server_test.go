@@ -2,6 +2,7 @@ package server
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -320,5 +321,67 @@ func TestHealthzDegradedWhenEmpty(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("empty registry healthz = %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestParallelValidateMode drives ?parallel=1 through both sides of the
+// size threshold: a small document (sequential under the hood) and a
+// large one (the worker pool), with verdicts identical to the dom mode
+// and a distinct metrics series either way.
+func TestParallelValidateMode(t *testing.T) {
+	ts, s := newTestServer(t, Config{MaxBodyBytes: 64 << 20})
+	url := ts.URL + "/v1/validate/po?parallel=1"
+
+	code, vr := postDoc(t, url, schemas.PurchaseOrderDoc)
+	if code != http.StatusOK || !vr.Valid || vr.Mode != "parallel" {
+		t.Fatalf("small valid doc: code=%d resp=%+v", code, vr)
+	}
+
+	// A >1MiB order with seeded defects: must cross the threshold and
+	// agree with the dom mode violation-for-violation.
+	var sb strings.Builder
+	sb.WriteString(`<purchaseOrder><shipTo country="US"><name>n</name><street>s</street><city>c</city><state>st</state><zip>1</zip></shipTo><billTo country="US"><name>n</name><street>s</street><city>c</city><state>st</state><zip>1</zip></billTo><items>`)
+	for i := 0; i < 12000; i++ {
+		qty := "1"
+		if i%4000 == 1000 {
+			qty = "bogus"
+		}
+		fmt.Fprintf(&sb, `<item partNum="%03d-AB"><productName>Widget</productName><quantity>%s</quantity><USPrice>9.95</USPrice></item>`, i%1000, qty)
+	}
+	sb.WriteString(`</items></purchaseOrder>`)
+	big := sb.String()
+	if len(big) < parallelThreshold {
+		t.Fatalf("test doc only %d bytes; below the %d threshold", len(big), parallelThreshold)
+	}
+	codePar, vrPar := postDoc(t, url, big)
+	codeDom, vrDom := postDoc(t, ts.URL+"/v1/validate/po", big)
+	if codePar != http.StatusOK || codeDom != http.StatusOK {
+		t.Fatalf("codes: parallel=%d dom=%d", codePar, codeDom)
+	}
+	if vrPar.Valid || len(vrPar.Violations) != len(vrDom.Violations) {
+		t.Fatalf("verdicts diverged: parallel=%+v dom has %d violations", vrPar, len(vrDom.Violations))
+	}
+	for i := range vrPar.Violations {
+		if vrPar.Violations[i] != vrDom.Violations[i] {
+			t.Errorf("violation %d diverged: parallel=%+v dom=%+v", i, vrPar.Violations[i], vrDom.Violations[i])
+		}
+	}
+	snap := s.Metrics().Snapshot()
+	found := false
+	for _, ss := range snap.Series {
+		if ss.Schema == "po" && ss.Endpoint == "parallel" {
+			found = true
+			if ss.Requests != 2 || ss.Invalid != 1 {
+				t.Errorf("po/parallel series = %+v, want requests=2 invalid=1", ss)
+			}
+		}
+	}
+	if !found {
+		t.Error("no po/parallel metrics series minted")
+	}
+	// stream=1 wins over parallel=1 (the parallel walk needs the DOM).
+	code, vr = postDoc(t, ts.URL+"/v1/validate/po?stream=1&parallel=1", schemas.PurchaseOrderDoc)
+	if code != http.StatusOK || vr.Mode != "stream" {
+		t.Fatalf("stream precedence: code=%d mode=%q", code, vr.Mode)
 	}
 }

@@ -38,6 +38,20 @@
 // degrade to the recursive DOM path. cmd/xsdcheck exposes the streaming
 // path as -stream.
 //
+// # Intra-document parallelism
+//
+// Validator.ParallelValidate splits one large document across a
+// GOMAXPROCS-bounded worker pool at sibling-subtree boundaries: the
+// walk descends until it finds a level with at least ParallelMinFanout
+// children, fans contiguous chunks of that level out to workers running
+// the ordinary cached-DFA walk, and joins the document-global state —
+// ordered violations, first-wins ID semantics, IDREF resolution — at
+// the seams via per-sub-run ID journals (see parallel.go). The verdict
+// is byte-identical to ValidateDocument's, enforced by differential
+// tests and FuzzParallelValidate; documents that reach the violation
+// cap fall back to a sequential rerun. cmd/xsdcheck exposes it as
+// -parallel, xsdserved as ?parallel=1 (size-gated).
+//
 // # Concurrency
 //
 // A Validator is safe for concurrent use by multiple goroutines and is

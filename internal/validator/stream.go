@@ -31,6 +31,7 @@ package validator
 // validated by the ordinary recursive path, sharing the global ID state.
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"io"
@@ -308,9 +309,9 @@ func (sr *streamRun) token(tok *xmlparser.Token) {
 	case xmlparser.KindEndElement:
 		sr.endElement()
 	case xmlparser.KindText:
-		sr.textNode(tok.Data, false)
+		sr.textNode(tok, false)
 	case xmlparser.KindCData:
-		sr.textNode(tok.Data, true)
+		sr.textNode(tok, true)
 	case xmlparser.KindComment, xmlparser.KindProcInst:
 		// Comments and PIs are DOM child nodes: they violate only the
 		// "nilled element must be empty" rule.
@@ -626,31 +627,37 @@ func (sr *streamRun) rollbackTo(f *frame) {
 	sr.idrefs = sr.idrefs[:f.refMark]
 }
 
-func (sr *streamRun) textNode(data string, cdata bool) {
+// textNode consumes a character-data or CDATA token. It works on the
+// token's zero-copy byte view: whitespace checks and simple-content
+// accumulation never materialize a string, so pure scanning stays
+// allocation-free. Strings are built only when a violation needs a
+// snippet or a binding consumer wants the mixed text.
+func (sr *streamRun) textNode(tok *xmlparser.Token, cdata bool) {
 	f := sr.top()
 	if f == nil {
 		return // document-level whitespace or misc
 	}
-	if !cdata && data == "" {
+	data := tok.Bytes()
+	if !cdata && len(data) == 0 {
 		return // dom.Parse drops empty text nodes
 	}
 	switch f.mode {
 	case fmModel:
 		if f.mixed {
 			if sr.events != nil {
-				sr.events.MixedText(data)
+				sr.events.MixedText(tok.Data())
 			}
 			return
 		}
 		if cdata {
 			f.textViols = append(f.textViols, Violation{Path: f.path, Msg: "character data is not allowed in element-only content"})
-		} else if strings.TrimSpace(data) != "" {
-			f.textViols = append(f.textViols, Violation{Path: f.path, Msg: fmt.Sprintf("character data %q is not allowed in element-only content", snippet(data))})
+		} else if len(bytes.TrimSpace(data)) != 0 {
+			f.textViols = append(f.textViols, Violation{Path: f.path, Msg: fmt.Sprintf("character data %q is not allowed in element-only content", snippet(tok.Data()))})
 		}
 	case fmSimple, fmCSimple:
 		f.textBuf = append(f.textBuf, data...)
 	case fmCEmpty:
-		if !f.failed && (cdata || strings.TrimSpace(data) != "") {
+		if !f.failed && (cdata || len(bytes.TrimSpace(data)) != 0) {
 			f.failed = true
 			f.contentViol = &Violation{Path: f.path, Msg: "character data is not allowed in empty content"}
 		}
@@ -830,16 +837,16 @@ func (sr *streamRun) feedFallback(f *frame, tok *xmlparser.Token) {
 		}
 		f.fbCur = f.fbCur.ParentNode()
 	case xmlparser.KindText:
-		if tok.Data == "" {
+		if tok.Data() == "" {
 			return
 		}
-		f.fbCur.AppendChild(doc.CreateTextNode(tok.Data))
+		f.fbCur.AppendChild(doc.CreateTextNode(tok.Data()))
 	case xmlparser.KindCData:
-		f.fbCur.AppendChild(doc.CreateCDATASection(tok.Data))
+		f.fbCur.AppendChild(doc.CreateCDATASection(tok.Data()))
 	case xmlparser.KindComment:
-		f.fbCur.AppendChild(doc.CreateComment(tok.Data))
+		f.fbCur.AppendChild(doc.CreateComment(tok.Data()))
 	case xmlparser.KindProcInst:
-		f.fbCur.AppendChild(doc.CreateProcessingInstruction(tok.Target, tok.Data))
+		f.fbCur.AppendChild(doc.CreateProcessingInstruction(tok.Target, tok.Data()))
 	}
 }
 

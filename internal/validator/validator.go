@@ -149,6 +149,14 @@ type run struct {
 	// The streaming path uses it to journal insertions so a failed
 	// subtree's IDs can be rolled back for DOM-verdict parity.
 	onIDInsert func(id string)
+	// journal records ID events in subtree order when journaling is set;
+	// parallel sub-runs use it so seams can be joined exactly (parallel.go).
+	journal    []idEvent
+	journaling bool
+	// parWorkers, when > 1, makes every elementContent level with at
+	// least ParallelMinFanout children fan out to that many workers;
+	// cleared while a pool is running so splits never nest.
+	parWorkers int
 }
 
 // pendingRef is an IDREF awaiting resolution.
@@ -283,6 +291,10 @@ func (r *run) trackIDs(st *xsd.SimpleType, lexical string, path string) {
 
 func (r *run) trackID(lexical, path string) {
 	norm := strings.Join(strings.Fields(lexical), " ")
+	if r.journaling {
+		_, dup := r.ids[norm]
+		r.journal = append(r.journal, idEvent{id: norm, path: path, vioIdx: len(r.res.Violations), dup: dup})
+	}
 	if prev, dup := r.ids[norm]; dup {
 		r.violate(path, fmt.Sprintf("duplicate ID %q (first declared at %s)", norm, prev))
 	} else {
@@ -394,6 +406,18 @@ func (r *run) elementContent(el *dom.Element, ct *xsd.ComplexType, path string) 
 		}
 		r.violate(loc, merr.Error())
 		return
+	}
+	if w := r.parWorkers; w > 1 && len(children) >= ParallelMinFanout {
+		// Split this level across the pool. The flag is cleared while the
+		// workers run (sub-runs never nest pools) and restored after the
+		// join, so every sufficiently wide level splits — the walk descends
+		// sequentially through narrow levels to find the fan-out.
+		r.parWorkers = 0
+		handled := r.parallelChildren(children, leaves, path, w)
+		r.parWorkers = w
+		if handled {
+			return
+		}
 	}
 	counts := map[string]int{}
 	for i, child := range children {

@@ -87,12 +87,20 @@ type Decoder struct {
 	entityDepth      int
 
 	// tok is the scratch slot Token returns a pointer into; buf is the
-	// text/attribute-value assembly buffer; interned caches small
-	// repeated strings (names, values, text runs) so token streams over
-	// repetitive documents stop allocating once warm.
+	// assembly buffer for attribute values and slow-path text (tokens
+	// whose runs needed rewriting return views of it); attrs is the
+	// scratch attribute slice reused across start tags; interned caches
+	// small repeated strings (names, values, text runs) so token streams
+	// over repetitive documents stop allocating once warm.
 	tok      Token
 	buf      []byte
+	attrs    []Attr
 	interned map[string]string
+
+	// noBulk disables every bulk/SWAR scanning path, forcing the
+	// byte-at-a-time reference scanner. It exists for position-parity
+	// tests: both modes must report identical Line/Col/Offset.
+	noBulk bool
 }
 
 // Interning bounds: strings longer than maxInternLen are never cached,
@@ -185,7 +193,11 @@ func parseAll(d *Decoder) ([]Token, error) {
 		if t == nil {
 			return toks, nil
 		}
-		toks = append(toks, *t)
+		// Returned tokens are views into decoder buffers; the retained
+		// copies must own their payloads.
+		tc := *t
+		tc.Detach()
+		toks = append(toks, tc)
 	}
 }
 
@@ -245,6 +257,46 @@ func (d *Decoder) compact() {
 
 // pos returns the current input position.
 func (d *Decoder) pos() Pos { return Pos{Line: d.line, Col: d.col, Offset: d.base + d.off} }
+
+var nlByte = []byte{'\n'}
+
+// advancePos consumes n buffered bytes, updating line/col in bulk so
+// scanned runs never pay per-byte position accounting. The accounting is
+// exactly next()'s: one column per rune, with each invalid UTF-8 byte
+// counting as one rune (which is precisely how utf8.RuneCount decodes),
+// and only LF — never CR — starting a new line.
+func (d *Decoder) advancePos(n int) {
+	seg := d.src[d.off : d.off+n]
+	d.off += n
+	if j := bytes.LastIndexByte(seg, '\n'); j >= 0 {
+		d.line += bytes.Count(seg, nlByte)
+		d.col = 1 + utf8.RuneCount(seg[j+1:])
+	} else {
+		d.col += utf8.RuneCount(seg)
+	}
+}
+
+// nonASCIIRun returns the maximal run of non-ASCII bytes at the read
+// position without consuming it, refilling in reader mode so a multi-byte
+// sequence is never split at the window edge. UTF-8 continuation and lead
+// bytes are all >= 0x80, so the run boundary is always a rune boundary.
+func (d *Decoder) nonASCIIRun() []byte {
+	k := d.off
+	for {
+		for k < len(d.src) && d.src[k] >= 0x80 {
+			k++
+		}
+		if k < len(d.src) || d.srcDone {
+			return d.src[d.off:k]
+		}
+		d.readMore()
+	}
+}
+
+// byteToken builds a token whose payload is a zero-copy byte view.
+func (d *Decoder) byteToken(kind Kind, data []byte, p Pos) Token {
+	return Token{Kind: kind, data: data, d: d, Pos: p}
+}
 
 // errf creates a SyntaxError at the given position.
 func (d *Decoder) errf(p Pos, format string, args ...any) error {
@@ -484,7 +536,9 @@ func (d *Decoder) xmlDecl() (Token, bool, error) {
 			return Token{}, false, d.errf(p, "unsupported encoding %q (only UTF-8 input is supported)", enc)
 		}
 	}
-	return Token{Kind: KindXMLDecl, Data: strings.TrimSpace(data), Pos: p}, true, nil
+	t := Token{Kind: KindXMLDecl, Pos: p}
+	t.SetData(strings.TrimSpace(data))
+	return t, true, nil
 }
 
 // ParsePseudoAttrs parses the name="value" pairs of XML and text
@@ -517,22 +571,38 @@ func ParsePseudoAttrs(s string) (map[string]string, error) {
 }
 
 // untilString consumes input up to and including the terminator, returning
-// the text before it. In reader mode it refills the window until the
-// terminator appears, so no index into src is held across a compaction.
+// the text before it.
 func (d *Decoder) untilString(term, what string) (string, error) {
+	b, err := d.untilBytes(term, what)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// untilBytes consumes input up to and including the terminator, returning
+// a zero-copy view of the text before it (valid until the next token is
+// pulled). In reader mode it refills the window until the terminator
+// appears, so no index into src is held across a compaction. Positions
+// advance in one bulk step rather than per rune.
+func (d *Decoder) untilBytes(term, what string) ([]byte, error) {
 	start := d.off
 	searchFrom := d.off
 	for {
 		idx := bytes.Index(d.src[searchFrom:], []byte(term))
 		if idx >= 0 {
 			end := searchFrom + idx
-			for d.off < end+len(term) {
-				d.next()
+			if d.noBulk {
+				for d.off < end+len(term) {
+					d.next()
+				}
+			} else {
+				d.advancePos(end + len(term) - d.off)
 			}
-			return string(d.src[start:end]), nil
+			return d.src[start:end], nil
 		}
 		if d.srcDone {
-			return "", d.errf(d.pos(), "unterminated %s", what)
+			return nil, d.errf(d.pos(), "unterminated %s", what)
 		}
 		// Resume the search just before the unscanned tail so a
 		// terminator split across reads is still found.
@@ -559,20 +629,24 @@ func (d *Decoder) comment(p Pos) (Token, error) {
 	if err := checkChars(body); err != nil {
 		return Token{}, d.errf(p, "illegal character in comment: %v", err)
 	}
-	return Token{Kind: KindComment, Data: body, Pos: p}, nil
+	t := Token{Kind: KindComment, Pos: p}
+	t.SetData(body)
+	return t, nil
 }
 
-// cdata parses <![CDATA[ ... ]]>.
+// cdata parses <![CDATA[ ... ]]>. The body is returned as a zero-copy
+// view of the input window; character legality is checked over the whole
+// run with the SWAR sweep instead of per rune.
 func (d *Decoder) cdata(p Pos) (Token, error) {
 	d.skip("<![CDATA[")
-	body, err := d.untilString("]]>", "CDATA section")
+	body, err := d.untilBytes("]]>", "CDATA section")
 	if err != nil {
 		return Token{}, err
 	}
-	if err := checkChars(body); err != nil {
-		return Token{}, d.errf(p, "illegal character in CDATA section: %v", err)
+	if cerr := checkCharBytes(body); cerr != nil {
+		return Token{}, d.errf(p, "illegal character in CDATA section: %v", cerr)
 	}
-	return Token{Kind: KindCData, Data: body, Pos: p}, nil
+	return d.byteToken(KindCData, body, p), nil
 }
 
 // procInst parses <?target data?>.
@@ -601,12 +675,15 @@ func (d *Decoder) procInst(p Pos) (Token, error) {
 	if err := checkChars(data); err != nil {
 		return Token{}, d.errf(p, "illegal character in processing instruction: %v", err)
 	}
-	return Token{Kind: KindProcInst, Target: target, Data: data, Pos: p}, nil
+	t := Token{Kind: KindProcInst, Target: target, Pos: p}
+	t.SetData(data)
+	return t, nil
 }
 
-// name scans an XML Name. The loop consumes ASCII name bytes directly off
-// the window via the lookup table (names never contain newlines, so only
-// the column advances); non-ASCII runes take the rune-decoding path.
+// name scans an XML Name. ASCII name bytes are swept directly off the
+// window in one run per iteration — names never contain newlines, so the
+// column advances by the run length without per-byte decoder-field
+// updates; non-ASCII runes take the rune-decoding path.
 func (d *Decoder) name(what string) (string, error) {
 	p := d.pos()
 	start := d.off
@@ -626,8 +703,17 @@ func (d *Decoder) name(what string) (string, error) {
 			if !asciiName[c] {
 				break
 			}
-			d.off++
-			d.col++
+			if d.noBulk {
+				d.off++
+				d.col++
+				continue
+			}
+			src, i := d.src, d.off+1
+			for i < len(src) && src[i] < 0x80 && asciiName[src[i]] {
+				i++
+			}
+			d.col += i - d.off
+			d.off = i
 			continue
 		}
 		r := d.peek()
@@ -668,24 +754,90 @@ func init() {
 }
 
 // text parses character data up to the next '<'.
+//
+// The fast path scans the window with the SWAR word sweep and — when the
+// run needs no rewriting — returns a zero-copy view of the input: no
+// copy, no string materialization, no per-byte position updates. Bytes
+// that force a rewrite (references, CR normalization, invalid UTF-8
+// needing U+FFFD replacement) or an exact error position drop the token
+// into the per-rune assembler, seeded with the already-verified prefix;
+// its output is a view of d.buf, still unmaterialized.
 func (d *Decoder) text() (Token, error) {
 	p := d.pos()
-	d.buf = d.buf[:0]
+	if d.noBulk {
+		d.buf = d.buf[:0]
+		return d.textSlow(p)
+	}
+	start := d.off
 	for {
-		// Bulk-copy a run of plain ASCII bytes before falling back to
-		// rune-at-a-time scanning for whatever stopped the run.
-		i := d.off
-		for i < len(d.src) {
-			c := d.src[i]
-			if c >= 0x80 || !plainTextByte[c] {
-				break
+		if d.off >= len(d.src) {
+			if !d.srcDone {
+				d.readMore()
+				continue
 			}
-			i++
+			break
 		}
-		if i > d.off {
-			d.buf = append(d.buf, d.src[d.off:i]...)
-			d.col += i - d.off
-			d.off = i
+		if n := scanPlainText(d.src[d.off:]); n > 0 {
+			d.advancePos(n)
+			continue
+		}
+		c := d.src[d.off]
+		if c == '<' {
+			break
+		}
+		if c == ']' {
+			if d.hasPrefix("]]>") {
+				return Token{}, d.errf(d.pos(), "']]>' is not permitted in character data")
+			}
+			d.off++
+			d.col++
+			continue
+		}
+		if c >= 0x80 {
+			seg := d.nonASCIIRun()
+			if !validXMLRun(seg) {
+				return d.textSlowFrom(p, start)
+			}
+			d.advancePos(len(seg))
+			continue
+		}
+		// '&', CR or a control byte: rewriting or an exact error
+		// position is needed — switch to the per-rune assembler.
+		return d.textSlowFrom(p, start)
+	}
+	return d.byteToken(KindText, d.src[start:d.off], p), nil
+}
+
+// textSlowFrom re-enters the per-rune text assembler mid-token: every
+// byte between start and the read position has been verified plain, so
+// it seeds the assembly buffer verbatim.
+func (d *Decoder) textSlowFrom(p Pos, start int) (Token, error) {
+	d.buf = append(d.buf[:0], d.src[start:d.off]...)
+	return d.textSlow(p)
+}
+
+// textSlow assembles character data rune by rune into d.buf, expanding
+// references, normalizing CR/CRLF to LF and replacing invalid UTF-8 with
+// U+FFFD. It remains the reference scanner: with noBulk set it touches
+// one rune at a time, byte-exact against the SWAR path.
+func (d *Decoder) textSlow(p Pos) (Token, error) {
+	for {
+		if !d.noBulk {
+			// Bulk-copy a run of plain ASCII bytes before falling back
+			// to rune-at-a-time scanning for whatever stopped the run.
+			i := d.off
+			for i < len(d.src) {
+				c := d.src[i]
+				if c >= 0x80 || !plainTextByte[c] {
+					break
+				}
+				i++
+			}
+			if i > d.off {
+				d.buf = append(d.buf, d.src[d.off:i]...)
+				d.col += i - d.off
+				d.off = i
+			}
 		}
 		r := d.peek()
 		if r < 0 || r == '<' {
@@ -717,7 +869,7 @@ func (d *Decoder) text() (Token, error) {
 		d.buf = utf8.AppendRune(d.buf, r)
 		d.next()
 	}
-	return Token{Kind: KindText, Data: d.internBytes(d.buf), Pos: p}, nil
+	return d.byteToken(KindText, d.buf, p), nil
 }
 
 // reference parses &name;, &#n; or &#xn;. inAttr selects the stricter
@@ -841,7 +993,10 @@ func (d *Decoder) startTag(p Pos) (Token, error) {
 	if err != nil {
 		return Token{}, err
 	}
-	var attrs []Attr
+	// Attributes accumulate in the decoder's scratch slice; the emitted
+	// token aliases it, so it is only valid until the next Token call
+	// (Detach copies it for retained tokens).
+	d.attrs = d.attrs[:0]
 	selfClosing := false
 	for {
 		had := d.skipSpace()
@@ -866,10 +1021,14 @@ func (d *Decoder) startTag(p Pos) (Token, error) {
 			if err != nil {
 				return Token{}, err
 			}
-			attrs = append(attrs, a)
+			d.attrs = append(d.attrs, a)
 			continue
 		}
 		break
+	}
+	var attrs []Attr
+	if len(d.attrs) > 0 {
+		attrs = d.attrs
 	}
 	// Literal duplicate check (pre-namespace).
 	for i := range attrs {
@@ -921,20 +1080,41 @@ func (d *Decoder) attribute() (Attr, error) {
 	d.next()
 	d.buf = d.buf[:0]
 	for {
-		// Bulk-copy plain ASCII value bytes (both quote kinds stop the
-		// run; the non-delimiting one is appended by the slow path).
-		i := d.off
-		for i < len(d.src) {
-			c := d.src[i]
-			if c >= 0x80 || !plainAttrByte[c] {
-				break
+		if !d.noBulk {
+			// SWAR-sweep plain ASCII value bytes into the buffer (both
+			// quote kinds stop the run; the non-delimiting one is
+			// appended by the per-rune path). Values still materialize
+			// to interned strings — they feed maps and comparisons.
+			if d.off >= len(d.src) && !d.srcDone {
+				d.fill(1)
 			}
-			i++
-		}
-		if i > d.off {
-			d.buf = append(d.buf, d.src[d.off:i]...)
-			d.col += i - d.off
-			d.off = i
+			if n := scanPlainAttr(d.src[d.off:]); n > 0 {
+				d.buf = append(d.buf, d.src[d.off:d.off+n]...)
+				d.col += n
+				d.off += n
+				continue
+			}
+			if d.off < len(d.src) && d.src[d.off] >= 0x80 {
+				seg := d.nonASCIIRun()
+				if validXMLRun(seg) {
+					d.buf = append(d.buf, seg...)
+					d.advancePos(len(seg))
+					continue
+				}
+				// Invalid UTF-8 or an encoded non-character: consume the
+				// whole run per-rune (U+FFFD replacement, exact error
+				// positions) so the run is never re-validated.
+				end := d.off + len(seg)
+				for d.off < end {
+					r := d.peek()
+					if !IsChar(r) {
+						return Attr{}, d.errf(d.pos(), "illegal character U+%04X in attribute value", r)
+					}
+					d.buf = utf8.AppendRune(d.buf, r)
+					d.next()
+				}
+				continue
+			}
 		}
 		r := d.peek()
 		switch {
@@ -1172,7 +1352,9 @@ func (d *Decoder) doctype(p Pos) (Token, error) {
 	if err := d.registerEntities(subset); err != nil {
 		return Token{}, err
 	}
-	return Token{Kind: KindDoctype, Name: Name{Local: name}, Target: extID, Data: subset, Pos: p}, nil
+	t := Token{Kind: KindDoctype, Name: Name{Local: name}, Target: extID, Pos: p}
+	t.SetData(subset)
+	return t, nil
 }
 
 // quotedLiteral parses a quoted literal ("..." or '...').

@@ -67,14 +67,14 @@ func TestXMLDecl(t *testing.T) {
 
 func TestPredefinedEntities(t *testing.T) {
 	toks := collect(t, `<a>&lt;&gt;&amp;&apos;&quot;</a>`)
-	if got := toks[1].Data; got != `<>&'"` {
+	if got := toks[1].Data(); got != `<>&'"` {
 		t.Errorf("entity expansion: got %q", got)
 	}
 }
 
 func TestCharacterReferences(t *testing.T) {
 	toks := collect(t, `<a>&#65;&#x42;&#x1F600;</a>`)
-	if got := toks[1].Data; got != "AB\U0001F600" {
+	if got := toks[1].Data(); got != "AB\U0001F600" {
 		t.Errorf("char refs: got %q", got)
 	}
 	wantErr(t, `<a>&#xD800;</a>`, "illegal character")
@@ -88,7 +88,7 @@ func TestInternalEntityDeclarations(t *testing.T) {
 	var text string
 	for _, tok := range toks {
 		if tok.Kind == KindText {
-			text += tok.Data
+			text += tok.Data()
 		}
 	}
 	if text != "Hello World!" {
@@ -140,7 +140,7 @@ func TestAttributeNormalization(t *testing.T) {
 
 func TestCDATA(t *testing.T) {
 	toks := collect(t, `<a><![CDATA[<not> & markup]]></a>`)
-	if toks[1].Kind != KindCData || toks[1].Data != "<not> & markup" {
+	if toks[1].Kind != KindCData || toks[1].Data() != "<not> & markup" {
 		t.Errorf("cdata: got %+v", toks[1])
 	}
 	wantErr(t, `<a>]]></a>`, "']]>'")
@@ -162,10 +162,10 @@ func TestComments(t *testing.T) {
 
 func TestProcessingInstructions(t *testing.T) {
 	toks := collect(t, `<?go fmt?><a><?noop?></a>`)
-	if toks[0].Kind != KindProcInst || toks[0].Target != "go" || toks[0].Data != "fmt" {
+	if toks[0].Kind != KindProcInst || toks[0].Target != "go" || toks[0].Data() != "fmt" {
 		t.Errorf("PI: got %+v", toks[0])
 	}
-	if toks[2].Kind != KindProcInst || toks[2].Target != "noop" || toks[2].Data != "" {
+	if toks[2].Kind != KindProcInst || toks[2].Target != "noop" || toks[2].Data() != "" {
 		t.Errorf("dataless PI: got %+v", toks[2])
 	}
 	wantErr(t, `<a><?xml bad?></a>`, "reserved")
@@ -241,8 +241,8 @@ func TestDoctypeExternalID(t *testing.T) {
 func TestDoctypeInternalSubsetCaptured(t *testing.T) {
 	src := `<!DOCTYPE a [<!ELEMENT a (#PCDATA)><!ATTLIST a x CDATA #IMPLIED>]><a/>`
 	toks := collect(t, src)
-	if !strings.Contains(toks[0].Data, "<!ELEMENT a") || !strings.Contains(toks[0].Data, "<!ATTLIST") {
-		t.Errorf("internal subset: got %q", toks[0].Data)
+	if !strings.Contains(toks[0].Data(), "<!ELEMENT a") || !strings.Contains(toks[0].Data(), "<!ATTLIST") {
+		t.Errorf("internal subset: got %q", toks[0].Data())
 	}
 }
 
@@ -260,7 +260,7 @@ func TestLineColumnTracking(t *testing.T) {
 
 func TestEOLNormalization(t *testing.T) {
 	toks := collect(t, "<a>one\r\ntwo\rthree</a>")
-	if got := toks[1].Data; got != "one\ntwo\nthree" {
+	if got := toks[1].Data(); got != "one\ntwo\nthree" {
 		t.Errorf("eol normalization: got %q", got)
 	}
 }
@@ -369,8 +369,8 @@ func TestCustomEntities(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if toks[1].Data != "VALUE" {
-		t.Errorf("custom entity: got %q", toks[1].Data)
+	if toks[1].Data() != "VALUE" {
+		t.Errorf("custom entity: got %q", toks[1].Data())
 	}
 }
 

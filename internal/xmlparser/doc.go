@@ -19,7 +19,27 @@
 // streaming consumers (it returns tokens by value and io.EOF at end of
 // input); Decoder.Token returns a pointer into a scratch slot that is
 // reused by the following call, so callers that keep a token across calls
-// must copy it.
+// must copy it (or call Detach, below).
+//
+// # Zero-copy tokens and SWAR scanning
+//
+// A token's payload is a []byte view into the decoder's input buffer,
+// not an eagerly materialized string. Token.Bytes returns the view
+// (valid only until the next Token/Next call — the same lifetime the
+// scratch token always had); Token.Data materializes a string lazily
+// and memoizes it; Token.Detach copies the views out so a token can be
+// retained indefinitely. Consumers that only route on tokens — counters,
+// filters, streaming validation of character data — therefore scan at
+// near-zero bytes allocated per operation, while tree builders call
+// Detach (package dom does) and pay the copy exactly once.
+//
+// The inner scan loops advance eight bytes per step using SWAR word
+// tests to find the next delimiter in character data, attribute values
+// and names, with the exact per-byte classification table applied only
+// to flagged words and tails; UTF-8 validation and line/column tracking
+// are amortized over whole runs. The bulk path is pinned to a
+// byte-at-a-time reference scanner (the noBulk mode) by differential
+// tests and FuzzParse, including exact error positions.
 //
 // The parser enforces well-formedness as defined by the XML recommendation:
 // matching start/end tags, a single root element, unique attributes,

@@ -35,14 +35,28 @@ func FuzzParse(f *testing.F) {
 		if (bufErr == nil) != (rdErr == nil) {
 			t.Fatalf("path divergence: buffer err=%v reader err=%v", bufErr, rdErr)
 		}
+		// The SWAR fast paths must agree byte-exactly (tokens, positions,
+		// errors) with the byte-at-a-time reference scanner.
+		refDec := NewDecoder(data, nil)
+		refDec.noBulk = true
+		refToks, refErr := parseAll(refDec)
+		if (bufErr == nil) != (refErr == nil) {
+			t.Fatalf("bulk/reference divergence: bulk err=%v ref err=%v", bufErr, refErr)
+		}
 		if bufErr != nil {
 			if bufErr.Error() != rdErr.Error() {
 				t.Fatalf("error divergence:\n  buffer: %v\n  reader: %v", bufErr, rdErr)
+			}
+			if bufErr.Error() != refErr.Error() {
+				t.Fatalf("bulk/reference error divergence:\n  bulk: %v\n  ref:  %v", bufErr, refErr)
 			}
 			return
 		}
 		if !reflect.DeepEqual(bufToks, rdToks) {
 			t.Fatalf("token divergence:\n  buffer: %#v\n  reader: %#v", bufToks, rdToks)
+		}
+		if !reflect.DeepEqual(bufToks, refToks) {
+			t.Fatalf("bulk/reference token divergence:\n  bulk: %#v\n  ref:  %#v", bufToks, refToks)
 		}
 		s1, ok := serializeTokens(bufToks)
 		if !ok {
@@ -87,30 +101,30 @@ func serializeTokens(toks []Token) (string, bool) {
 			sb.WriteString(t.Name.Qualified())
 			sb.WriteByte('>')
 		case KindText:
-			escapeText(&sb, t.Data)
+			escapeText(&sb, t.Data())
 		case KindCData:
-			if strings.Contains(t.Data, "]]>") {
+			if strings.Contains(t.Data(), "]]>") {
 				return "", false
 			}
 			sb.WriteString("<![CDATA[")
-			sb.WriteString(t.Data)
+			sb.WriteString(t.Data())
 			sb.WriteString("]]>")
 		case KindComment:
-			if strings.Contains(t.Data, "--") || strings.HasSuffix(t.Data, "-") {
+			if strings.Contains(t.Data(), "--") || strings.HasSuffix(t.Data(), "-") {
 				return "", false
 			}
 			sb.WriteString("<!--")
-			sb.WriteString(t.Data)
+			sb.WriteString(t.Data())
 			sb.WriteString("-->")
 		case KindProcInst:
-			if strings.Contains(t.Data, "?>") {
+			if strings.Contains(t.Data(), "?>") {
 				return "", false
 			}
 			sb.WriteString("<?")
 			sb.WriteString(t.Target)
-			if t.Data != "" {
+			if t.Data() != "" {
 				sb.WriteByte(' ')
-				sb.WriteString(t.Data)
+				sb.WriteString(t.Data())
 			}
 			sb.WriteString("?>")
 		default: // KindDoctype, KindXMLDecl

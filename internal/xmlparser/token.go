@@ -95,10 +95,27 @@ type Attr struct {
 }
 
 // Token is one parse event.
+//
+// Tokens returned by Decoder.Token and Decoder.Next are views into the
+// decoder's buffers: the text payload (Bytes) and the Attrs slice are
+// only valid until the next Token/Next call. Callers that retain tokens
+// across calls must Detach them first (Parse and friends do). Data
+// materializes the payload as a string on demand, caching the result.
 type Token struct {
 	Kind Kind
-	Name Name   // element name for KindStartElement / KindEndElement
-	Data string // text for KindText/KindCData/KindComment, PI data, doctype body
+	Name Name // element name for KindStartElement / KindEndElement
+
+	// data and str hold the token's text payload — character data for
+	// KindText/KindCData, comment body, PI data, doctype internal subset.
+	// Hot tokens (text, CDATA) carry data as a zero-copy byte view; str
+	// is the lazily materialized (and cached) string form. d is the
+	// owning decoder, used to intern materialized strings; it is nil for
+	// detached tokens.
+	data  []byte
+	str   string
+	strOK bool
+	d     *Decoder
+
 	// Target is the processing-instruction target for KindProcInst.
 	Target string
 	// Attrs are the attributes of a start element, in document order.
@@ -108,6 +125,51 @@ type Token struct {
 	SelfClosing bool
 	// Pos is the position of the first character of the token.
 	Pos Pos
+}
+
+// Data returns the token's text payload as a string, materializing (and
+// interning, when the token is still attached to its decoder) on first
+// use. Token streams that never look at character data never pay for
+// string conversion.
+func (t *Token) Data() string {
+	if !t.strOK {
+		if t.d != nil {
+			t.str = t.d.internBytes(t.data)
+		} else {
+			t.str = string(t.data)
+		}
+		t.strOK = true
+	}
+	return t.str
+}
+
+// Bytes returns the token's text payload without copying or string
+// conversion. For KindText and KindCData tokens this is a zero-copy view
+// of the decoder's input window (or assembly buffer), valid only until
+// the next Token/Next call on the decoder.
+func (t *Token) Bytes() []byte {
+	if t.data != nil || !t.strOK {
+		return t.data
+	}
+	return []byte(t.str)
+}
+
+// SetData replaces the token's text payload with s.
+func (t *Token) SetData(s string) {
+	t.str, t.strOK, t.data = s, true, nil
+}
+
+// Detach makes the token independent of the decoder's internal buffers:
+// the payload is materialized and the attribute slice is copied. Callers
+// that keep tokens beyond the next Token/Next call (Parse does) must
+// detach them.
+func (t *Token) Detach() {
+	t.Data()
+	t.data = nil
+	t.d = nil
+	if len(t.Attrs) > 0 {
+		t.Attrs = append([]Attr(nil), t.Attrs...)
+	}
 }
 
 // Attr returns the value of the named attribute and whether it is present.
