@@ -8,6 +8,7 @@ package repro
 
 import (
 	"bytes"
+	"context"
 	"encoding/xml"
 	"fmt"
 	"io"
@@ -15,6 +16,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -22,6 +24,7 @@ import (
 	"repro/internal/compat"
 	"repro/internal/contentmodel"
 	"repro/internal/dom"
+	"repro/internal/gen/calcgen"
 	"repro/internal/gen/evolvedgen"
 	"repro/internal/gen/pogen"
 	"repro/internal/normalize"
@@ -29,6 +32,7 @@ import (
 	"repro/internal/registry"
 	"repro/internal/schemas"
 	"repro/internal/server"
+	"repro/internal/soap"
 	"repro/internal/stringgen"
 	"repro/internal/validator"
 	"repro/internal/vdom"
@@ -1155,5 +1159,113 @@ func BenchmarkE15_ParallelValidate(b *testing.B) {
 			}
 			d.Release()
 		}
+	})
+}
+
+// ---------------------------------------------------------------------------
+// E16 — typed RPC: what the SOAP envelope adds over bare validation.
+// ---------------------------------------------------------------------------
+
+// BenchmarkE16_SOAP prices the envelope layer against the validation
+// floor it rides on. payload/validate is the bar: parse + validate just
+// the operation payload. envelope/handle adds the full dispatch stack —
+// envelope framing, operation routing, in-place payload validation,
+// typed decode, the handler, response marshal (re-validated) and
+// envelope wrap. rpc/http is what a generated-client caller actually
+// pays, transport included, against the service mounted on the shared
+// serving stack.
+func BenchmarkE16_SOAP(b *testing.B) {
+	d, err := calcgen.Definitions()
+	if err != nil {
+		b.Fatal(err)
+	}
+	addHandler := func(svc *soap.Service) soap.Handler {
+		return func(_ context.Context, req *bind.Value) (*bind.Value, error) {
+			sum := 0
+			for _, c := range req.Children {
+				n, _ := strconv.Atoi(c.Simple.String())
+				sum += n
+			}
+			return svc.Binder().FromJSON([]byte(fmt.Sprintf(`{"$element":"AddResponse","sum":%d}`, sum)))
+		}
+	}
+	svc, err := soap.NewService(d, "Calc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := svc.Register("Add", addHandler(svc)); err != nil {
+		b.Fatal(err)
+	}
+
+	payload := []byte(`<c:AddRequest xmlns:c="urn:calc"><c:a>40</c:a><c:b>2</c:b></c:AddRequest>`)
+	envelope := []byte(`<e:Envelope xmlns:e="http://schemas.xmlsoap.org/soap/envelope/"><e:Body>` +
+		`<c:AddRequest xmlns:c="urn:calc"><c:a>40</c:a><c:b>2</c:b></c:AddRequest></e:Body></e:Envelope>`)
+	val := validator.New(d.Schema, nil)
+	ctx := context.Background()
+
+	b.Run("payload/validate", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(payload)))
+		for i := 0; i < b.N; i++ {
+			doc, err := dom.Parse(payload)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !val.ValidateDocument(doc).OK() {
+				b.Fatal("verdict flipped")
+			}
+			doc.Release()
+		}
+	})
+	b.Run("envelope/handle", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(envelope)))
+		for i := 0; i < b.N; i++ {
+			resp := svc.Handle(ctx, envelope, "")
+			if resp.Faulted {
+				b.Fatalf("faulted: %s", resp.Body)
+			}
+		}
+	})
+
+	dir := b.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "po.xsd"), []byte(schemas.PurchaseOrderXSD), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	reg := registry.New(dir, nil)
+	if _, err := reg.Reload(); err != nil {
+		b.Fatal(err)
+	}
+	srv := server.New(server.Config{Registry: reg})
+	srv.RegisterSOAP(svc)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client, err := calcgen.NewClient(ts.URL + "/v1/soap/Calc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	req, err := client.Binder().FromJSON([]byte(`{"$element":"AddRequest","a":40,"b":2}`))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("rpc/http", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(envelope)))
+		for i := 0; i < b.N; i++ {
+			if _, err := client.Add(ctx, req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("rpc/http/parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(envelope)))
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, err := client.Add(ctx, req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	})
 }

@@ -13,8 +13,14 @@
 // Schemas may include or import other documents: references resolve
 // relative to the referring file, confined to the schema's directory
 // tree (-schemadir confines to that directory, so sibling folders like
-// lib/ work). With more than one schema loaded, each document is routed
-// to the schema that declares its root element as a global element.
+// lib/ work, and builds a namespace catalog so imports without a
+// schemaLocation resolve by target namespace). With more than one
+// schema loaded, each document is routed to the schema that declares
+// its root element as a global element.
+//
+// Document files are memory-mapped where the platform supports it (the
+// parser is zero-copy, so validation runs straight out of the page
+// cache); elsewhere they are read conventionally.
 //
 // Multiple documents are read, parsed and validated concurrently through
 // shared validators (bounded by -p workers, default GOMAXPROCS), so each
@@ -38,6 +44,7 @@ import (
 
 	"repro/internal/bind"
 	"repro/internal/dom"
+	"repro/internal/mmapfile"
 	"repro/internal/validator"
 	"repro/internal/xmlparser"
 	"repro/internal/xsd"
@@ -70,10 +77,22 @@ type schemaSet struct {
 
 func loadSchemas(paths []string, root string, vopts *validator.Options, withBinder bool) (*schemaSet, error) {
 	set := &schemaSet{byRoot: map[xsd.QName]*schemaEntry{}}
+	// With -schemadir, a namespace catalog over the directory lets
+	// schemas import by namespace alone (no schemaLocation), same as the
+	// serving registry.
+	var catalog map[string]string
+	if root != "" {
+		var err error
+		if catalog, err = xsd.BuildCatalog(root, os.ReadFile); err != nil {
+			return nil, err
+		}
+	}
 	for _, p := range paths {
 		opts := &xsd.ParseOptions{}
 		if root != "" {
-			opts.Resolver = xsd.NewDirResolver(root)
+			r := xsd.NewDirResolver(root)
+			r.Catalog = catalog
+			opts.Resolver = r
 		}
 		schema, err := xsd.ParseFile(p, opts)
 		if err != nil {
@@ -206,10 +225,15 @@ func checkOne(set *schemaSet, path string, quiet, stream, jsonOut, parallel bool
 	if stream && !jsonOut && len(set.entries) == 1 {
 		return checkFileStream(set.entries[0].v.Stream(), path, quiet)
 	}
-	src, err := os.ReadFile(path)
+	// Documents are memory-mapped when the platform allows: the parser is
+	// zero-copy over src, so large files are validated straight out of the
+	// page cache. Every reference into src (DOM nodes, decoded values) is
+	// rendered to the report's strings before the mapping is released.
+	src, release, err := mmapfile.ReadFile(path)
 	if err != nil {
 		return report{errText: fmt.Sprintf("xsdcheck: %v\n", err), failed: true}
 	}
+	defer release()
 	e, err := set.forDoc(src)
 	if err != nil {
 		return report{errText: fmt.Sprintf("%s: %v\n", path, err), failed: true}

@@ -36,6 +36,8 @@ import (
 	_ "net/http/pprof" // registers profiling handlers on DefaultServeMux; served only via -pprof-addr
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -43,7 +45,9 @@ import (
 	"repro/internal/obs"
 	"repro/internal/registry"
 	"repro/internal/server"
+	"repro/internal/soap"
 	"repro/internal/validator"
+	"repro/internal/wsdl"
 )
 
 // startPprof serves the net/http/pprof handlers on their own listener,
@@ -73,6 +77,42 @@ func startPprof(logger *slog.Logger, addr string) error {
 	return nil
 }
 
+// loadSOAPServices builds a soap.Service for every service in every
+// *.wsdl file of dir. No handlers are registered: the endpoints validate
+// envelopes and echo WSDLs; schema-valid requests to an operation answer
+// the not-implemented Fault. Duplicate service names across files are a
+// configuration error, not a silent override.
+func loadSOAPServices(dir string) ([]*soap.Service, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var services []*soap.Service
+	seen := map[string]string{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".wsdl") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		d, err := wsdl.ParseFile(path, nil)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		for _, ws := range d.Services {
+			if prev, dup := seen[ws.Name]; dup {
+				return nil, fmt.Errorf("%s: service %q already defined by %s", path, ws.Name, prev)
+			}
+			seen[ws.Name] = path
+			svc, err := soap.NewService(d, ws.Name)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", path, err)
+			}
+			services = append(services, svc)
+		}
+	}
+	return services, nil
+}
+
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
 	dir := flag.String("schemas", "", "directory of *.xsd schema files (required)")
@@ -83,6 +123,7 @@ func main() {
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown budget for in-flight requests")
 	nodfa := flag.Bool("nodfa", false, "disable the lazy-DFA content-model executor (NFA stepping)")
 	gate := flag.String("compat-gate", "none", "reject reloaded schema versions below this compatibility level vs the serving version (none|backward|forward|full)")
+	wsdls := flag.String("wsdls", "", "directory of *.wsdl service descriptions to mount at /v1/soap/{service} (envelope validation and WSDL echo; operations answer an unimplemented Fault)")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this loopback address (e.g. 127.0.0.1:6060; empty disables, non-loopback refused)")
 	flag.Parse()
 	if *dir == "" {
@@ -142,6 +183,23 @@ func main() {
 		MaxConcurrent:  *maxConc,
 		RequestTimeout: *timeout,
 	})
+
+	if *wsdls != "" {
+		services, err := loadSOAPServices(*wsdls)
+		if err != nil {
+			logger.Error("loading WSDLs", "dir", *wsdls, "err", err.Error())
+			os.Exit(1)
+		}
+		if len(services) == 0 {
+			logger.Error("no services loadable", "dir", *wsdls)
+			os.Exit(1)
+		}
+		for _, svc := range services {
+			srv.RegisterSOAP(svc)
+			logger.Info("SOAP service mounted", "service", svc.Name(),
+				"operations", svc.Operations(), "path", "/v1/soap/"+svc.Name())
+		}
+	}
 
 	if *pprofAddr != "" {
 		// Profiling is opt-in and loopback-only: the pprof mux exposes heap

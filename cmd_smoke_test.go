@@ -72,6 +72,34 @@ func TestCmdXsdcheck(t *testing.T) {
 	if !strings.Contains(out, "INVALID") {
 		t.Errorf("xsdcheck -json bad: %s", out)
 	}
+
+	// -schemadir builds a namespace catalog: main.xsd imports urn:lib
+	// without a schemaLocation and still resolves to lib.xsd next to it.
+	dir := t.TempDir()
+	files := map[string]string{
+		"lib.xsd": `<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema" targetNamespace="urn:lib">
+  <xsd:simpleType name="Word"><xsd:restriction base="xsd:string"><xsd:pattern value="[a-z]+"/></xsd:restriction></xsd:simpleType>
+</xsd:schema>`,
+		"main.xsd": `<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema" targetNamespace="urn:m" xmlns:l="urn:lib">
+  <xsd:import namespace="urn:lib"/>
+  <xsd:element name="doc" type="l:Word"/>
+</xsd:schema>`,
+	}
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	okDoc := writeTemp(t, "ok.xml", `<m:doc xmlns:m="urn:m">hello</m:doc>`)
+	badDoc := writeTemp(t, "bad2.xml", `<m:doc xmlns:m="urn:m">HELLO</m:doc>`)
+	out = runCmd(t, true, "xsdcheck", "-schemadir", dir, okDoc)
+	if !strings.Contains(out, "valid") {
+		t.Errorf("xsdcheck -schemadir good: %s", out)
+	}
+	out = runCmd(t, false, "xsdcheck", "-schemadir", dir, badDoc)
+	if !strings.Contains(out, "INVALID") {
+		t.Errorf("xsdcheck -schemadir bad: %s", out)
+	}
 }
 
 func TestCmdXsdbind(t *testing.T) {

@@ -35,6 +35,9 @@ func New(schema *xsd.Schema, v *validator.Validator) *Binder {
 // Plan returns the derived binding plan.
 func (b *Binder) Plan() *Plan { return b.plan }
 
+// Validator returns the binder's validator (shared model cache).
+func (b *Binder) Validator() *validator.Validator { return b.v }
+
 // Schema returns the schema the binder was built from.
 func (b *Binder) Schema() *xsd.Schema { return b.schema }
 

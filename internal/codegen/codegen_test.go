@@ -64,6 +64,15 @@ func TestGoldenGeneratedPackages(t *testing.T) {
 		}
 		compare(filepath.Join("..", "gen", tgt.Pkg, tgt.Pkg+"_validator.go"), vcode)
 	}
+	for _, tgt := range manifest.WSDLTargets {
+		code, err := GenerateWSDLStubs(tgt.Source, WSDLOptions{
+			Package: tgt.Pkg, Service: tgt.Service, Comment: tgt.Comment,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", tgt.Pkg, err)
+		}
+		compare(filepath.Join("..", "gen", tgt.Pkg, tgt.Pkg+".go"), code)
+	}
 	matchers, err := GenerateMatchers("cmbench", []MatcherSpec{
 		{Name: "Items", Particle: cmbench.ItemsModel(), Comment: "the purchase-order items model (item*)"},
 		{Name: "WideChoice", Particle: cmbench.WideChoiceModel(), Comment: "the scaled-down E10 synthetic wide-choice model (16 groups x 8 alternatives)"},

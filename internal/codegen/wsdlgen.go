@@ -1,0 +1,233 @@
+package codegen
+
+// WSDL front end: typed client and server stubs for one wsdl:service.
+// Unlike the schema back ends, which specialize per-type code, the stubs
+// are a thin typed surface over internal/soap — one method per operation
+// on the client, one handler field per operation on the server — with the
+// WSDL embedded so a generated package is self-contained: parsing it
+// (once) rebuilds the service model and the compiled schema the payloads
+// validate against.
+
+import (
+	"fmt"
+	"go/format"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"repro/internal/wsdl"
+)
+
+// WSDLOptions configures WSDL stub generation.
+type WSDLOptions struct {
+	// Package is the Go package name of the generated file.
+	Package string
+	// Service selects the wsdl:service to bind; empty means the WSDL's
+	// only service (an error when it defines several).
+	Service string
+	// Comment names the WSDL in the generated header.
+	Comment string
+}
+
+// GenerateWSDLStubs parses the WSDL source — which must be self-contained
+// (embedded <types>, no file references) — and emits the typed client and
+// server stubs as one gofmt-formatted Go source file.
+func GenerateWSDLStubs(wsdlSource string, opts WSDLOptions) (string, error) {
+	d, err := wsdl.Parse([]byte(wsdlSource), nil)
+	if err != nil {
+		return "", fmt.Errorf("wsdlgen: %w", err)
+	}
+	svcName := opts.Service
+	if svcName == "" {
+		if len(d.Services) != 1 {
+			return "", fmt.Errorf("wsdlgen: WSDL defines %d services; pick one with Service", len(d.Services))
+		}
+		svcName = d.Services[0].Name
+	}
+	svc, ok := d.Service(svcName)
+	if !ok {
+		return "", fmt.Errorf("wsdlgen: wsdl defines no service %q", svcName)
+	}
+	// Merge the ports' operations exactly like soap.NewService will at
+	// runtime, so the generated surface matches the dispatch table.
+	var ops []*wsdl.Operation
+	seen := map[string]bool{}
+	for _, port := range svc.Ports {
+		for _, op := range port.Operations {
+			if !seen[op.Name] {
+				seen[op.Name] = true
+				ops = append(ops, op)
+			}
+		}
+	}
+	methods := map[string]bool{}
+	g := &wsdlGen{}
+	g.header(opts, svcName, len(ops))
+	g.p("const (")
+	g.p("\t// ServiceName is the wsdl:service this package binds.")
+	g.p("\tServiceName = %q", svcName)
+	g.p(")")
+	g.p("")
+	g.p("// WSDLSource is the service description this package was generated from.")
+	g.p("const WSDLSource = %s", goString(wsdlSource))
+	g.p("")
+	g.p("var (")
+	g.p("\tdefsOnce sync.Once")
+	g.p("\tdefs     *wsdl.Definitions")
+	g.p("\tdefsErr  error")
+	g.p(")")
+	g.p("")
+	g.p("// Definitions parses the embedded WSDL, once per process.")
+	g.p("func Definitions() (*wsdl.Definitions, error) {")
+	g.p("\tdefsOnce.Do(func() { defs, defsErr = wsdl.Parse([]byte(WSDLSource), nil) })")
+	g.p("\treturn defs, defsErr")
+	g.p("}")
+	g.p("")
+	g.p("// Handlers carries one handler per operation. A nil field stays")
+	g.p("// unregistered: requests for it answer a Server fault, not a 500.")
+	g.p("type Handlers struct {")
+	for _, op := range ops {
+		m, err := methodName(op.Name)
+		if err != nil {
+			return "", err
+		}
+		if methods[m] {
+			return "", fmt.Errorf("wsdlgen: operations %q map to the same Go name %s", op.Name, m)
+		}
+		methods[m] = true
+		g.p("\t%s soap.Handler", m)
+	}
+	g.p("}")
+	g.p("")
+	g.p("// NewServer builds the dispatching service with the given handlers.")
+	g.p("func NewServer(h Handlers) (*soap.Service, error) {")
+	g.p("\td, err := Definitions()")
+	g.p("\tif err != nil {")
+	g.p("\t\treturn nil, err")
+	g.p("\t}")
+	g.p("\ts, err := soap.NewService(d, ServiceName)")
+	g.p("\tif err != nil {")
+	g.p("\t\treturn nil, err")
+	g.p("\t}")
+	for _, op := range ops {
+		m, _ := methodName(op.Name)
+		g.p("\tif h.%s != nil {", m)
+		g.p("\t\tif err := s.Register(%q, h.%s); err != nil {", op.Name, m)
+		g.p("\t\t\treturn nil, err")
+		g.p("\t\t}")
+		g.p("\t}")
+	}
+	g.p("\treturn s, nil")
+	g.p("}")
+	g.p("")
+	g.p("// Client is the typed client: one method per operation, payloads")
+	g.p("// validated on the way out and on the way back in.")
+	g.p("type Client struct {")
+	g.p("\tc *soap.Client")
+	g.p("}")
+	g.p("")
+	g.p("// NewClient builds a client for the service at endpoint.")
+	g.p("func NewClient(endpoint string) (*Client, error) {")
+	g.p("\td, err := Definitions()")
+	g.p("\tif err != nil {")
+	g.p("\t\treturn nil, err")
+	g.p("\t}")
+	g.p("\tc, err := soap.NewClient(d, ServiceName, endpoint)")
+	g.p("\tif err != nil {")
+	g.p("\t\treturn nil, err")
+	g.p("\t}")
+	g.p("\treturn &Client{c: c}, nil")
+	g.p("}")
+	g.p("")
+	g.p("// Core exposes the underlying soap.Client (transport, HTTP client).")
+	g.p("func (c *Client) Core() *soap.Client { return c.c }")
+	g.p("")
+	g.p("// Binder returns the service schema's binder, for building request")
+	g.p("// values (FromJSON, DecodeBytes) and reading response values.")
+	g.p("func (c *Client) Binder() *bind.Binder { return c.c.Binder() }")
+	for _, op := range ops {
+		m, _ := methodName(op.Name)
+		g.p("")
+		if op.OneWay() {
+			g.p("// %s invokes the one-way %q operation (request element %s).", m, op.Name, op.Input)
+			g.p("func (c *Client) %s(ctx context.Context, req *bind.Value) error {", m)
+			g.p("\t_, err := c.c.Call(ctx, %q, req)", op.Name)
+			g.p("\treturn err")
+			g.p("}")
+		} else {
+			g.p("// %s invokes the %q operation (%s -> %s).", m, op.Name, op.Input, op.Output)
+			g.p("func (c *Client) %s(ctx context.Context, req *bind.Value) (*bind.Value, error) {", m)
+			g.p("\treturn c.c.Call(ctx, %q, req)", op.Name)
+			g.p("}")
+		}
+	}
+	formatted, err := format.Source([]byte(g.buf.String()))
+	if err != nil {
+		return g.buf.String(), fmt.Errorf("wsdlgen: generated code does not parse: %w", err)
+	}
+	return string(formatted), nil
+}
+
+// wsdlGen is a minimal emission buffer.
+type wsdlGen struct {
+	buf strings.Builder
+}
+
+func (g *wsdlGen) p(format string, args ...any) {
+	fmt.Fprintf(&g.buf, format, args...)
+	g.buf.WriteByte('\n')
+}
+
+func (g *wsdlGen) header(opts WSDLOptions, svc string, nops int) {
+	comment := opts.Comment
+	if comment == "" {
+		comment = "a WSDL service description"
+	}
+	g.p("// Code generated by wsdlgen from %s. DO NOT EDIT.", comment)
+	g.p("//")
+	g.p("// Typed client and server stubs for the %q service (%d operations,", svc, nops)
+	g.p("// document/literal). Regenerate with `go run ./internal/gen/regen`.")
+	g.p("package %s", opts.Package)
+	g.p("")
+	g.p("import (")
+	g.p("\t\"context\"")
+	g.p("\t\"sync\"")
+	g.p("")
+	g.p("\t\"repro/internal/bind\"")
+	g.p("\t\"repro/internal/soap\"")
+	g.p("\t\"repro/internal/wsdl\"")
+	g.p(")")
+	g.p("")
+}
+
+// methodName maps an operation name to an exported Go identifier.
+func methodName(op string) (string, error) {
+	var b strings.Builder
+	up := true
+	for _, r := range op {
+		switch {
+		case unicode.IsLetter(r) || (b.Len() > 0 && unicode.IsDigit(r)):
+			if up {
+				r = unicode.ToUpper(r)
+				up = false
+			}
+			b.WriteRune(r)
+		case r == '_' || r == '-' || r == '.':
+			up = true
+		default:
+			return "", fmt.Errorf("wsdlgen: operation name %q does not map to a Go identifier", op)
+		}
+	}
+	if b.Len() == 0 {
+		return "", fmt.Errorf("wsdlgen: operation name %q does not map to a Go identifier", op)
+	}
+	return b.String(), nil
+}
+
+// goString renders s as a Go string literal, raw when possible.
+func goString(s string) string {
+	if !strings.ContainsAny(s, "`\r") {
+		return "`" + s + "`"
+	}
+	return strconv.Quote(s)
+}

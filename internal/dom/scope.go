@@ -1,0 +1,42 @@
+package dom
+
+import "repro/internal/xmlparser"
+
+// DeclareInScopeNamespaces copies every namespace declaration in scope at
+// e — inherited from its ancestors — onto e itself, skipping prefixes e
+// already declares. After the call, serializing e alone produces a
+// self-contained fragment: prefixes that were bound on an ancestor (a
+// SOAP Envelope, a WSDL definitions element) stay bound when the subtree
+// is detached and re-parsed.
+//
+// The nearest declaration of each prefix wins, matching XML namespace
+// scoping; a default-namespace binding (xmlns="...") is copied like any
+// other so unprefixed descendants keep their meaning. Declarations added
+// deeper in the subtree still shadow the copied ones, so the subtree's
+// own bindings are untouched.
+func DeclareInScopeNamespaces(e *Element) {
+	declared := map[string]bool{}
+	for _, a := range e.Attributes() {
+		if a.Name().Space == xmlparser.XMLNSNamespace {
+			declared[a.Name().Local] = true
+		}
+	}
+	for n := e.ParentNode(); n != nil; n = n.ParentNode() {
+		anc, ok := n.(*Element)
+		if !ok {
+			break
+		}
+		for _, a := range anc.Attributes() {
+			name := a.Name()
+			if name.Space != xmlparser.XMLNSNamespace || declared[name.Local] {
+				continue
+			}
+			declared[name.Local] = true
+			qname := "xmlns"
+			if name.Local != "xmlns" {
+				qname = "xmlns:" + name.Local
+			}
+			e.SetAttributeNS(xmlparser.XMLNSNamespace, qname, a.Value())
+		}
+	}
+}

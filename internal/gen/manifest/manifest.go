@@ -41,6 +41,25 @@ var Targets = []Target{
 	{Pkg: "popruned", Source: schemas.PurchaseOrderXSD, Comment: "the purchase order schema, validator pruned to the shipping corpus", CorpusGlob: "testdata/corpus/po/*.xml"},
 }
 
+// WSDLTarget describes one generated SOAP stub package: its embedded
+// WSDL, the service it binds, and the header comment.
+type WSDLTarget struct {
+	// Pkg is the package (and directory) name under internal/gen/.
+	Pkg string
+	// Source is the WSDL document compiled into the package.
+	Source string
+	// Service is the wsdl:service the stubs bind.
+	Service string
+	// Comment is the human-readable WSDL description in the header.
+	Comment string
+}
+
+// WSDLTargets lists every checked-in generated stub package.
+var WSDLTargets = []WSDLTarget{
+	{Pkg: "calcgen", Source: schemas.CalcWSDL, Service: "Calc", Comment: "the calculator WSDL (SOAP 1.1 corpus service)"},
+	{Pkg: "ordersgen", Source: schemas.OrdersWSDL, Service: "Orders", Comment: "the orders WSDL (SOAP 1.2, two embedded schemas)"},
+}
+
 // CorpusDoc is one pruning-corpus instance document.
 type CorpusDoc struct {
 	// Name is the document's base filename, stamped into the generated

@@ -46,6 +46,19 @@ func main() {
 		write(filepath.Join(dir, t.Pkg+".go"), bindings)
 		write(filepath.Join(dir, t.Pkg+"_validator.go"), vcode)
 	}
+	for _, t := range manifest.WSDLTargets {
+		code, err := codegen.GenerateWSDLStubs(t.Source, codegen.WSDLOptions{
+			Package: t.Pkg, Service: t.Service, Comment: t.Comment,
+		})
+		if err != nil {
+			fatal(fmt.Errorf("regen %s: %w", t.Pkg, err))
+		}
+		dir := filepath.Join(root, t.Pkg)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			fatal(err)
+		}
+		write(filepath.Join(dir, t.Pkg+".go"), code)
+	}
 	// Compiled matchers for the E14 stepper benchmark.
 	matchers, err := codegen.GenerateMatchers("cmbench", []codegen.MatcherSpec{
 		{Name: "Items", Particle: cmbench.ItemsModel(), Comment: "the purchase-order items model (item*)"},

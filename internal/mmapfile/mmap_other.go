@@ -1,0 +1,10 @@
+//go:build !unix
+
+package mmapfile
+
+import "os"
+
+func readFile(path string) ([]byte, func(), error) {
+	data, err := os.ReadFile(path)
+	return data, func() {}, err
+}

@@ -1,0 +1,34 @@
+//go:build unix
+
+package mmapfile
+
+import (
+	"os"
+	"syscall"
+)
+
+func readFile(path string) ([]byte, func(), error) {
+	noop := func() {}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, noop, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, noop, err
+	}
+	// Empty files cannot be mapped (zero-length mmap is an EINVAL) and
+	// irregular ones (pipes, devices) have no stable size; both take the
+	// plain read path. So does anything the kernel refuses to map.
+	if !fi.Mode().IsRegular() || fi.Size() == 0 || int64(int(fi.Size())) != fi.Size() {
+		data, err := os.ReadFile(path)
+		return data, noop, err
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(fi.Size()), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		data, err := os.ReadFile(path)
+		return data, noop, err
+	}
+	return data, func() { syscall.Munmap(data) }, nil //nolint:errcheck
+}

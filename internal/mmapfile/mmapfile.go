@@ -1,0 +1,18 @@
+// Package mmapfile reads whole files for zero-copy parsing. On unix
+// platforms regular files are memory-mapped read-only, so the kernel
+// pages bytes in on demand and large documents never occupy heap twice
+// (once in the page cache, once in a Go buffer); everywhere else — and
+// for empty or irregular files — it degrades to os.ReadFile.
+//
+// The returned bytes MUST NOT be written to (mapped pages are
+// PROT_READ; a write faults) and MUST NOT be referenced after release
+// is called. Callers that hand slices of the data to longer-lived
+// structures must copy first or delay release accordingly.
+package mmapfile
+
+// ReadFile returns the file's contents and a release function that
+// must be called exactly once when the bytes are no longer referenced.
+// release is always non-nil, even on error.
+func ReadFile(path string) (data []byte, release func(), err error) {
+	return readFile(path)
+}

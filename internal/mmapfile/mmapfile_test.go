@@ -1,0 +1,52 @@
+package mmapfile
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestReadFileRegular(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "doc.xml")
+	want := bytes.Repeat([]byte("<a>hello</a>\n"), 4096)
+	if err := os.WriteFile(path, want, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data, release, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, want) {
+		t.Fatalf("mapped contents differ: %d vs %d bytes", len(data), len(want))
+	}
+	release()
+}
+
+func TestReadFileEmpty(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "empty")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data, release, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 0 {
+		t.Fatalf("empty file read %d bytes", len(data))
+	}
+	release()
+}
+
+func TestReadFileMissing(t *testing.T) {
+	_, release, err := ReadFile(filepath.Join(t.TempDir(), "nope"))
+	if err == nil {
+		t.Fatal("want error for missing file")
+	}
+	if release == nil {
+		t.Fatal("release must be non-nil even on error")
+	}
+	release()
+}

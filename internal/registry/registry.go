@@ -350,6 +350,14 @@ func (r *Registry) Reload() (changed int, err error) {
 		err   error
 	}
 	results := make([]result, len(pending))
+	var catalog map[string]string
+	if len(pending) > 0 {
+		// One namespace catalog per reload: schemaLocation-less xs:import
+		// resolves to the directory's document declaring that namespace.
+		// Catalog reads go through the same per-reload cache, so the scan
+		// costs nothing extra for files a compile would read anyway.
+		catalog, _ = xsd.BuildCatalog(r.dir, cache.readFile) //nolint:errcheck // an unreadable tree fails per-schema below
+	}
 	if len(pending) > 0 {
 		workers := r.Workers
 		if workers <= 0 {
@@ -366,7 +374,7 @@ func (r *Registry) Reload() (changed int, err error) {
 				defer wg.Done()
 				sem <- struct{}{}
 				defer func() { <-sem }()
-				e, lerr := r.load(pending[i].key, pending[i].path, pending[i].prev, cache)
+				e, lerr := r.load(pending[i].key, pending[i].path, pending[i].prev, cache, catalog)
 				results[i] = result{e, lerr}
 			}(i)
 		}
@@ -421,11 +429,13 @@ func (r *Registry) keepStale(old, next *snapshot, key string, err error) {
 }
 
 // load reads, parses and compiles one schema file — following its
-// import/include/redefine references through the shared reload cache —
+// import/include/redefine references through the shared reload cache,
+// with location-less imports resolved by the reload's namespace catalog —
 // into a fresh Entry, classifying it against prev when there is one.
-func (r *Registry) load(key, path string, prev *Entry, cache *reloadCache) (*Entry, error) {
+func (r *Registry) load(key, path string, prev *Entry, cache *reloadCache, catalog map[string]string) (*Entry, error) {
 	res := xsd.NewDirResolver(r.dir)
 	res.ReadFile = cache.readFile
+	res.Catalog = catalog
 	schema, err := xsd.ParseFile(path, &xsd.ParseOptions{Resolver: res})
 	if err != nil {
 		return nil, err

@@ -199,3 +199,41 @@ func TestParallelColdStart(t *testing.T) {
 		}
 	}
 }
+
+// TestLocationlessImportCatalog resolves an xs:import carrying only a
+// namespace through the per-reload catalog built from the schema
+// directory: the importing entry must compile, and the cataloged library
+// must appear in its dependency closure so edits to it invalidate the
+// dependent.
+func TestLocationlessImportCatalog(t *testing.T) {
+	dir := t.TempDir()
+	base := time.Now().Add(-time.Hour)
+	if err := os.MkdirAll(filepath.Join(dir, "lib"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	writeSchema(t, filepath.Join(dir, "lib", "common.xsd"), sharedLib, base)
+	noLoc := strings.Replace(importerOf("urn:a", "alpha", ""),
+		` schemaLocation="lib/common.xsd"`, "", 1)
+	writeSchema(t, filepath.Join(dir, "alpha.xsd"), noLoc, base)
+
+	r := New(dir, nil)
+	if _, err := r.Reload(); err != nil {
+		t.Fatalf("reload: %v", err)
+	}
+	e, ok := r.Get("alpha")
+	if !ok {
+		t.Fatalf("alpha not served; errors: %v", r.Errors())
+	}
+	if len(e.Files) != 2 {
+		t.Fatalf("closure = %d files, want root + cataloged import: %+v", len(e.Files), e.Files)
+	}
+
+	// Editing the cataloged library must recompile the dependent.
+	writeSchema(t, filepath.Join(dir, "lib", "common.xsd"), sharedLib, base.Add(time.Minute))
+	if _, err := r.Reload(); err != nil {
+		t.Fatalf("second reload: %v", err)
+	}
+	if e2, _ := r.Get("alpha"); e2.Version != e.Version+1 {
+		t.Errorf("alpha version = %d, want %d after cataloged-import edit", e2.Version, e.Version+1)
+	}
+}

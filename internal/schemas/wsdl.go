@@ -1,0 +1,201 @@
+package schemas
+
+// CalcWSDL is the calculator service description: SOAP 1.1, one embedded
+// schema, two request/response operations and a one-way notification. It
+// is the small end of the WSDL corpus — the wire format analogue of the
+// purchase-order schema's role for validation.
+const CalcWSDL = `<?xml version="1.0"?>
+<wsdl:definitions name="Calc" targetNamespace="urn:calc:svc"
+    xmlns:wsdl="http://schemas.xmlsoap.org/wsdl/"
+    xmlns:soap="http://schemas.xmlsoap.org/wsdl/soap/"
+    xmlns:tns="urn:calc:svc"
+    xmlns:c="urn:calc">
+  <wsdl:types>
+    <xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema"
+               targetNamespace="urn:calc" elementFormDefault="qualified">
+      <xs:complexType name="Pair">
+        <xs:sequence>
+          <xs:element name="a" type="xs:int"/>
+          <xs:element name="b" type="xs:int"/>
+        </xs:sequence>
+      </xs:complexType>
+      <xs:element name="AddRequest" type="c:Pair"/>
+      <xs:element name="AddResponse">
+        <xs:complexType>
+          <xs:sequence><xs:element name="sum" type="xs:int"/></xs:sequence>
+        </xs:complexType>
+      </xs:element>
+      <xs:element name="SubtractRequest" type="c:Pair"/>
+      <xs:element name="SubtractResponse">
+        <xs:complexType>
+          <xs:sequence><xs:element name="difference" type="xs:int"/></xs:sequence>
+        </xs:complexType>
+      </xs:element>
+      <xs:element name="Ping" type="xs:string"/>
+    </xs:schema>
+  </wsdl:types>
+  <wsdl:message name="AddIn"><wsdl:part name="body" element="c:AddRequest"/></wsdl:message>
+  <wsdl:message name="AddOut"><wsdl:part name="body" element="c:AddResponse"/></wsdl:message>
+  <wsdl:message name="SubtractIn"><wsdl:part name="body" element="c:SubtractRequest"/></wsdl:message>
+  <wsdl:message name="SubtractOut"><wsdl:part name="body" element="c:SubtractResponse"/></wsdl:message>
+  <wsdl:message name="PingIn"><wsdl:part name="body" element="c:Ping"/></wsdl:message>
+  <wsdl:portType name="CalcPort">
+    <wsdl:operation name="Add">
+      <wsdl:input message="tns:AddIn"/>
+      <wsdl:output message="tns:AddOut"/>
+    </wsdl:operation>
+    <wsdl:operation name="Subtract">
+      <wsdl:input message="tns:SubtractIn"/>
+      <wsdl:output message="tns:SubtractOut"/>
+    </wsdl:operation>
+    <wsdl:operation name="Ping">
+      <wsdl:input message="tns:PingIn"/>
+    </wsdl:operation>
+  </wsdl:portType>
+  <wsdl:binding name="CalcBinding" type="tns:CalcPort">
+    <soap:binding style="document" transport="http://schemas.xmlsoap.org/soap/http"/>
+    <wsdl:operation name="Add">
+      <soap:operation soapAction="urn:calc:add"/>
+      <wsdl:input><soap:body use="literal"/></wsdl:input>
+      <wsdl:output><soap:body use="literal"/></wsdl:output>
+    </wsdl:operation>
+    <wsdl:operation name="Subtract">
+      <soap:operation soapAction="urn:calc:subtract"/>
+      <wsdl:input><soap:body use="literal"/></wsdl:input>
+      <wsdl:output><soap:body use="literal"/></wsdl:output>
+    </wsdl:operation>
+    <wsdl:operation name="Ping">
+      <wsdl:input><soap:body use="literal"/></wsdl:input>
+    </wsdl:operation>
+  </wsdl:binding>
+  <wsdl:service name="Calc">
+    <wsdl:port name="CalcSOAP" binding="tns:CalcBinding">
+      <soap:address location="http://localhost:8080/v1/soap/Calc"/>
+    </wsdl:port>
+  </wsdl:service>
+</wsdl:definitions>
+`
+
+// OrdersWSDL is the order-management service description: SOAP 1.2 and
+// two embedded schemas, the order elements importing the shared types
+// namespace with a schemaLocation-less xs:import — resolved through the
+// in-memory namespace catalog exactly like a registry directory's. The
+// payload shapes follow the paper's purchase-order vocabulary.
+const OrdersWSDL = `<?xml version="1.0"?>
+<wsdl:definitions name="Orders" targetNamespace="urn:orders:svc"
+    xmlns:wsdl="http://schemas.xmlsoap.org/wsdl/"
+    xmlns:soap12="http://schemas.xmlsoap.org/wsdl/soap12/"
+    xmlns:tns="urn:orders:svc"
+    xmlns:o="urn:orders">
+  <wsdl:types>
+    <xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema"
+               targetNamespace="urn:orders:types" elementFormDefault="qualified">
+      <xs:complexType name="Address">
+        <xs:sequence>
+          <xs:element name="name" type="xs:string"/>
+          <xs:element name="street" type="xs:string"/>
+          <xs:element name="city" type="xs:string"/>
+          <xs:element name="zip" type="xs:decimal"/>
+        </xs:sequence>
+      </xs:complexType>
+      <xs:simpleType name="Status">
+        <xs:restriction base="xs:string">
+          <xs:enumeration value="pending"/>
+          <xs:enumeration value="shipped"/>
+          <xs:enumeration value="cancelled"/>
+        </xs:restriction>
+      </xs:simpleType>
+      <xs:simpleType name="SKU">
+        <xs:restriction base="xs:string">
+          <xs:pattern value="\d{3}-[A-Z]{2}"/>
+        </xs:restriction>
+      </xs:simpleType>
+    </xs:schema>
+    <xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema"
+               xmlns:t="urn:orders:types"
+               targetNamespace="urn:orders" elementFormDefault="qualified">
+      <xs:import namespace="urn:orders:types"/>
+      <xs:element name="SubmitOrderRequest">
+        <xs:complexType>
+          <xs:sequence>
+            <xs:element name="shipTo" type="t:Address"/>
+            <xs:element name="item" maxOccurs="unbounded">
+              <xs:complexType>
+                <xs:sequence>
+                  <xs:element name="sku" type="t:SKU"/>
+                  <xs:element name="quantity" type="xs:positiveInteger"/>
+                </xs:sequence>
+              </xs:complexType>
+            </xs:element>
+          </xs:sequence>
+        </xs:complexType>
+      </xs:element>
+      <xs:element name="SubmitOrderResponse">
+        <xs:complexType>
+          <xs:sequence>
+            <xs:element name="orderId" type="xs:string"/>
+            <xs:element name="status" type="t:Status"/>
+          </xs:sequence>
+        </xs:complexType>
+      </xs:element>
+      <xs:element name="OrderStatusRequest">
+        <xs:complexType>
+          <xs:sequence><xs:element name="orderId" type="xs:string"/></xs:sequence>
+        </xs:complexType>
+      </xs:element>
+      <xs:element name="OrderStatusResponse">
+        <xs:complexType>
+          <xs:sequence>
+            <xs:element name="orderId" type="xs:string"/>
+            <xs:element name="status" type="t:Status"/>
+            <xs:element name="note" type="xs:string" minOccurs="0" nillable="true"/>
+          </xs:sequence>
+        </xs:complexType>
+      </xs:element>
+      <xs:element name="CancelOrder">
+        <xs:complexType>
+          <xs:sequence><xs:element name="orderId" type="xs:string"/></xs:sequence>
+        </xs:complexType>
+      </xs:element>
+    </xs:schema>
+  </wsdl:types>
+  <wsdl:message name="SubmitIn"><wsdl:part name="body" element="o:SubmitOrderRequest"/></wsdl:message>
+  <wsdl:message name="SubmitOut"><wsdl:part name="body" element="o:SubmitOrderResponse"/></wsdl:message>
+  <wsdl:message name="StatusIn"><wsdl:part name="body" element="o:OrderStatusRequest"/></wsdl:message>
+  <wsdl:message name="StatusOut"><wsdl:part name="body" element="o:OrderStatusResponse"/></wsdl:message>
+  <wsdl:message name="CancelIn"><wsdl:part name="body" element="o:CancelOrder"/></wsdl:message>
+  <wsdl:portType name="OrdersPort">
+    <wsdl:operation name="SubmitOrder">
+      <wsdl:input message="tns:SubmitIn"/>
+      <wsdl:output message="tns:SubmitOut"/>
+    </wsdl:operation>
+    <wsdl:operation name="OrderStatus">
+      <wsdl:input message="tns:StatusIn"/>
+      <wsdl:output message="tns:StatusOut"/>
+    </wsdl:operation>
+    <wsdl:operation name="CancelOrder">
+      <wsdl:input message="tns:CancelIn"/>
+    </wsdl:operation>
+  </wsdl:portType>
+  <wsdl:binding name="OrdersBinding" type="tns:OrdersPort">
+    <soap12:binding style="document" transport="http://schemas.xmlsoap.org/soap/http"/>
+    <wsdl:operation name="SubmitOrder">
+      <soap12:operation soapAction="urn:orders:submit"/>
+      <wsdl:input><soap12:body use="literal"/></wsdl:input>
+      <wsdl:output><soap12:body use="literal"/></wsdl:output>
+    </wsdl:operation>
+    <wsdl:operation name="OrderStatus">
+      <wsdl:input><soap12:body use="literal"/></wsdl:input>
+      <wsdl:output><soap12:body use="literal"/></wsdl:output>
+    </wsdl:operation>
+    <wsdl:operation name="CancelOrder">
+      <wsdl:input><soap12:body use="literal"/></wsdl:input>
+    </wsdl:operation>
+  </wsdl:binding>
+  <wsdl:service name="Orders">
+    <wsdl:port name="OrdersSOAP" binding="tns:OrdersBinding">
+      <soap12:address location="http://localhost:8080/v1/soap/Orders"/>
+    </wsdl:port>
+  </wsdl:service>
+</wsdl:definitions>
+`

@@ -14,6 +14,7 @@ import (
 	"repro/internal/dom"
 	"repro/internal/obs"
 	"repro/internal/registry"
+	"repro/internal/soap"
 	"repro/internal/validator"
 )
 
@@ -53,6 +54,9 @@ type Server struct {
 	timeout time.Duration
 	sem     chan struct{}
 	mux     *http.ServeMux
+	// soapSvcs routes /v1/soap/{service}; populated by RegisterSOAP
+	// before serving starts, read-only afterwards.
+	soapSvcs map[string]*soap.Service
 }
 
 // New assembles the service from cfg.
@@ -77,19 +81,22 @@ func New(cfg Config) *Server {
 		timeout = 30 * time.Second
 	}
 	s := &Server{
-		reg:     cfg.Registry,
-		metrics: m,
-		log:     cfg.Logger,
-		maxBody: maxBody,
-		timeout: timeout,
-		sem:     make(chan struct{}, maxConc),
-		mux:     http.NewServeMux(),
+		reg:      cfg.Registry,
+		metrics:  m,
+		log:      cfg.Logger,
+		maxBody:  maxBody,
+		timeout:  timeout,
+		sem:      make(chan struct{}, maxConc),
+		mux:      http.NewServeMux(),
+		soapSvcs: map[string]*soap.Service{},
 	}
 	s.mux.HandleFunc("POST /v1/validate/{schema}", s.handleValidate)
 	s.mux.HandleFunc("POST /v1/decode/{schema}", s.handleDecode)
 	s.mux.HandleFunc("POST /v1/encode/{schema}", s.handleEncode)
 	s.mux.HandleFunc("GET /v1/schemas", s.handleSchemas)
 	s.mux.HandleFunc("GET /v1/schemas/{schema}/compat", s.handleCompat)
+	s.mux.HandleFunc("POST /v1/soap/{service}", s.handleSOAP)
+	s.mux.HandleFunc("GET /v1/soap/{service}", s.handleSOAPWSDL)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s

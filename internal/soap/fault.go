@@ -1,0 +1,221 @@
+package soap
+
+import (
+	"bytes"
+	"strconv"
+
+	"repro/internal/dom"
+	"repro/internal/validator"
+)
+
+// Fault codes, named after the SOAP 1.1 forms; Envelope() translates to
+// the 1.2 equivalents (Client→Sender, Server→Receiver) when rendering a
+// 1.2 fault.
+const (
+	CodeClient          = "Client"
+	CodeServer          = "Server"
+	CodeMustUnderstand  = "MustUnderstand"
+	CodeVersionMismatch = "VersionMismatch"
+)
+
+// DetailNamespace qualifies the structured fault detail this service
+// emits: one <violation> element per schema violation or parse error.
+const DetailNamespace = "urn:repro:soap:detail"
+
+// Detail is one structured fault detail entry. Schema violations carry
+// Path (the validator's XPath-like location); parse errors carry Line and
+// Col (1-based, zero when unknown).
+type Detail struct {
+	Path string
+	Msg  string
+	Line int
+	Col  int
+}
+
+// Fault is a SOAP fault to be answered to the caller.
+type Fault struct {
+	// Version selects the envelope dialect: 11 or 12. Zero renders as
+	// SOAP 1.1 — the fallback when the request was too malformed to carry
+	// a recognizable version.
+	Version int
+	// Code is one of the Code* constants.
+	Code string
+	// Reason is the human-readable fault string.
+	Reason string
+	// Details are rendered under the fault detail as structured
+	// <violation> entries.
+	Details []Detail
+}
+
+// Error implements error so faults can travel error paths.
+func (f *Fault) Error() string { return "soap fault (" + f.Code + "): " + f.Reason }
+
+// HTTPStatus maps the fault to its HTTP response code: sender-side
+// faults are 400s, only CodeServer is a 500. Invalid input therefore
+// never surfaces as a server error.
+func (f *Fault) HTTPStatus() int {
+	if f.Code == CodeServer {
+		return 500
+	}
+	return 400
+}
+
+// ViolationFault builds the Client fault for a schema-invalid payload,
+// one detail entry per violation.
+func ViolationFault(version int, what string, violations []validator.Violation) *Fault {
+	f := &Fault{Version: version, Code: CodeClient, Reason: what + " is not schema-valid"}
+	for _, v := range violations {
+		f.Details = append(f.Details, Detail{Path: v.Path, Msg: v.Msg})
+	}
+	return f
+}
+
+// Envelope renders the fault as a complete SOAP envelope in its version.
+func (f *Fault) Envelope() []byte {
+	var b bytes.Buffer
+	if f.Version == 12 {
+		f.write12(&b)
+	} else {
+		f.write11(&b)
+	}
+	return WrapPayload(f.Version, b.Bytes())
+}
+
+// code12 translates a SOAP 1.1 fault code to its 1.2 name.
+func code12(code string) string {
+	switch code {
+	case CodeClient:
+		return "Sender"
+	case CodeServer:
+		return "Receiver"
+	default:
+		return code
+	}
+}
+
+func (f *Fault) write11(b *bytes.Buffer) {
+	// faultcode is a QName in the envelope namespace; WrapPayload binds
+	// that namespace to the env prefix, visible here by scoping.
+	b.WriteString(`<env:Fault xmlns:env="` + Envelope11 + `"><faultcode>env:`)
+	b.WriteString(f.Code)
+	b.WriteString(`</faultcode><faultstring>`)
+	b.WriteString(dom.EscapeText(f.Reason))
+	b.WriteString(`</faultstring>`)
+	if len(f.Details) > 0 {
+		b.WriteString(`<detail>`)
+		f.writeDetails(b)
+		b.WriteString(`</detail>`)
+	}
+	b.WriteString(`</env:Fault>`)
+}
+
+func (f *Fault) write12(b *bytes.Buffer) {
+	b.WriteString(`<env:Fault xmlns:env="` + Envelope12 + `"><env:Code><env:Value>env:`)
+	b.WriteString(code12(f.Code))
+	b.WriteString(`</env:Value></env:Code><env:Reason><env:Text xml:lang="en">`)
+	b.WriteString(dom.EscapeText(f.Reason))
+	b.WriteString(`</env:Text></env:Reason>`)
+	if len(f.Details) > 0 {
+		b.WriteString(`<env:Detail>`)
+		f.writeDetails(b)
+		b.WriteString(`</env:Detail>`)
+	}
+	b.WriteString(`</env:Fault>`)
+}
+
+func (f *Fault) writeDetails(b *bytes.Buffer) {
+	b.WriteString(`<d:violations xmlns:d="` + DetailNamespace + `">`)
+	for _, d := range f.Details {
+		b.WriteString(`<d:violation`)
+		if d.Path != "" {
+			b.WriteString(` path="` + dom.EscapeAttr(d.Path) + `"`)
+		}
+		if d.Line > 0 {
+			b.WriteString(` line="` + strconv.Itoa(d.Line) + `" col="` + strconv.Itoa(d.Col) + `"`)
+		}
+		b.WriteString(`>`)
+		b.WriteString(dom.EscapeText(d.Msg))
+		b.WriteString(`</d:violation>`)
+	}
+	b.WriteString(`</d:violations>`)
+}
+
+// ParseFault extracts fault information from a response envelope, for
+// clients. It reports ok=false when the body's payload is not a Fault.
+func ParseFault(env *Envelope) (*Fault, bool) {
+	p := env.Payload
+	if p == nil || p.LocalName() != "Fault" || p.NamespaceURI() != versionNS(env.Version) {
+		return nil, false
+	}
+	f := &Fault{Version: env.Version}
+	ns := versionNS(env.Version)
+	if env.Version == 12 {
+		for _, c := range p.ChildElements() {
+			if c.NamespaceURI() != ns {
+				continue
+			}
+			switch c.LocalName() {
+			case "Code":
+				if v := firstChildNS(c, ns, "Value"); v != nil {
+					f.Code = localPart(v.TextContent())
+				}
+			case "Reason":
+				if t := firstChildNS(c, ns, "Text"); t != nil {
+					f.Reason = t.TextContent()
+				}
+			case "Detail":
+				f.Details = parseDetails(c)
+			}
+		}
+	} else {
+		for _, c := range p.ChildElements() {
+			switch c.LocalName() {
+			case "faultcode":
+				f.Code = localPart(c.TextContent())
+			case "faultstring":
+				f.Reason = c.TextContent()
+			case "detail":
+				f.Details = parseDetails(c)
+			}
+		}
+	}
+	return f, true
+}
+
+func parseDetails(detail *dom.Element) []Detail {
+	var out []Detail
+	for _, vs := range detail.ChildElements() {
+		if vs.NamespaceURI() != DetailNamespace || vs.LocalName() != "violations" {
+			continue
+		}
+		for _, v := range vs.ChildElements() {
+			if v.NamespaceURI() != DetailNamespace || v.LocalName() != "violation" {
+				continue
+			}
+			d := Detail{Path: v.GetAttribute("path"), Msg: v.TextContent()}
+			d.Line, _ = strconv.Atoi(v.GetAttribute("line"))
+			d.Col, _ = strconv.Atoi(v.GetAttribute("col"))
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func firstChildNS(e *dom.Element, ns, local string) *dom.Element {
+	for _, c := range e.ChildElements() {
+		if c.NamespaceURI() == ns && c.LocalName() == local {
+			return c
+		}
+	}
+	return nil
+}
+
+// localPart strips any prefix from a lexical QName value.
+func localPart(s string) string {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == ':' {
+			return s[i+1:]
+		}
+	}
+	return s
+}

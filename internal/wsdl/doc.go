@@ -1,0 +1,21 @@
+// Package wsdl parses WSDL 1.1 service descriptions into a typed service
+// model: services → ports → operations, each operation carrying the
+// global element QNames of its document/literal input and output bodies.
+//
+// The <types> section's embedded schemas compile through the same
+// internal/xsd machinery the rest of the system uses: embedded schema
+// documents register in an in-memory namespace catalog, so the
+// schemaLocation-less xs:import form WSDL authors use between embedded
+// schemas resolves exactly like a registry directory's catalog does, and
+// file-based imports resolve relative to the WSDL document, confined by
+// whatever resolver the caller supplies. The result is ONE *xsd.Schema
+// covering every operation's body elements — the schema a soap.Service
+// validates envelopes against and an internal/bind Binder decodes them
+// with.
+//
+// Scope: WSDL 1.1 with SOAP 1.1 and SOAP 1.2 bindings, document/literal
+// style, message parts referencing global elements. rpc/encoded bindings
+// (SOAP-ENC arrays, use="encoded") are rejected with a diagnostic rather
+// than silently mis-modeled: the validated-by-construction guarantee only
+// holds when bodies are schema-governed elements.
+package wsdl

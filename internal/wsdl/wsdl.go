@@ -1,0 +1,626 @@
+package wsdl
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/dom"
+	"repro/internal/xmlparser"
+	"repro/internal/xsd"
+)
+
+// WSDL 1.1 namespaces.
+const (
+	Namespace       = "http://schemas.xmlsoap.org/wsdl/"
+	SOAP11Namespace = "http://schemas.xmlsoap.org/wsdl/soap/"
+	SOAP12Namespace = "http://schemas.xmlsoap.org/wsdl/soap12/"
+)
+
+// Definitions is a parsed WSDL document: its services and the one schema
+// compiled from every embedded <types> document.
+type Definitions struct {
+	// Name is the definitions element's name attribute (may be empty).
+	Name string
+	// TargetNamespace is the WSDL's own target namespace (the namespace
+	// of its message/portType/binding/service names, not of the payload
+	// elements).
+	TargetNamespace string
+	// Schema is the compiled union of the <types> section: every embedded
+	// schema document plus whatever they import. Nil when the WSDL has no
+	// types (legal, but then no operation may reference a body element).
+	Schema *xsd.Schema
+	// Services in document order.
+	Services []*Service
+	// Source is the WSDL document as parsed, for GET echoes.
+	Source []byte
+}
+
+// Service is one wsdl:service: a named set of ports.
+type Service struct {
+	Name  string
+	Ports []*Port
+}
+
+// Port is one wsdl:port: a binding bound to a transport address.
+type Port struct {
+	Name string
+	// Binding is the resolved binding's QName.
+	Binding xsd.QName
+	// SOAPVersion is 11 or 12, from the binding's soap:binding element
+	// namespace.
+	SOAPVersion int
+	// Address is the soap:address location (informational; servers mount
+	// wherever they like).
+	Address string
+	// Operations in portType order.
+	Operations []*Operation
+}
+
+// Operation is one bound operation with its document/literal body
+// elements resolved.
+type Operation struct {
+	Name string
+	// SOAPAction is the binding's soapAction URI ("" when absent — SOAP
+	// 1.2 makes it optional).
+	SOAPAction string
+	// Input is the QName of the global element forming the request body.
+	Input xsd.QName
+	// Output is the QName of the response body element; zero for one-way
+	// operations.
+	Output xsd.QName
+}
+
+// OneWay reports whether the operation has no response body.
+func (op *Operation) OneWay() bool { return op.Output.IsZero() }
+
+// Service returns the named service.
+func (d *Definitions) Service(name string) (*Service, bool) {
+	for _, s := range d.Services {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return nil, false
+}
+
+// Options configures WSDL parsing.
+type Options struct {
+	// Resolver resolves file-based schemaLocation references inside the
+	// <types> section (and namespace-only imports that the embedded
+	// catalog does not satisfy, when it implements xsd.NamespaceResolver).
+	// ParseFile defaults it to a DirResolver confined to the WSDL's
+	// directory; Parse leaves it nil, making file references an error.
+	Resolver xsd.Resolver
+}
+
+// ParseFile parses the WSDL document at path. Schema references inside
+// <types> resolve relative to the WSDL's directory unless opts overrides
+// the resolver.
+func ParseFile(path string, opts *Options) (*Definitions, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	o := Options{}
+	if opts != nil {
+		o = *opts
+	}
+	abs, err := filepath.Abs(path)
+	if err != nil {
+		return nil, err
+	}
+	if o.Resolver == nil {
+		o.Resolver = xsd.NewDirResolver(filepath.Dir(abs))
+	}
+	return parse(src, o, abs)
+}
+
+// Parse parses a WSDL document from bytes.
+func Parse(src []byte, opts *Options) (*Definitions, error) {
+	o := Options{}
+	if opts != nil {
+		o = *opts
+	}
+	return parse(src, o, "wsdl")
+}
+
+// message is one wsdl:message during resolution.
+type message struct {
+	name  xsd.QName
+	parts []msgPart
+}
+
+type msgPart struct {
+	name    string
+	element xsd.QName
+}
+
+// portTypeOp is one abstract operation before binding.
+type portTypeOp struct {
+	name   string
+	input  xsd.QName // message QName
+	output xsd.QName // zero for one-way
+}
+
+// binding is one wsdl:binding during resolution.
+type binding struct {
+	name        xsd.QName
+	portType    xsd.QName
+	soapVersion int
+	actions     map[string]string // operation name -> soapAction
+	ops         map[string]bool   // operations the binding actually binds
+}
+
+func errAt(el *dom.Element, format string, args ...any) error {
+	return fmt.Errorf("wsdl: <%s>: %s", el.TagName(), fmt.Sprintf(format, args...))
+}
+
+func parse(src []byte, o Options, docKey string) (*Definitions, error) {
+	doc, err := dom.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("wsdl: %w", err)
+	}
+	root := doc.DocumentElement()
+	if root == nil || root.NamespaceURI() != Namespace || root.LocalName() != "definitions" {
+		return nil, fmt.Errorf("wsdl: document root is not wsdl:definitions")
+	}
+	d := &Definitions{
+		Name:            root.GetAttribute("name"),
+		TargetNamespace: root.GetAttribute("targetNamespace"),
+		Source:          src,
+	}
+	tns := d.TargetNamespace
+
+	messages := map[xsd.QName]*message{}
+	portTypes := map[xsd.QName]map[string]*portTypeOp{}
+	bindings := map[xsd.QName]*binding{}
+	var serviceEls []*dom.Element
+
+	for _, el := range root.ChildElements() {
+		if el.NamespaceURI() != Namespace {
+			continue // extensibility elements at the top level are ignorable
+		}
+		switch el.LocalName() {
+		case "documentation", "import":
+			// wsdl:import (of other WSDLs) is out of scope; <types>
+			// xs:import covers the schema side.
+			if el.LocalName() == "import" {
+				return nil, errAt(el, "wsdl:import is not supported; inline the definitions or import schemas inside <types>")
+			}
+		case "types":
+			schema, err := parseTypes(el, o, docKey)
+			if err != nil {
+				return nil, err
+			}
+			d.Schema = schema
+		case "message":
+			m, err := parseMessage(el, tns)
+			if err != nil {
+				return nil, err
+			}
+			if _, dup := messages[m.name]; dup {
+				return nil, errAt(el, "duplicate message %q", m.name.Local)
+			}
+			messages[m.name] = m
+		case "portType":
+			name := el.GetAttribute("name")
+			if name == "" {
+				return nil, errAt(el, "portType requires a name")
+			}
+			ops, err := parsePortType(el)
+			if err != nil {
+				return nil, err
+			}
+			portTypes[xsd.QName{Space: tns, Local: name}] = ops
+		case "binding":
+			b, err := parseBinding(el, tns)
+			if err != nil {
+				return nil, err
+			}
+			bindings[b.name] = b
+		case "service":
+			serviceEls = append(serviceEls, el)
+		}
+	}
+
+	for _, el := range serviceEls {
+		svc, err := resolveService(el, d, tns, messages, portTypes, bindings)
+		if err != nil {
+			return nil, err
+		}
+		d.Services = append(d.Services, svc)
+	}
+	if len(d.Services) == 0 {
+		return nil, fmt.Errorf("wsdl: no wsdl:service defined")
+	}
+	return d, nil
+}
+
+// parseTypes compiles the embedded schema documents into one xsd.Schema.
+// Each embedded <xs:schema> is serialized self-contained (inherited
+// namespace declarations copied down) and registered in an in-memory
+// namespace catalog; when there are several, a synthetic no-namespace
+// root importing each by namespace stitches them together, so embedded
+// schemas referencing each other via schemaLocation-less xs:import
+// resolve exactly like a registry directory's catalog.
+func parseTypes(el *dom.Element, o Options, docKey string) (*xsd.Schema, error) {
+	var schemas []*dom.Element
+	for _, c := range el.ChildElements() {
+		if c.NamespaceURI() == xsd.XSDNamespace && c.LocalName() == "schema" {
+			schemas = append(schemas, c)
+		}
+	}
+	if len(schemas) == 0 {
+		return nil, nil
+	}
+	res := &typesResolver{inner: o.Resolver, embedded: map[string]embeddedDoc{}, wsdlKey: docKey}
+	for i, s := range schemas {
+		dom.DeclareInScopeNamespaces(s)
+		key := fmt.Sprintf("%s#types[%d]", docKey, i)
+		ns := s.GetAttribute("targetNamespace")
+		if _, dup := res.embedded[ns]; dup {
+			return nil, errAt(s, "two embedded schemas declare target namespace %q", ns)
+		}
+		res.embedded[ns] = embeddedDoc{key: key, src: []byte(dom.ToString(s))}
+	}
+	opts := &xsd.ParseOptions{Resolver: res}
+	if len(schemas) == 1 {
+		ns := schemas[0].GetAttribute("targetNamespace")
+		e := res.embedded[ns]
+		s, err := xsd.ParseSource(e.key, e.src, opts)
+		if err != nil {
+			return nil, fmt.Errorf("wsdl: types: %w", err)
+		}
+		return s, nil
+	}
+	// Synthetic root importing every embedded namespace; the catalog
+	// resolves each import to its embedded document.
+	var sb strings.Builder
+	sb.WriteString(`<xs:schema xmlns:xs="` + xsd.XSDNamespace + `">`)
+	for _, s := range schemas {
+		ns := s.GetAttribute("targetNamespace")
+		if ns == "" {
+			return nil, errAt(s, "a no-namespace embedded schema cannot be combined with others (imports cannot reach it)")
+		}
+		sb.WriteString(`<xs:import namespace="` + dom.EscapeAttr(ns) + `"/>`)
+	}
+	sb.WriteString(`</xs:schema>`)
+	s, err := xsd.ParseSource(docKey+"#types", []byte(sb.String()), opts)
+	if err != nil {
+		return nil, fmt.Errorf("wsdl: types: %w", err)
+	}
+	return s, nil
+}
+
+// embeddedDoc is one embedded schema document keyed for the resolver.
+type embeddedDoc struct {
+	key string
+	src []byte
+}
+
+// typesResolver resolves references made from inside the <types> section:
+// embedded schemas by namespace, file references through the caller's
+// resolver with the WSDL document as the base.
+type typesResolver struct {
+	inner    xsd.Resolver
+	embedded map[string]embeddedDoc
+	wsdlKey  string
+}
+
+func (r *typesResolver) Resolve(base, location string) (string, []byte, error) {
+	if r.inner == nil {
+		return "", nil, fmt.Errorf("schemaLocation %q cannot be resolved (no file resolver configured)", location)
+	}
+	// References written inside an embedded schema resolve relative to
+	// the WSDL document itself; synthetic keys carry the WSDL path before
+	// the fragment marker, so directory-based resolvers do the right
+	// thing without special-casing.
+	if i := strings.IndexByte(base, '#'); i >= 0 {
+		base = base[:i]
+		if base == "wsdl" {
+			base = "" // byte-parsed WSDL: no directory context
+		}
+	}
+	return r.inner.Resolve(base, location)
+}
+
+// ResolveNamespace serves the embedded catalog first, then the inner
+// resolver's catalog when it has one.
+func (r *typesResolver) ResolveNamespace(namespace string) (string, []byte, bool, error) {
+	if e, ok := r.embedded[namespace]; ok {
+		return e.key, e.src, true, nil
+	}
+	if nr, ok := r.inner.(xsd.NamespaceResolver); ok {
+		return nr.ResolveNamespace(namespace)
+	}
+	return "", nil, false, nil
+}
+
+func parseMessage(el *dom.Element, tns string) (*message, error) {
+	name := el.GetAttribute("name")
+	if name == "" {
+		return nil, errAt(el, "message requires a name")
+	}
+	m := &message{name: xsd.QName{Space: tns, Local: name}}
+	for _, c := range el.ChildElements() {
+		if c.NamespaceURI() != Namespace || c.LocalName() != "part" {
+			continue
+		}
+		pn := c.GetAttribute("name")
+		if c.HasAttribute("type") {
+			return nil, errAt(c, "part %q references a type; only document/literal element parts are supported", pn)
+		}
+		elemRef := c.GetAttribute("element")
+		if elemRef == "" {
+			return nil, errAt(c, "part %q requires an element reference", pn)
+		}
+		q, err := resolveQName(c, elemRef)
+		if err != nil {
+			return nil, errAt(c, "%v", err)
+		}
+		m.parts = append(m.parts, msgPart{name: pn, element: q})
+	}
+	return m, nil
+}
+
+func parsePortType(el *dom.Element) (map[string]*portTypeOp, error) {
+	ops := map[string]*portTypeOp{}
+	for _, c := range el.ChildElements() {
+		if c.NamespaceURI() != Namespace || c.LocalName() != "operation" {
+			continue
+		}
+		name := c.GetAttribute("name")
+		if name == "" {
+			return nil, errAt(c, "operation requires a name")
+		}
+		if _, dup := ops[name]; dup {
+			return nil, errAt(c, "duplicate operation %q (overloading is not supported)", name)
+		}
+		op := &portTypeOp{name: name}
+		for _, io := range c.ChildElements() {
+			if io.NamespaceURI() != Namespace {
+				continue
+			}
+			var target *xsd.QName
+			switch io.LocalName() {
+			case "input":
+				target = &op.input
+			case "output":
+				target = &op.output
+			default:
+				continue // fault messages carry no doc/literal body element
+			}
+			msg := io.GetAttribute("message")
+			if msg == "" {
+				return nil, errAt(io, "operation %q: %s requires a message", name, io.LocalName())
+			}
+			q, err := resolveQName(io, msg)
+			if err != nil {
+				return nil, errAt(io, "%v", err)
+			}
+			*target = q
+		}
+		if op.input.IsZero() {
+			return nil, errAt(c, "operation %q has no input (notification operations are not supported)", name)
+		}
+		ops[name] = op
+	}
+	return ops, nil
+}
+
+func parseBinding(el *dom.Element, tns string) (*binding, error) {
+	name := el.GetAttribute("name")
+	if name == "" {
+		return nil, errAt(el, "binding requires a name")
+	}
+	b := &binding{
+		name:    xsd.QName{Space: tns, Local: name},
+		actions: map[string]string{},
+		ops:     map[string]bool{},
+	}
+	typ := el.GetAttribute("type")
+	if typ == "" {
+		return nil, errAt(el, "binding %q requires a portType reference", name)
+	}
+	q, err := resolveQName(el, typ)
+	if err != nil {
+		return nil, errAt(el, "%v", err)
+	}
+	b.portType = q
+	for _, c := range el.ChildElements() {
+		switch c.NamespaceURI() {
+		case SOAP11Namespace, SOAP12Namespace:
+			if c.LocalName() != "binding" {
+				continue
+			}
+			if style := c.GetAttribute("style"); style != "" && style != "document" {
+				return nil, errAt(c, "binding %q: style %q is not supported (document/literal only)", name, style)
+			}
+			b.soapVersion = 11
+			if c.NamespaceURI() == SOAP12Namespace {
+				b.soapVersion = 12
+			}
+		case Namespace:
+			if c.LocalName() != "operation" {
+				continue
+			}
+			opName := c.GetAttribute("name")
+			if opName == "" {
+				return nil, errAt(c, "binding %q: operation requires a name", name)
+			}
+			b.ops[opName] = true
+			if err := parseBoundOperation(c, b, opName); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if b.soapVersion == 0 {
+		return nil, errAt(el, "binding %q has no soap:binding (SOAP 1.1 or 1.2)", name)
+	}
+	return b, nil
+}
+
+// parseBoundOperation reads the soap:operation extension (soapAction,
+// style override) and rejects encoded bodies.
+func parseBoundOperation(el *dom.Element, b *binding, opName string) error {
+	for _, c := range el.ChildElements() {
+		switch {
+		case (c.NamespaceURI() == SOAP11Namespace || c.NamespaceURI() == SOAP12Namespace) && c.LocalName() == "operation":
+			if style := c.GetAttribute("style"); style != "" && style != "document" {
+				return errAt(c, "operation %q: style %q is not supported (document/literal only)", opName, style)
+			}
+			if sa := c.GetAttribute("soapAction"); sa != "" {
+				b.actions[opName] = sa
+			}
+		case c.NamespaceURI() == Namespace && (c.LocalName() == "input" || c.LocalName() == "output"):
+			for _, body := range c.ChildElements() {
+				if (body.NamespaceURI() == SOAP11Namespace || body.NamespaceURI() == SOAP12Namespace) && body.LocalName() == "body" {
+					if use := body.GetAttribute("use"); use != "" && use != "literal" {
+						return errAt(body, "operation %q: use %q is not supported (literal only)", opName, use)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// resolveService stitches a wsdl:service's ports through their bindings
+// and portTypes down to resolved operations, checking every referenced
+// body element against the compiled schema.
+func resolveService(el *dom.Element, d *Definitions, tns string,
+	messages map[xsd.QName]*message, portTypes map[xsd.QName]map[string]*portTypeOp,
+	bindings map[xsd.QName]*binding) (*Service, error) {
+	name := el.GetAttribute("name")
+	if name == "" {
+		return nil, errAt(el, "service requires a name")
+	}
+	svc := &Service{Name: name}
+	for _, pe := range el.ChildElements() {
+		if pe.NamespaceURI() != Namespace || pe.LocalName() != "port" {
+			continue
+		}
+		pname := pe.GetAttribute("name")
+		bref := pe.GetAttribute("binding")
+		if pname == "" || bref == "" {
+			return nil, errAt(pe, "port requires name and binding")
+		}
+		bq, err := resolveQName(pe, bref)
+		if err != nil {
+			return nil, errAt(pe, "%v", err)
+		}
+		b, ok := bindings[bq]
+		if !ok {
+			return nil, errAt(pe, "port %q references undefined binding %s", pname, bq)
+		}
+		ops, ok := portTypes[b.portType]
+		if !ok {
+			return nil, errAt(pe, "binding %q references undefined portType %s", bq.Local, b.portType)
+		}
+		port := &Port{Name: pname, Binding: bq, SOAPVersion: b.soapVersion}
+		for _, ae := range pe.ChildElements() {
+			if (ae.NamespaceURI() == SOAP11Namespace || ae.NamespaceURI() == SOAP12Namespace) && ae.LocalName() == "address" {
+				port.Address = ae.GetAttribute("location")
+			}
+		}
+		// portType operations in name order for determinism; the binding
+		// may bind a subset.
+		var names []string
+		for n := range ops {
+			if len(b.ops) == 0 || b.ops[n] {
+				names = append(names, n)
+			}
+		}
+		sortStrings(names)
+		for _, n := range names {
+			pto := ops[n]
+			op := &Operation{Name: n, SOAPAction: b.actions[n]}
+			in, err := bodyElement(d, messages, pto.input, "input of operation "+n)
+			if err != nil {
+				return nil, err
+			}
+			op.Input = in
+			if !pto.output.IsZero() {
+				out, err := bodyElement(d, messages, pto.output, "output of operation "+n)
+				if err != nil {
+					return nil, err
+				}
+				op.Output = out
+			}
+			port.Operations = append(port.Operations, op)
+		}
+		if len(port.Operations) == 0 {
+			return nil, errAt(pe, "port %q binds no operations", pname)
+		}
+		svc.Ports = append(svc.Ports, port)
+	}
+	if len(svc.Ports) == 0 {
+		return nil, errAt(el, "service %q has no ports", name)
+	}
+	return svc, nil
+}
+
+// bodyElement resolves a message reference to its single part's global
+// element and checks the schema declares it.
+func bodyElement(d *Definitions, messages map[xsd.QName]*message, msg xsd.QName, what string) (xsd.QName, error) {
+	m, ok := messages[msg]
+	if !ok {
+		return xsd.QName{}, fmt.Errorf("wsdl: %s references undefined message %s", what, msg)
+	}
+	if len(m.parts) != 1 {
+		return xsd.QName{}, fmt.Errorf("wsdl: message %s has %d parts; document/literal bodies need exactly one", msg.Local, len(m.parts))
+	}
+	q := m.parts[0].element
+	if d.Schema == nil {
+		return xsd.QName{}, fmt.Errorf("wsdl: %s references element %s but the WSDL has no <types>", what, q)
+	}
+	if _, ok := d.Schema.LookupElement(q); !ok {
+		return xsd.QName{}, fmt.Errorf("wsdl: %s references element %s, which no embedded schema declares", what, q)
+	}
+	return q, nil
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// resolveQName resolves a lexical QName attribute value against the
+// namespace declarations in scope at el. An unprefixed value resolves to
+// the default namespace when one is declared, else to no namespace —
+// WSDL authors conventionally prefix everything, but both forms appear.
+func resolveQName(el *dom.Element, lexical string) (xsd.QName, error) {
+	lexical = strings.TrimSpace(lexical)
+	prefix, local := "", lexical
+	if i := strings.IndexByte(lexical, ':'); i >= 0 {
+		prefix, local = lexical[:i], lexical[i+1:]
+	}
+	if local == "" {
+		return xsd.QName{}, fmt.Errorf("bad QName %q", lexical)
+	}
+	if prefix == "xml" {
+		return xsd.QName{Space: xmlparser.XMLNamespace, Local: local}, nil
+	}
+	key := prefix
+	if key == "" {
+		key = "xmlns"
+	}
+	for n := dom.Node(el); n != nil; n = n.ParentNode() {
+		e, ok := n.(*dom.Element)
+		if !ok {
+			break
+		}
+		if e.HasAttributeNS(xmlparser.XMLNSNamespace, key) {
+			return xsd.QName{Space: e.GetAttributeNS(xmlparser.XMLNSNamespace, key), Local: local}, nil
+		}
+	}
+	if prefix != "" {
+		return xsd.QName{}, fmt.Errorf("undeclared prefix %q in %q", prefix, lexical)
+	}
+	return xsd.QName{Local: local}, nil
+}

@@ -1,0 +1,211 @@
+package wsdl
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/xsd"
+)
+
+// calcWSDL is a two-namespace doc/literal WSDL: the calc schema imports
+// the shared types schema with a schemaLocation-less xs:import, the form
+// embedded <types> sections use between sibling schemas.
+const calcWSDL = `<?xml version="1.0"?>
+<wsdl:definitions name="Calc" targetNamespace="urn:calc:svc"
+    xmlns:wsdl="http://schemas.xmlsoap.org/wsdl/"
+    xmlns:soap="http://schemas.xmlsoap.org/wsdl/soap/"
+    xmlns:tns="urn:calc:svc"
+    xmlns:c="urn:calc">
+  <wsdl:types>
+    <xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema"
+               targetNamespace="urn:calc:types">
+      <xs:complexType name="Pair">
+        <xs:sequence>
+          <xs:element name="a" type="xs:int"/>
+          <xs:element name="b" type="xs:int"/>
+        </xs:sequence>
+      </xs:complexType>
+    </xs:schema>
+    <xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema"
+               xmlns:t="urn:calc:types"
+               targetNamespace="urn:calc" elementFormDefault="qualified">
+      <xs:import namespace="urn:calc:types"/>
+      <xs:element name="AddRequest" type="t:Pair"/>
+      <xs:element name="AddResponse">
+        <xs:complexType>
+          <xs:sequence><xs:element name="sum" type="xs:int"/></xs:sequence>
+        </xs:complexType>
+      </xs:element>
+      <xs:element name="Ping" type="xs:string"/>
+    </xs:schema>
+  </wsdl:types>
+  <wsdl:message name="AddIn"><wsdl:part name="body" element="c:AddRequest"/></wsdl:message>
+  <wsdl:message name="AddOut"><wsdl:part name="body" element="c:AddResponse"/></wsdl:message>
+  <wsdl:message name="PingIn"><wsdl:part name="body" element="c:Ping"/></wsdl:message>
+  <wsdl:portType name="CalcPort">
+    <wsdl:operation name="Add">
+      <wsdl:input message="tns:AddIn"/>
+      <wsdl:output message="tns:AddOut"/>
+    </wsdl:operation>
+    <wsdl:operation name="Ping">
+      <wsdl:input message="tns:PingIn"/>
+    </wsdl:operation>
+  </wsdl:portType>
+  <wsdl:binding name="CalcBinding" type="tns:CalcPort">
+    <soap:binding style="document" transport="http://schemas.xmlsoap.org/soap/http"/>
+    <wsdl:operation name="Add">
+      <soap:operation soapAction="urn:calc:add"/>
+      <wsdl:input><soap:body use="literal"/></wsdl:input>
+      <wsdl:output><soap:body use="literal"/></wsdl:output>
+    </wsdl:operation>
+    <wsdl:operation name="Ping">
+      <wsdl:input><soap:body use="literal"/></wsdl:input>
+    </wsdl:operation>
+  </wsdl:binding>
+  <wsdl:service name="Calc">
+    <wsdl:port name="CalcSOAP" binding="tns:CalcBinding">
+      <soap:address location="http://localhost/v1/soap/Calc"/>
+    </wsdl:port>
+  </wsdl:service>
+</wsdl:definitions>`
+
+func TestParseCalc(t *testing.T) {
+	d, err := Parse([]byte(calcWSDL), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "Calc" || d.TargetNamespace != "urn:calc:svc" {
+		t.Errorf("definitions = %q tns %q", d.Name, d.TargetNamespace)
+	}
+	svc, ok := d.Service("Calc")
+	if !ok || len(svc.Ports) != 1 {
+		t.Fatalf("service Calc missing or portless: %+v", d.Services)
+	}
+	p := svc.Ports[0]
+	if p.SOAPVersion != 11 {
+		t.Errorf("SOAPVersion = %d, want 11", p.SOAPVersion)
+	}
+	if p.Address != "http://localhost/v1/soap/Calc" {
+		t.Errorf("address = %q", p.Address)
+	}
+	if len(p.Operations) != 2 {
+		t.Fatalf("operations = %+v, want Add and Ping", p.Operations)
+	}
+	add, ping := p.Operations[0], p.Operations[1]
+	if add.Name != "Add" || ping.Name != "Ping" {
+		t.Fatalf("operation order = %q, %q (want name-sorted)", add.Name, ping.Name)
+	}
+	if add.SOAPAction != "urn:calc:add" {
+		t.Errorf("Add soapAction = %q", add.SOAPAction)
+	}
+	if add.Input != (xsd.QName{Space: "urn:calc", Local: "AddRequest"}) ||
+		add.Output != (xsd.QName{Space: "urn:calc", Local: "AddResponse"}) {
+		t.Errorf("Add body elements = %v / %v", add.Input, add.Output)
+	}
+	if !ping.OneWay() || ping.Input.Local != "Ping" {
+		t.Errorf("Ping = %+v, want one-way", ping)
+	}
+	// The embedded schemas compiled into one: the imported-by-namespace
+	// type must be present.
+	if _, ok := d.Schema.LookupType(xsd.QName{Space: "urn:calc:types", Local: "Pair"}); !ok {
+		t.Error("type urn:calc:types Pair missing from compiled schema")
+	}
+	if _, ok := d.Schema.LookupElement(add.Input); !ok {
+		t.Error("AddRequest element missing from compiled schema")
+	}
+}
+
+// TestParseFileRelativeImport resolves a file-based schemaLocation inside
+// <types> relative to the WSDL's own directory, confined to it.
+func TestParseFileRelativeImport(t *testing.T) {
+	dir := t.TempDir()
+	mustWrite(t, filepath.Join(dir, "types.xsd"), `<?xml version="1.0"?>
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema" targetNamespace="urn:ext">
+  <xs:element name="Echo" type="xs:string"/>
+</xs:schema>`)
+	w := `<?xml version="1.0"?>
+<wsdl:definitions name="E" targetNamespace="urn:e"
+    xmlns:wsdl="http://schemas.xmlsoap.org/wsdl/"
+    xmlns:soap="http://schemas.xmlsoap.org/wsdl/soap12/"
+    xmlns:tns="urn:e" xmlns:x="urn:ext">
+  <wsdl:types>
+    <xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema" targetNamespace="urn:e2">
+      <xs:import namespace="urn:ext" schemaLocation="types.xsd"/>
+    </xs:schema>
+  </wsdl:types>
+  <wsdl:message name="In"><wsdl:part name="body" element="x:Echo"/></wsdl:message>
+  <wsdl:portType name="P">
+    <wsdl:operation name="Echo"><wsdl:input message="tns:In"/></wsdl:operation>
+  </wsdl:portType>
+  <wsdl:binding name="B" type="tns:P">
+    <soap:binding transport="http://schemas.xmlsoap.org/soap/http"/>
+    <wsdl:operation name="Echo"><wsdl:input><soap:body use="literal"/></wsdl:input></wsdl:operation>
+  </wsdl:binding>
+  <wsdl:service name="E">
+    <wsdl:port name="EP" binding="tns:B"><soap:address location="x"/></wsdl:port>
+  </wsdl:service>
+</wsdl:definitions>`
+	path := filepath.Join(dir, "e.wsdl")
+	mustWrite(t, path, w)
+	d, err := ParseFile(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := d.Services[0].Ports[0]
+	if p.SOAPVersion != 12 {
+		t.Errorf("SOAPVersion = %d, want 12 (soap12 binding namespace)", p.SOAPVersion)
+	}
+	if p.Operations[0].Input != (xsd.QName{Space: "urn:ext", Local: "Echo"}) {
+		t.Errorf("input = %v", p.Operations[0].Input)
+	}
+	// Byte-parsed (no directory context) the same document must fail
+	// rather than read files.
+	if _, err := Parse([]byte(w), nil); err == nil {
+		t.Error("Parse without a resolver read a file reference")
+	}
+}
+
+func TestRejections(t *testing.T) {
+	cases := []struct {
+		name, from, to, want string
+	}{
+		{"rpc style", `style="document"`, `style="rpc"`, "document/literal only"},
+		{"encoded use", `use="literal"/></wsdl:input>
+      <wsdl:output><soap:body use="literal"`, `use="literal"/></wsdl:input>
+      <wsdl:output><soap:body use="encoded"`, "literal only"},
+		{"type part", `element="c:AddRequest"`, `type="c:AddRequest"`, "element parts"},
+		{"undeclared element", `element="c:Ping"`, `element="c:Pong"`, "no embedded schema declares"},
+		{"undefined message", `message="tns:PingIn"`, `message="tns:Nope"`, "undefined message"},
+		{"undefined binding", `binding="tns:CalcBinding"`, `binding="tns:Nope"`, "undefined binding"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			src := strings.Replace(calcWSDL, tc.from, tc.to, 1)
+			if src == calcWSDL {
+				t.Fatal("mutation did not apply")
+			}
+			_, err := Parse([]byte(src), nil)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("want error containing %q, got %v", tc.want, err)
+			}
+		})
+	}
+}
+
+func TestNotWSDL(t *testing.T) {
+	if _, err := Parse([]byte(`<root/>`), nil); err == nil || !strings.Contains(err.Error(), "wsdl:definitions") {
+		t.Fatalf("got %v", err)
+	}
+	if _, err := Parse([]byte(`<not xml`), nil); err == nil {
+		t.Fatal("malformed document accepted")
+	}
+}
+
+func mustWrite(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

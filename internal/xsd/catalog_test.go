@@ -1,0 +1,162 @@
+package xsd
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestBuildCatalog maps target namespaces to the declaring files across a
+// directory tree, cheaply (root-tag scan) and deterministically (smallest
+// path wins a namespace collision).
+func TestBuildCatalog(t *testing.T) {
+	dir := t.TempDir()
+	writeTree(t, dir, map[string]string{
+		"lib/common.xsd": commonTypes,
+		"lib/dup.xsd":    commonTypes, // same namespace, later path: loses
+		"nons.xsd": `<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema"/>`,
+		"notxml.xsd": `this is not xml at all <<<`,
+		"order.xsd": `<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema" targetNamespace="urn:order"/>`,
+	})
+	cat, err := BuildCatalog(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(cat); got != 2 {
+		t.Fatalf("catalog has %d entries, want 2: %v", got, cat)
+	}
+	if got := cat["urn:common"]; filepath.Base(got) != "common.xsd" {
+		t.Errorf("urn:common resolves to %q, want lib/common.xsd (smallest path wins)", got)
+	}
+	if got := cat["urn:order"]; filepath.Base(got) != "order.xsd" {
+		t.Errorf("urn:order resolves to %q", got)
+	}
+}
+
+// TestLocationlessImportViaCatalog resolves an xs:import with no
+// schemaLocation through the directory's namespace catalog — the form
+// WSDL <types> sections and vendor schema sets use routinely.
+func TestLocationlessImportViaCatalog(t *testing.T) {
+	dir := t.TempDir()
+	writeTree(t, dir, map[string]string{
+		"lib/common.xsd": commonTypes,
+		"order.xsd": `<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema" targetNamespace="urn:order"
+            xmlns:c="urn:common">
+  <xsd:import namespace="urn:common"/>
+  <xsd:element name="order">
+    <xsd:complexType>
+      <xsd:sequence>
+        <xsd:element name="shipTo" type="c:Address"/>
+      </xsd:sequence>
+    </xsd:complexType>
+  </xsd:element>
+</xsd:schema>`,
+	})
+
+	// Without a catalog the import resolves nothing and the reference to
+	// c:Address must fail — the historical behavior.
+	if _, err := ParseFile(filepath.Join(dir, "order.xsd"), nil); err == nil {
+		t.Fatal("expected undeclared-type error without a catalog")
+	} else if !strings.Contains(err.Error(), "Address") {
+		t.Fatalf("unexpected error without catalog: %v", err)
+	}
+
+	cat, err := BuildCatalog(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := NewDirResolver(dir)
+	res.Catalog = cat
+	s, err := ParseFile(filepath.Join(dir, "order.xsd"), &ParseOptions{Resolver: res})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.LookupType(QName{Space: "urn:common", Local: "Address"}); !ok {
+		t.Error("catalog-imported type Address missing")
+	}
+	if len(s.Sources()) != 2 {
+		t.Errorf("sources = %v, want the root and the cataloged import", s.Sources())
+	}
+}
+
+// TestCatalogEscapeConfined keeps namespace resolution inside the
+// resolver's root: a catalog entry pointing outside the tree is an error,
+// not a read.
+func TestCatalogEscapeConfined(t *testing.T) {
+	dir := t.TempDir()
+	outside := t.TempDir()
+	writeTree(t, outside, map[string]string{"evil.xsd": commonTypes})
+	writeTree(t, dir, map[string]string{
+		"order.xsd": `<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema" targetNamespace="urn:order"
+            xmlns:c="urn:common">
+  <xsd:import namespace="urn:common"/>
+  <xsd:element name="order" type="c:Address"/>
+</xsd:schema>`,
+	})
+	res := NewDirResolver(dir)
+	res.Catalog = map[string]string{"urn:common": filepath.Join(outside, "evil.xsd")}
+	_, err := ParseFile(filepath.Join(dir, "order.xsd"), &ParseOptions{Resolver: res})
+	if err == nil || !strings.Contains(err.Error(), "escapes") {
+		t.Fatalf("want confinement error, got %v", err)
+	}
+}
+
+// TestImportedFormDefaultPerDocument pins the per-document scope of
+// elementFormDefault/attributeFormDefault: an unqualified root importing
+// a qualified library must keep the library's locals qualified (and its
+// own unqualified) — the root document's defaults never leak into
+// imported documents.
+func TestImportedFormDefaultPerDocument(t *testing.T) {
+	dir := t.TempDir()
+	writeTree(t, dir, map[string]string{
+		"lib.xsd": `<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema"
+  targetNamespace="urn:q" elementFormDefault="qualified" attributeFormDefault="qualified">
+  <xsd:complexType name="Pair">
+    <xsd:sequence><xsd:element name="x" type="xsd:string"/></xsd:sequence>
+    <xsd:attribute name="id" type="xsd:string"/>
+  </xsd:complexType>
+</xsd:schema>`,
+		"root.xsd": `<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema"
+  xmlns:q="urn:q" targetNamespace="urn:r">
+  <xsd:import namespace="urn:q" schemaLocation="lib.xsd"/>
+  <xsd:element name="doc">
+    <xsd:complexType>
+      <xsd:sequence>
+        <xsd:element name="local" type="xsd:string"/>
+        <xsd:element name="pair" type="q:Pair"/>
+      </xsd:sequence>
+    </xsd:complexType>
+  </xsd:element>
+</xsd:schema>`,
+	})
+	s, err := ParseFile(filepath.Join(dir, "root.xsd"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, ok := s.LookupElement(QName{Space: "urn:r", Local: "doc"})
+	if !ok {
+		t.Fatal("doc not declared")
+	}
+	kids := doc.Type.(*ComplexType).Particle.Group.Particles
+	if got := kids[0].Element.Name; got != (QName{Local: "local"}) {
+		t.Errorf("root-document local = %v, want unqualified (root has no elementFormDefault)", got)
+	}
+	pair := kids[1].Element.Type.(*ComplexType)
+	px := pair.Particle.Group.Particles[0].Element.Name
+	if px != (QName{Space: "urn:q", Local: "x"}) {
+		t.Errorf("imported local = %v, want {urn:q}x (lib is elementFormDefault=qualified)", px)
+	}
+	var id QName
+	for _, a := range pair.AttributeUses {
+		if a.Decl.Name.Local == "id" {
+			id = a.Decl.Name
+		}
+	}
+	if id != (QName{Space: "urn:q", Local: "id"}) {
+		t.Errorf("imported attribute = %v, want {urn:q}id (lib is attributeFormDefault=qualified)", id)
+	}
+}

@@ -107,6 +107,20 @@ func parseRoot(src []byte, o ParseOptions, docKey string) (*Schema, error) {
 	return p.schema, nil
 }
 
+// ParseSource parses a schema document that already has a canonical key —
+// an in-memory document that participates in reference resolution as if it
+// lived at key (relative schemaLocations resolve against it, and it is
+// recorded in Schema.Sources). Callers embedding schemas inside larger
+// documents (WSDL <types>) use this to give each embedded schema a stable
+// identity without a backing file.
+func ParseSource(key string, src []byte, opts *ParseOptions) (*Schema, error) {
+	o := ParseOptions{}
+	if opts != nil {
+		o = *opts
+	}
+	return parseRoot(src, o, key)
+}
+
 // ParseString parses a schema from a string.
 func ParseString(src string, opts *ParseOptions) (*Schema, error) {
 	return Parse([]byte(src), opts)
@@ -273,31 +287,52 @@ func (p *parser) loadRedefine(el *dom.Element, tns, docKey string) error {
 // also what terminates reference cycles).
 func (p *parser) loadRef(el *dom.Element, tns, docKey string, kind refKind) (bool, error) {
 	loc := el.GetAttribute("schemaLocation")
+	var key string
+	var src []byte
 	if loc == "" {
 		if kind != refImport {
 			return false, errAt(el, "%s requires schemaLocation", el.LocalName())
 		}
-		return false, nil // import without location: components expected elsewhere
-	}
-	if p.resolver == nil {
-		return false, errAt(el, "schemaLocation %q cannot be resolved without a Loader or Resolver", loc)
-	}
-	key, src, err := p.resolver.Resolve(docKey, loc)
-	if err != nil {
-		return false, errAt(el, "loading %q: %v", loc, err)
+		// Import without location: a namespace catalog may know the
+		// document; otherwise components are expected elsewhere.
+		nr, ok := p.resolver.(NamespaceResolver)
+		if !ok {
+			return false, nil
+		}
+		k, s, found, err := nr.ResolveNamespace(tns)
+		if err != nil {
+			return false, errAt(el, "resolving namespace %q: %v", tns, err)
+		}
+		if !found {
+			return false, nil
+		}
+		key, src = k, s
+	} else {
+		if p.resolver == nil {
+			return false, errAt(el, "schemaLocation %q cannot be resolved without a Loader or Resolver", loc)
+		}
+		k, s, err := p.resolver.Resolve(docKey, loc)
+		if err != nil {
+			return false, errAt(el, "loading %q: %v", loc, err)
+		}
+		key, src = k, s
 	}
 	if p.loaded[key] {
 		return false, nil
 	}
 	p.loaded[key] = true
 	p.schema.sources = append(p.schema.sources, key)
+	ref := loc
+	if ref == "" {
+		ref = "namespace " + tns
+	}
 	doc, err := dom.Parse(src)
 	if err != nil {
-		return false, errAt(el, "parsing %q: %v", loc, err)
+		return false, errAt(el, "parsing %q: %v", ref, err)
 	}
 	sub := doc.DocumentElement()
 	if sub == nil || sub.NamespaceURI() != XSDNamespace || sub.LocalName() != "schema" {
-		return false, errAt(el, "%q is not a schema document", loc)
+		return false, errAt(el, "%q is not a schema document", ref)
 	}
 	subTNS := sub.GetAttribute("targetNamespace")
 	switch kind {
@@ -376,6 +411,25 @@ func (p *parser) tnsOf(el *dom.Element) string {
 		}
 	}
 	return p.schema.TargetNamespace
+}
+
+// formDefaultOf reports whether locals declared in el's schema document
+// default to qualified names. Form defaults are per *document*, not per
+// schema: an imported document's elementFormDefault governs its own
+// declarations no matter what the importing root says, so this walks up
+// to the owning <xs:schema> root instead of reading the root document's
+// flag. attr selects elementFormDefault or attributeFormDefault.
+func (p *parser) formDefaultOf(el *dom.Element, attr string) bool {
+	for n := dom.Node(el); n != nil; n = n.ParentNode() {
+		if e, ok := n.(*dom.Element); ok &&
+			e.NamespaceURI() == XSDNamespace && e.LocalName() == "schema" {
+			return e.GetAttribute(attr) == "qualified"
+		}
+	}
+	if attr == "attributeFormDefault" {
+		return p.schema.QualifiedLocalAttr
+	}
+	return p.schema.QualifiedLocal
 }
 
 // resolveQName resolves a lexical QName against the namespace declarations
@@ -737,7 +791,7 @@ func (p *parser) parseParticle(el *dom.Element) (*Particle, error) {
 			return nil, errAt(el, "local element requires name or ref")
 		}
 		space := ""
-		qualified := p.schema.QualifiedLocal
+		qualified := p.formDefaultOf(el, "elementFormDefault")
 		if form := el.GetAttribute("form"); form != "" {
 			qualified = form == "qualified"
 		}

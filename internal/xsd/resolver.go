@@ -5,6 +5,8 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+
+	"repro/internal/xmlparser"
 )
 
 // Resolver resolves xs:include / xs:import / xs:redefine schemaLocation
@@ -20,6 +22,20 @@ type Resolver interface {
 	// relative to the document with canonical key base ("" for the root
 	// document), together with its bytes.
 	Resolve(base, location string) (key string, src []byte, err error)
+}
+
+// NamespaceResolver resolves xs:import references that carry no
+// schemaLocation: the import names only a namespace, and a catalog built
+// from the schema directory supplies the document that declares it. A
+// Resolver that also implements NamespaceResolver enables that lookup;
+// without it, a location-less import keeps its historical meaning
+// ("components expected elsewhere") and resolves nothing.
+type NamespaceResolver interface {
+	// ResolveNamespace returns the canonical key and bytes of the document
+	// declaring namespace as its target namespace. A namespace the catalog
+	// does not know is NOT an error: ok=false falls back to the
+	// components-expected-elsewhere behavior.
+	ResolveNamespace(namespace string) (key string, src []byte, ok bool, err error)
 }
 
 // DirResolver resolves schemaLocation references against the referring
@@ -38,6 +54,12 @@ type DirResolver struct {
 	// here so a dependency shared by many schemas is read (and statted)
 	// once per reload instead of once per dependent.
 	ReadFile func(path string) ([]byte, error)
+
+	// Catalog maps target namespaces to the absolute path of the schema
+	// document declaring them, enabling schemaLocation-less xs:import.
+	// Build one with BuildCatalog, or assemble it by hand. Nil disables
+	// namespace resolution.
+	Catalog map[string]string
 }
 
 // NewDirResolver creates a resolver confined to the directory tree rooted
@@ -77,6 +99,87 @@ func (d *DirResolver) Resolve(base, location string) (string, []byte, error) {
 		return "", nil, err
 	}
 	return cand, src, nil
+}
+
+// ResolveNamespace implements NamespaceResolver over the Catalog field.
+// The returned key is the catalog path, confined to the resolver's root
+// like any other reference.
+func (d *DirResolver) ResolveNamespace(namespace string) (string, []byte, bool, error) {
+	path, ok := d.Catalog[namespace]
+	if !ok {
+		return "", nil, false, nil
+	}
+	key, src, err := d.Resolve("", path)
+	if err != nil {
+		return "", nil, true, fmt.Errorf("namespace catalog entry for %q: %w", namespace, err)
+	}
+	return key, src, true, nil
+}
+
+// BuildCatalog scans the directory tree rooted at root for *.xsd files
+// and maps each target namespace to the file declaring it. Only the root
+// element's targetNamespace attribute is read (a cheap token scan, not a
+// full schema parse), so building the catalog over a large directory is
+// one pass of opens, not compiles. When several files declare the same
+// namespace the lexicographically smallest path wins, which keeps the
+// catalog deterministic across reloads; no-namespace documents are not
+// cataloged (an import cannot name them). readFile may be nil
+// (os.ReadFile); the registry injects its per-reload cache.
+func BuildCatalog(root string, readFile func(path string) ([]byte, error)) (map[string]string, error) {
+	if readFile == nil {
+		readFile = os.ReadFile
+	}
+	absRoot, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	catalog := map[string]string{}
+	walkErr := filepath.WalkDir(absRoot, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(d.Name(), ".xsd") {
+			return err
+		}
+		src, rerr := readFile(path)
+		if rerr != nil {
+			return nil // unreadable file: not cataloged, surfaced if referenced
+		}
+		tns, ok := sniffTargetNamespace(src)
+		if !ok || tns == "" {
+			return nil
+		}
+		if prev, taken := catalog[tns]; !taken || path < prev {
+			catalog[tns] = path
+		}
+		return nil
+	})
+	if walkErr != nil {
+		return nil, walkErr
+	}
+	return catalog, nil
+}
+
+// sniffTargetNamespace tokenizes src just far enough to read the root
+// element's targetNamespace attribute. ok is false when the document is
+// not well-formed up to its root start tag or the root is not xs:schema.
+func sniffTargetNamespace(src []byte) (string, bool) {
+	d := xmlparser.NewDecoder(src, nil)
+	for {
+		tok, err := d.Next()
+		if err != nil {
+			return "", false
+		}
+		if tok.Kind != xmlparser.KindStartElement {
+			continue
+		}
+		if tok.Name.Space != XSDNamespace || tok.Name.Local != "schema" {
+			return "", false
+		}
+		for _, a := range tok.Attrs {
+			if a.Name.Space == "" && a.Name.Local == "targetNamespace" {
+				return a.Value, true
+			}
+		}
+		return "", true
+	}
 }
 
 // loaderResolver adapts the legacy location-keyed Loader to the Resolver

@@ -356,7 +356,7 @@ func (p *parser) parseAttributeUse(el *dom.Element) (*AttributeUse, error) {
 		return nil, errAt(el, "attribute requires name or ref")
 	}
 	space := ""
-	qualified := p.schema.QualifiedLocalAttr
+	qualified := p.formDefaultOf(el, "attributeFormDefault")
 	if form := el.GetAttribute("form"); form != "" {
 		qualified = form == "qualified"
 	}

@@ -3,8 +3,9 @@
 # E10 DFA stepping + pooled allocation, E11 service throughput, E12
 # one-pass binding, E13 registry cold-start + compatibility checking,
 # E14 ahead-of-time compiled validators, E15 zero-copy tokenization +
-# intra-document parallel validation) and write machine-readable results
-# to BENCH_PR8.json at the repository root. The JSON records the host's
+# intra-document parallel validation, E16 SOAP envelope dispatch vs the
+# bare-validation floor) and write machine-readable results to
+# BENCH_PR9.json at the repository root. The JSON records the host's
 # CPU model, core count and GOMAXPROCS — read the E15 scaling legs
 # against num_cpu, not in isolation.
 #
@@ -13,6 +14,6 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-go test -run xxx -bench 'BenchmarkE7|BenchmarkE8|BenchmarkE10|BenchmarkE11|BenchmarkE12|BenchmarkE13|BenchmarkE14|BenchmarkE15' -benchmem "$@" . |
-	go run ./cmd/benchjson -o BENCH_PR8.json
-echo "wrote BENCH_PR8.json" >&2
+go test -run xxx -bench 'BenchmarkE7|BenchmarkE8|BenchmarkE10|BenchmarkE11|BenchmarkE12|BenchmarkE13|BenchmarkE14|BenchmarkE15|BenchmarkE16' -benchmem "$@" . |
+	go run ./cmd/benchjson -o BENCH_PR9.json
+echo "wrote BENCH_PR9.json" >&2

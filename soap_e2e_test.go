@@ -1,0 +1,291 @@
+package repro
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/bind"
+	"repro/internal/gen/calcgen"
+	"repro/internal/gen/ordersgen"
+	"repro/internal/registry"
+	"repro/internal/schemas"
+	"repro/internal/server"
+	"repro/internal/soap"
+)
+
+// bootSOAP mounts both corpus services — wsdlgen-generated server stubs
+// with real handlers — on the full serving stack (shed/deadline worker,
+// metrics) and returns the base URL.
+func bootSOAP(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "po.xsd"), []byte(schemas.PurchaseOrderXSD), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reg := registry.New(dir, nil)
+	if _, err := reg.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(server.Config{Registry: reg})
+
+	calc, err := calcgen.NewServer(calcgen.Handlers{
+		Add: func(_ context.Context, req *bind.Value) (*bind.Value, error) {
+			a, b := intChild(req, "a"), intChild(req, "b")
+			return calcBinder(t).FromJSON([]byte(fmt.Sprintf(`{"$element":"AddResponse","sum":%d}`, a+b)))
+		},
+		Subtract: func(_ context.Context, req *bind.Value) (*bind.Value, error) {
+			a, b := intChild(req, "a"), intChild(req, "b")
+			return calcBinder(t).FromJSON([]byte(fmt.Sprintf(`{"$element":"SubtractResponse","difference":%d}`, a-b)))
+		},
+		Ping: func(_ context.Context, _ *bind.Value) (*bind.Value, error) {
+			return nil, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.RegisterSOAP(calc)
+
+	orders, err := ordersgen.NewServer(ordersgen.Handlers{
+		SubmitOrder: func(_ context.Context, req *bind.Value) (*bind.Value, error) {
+			items := 0
+			for _, c := range req.Children {
+				if c.Name.Local == "item" {
+					items++
+				}
+			}
+			return ordersBinder(t).FromJSON([]byte(fmt.Sprintf(
+				`{"$element":"SubmitOrderResponse","orderId":"ord-%d","status":"pending"}`, items)))
+		},
+		OrderStatus: func(_ context.Context, req *bind.Value) (*bind.Value, error) {
+			id := req.Children[0].Simple.String()
+			return ordersBinder(t).FromJSON([]byte(fmt.Sprintf(
+				`{"$element":"OrderStatusResponse","orderId":%q,"status":"shipped"}`, id)))
+		},
+		CancelOrder: func(_ context.Context, _ *bind.Value) (*bind.Value, error) {
+			return nil, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.RegisterSOAP(orders)
+
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+func calcBinder(t *testing.T) *bind.Binder {
+	t.Helper()
+	c, err := calcgen.NewClient("unused")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c.Binder()
+}
+
+func ordersBinder(t *testing.T) *bind.Binder {
+	t.Helper()
+	c, err := ordersgen.NewClient("unused")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c.Binder()
+}
+
+// intChild reads an integer-typed child element by local name.
+func intChild(v *bind.Value, name string) int {
+	for _, c := range v.Children {
+		if c.Name.Local == name {
+			var n int
+			fmt.Sscanf(c.Simple.String(), "%d", &n)
+			return n
+		}
+	}
+	return 0
+}
+
+// TestSOAPEndToEnd round-trips every operation of both corpus WSDLs:
+// generated client → /v1/soap/{service} → generated server stub, both
+// SOAP versions, envelopes schema-valid in both directions.
+func TestSOAPEndToEnd(t *testing.T) {
+	base := bootSOAP(t)
+
+	calc, err := calcgen.NewClient(base + "/v1/soap/" + calcgen.ServiceName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Calc.Add
+	req, err := calc.Binder().FromJSON([]byte(`{"$element":"AddRequest","a":19,"b":23}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := calc.Add(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.Children[0].Simple.String(); got != "42" {
+		t.Errorf("Add = %s, want 42", got)
+	}
+
+	// Calc.Subtract
+	req, err = calc.Binder().FromJSON([]byte(`{"$element":"SubtractRequest","a":50,"b":8}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = calc.Subtract(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.Children[0].Simple.String(); got != "42" {
+		t.Errorf("Subtract = %s, want 42", got)
+	}
+
+	// Calc.Ping (one-way)
+	req, err = calc.Binder().FromJSON([]byte(`{"$element":"Ping","$value":"hello"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := calc.Ping(ctx, req); err != nil {
+		t.Fatal(err)
+	}
+
+	// Orders (SOAP 1.2).
+	orders, err := ordersgen.NewClient(base + "/v1/soap/" + ordersgen.ServiceName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err = orders.Binder().FromJSON([]byte(`{"$element":"SubmitOrderRequest",
+		"shipTo":{"name":"Alice Smith","street":"123 Maple","city":"Mill Valley","zip":90952},
+		"item":[{"sku":"872-AA","quantity":1},{"sku":"926-AA","quantity":2}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = orders.SubmitOrder(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.Children[0].Simple.String(); got != "ord-2" {
+		t.Errorf("SubmitOrder orderId = %q, want ord-2 (one per item)", got)
+	}
+
+	req, err = orders.Binder().FromJSON([]byte(`{"$element":"OrderStatusRequest","orderId":"ord-2"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = orders.OrderStatus(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.Children[1].Simple.String(); got != "shipped" {
+		t.Errorf("OrderStatus status = %q", got)
+	}
+
+	req, err = orders.Binder().FromJSON([]byte(`{"$element":"CancelOrder","orderId":"ord-2"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := orders.CancelOrder(ctx, req); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSOAPEndToEndFaults drives the failure contract over the wire: a
+// schema-invalid request faults with violations and never a 500; the
+// typed client refuses to send a wrong-element request; a fault answer
+// surfaces as *soap.Fault.
+func TestSOAPEndToEndFaults(t *testing.T) {
+	base := bootSOAP(t)
+	ctx := context.Background()
+
+	// Raw invalid request: SKU pattern violation (declared \d{3}-[A-Z]{2}).
+	env := `<e:Envelope xmlns:e="http://www.w3.org/2003/05/soap-envelope"><e:Body>` +
+		`<o:SubmitOrderRequest xmlns:o="urn:orders">` +
+		`<o:shipTo><o:name>A</o:name><o:street>S</o:street><o:city>C</o:city><o:zip>1</o:zip></o:shipTo>` +
+		`<o:item><o:sku>NOT-A-SKU</o:sku><o:quantity>1</o:quantity></o:item>` +
+		`</o:SubmitOrderRequest></e:Body></e:Envelope>`
+	hres, err := http.Post(base+"/v1/soap/Orders", "application/soap+xml; charset=utf-8", strings.NewReader(env))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hres.Body.Close()
+	if hres.StatusCode != 400 {
+		t.Fatalf("invalid request: status %d, want 400 (never a 500)", hres.StatusCode)
+	}
+
+	// The typed client surfaces that fault as *soap.Fault with details.
+	orders, err := ordersgen.NewClient(base + "/v1/soap/Orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build a request that is locally valid but will be rejected by the
+	// service-side handler contract: wrong element for the operation.
+	ping, err := orders.Binder().FromJSON([]byte(`{"$element":"CancelOrder","orderId":"x"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := orders.SubmitOrder(ctx, ping); err == nil ||
+		!strings.Contains(err.Error(), "takes element") {
+		t.Fatalf("client sent a wrong-element request: %v", err)
+	}
+
+	// Unknown body root → 400 Fault, still never a 500.
+	hres2, err := http.Post(base+"/v1/soap/Orders", "application/soap+xml",
+		strings.NewReader(`<e:Envelope xmlns:e="http://www.w3.org/2003/05/soap-envelope"><e:Body><x:Nope xmlns:x="urn:x"/></e:Body></e:Envelope>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hres2.Body.Close()
+	if hres2.StatusCode != 400 {
+		t.Fatalf("unknown body root: status %d", hres2.StatusCode)
+	}
+}
+
+// TestSOAPFaultTyped checks that a Fault response decodes into *soap.Fault
+// through the generated client.
+func TestSOAPFaultTyped(t *testing.T) {
+	// A service with no handlers at all: every schema-valid request
+	// answers the not-implemented Fault.
+	d, err := calcgen.Definitions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := soap.NewService(d, "Calc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		data, _ := io.ReadAll(r.Body)
+		resp := svc.Handle(r.Context(), data, r.Header.Get("SOAPAction"))
+		w.Header().Set("Content-Type", resp.ContentType)
+		w.WriteHeader(resp.Status)
+		w.Write(resp.Body) //nolint:errcheck
+	}))
+	defer srv.Close()
+	calc, err := calcgen.NewClient(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := calc.Binder().FromJSON([]byte(`{"$element":"AddRequest","a":1,"b":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = calc.Add(context.Background(), req)
+	f, ok := err.(*soap.Fault)
+	if !ok {
+		t.Fatalf("want *soap.Fault, got %T: %v", err, err)
+	}
+	if f.Code != "Server" || !strings.Contains(f.Reason, "not implemented") {
+		t.Errorf("fault = %+v", f)
+	}
+}

@@ -26,6 +26,27 @@ func TestCheckedInSchemaInSync(t *testing.T) {
 	}
 }
 
+// TestCheckedInWSDLsInSync guards the on-disk WSDL corpus under
+// testdata/wsdl/ — what xsdserved -wsdls and the integration test load —
+// against drifting from the constants the generated stub packages embed.
+func TestCheckedInWSDLsInSync(t *testing.T) {
+	for _, tc := range []struct {
+		path string
+		want string
+	}{
+		{"testdata/wsdl/calc.wsdl", schemas.CalcWSDL},
+		{"testdata/wsdl/orders.wsdl", schemas.OrdersWSDL},
+	} {
+		disk, err := os.ReadFile(tc.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(disk) != tc.want {
+			t.Errorf("%s differs from its schemas constant; regenerate the file from the constant", tc.path)
+		}
+	}
+}
+
 // TestPrunedCorpusInSync guards the pruning-pass instance corpus under
 // testdata/corpus/: every document a manifest target prunes by must be
 // present, valid against that target's schema (an invalid corpus doc

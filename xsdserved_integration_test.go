@@ -131,6 +131,7 @@ func TestXsdservedIntegration(t *testing.T) {
 	cmd := exec.Command(bin,
 		"-addr", "127.0.0.1:0",
 		"-schemas", schemaDir,
+		"-wsdls", filepath.Join("testdata", "wsdl"),
 		"-reload", "0",
 		"-timeout", "10s",
 		"-drain", "5s")
@@ -224,6 +225,50 @@ func TestXsdservedIntegration(t *testing.T) {
 		t.Fatalf("encode/decode round trip changed the value:\n  before: %s\n  after:  %s", d.Data, d2.Data)
 	}
 
+	// SOAP endpoints: every *.wsdl in -wsdls is mounted. The binary
+	// registers no handlers, so the contract under test is the envelope
+	// layer itself: WSDL echo is byte-identical, a schema-valid request
+	// answers the not-implemented Fault (501, not a bare 500), and a
+	// schema-invalid request answers a Fault carrying the violations (400).
+	wsdlResp, err := http.Get(baseURL + "/v1/soap/Calc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	echoed, _ := io.ReadAll(wsdlResp.Body)
+	wsdlResp.Body.Close()
+	if wsdlResp.StatusCode != http.StatusOK || string(echoed) != schemas.CalcWSDL {
+		t.Fatalf("WSDL echo: status %d, byte-identical=%v", wsdlResp.StatusCode, string(echoed) == schemas.CalcWSDL)
+	}
+	if code := getJSON(t, baseURL+"/v1/soap/Orders", nil); code != http.StatusOK {
+		t.Fatalf("Orders WSDL echo = %d", code)
+	}
+
+	addEnv := `<e:Envelope xmlns:e="http://schemas.xmlsoap.org/soap/envelope/"><e:Body>` +
+		`<c:AddRequest xmlns:c="urn:calc"><c:a>40</c:a><c:b>2</c:b></c:AddRequest></e:Body></e:Envelope>`
+	soapResp, err := http.Post(baseURL+"/v1/soap/Calc", "text/xml; charset=utf-8", strings.NewReader(addEnv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	soapBody, _ := io.ReadAll(soapResp.Body)
+	soapResp.Body.Close()
+	if soapResp.StatusCode != http.StatusNotImplemented ||
+		!strings.Contains(string(soapBody), "Fault") ||
+		!strings.Contains(string(soapBody), "not implemented") {
+		t.Fatalf("unimplemented op: status %d: %s", soapResp.StatusCode, soapBody)
+	}
+
+	badEnv := strings.Replace(addEnv, "<c:a>40</c:a>", "<c:a>forty</c:a>", 1)
+	soapResp, err = http.Post(baseURL+"/v1/soap/Calc", "text/xml; charset=utf-8", strings.NewReader(badEnv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	soapBody, _ = io.ReadAll(soapResp.Body)
+	soapResp.Body.Close()
+	if soapResp.StatusCode != http.StatusBadRequest ||
+		!strings.Contains(string(soapBody), "violation") {
+		t.Fatalf("invalid envelope: status %d: %s", soapResp.StatusCode, soapBody)
+	}
+
 	var listing serveSchemas
 	getJSON(t, baseURL+"/v1/schemas", &listing)
 	if len(listing.Schemas) != 1 || listing.Schemas[0].Name != "po" || listing.Schemas[0].Version != 1 {
@@ -281,6 +326,12 @@ func TestXsdservedIntegration(t *testing.T) {
 	}
 	if got["po/encode"] != [2]int64{1, 0} {
 		t.Errorf("po/encode series = %v, want {1 0}", got["po/encode"])
+	}
+	// Both SOAP requests dispatched to Add and faulted (unimplemented,
+	// then schema-invalid), so the per-operation series meters them as
+	// invalid.
+	if got["soap:Calc/op:Add"] != [2]int64{2, 2} {
+		t.Errorf("soap:Calc/op:Add series = %v, want {2 2}", got["soap:Calc/op:Add"])
 	}
 	if snap.Reloads < 1 {
 		t.Errorf("reloads = %d, want >= 1", snap.Reloads)
