@@ -21,6 +21,8 @@ import (
 	"testing"
 
 	"repro/internal/bind"
+	"repro/internal/blast"
+	"repro/internal/cluster"
 	"repro/internal/compat"
 	"repro/internal/contentmodel"
 	"repro/internal/dom"
@@ -28,6 +30,7 @@ import (
 	"repro/internal/gen/evolvedgen"
 	"repro/internal/gen/pogen"
 	"repro/internal/normalize"
+	"repro/internal/obs"
 	"repro/internal/pxml"
 	"repro/internal/registry"
 	"repro/internal/schemas"
@@ -1268,4 +1271,223 @@ func BenchmarkE16_SOAP(b *testing.B) {
 			}
 		})
 	})
+}
+
+// ---------------------------------------------------------------------------
+// E17 — cluster tier: fleet routing cost, batch amortization, pooled
+// response buffers, and shared-parse cold start.
+// ---------------------------------------------------------------------------
+
+// benchFleet boots n in-process nodes over one schema directory and
+// returns their base URLs. n == 1 serves the bare handler (no cluster
+// wrap) so the single-node leg prices the server alone; n > 1 wraps
+// each node in proxy-mode routing, so requests landing on a non-owner
+// pay the forward hop — exactly what a round-robin client sees against
+// a real fleet.
+func benchFleet(b *testing.B, dir string, n int) []string {
+	b.Helper()
+	servers := make([]*httptest.Server, n)
+	addrs := make([]string, n)
+	for i := range servers {
+		servers[i] = httptest.NewUnstartedServer(nil)
+		addrs[i] = servers[i].Listener.Addr().String()
+	}
+	for i, ts := range servers {
+		reg := registry.New(dir, nil)
+		if _, err := reg.Reload(); err != nil {
+			b.Fatal(err)
+		}
+		met := &obs.Metrics{}
+		srv := server.New(server.Config{Registry: reg, Metrics: met})
+		if n == 1 {
+			ts.Config.Handler = srv.Handler()
+		} else {
+			node, err := cluster.New(cluster.Config{
+				Self:     addrs[i],
+				Peers:    addrs,
+				Registry: reg,
+				Metrics:  met,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ts.Config.Handler = node.Wrap(srv.Handler())
+		}
+		ts.Start()
+		b.Cleanup(ts.Close)
+	}
+	targets := make([]string, n)
+	for i, a := range addrs {
+		targets[i] = "http://" + a
+	}
+	return targets
+}
+
+// BenchmarkE17_ClusterServe drives the blast harness against a single
+// node and a 3-node fleet, per-document and batched. ns/op is wall
+// time per REQUEST (a batch request carries 16 documents — read the
+// docs/s extra metric for per-document throughput); p50/p90/p99-ns are
+// client-observed latency quantiles from the run's histogram. The
+// nodes=3 legs include the proxy hop for the ~2/3 of round-robin
+// requests that land on a non-owner.
+func BenchmarkE17_ClusterServe(b *testing.B) {
+	dir := b.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "po.xsd"), []byte(schemas.PurchaseOrderXSD), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	doc := largePOSource(10)
+	legs := []struct {
+		name  string
+		mix   blast.Mix
+		batch int
+	}{
+		{"validate", blast.Mix{Validate: 1}, 0},
+		{"batch16", blast.Mix{Batch: 1}, 16},
+	}
+	for _, nodes := range []int{1, 3} {
+		for _, leg := range legs {
+			b.Run(fmt.Sprintf("%s/nodes=%d", leg.name, nodes), func(b *testing.B) {
+				targets := benchFleet(b, dir, nodes)
+				b.SetBytes(int64(len(doc)))
+				b.ResetTimer()
+				res, err := blast.Run(context.Background(), blast.Config{
+					Targets:       targets,
+					Schema:        "po",
+					Doc:           doc,
+					Mix:           leg.mix,
+					Concurrency:   8,
+					TotalRequests: int64(b.N),
+					BatchSize:     leg.batch,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Failed > 0 || res.Invalid > 0 {
+					b.Fatalf("blast run degraded: %d failed, %d invalid (%s)",
+						res.Failed, res.Invalid, res.FirstError)
+				}
+				b.ReportMetric(float64(res.Latency.P50Ns), "p50-ns")
+				b.ReportMetric(float64(res.Latency.P90Ns), "p90-ns")
+				b.ReportMetric(float64(res.Latency.P99Ns), "p99-ns")
+				b.ReportMetric(res.DocsPerSec, "docs/s")
+			})
+		}
+	}
+}
+
+// BenchmarkE17_ResponseBuffer prices the pooled response-body path
+// against per-request encoding, over a real connection — the pool's
+// win is a pre-sized single-write response (exact Content-Length)
+// where the direct path streams the encoder into the ResponseWriter
+// and pays chunked framing plus extra write calls. The decode leg
+// returns the whole document as canonical JSON, so the response body
+// dwarfs the verdict and the framing difference is proportionally
+// largest.
+func BenchmarkE17_ResponseBuffer(b *testing.B) {
+	dir := b.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "po.xsd"), []byte(schemas.PurchaseOrderXSD), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	small, large := largePOSource(1), largePOSource(200)
+	for _, leg := range []struct {
+		name string
+		path string
+		doc  []byte
+	}{
+		{"validate-small", "/v1/validate/po", small},
+		{"decode-200items", "/v1/decode/po", large},
+	} {
+		for _, variant := range []struct {
+			name    string
+			disable bool
+		}{
+			{"pooled", false},
+			{"direct", true},
+		} {
+			b.Run(leg.name+"/"+variant.name, func(b *testing.B) {
+				reg := registry.New(dir, nil)
+				if _, err := reg.Reload(); err != nil {
+					b.Fatal(err)
+				}
+				srv := server.New(server.Config{Registry: reg, DisableBufferPool: variant.disable})
+				ts := httptest.NewServer(srv.Handler())
+				defer ts.Close()
+				url := ts.URL + leg.path
+				b.ReportAllocs()
+				b.SetBytes(int64(len(leg.doc)))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					resp, err := http.Post(url, "application/xml", bytes.NewReader(leg.doc))
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+						b.Fatal(err)
+					}
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						b.Fatalf("%s answered %d", leg.path, resp.StatusCode)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkE17_ColdStartSharedParse prices a registry cold start over a
+// directory where 32 entries all import one shared library — the shape
+// the per-reload DOM cache exists for. shared parses the library once
+// per reload; direct re-parses it once per importer.
+func BenchmarkE17_ColdStartSharedParse(b *testing.B) {
+	dir := b.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, "lib"), 0o755); err != nil {
+		b.Fatal(err)
+	}
+	// A library big enough that parsing it is a measurable share of an
+	// entry's compile cost.
+	var lib strings.Builder
+	lib.WriteString(`<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema" targetNamespace="urn:benchlib">
+  <xsd:complexType name="Meta"><xsd:sequence><xsd:element name="id" type="xsd:string"/></xsd:sequence></xsd:complexType>`)
+	for i := 0; i < 40; i++ {
+		fmt.Fprintf(&lib, `
+  <xsd:complexType name="T%02d"><xsd:sequence><xsd:element name="a" type="xsd:string"/><xsd:element name="b" type="xsd:int" minOccurs="0"/></xsd:sequence><xsd:attribute name="k" type="xsd:string"/></xsd:complexType>`, i)
+	}
+	lib.WriteString("\n</xsd:schema>\n")
+	if err := os.WriteFile(filepath.Join(dir, "lib", "common.xsd"), []byte(lib.String()), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		src := fmt.Sprintf(`<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema" targetNamespace="urn:bench%02d"
+            xmlns:l="urn:benchlib" elementFormDefault="qualified">
+  <xsd:import namespace="urn:benchlib" schemaLocation="lib/common.xsd"/>
+  <xsd:element name="doc"><xsd:complexType><xsd:sequence><xsd:element name="meta" type="l:Meta"/></xsd:sequence></xsd:complexType></xsd:element>
+</xsd:schema>
+`, i)
+		if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf("bench%02d.xsd", i)), []byte(src), 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, leg := range []struct {
+		name    string
+		disable bool
+	}{
+		{"shared", false},
+		{"direct", true},
+	} {
+		b.Run(leg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				reg := registry.New(dir, nil)
+				reg.DisableSharedParse = leg.disable
+				if _, err := reg.Reload(); err != nil {
+					b.Fatal(err)
+				}
+				if len(reg.List()) != 32 {
+					b.Fatalf("cold start compiled %d entries, want 32", len(reg.List()))
+				}
+			}
+		})
+	}
 }

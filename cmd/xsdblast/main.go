@@ -1,0 +1,208 @@
+// Command xsdblast load-tests an xsdserved node or fleet: a mixed
+// validate/decode/encode/batch workload at a target rate, reporting
+// achieved throughput, p50/p90/p99 latency, and the error/shed split.
+// It is the operational counterpart of the in-process benchmarks — the
+// numbers an SLO conversation actually needs come from the far side of
+// a real socket.
+//
+// Usage:
+//
+//	xsdblast -targets http://h1:8080,http://h2:8080 -schema po -sample \
+//	    -mix validate=8,batch=1,decode=1 -rate 500 -d 30s -json out.json
+//
+// With -sample the built-in purchase-order document drives the run (the
+// schema directory must serve it, e.g. xsdserved over a directory
+// containing the po.xsd that /v1/schemas lists); -doc points at any
+// other XML file instead. Exit status is non-zero when the run recorded
+// failures (shed responses are not failures: the server kept its
+// latency promise by refusing work).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/blast"
+	"repro/internal/schemas"
+)
+
+func main() {
+	var (
+		targets = flag.String("targets", "http://127.0.0.1:8080", "comma-separated base URLs of the nodes to drive")
+		schema  = flag.String("schema", "po", "registry schema name to exercise")
+		docPath = flag.String("doc", "", "XML document to send (file path)")
+		sample  = flag.Bool("sample", false, "use the built-in purchase-order sample document")
+		mixSpec = flag.String("mix", "validate=1", "workload mix weights, e.g. validate=8,stream=2,batch=1,decode=2,encode=1")
+		rate    = flag.Float64("rate", 0, "target requests/sec across all workers (0 = unthrottled)")
+		conc    = flag.Int("c", 8, "concurrent workers")
+		dur     = flag.Duration("d", 0, "run duration (0 = until -n requests)")
+		total   = flag.Int64("n", 0, "total request budget (0 = until -d elapses)")
+		batch   = flag.Int("batch", 16, "documents per batch request")
+		seed    = flag.Int64("seed", 1, "workload RNG seed")
+		jsonOut = flag.String("json", "", "write the full result as JSON to this file (- for stdout)")
+	)
+	flag.Parse()
+
+	var doc []byte
+	switch {
+	case *docPath != "":
+		var err error
+		doc, err = os.ReadFile(*docPath)
+		if err != nil {
+			fatalf("reading -doc: %v", err)
+		}
+	case *sample:
+		doc = []byte(schemas.PurchaseOrderDoc)
+	default:
+		fatalf("need -doc FILE or -sample")
+	}
+	mix, err := parseMix(*mixSpec)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if *dur <= 0 && *total <= 0 {
+		fatalf("need a budget: -d DURATION and/or -n REQUESTS")
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	res, err := blast.Run(ctx, blast.Config{
+		Targets:       splitTargets(*targets),
+		Schema:        *schema,
+		Doc:           doc,
+		Mix:           mix,
+		Rate:          *rate,
+		Concurrency:   *conc,
+		Duration:      *dur,
+		TotalRequests: *total,
+		BatchSize:     *batch,
+		Seed:          *seed,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	printSummary(res)
+	if *jsonOut != "" {
+		if err := writeJSON(*jsonOut, res); err != nil {
+			fatalf("writing -json: %v", err)
+		}
+	}
+	if res.Failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func splitTargets(s string) []string {
+	var out []string
+	for _, t := range strings.Split(s, ",") {
+		if t = strings.TrimSuffix(strings.TrimSpace(t), "/"); t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// parseMix reads "validate=8,batch=1"-style weight lists.
+func parseMix(spec string) (blast.Mix, error) {
+	var m blast.Mix
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(part, "=")
+		w := 1
+		if ok {
+			var err error
+			if w, err = strconv.Atoi(v); err != nil || w < 0 {
+				return m, fmt.Errorf("bad mix weight %q", part)
+			}
+		}
+		switch k {
+		case "validate":
+			m.Validate = w
+		case "stream":
+			m.Stream = w
+		case "batch":
+			m.Batch = w
+		case "decode":
+			m.Decode = w
+		case "encode":
+			m.Encode = w
+		default:
+			return m, fmt.Errorf("unknown mix op %q (want validate, stream, batch, decode, encode)", k)
+		}
+	}
+	return m, nil
+}
+
+func printSummary(res *blast.Result) {
+	elapsed := time.Duration(res.ElapsedNs)
+	fmt.Printf("requests  %d in %s (%.1f req/s, %.1f docs/s)\n",
+		res.Requests, elapsed.Round(time.Millisecond), res.RPS, res.DocsPerSec)
+	fmt.Printf("outcomes  ok=%d invalid=%d shed=%d failed=%d\n",
+		res.OK, res.Invalid, res.Shed, res.Failed)
+	fmt.Printf("latency   p50=%s p90=%s p99=%s max=%s\n",
+		time.Duration(res.Latency.P50Ns).Round(time.Microsecond),
+		time.Duration(res.Latency.P90Ns).Round(time.Microsecond),
+		time.Duration(res.Latency.P99Ns).Round(time.Microsecond),
+		time.Duration(res.Latency.MaxNs).Round(time.Microsecond))
+	if len(res.ByOp) > 0 {
+		parts := make([]string, 0, len(res.ByOp))
+		for _, op := range []blast.Op{blast.OpValidate, blast.OpStream, blast.OpBatch, blast.OpDecode, blast.OpEncode} {
+			if n := res.ByOp[op]; n > 0 {
+				parts = append(parts, fmt.Sprintf("%s=%d", op, n))
+			}
+		}
+		fmt.Printf("mix       %s\n", strings.Join(parts, " "))
+	}
+	if res.FirstError != "" {
+		fmt.Printf("first err %s\n", res.FirstError)
+	}
+}
+
+// report is the -json document: the result plus enough host context to
+// compare runs across machines.
+type report struct {
+	*blast.Result
+	Goos       string `json:"goos"`
+	Goarch     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	Gomaxprocs int    `json:"gomaxprocs"`
+}
+
+func writeJSON(path string, res *blast.Result) error {
+	rep := report{
+		Result:     res,
+		Goos:       runtime.GOOS,
+		Goarch:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		Gomaxprocs: runtime.GOMAXPROCS(0),
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "xsdblast: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -24,6 +24,14 @@
 // SIGINT/SIGTERM drain gracefully within -drain. Request logs are
 // JSON-structured on stderr; the bound address is announced on stdout
 // (useful with -addr :0).
+//
+// With -cluster-self and -cluster-peers a set of nodes becomes a
+// schema-sharded fleet: each schema's traffic routes to its
+// consistent-hash owner (-route proxy|redirect), /v1/cluster reports
+// fleet state, and a gossip loop (-gossip) converges registry snapshots
+// across nodes after any one of them reloads. SIGTERM first advertises
+// draining for -drain-notice (503 on /healthz, flagged in gossip) so
+// peers and load balancers steer away before the listener closes.
 package main
 
 import (
@@ -41,6 +49,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/compat"
 	"repro/internal/obs"
 	"repro/internal/registry"
@@ -125,6 +134,11 @@ func main() {
 	gate := flag.String("compat-gate", "none", "reject reloaded schema versions below this compatibility level vs the serving version (none|backward|forward|full)")
 	wsdls := flag.String("wsdls", "", "directory of *.wsdl service descriptions to mount at /v1/soap/{service} (envelope validation and WSDL echo; operations answer an unimplemented Fault)")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this loopback address (e.g. 127.0.0.1:6060; empty disables, non-loopback refused)")
+	clusterSelf := flag.String("cluster-self", "", "this node's host:port as it appears in -cluster-peers (enables the cluster tier)")
+	clusterPeers := flag.String("cluster-peers", "", "comma-separated host:port list of the full fleet, self included; every node must use the same list")
+	routeMode := flag.String("route", "proxy", "what to do with requests for schemas another node owns (proxy|redirect)")
+	gossipEvery := flag.Duration("gossip", time.Second, "peer status poll interval for the cluster gossip loop")
+	drainNotice := flag.Duration("drain-notice", 3*time.Second, "after SIGTERM, advertise draining for this long (via /healthz and gossip) before closing the listener, so peers stop routing here first; 0 skips straight to drain")
 	flag.Parse()
 	if *dir == "" {
 		fmt.Fprintln(os.Stderr, "usage: xsdserved -schemas dir [-addr host:port]")
@@ -238,8 +252,47 @@ func main() {
 	}()
 	go reg.Watch(ctx, *reloadEvery, kick)
 
+	// With -cluster-self/-cluster-peers the serving handler is wrapped
+	// in the ring-routing tier and the gossip loop starts: requests for
+	// schemas another node owns are proxied (or 307ed) there, and peers'
+	// registry snapshots are pulled into convergence. A pull reload
+	// rides the same kick channel as SIGHUP, so gossip-triggered and
+	// operator-triggered reloads coalesce instead of stacking.
+	handler := srv.Handler()
+	var clusterNode *cluster.Node
+	if *clusterSelf != "" || *clusterPeers != "" {
+		mode, err := cluster.ParseMode(*routeMode)
+		if err != nil {
+			logger.Error("cluster", "err", err.Error())
+			os.Exit(2)
+		}
+		clusterNode, err = cluster.New(cluster.Config{
+			Self:           *clusterSelf,
+			Peers:          strings.Split(*clusterPeers, ","),
+			Registry:       reg,
+			Metrics:        metrics,
+			Logger:         logger,
+			Mode:           mode,
+			GossipInterval: *gossipEvery,
+			PullReload: func() {
+				select {
+				case kick <- struct{}{}:
+				default:
+				}
+			},
+		})
+		if err != nil {
+			logger.Error("cluster", "err", err.Error())
+			os.Exit(2)
+		}
+		handler = clusterNode.Wrap(handler)
+		go clusterNode.Gossip(ctx)
+		logger.Info("cluster enabled", "self", *clusterSelf,
+			"peers", clusterNode.Ring().Peers(), "mode", mode.String())
+	}
+
 	hs := &http.Server{
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	serveErr := make(chan error, 1)
@@ -250,6 +303,26 @@ func main() {
 		logger.Error("serve", "err", err.Error())
 		os.Exit(1)
 	case <-ctx.Done():
+	}
+	// Drain in two phases. First ANNOUNCE: /healthz flips to 503
+	// Draining and gossip carries the flag, so load balancers and peers
+	// steer new work away while this listener still answers everything
+	// in flight or newly arrived. Then DRAIN: close the listener and
+	// wait out stragglers. The notice phase is what makes removing one
+	// node from a fleet lossless — peers stop proxying here before the
+	// socket stops accepting.
+	srv.SetDraining(true)
+	if clusterNode != nil {
+		clusterNode.SetDraining(true)
+	}
+	if *drainNotice > 0 {
+		logger.Info("drain notice", "notice", drainNotice.String())
+		select {
+		case <-time.After(*drainNotice):
+		case err := <-serveErr:
+			logger.Error("serve", "err", err.Error())
+			os.Exit(1)
+		}
 	}
 	logger.Info("shutting down", "drain", drain.String())
 	shCtx, cancel := context.WithTimeout(context.Background(), *drain)

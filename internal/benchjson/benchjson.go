@@ -35,6 +35,10 @@ type Result struct {
 	// they are -1 when the line carried no memory columns.
 	BytesPerOp  int64 `json:"bytes_per_op"`
 	AllocsPerOp int64 `json:"allocs_per_op"`
+	// Extra holds every other value/unit pair on the line — MB/s from
+	// b.SetBytes and custom b.ReportMetric units (the E17 cluster legs
+	// report p50-ns/p90-ns/p99-ns latency quantiles this way).
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // Run is a parsed benchmark session: the environment header plus every
@@ -127,6 +131,15 @@ func parseResult(line string) (Result, error) {
 			if res.AllocsPerOp, err = strconv.ParseInt(val, 10, 64); err != nil {
 				return Result{}, fmt.Errorf("allocs/op in %q: %w", line, err)
 			}
+		default:
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return Result{}, fmt.Errorf("%s in %q: %w", unit, line, err)
+			}
+			if res.Extra == nil {
+				res.Extra = make(map[string]float64)
+			}
+			res.Extra[unit] = f
 		}
 	}
 	return res, nil

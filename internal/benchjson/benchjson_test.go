@@ -3,6 +3,7 @@ package benchjson
 import (
 	"bytes"
 	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -14,6 +15,7 @@ cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
 BenchmarkE7_CachedValidate/warm-cached-8         	   68612	     17146 ns/op	    6713 B/op	     253 allocs/op
 BenchmarkE10_ContentModelStep/po-items-1000/dfa-8	  160000	      7442 ns/op	       0 B/op	       0 allocs/op
 BenchmarkE3_GlushkovConstruction/k8w4            	   10000	      5000 ns/op
+BenchmarkE17_ClusterServe/validate/nodes=3-8     	    2000	    901234 ns/op	  52.11 MB/s	    812345 p50-ns	   2101234 p99-ns
 PASS
 ok  	repro	12.3s
 `
@@ -29,19 +31,27 @@ func TestParse(t *testing.T) {
 	if !strings.Contains(run.CPU, "Xeon") {
 		t.Fatalf("bad cpu: %q", run.CPU)
 	}
-	if len(run.Results) != 3 {
-		t.Fatalf("want 3 results, got %d", len(run.Results))
+	if len(run.Results) != 4 {
+		t.Fatalf("want 4 results, got %d", len(run.Results))
 	}
 	r := run.Results[0]
 	if r.Name != "BenchmarkE7_CachedValidate/warm-cached" || r.Procs != 8 ||
 		r.Iterations != 68612 || r.NsPerOp != 17146 || r.BytesPerOp != 6713 || r.AllocsPerOp != 253 {
 		t.Fatalf("result 0 mismatch: %+v", r)
 	}
+	if r.Extra != nil {
+		t.Fatalf("result 0 has unexpected extra metrics: %+v", r.Extra)
+	}
 	// No -P suffix and no -benchmem columns.
 	r = run.Results[2]
 	if r.Name != "BenchmarkE3_GlushkovConstruction/k8w4" || r.Procs != 1 ||
 		r.BytesPerOp != -1 || r.AllocsPerOp != -1 {
 		t.Fatalf("result 2 mismatch: %+v", r)
+	}
+	// MB/s and b.ReportMetric units land in Extra.
+	r = run.Results[3]
+	if r.Extra["MB/s"] != 52.11 || r.Extra["p50-ns"] != 812345 || r.Extra["p99-ns"] != 2101234 {
+		t.Fatalf("result 3 extra metrics mismatch: %+v", r.Extra)
 	}
 }
 
@@ -68,7 +78,7 @@ func TestWriteRoundTrip(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
 		t.Fatal(err)
 	}
-	if len(back.Results) != len(run.Results) || back.Results[0] != run.Results[0] {
+	if len(back.Results) != len(run.Results) || !reflect.DeepEqual(back.Results, run.Results) {
 		t.Fatalf("round trip mismatch: %+v", back.Results)
 	}
 }

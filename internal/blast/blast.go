@@ -1,0 +1,443 @@
+// Package blast is the load harness behind cmd/xsdblast: it drives an
+// xsdserved node or fleet with a mixed validate/decode/encode/batch
+// workload at a target rate and reports what the paper's serving story
+// is ultimately judged on — tail latency and loss under load, not mean
+// throughput in a vacuum. The library form exists so benchmarks and the
+// fleet integration test can run the exact harness the CLI runs, in
+// process, and assert on its numbers.
+package blast
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Op is one workload operation kind.
+type Op string
+
+const (
+	OpValidate Op = "validate" // POST /v1/validate/{schema}
+	OpStream   Op = "stream"   // POST /v1/validate/{schema}?stream=1
+	OpBatch    Op = "batch"    // POST /v1/validate-batch/{schema}
+	OpDecode   Op = "decode"   // POST /v1/decode/{schema}
+	OpEncode   Op = "encode"   // POST /v1/encode/{schema}
+)
+
+// Mix weights the workload by operation. Zero-valued entries are
+// excluded; the zero Mix means pure validate.
+type Mix struct {
+	Validate int `json:"validate"`
+	Stream   int `json:"stream"`
+	Batch    int `json:"batch"`
+	Decode   int `json:"decode"`
+	Encode   int `json:"encode"`
+}
+
+func (m Mix) total() int { return m.Validate + m.Stream + m.Batch + m.Decode + m.Encode }
+
+// pick maps a uniform draw in [0, total) to an operation.
+func (m Mix) pick(n int) Op {
+	if n -= m.Validate; n < 0 {
+		return OpValidate
+	}
+	if n -= m.Stream; n < 0 {
+		return OpStream
+	}
+	if n -= m.Batch; n < 0 {
+		return OpBatch
+	}
+	if n -= m.Decode; n < 0 {
+		return OpDecode
+	}
+	return OpEncode
+}
+
+// Config describes one load run.
+type Config struct {
+	// Targets are base URLs ("http://127.0.0.1:8080"); requests
+	// round-robin across them. Required.
+	Targets []string
+	// Schema names the registry entry to exercise. Required.
+	Schema string
+	// Doc is the XML document posted to validate/stream/decode (and
+	// batched). Required.
+	Doc []byte
+	// DocJSON is the canonical-JSON body for encode requests. When nil
+	// and the mix includes encode, Run primes it with one /v1/decode
+	// call against the first target.
+	DocJSON []byte
+	// Mix weights the operations (zero value = all validate).
+	Mix Mix
+	// Rate is the target request rate per second across all workers;
+	// zero means unthrottled (as fast as Concurrency allows).
+	Rate float64
+	// Concurrency is the worker count (default 8). It bounds in-flight
+	// requests; under a Rate it is how much burst the pacer can absorb.
+	Concurrency int
+	// Duration stops the run after a wall-clock budget.
+	Duration time.Duration
+	// TotalRequests stops the run after a request count. At least one
+	// of Duration/TotalRequests must be set.
+	TotalRequests int64
+	// BatchSize is how many copies of Doc one batch request carries
+	// (default 16).
+	BatchSize int
+	// Seed makes the op/target sequence reproducible (0 picks 1).
+	Seed int64
+	// Client is the HTTP client (nil builds one with a 30s timeout and
+	// per-target keep-alive connections).
+	Client *http.Client
+}
+
+// Result is what a run measured. Counters classify by outcome:
+// transport errors and non-(200|429) statuses are Failed, 429s are Shed
+// (the server refusing work by design, not failing it), and 200s are
+// OK — with verdicts that judged the document invalid also counted in
+// Invalid, because a load run against a valid document where Invalid
+// moves is a correctness bug worth failing a run over.
+type Result struct {
+	Requests     int64                 `json:"requests"`
+	Docs         int64                 `json:"docs"` // documents processed (batches count BatchSize)
+	OK           int64                 `json:"ok"`
+	Invalid      int64                 `json:"invalid"`
+	Shed         int64                 `json:"shed"`
+	Failed       int64                 `json:"failed"`
+	StatusCounts map[int]int64         `json:"status_counts"`
+	ByOp         map[Op]int64          `json:"by_op"`
+	Latency      obs.HistogramSnapshot `json:"latency"`
+	ElapsedNs    int64                 `json:"elapsed_ns"`
+	RPS          float64               `json:"rps"`
+	DocsPerSec   float64               `json:"docs_per_sec"`
+	// FirstError samples one failure for diagnosis (load tools that
+	// report only counts leave you grepping server logs).
+	FirstError string `json:"first_error,omitempty"`
+}
+
+// state is the shared mutable accounting a run's workers write into.
+type state struct {
+	cfg      *Config
+	client   *http.Client
+	requests atomic.Int64 // requests started (admission ticket when TotalRequests caps the run)
+	docs     atomic.Int64
+	ok       atomic.Int64
+	invalid  atomic.Int64
+	shed     atomic.Int64
+	failed   atomic.Int64
+	lat      obs.Histogram
+
+	mu       sync.Mutex
+	statuses map[int]int64
+	byOp     map[Op]int64
+	firstErr string
+}
+
+// Run executes the configured load and blocks until the budget
+// (duration, request count, or ctx) is exhausted.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	if len(cfg.Targets) == 0 {
+		return nil, errors.New("blast: no targets")
+	}
+	if cfg.Schema == "" {
+		return nil, errors.New("blast: no schema")
+	}
+	if len(cfg.Doc) == 0 {
+		return nil, errors.New("blast: no document")
+	}
+	if cfg.Duration <= 0 && cfg.TotalRequests <= 0 {
+		return nil, errors.New("blast: need a Duration or TotalRequests budget")
+	}
+	if cfg.Mix.total() == 0 {
+		cfg.Mix = Mix{Validate: 1}
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 8
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 16
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	st := &state{
+		cfg:      &cfg,
+		client:   cfg.Client,
+		statuses: map[int]int64{},
+		byOp:     map[Op]int64{},
+	}
+	if st.client == nil {
+		st.client = &http.Client{
+			Timeout: 30 * time.Second,
+			Transport: &http.Transport{
+				MaxIdleConnsPerHost: cfg.Concurrency,
+			},
+		}
+	}
+	if cfg.Mix.Encode > 0 && len(cfg.DocJSON) == 0 {
+		data, err := primeJSON(ctx, st)
+		if err != nil {
+			return nil, fmt.Errorf("blast: priming encode body via /v1/decode: %w", err)
+		}
+		cfg.DocJSON = data
+	}
+
+	runCtx := ctx
+	var cancel context.CancelFunc
+	if cfg.Duration > 0 {
+		runCtx, cancel = context.WithTimeout(ctx, cfg.Duration)
+		defer cancel()
+	}
+
+	// Pacer: a token channel fed in 5ms slices. Workers block on a
+	// token before each request, so the offered rate holds even while
+	// some workers are stuck in slow requests (up to Concurrency of
+	// them — beyond that the pacer is ahead of capacity and tokens
+	// pile up to a one-tick burst, no further).
+	var tokens chan struct{}
+	if cfg.Rate > 0 {
+		tokens = make(chan struct{}, cfg.Concurrency)
+		go pace(runCtx, cfg.Rate, tokens)
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)))
+			for {
+				if runCtx.Err() != nil {
+					return
+				}
+				// The request ticket: claim a slot in the total budget
+				// before pacing, release nothing — a claimed ticket is
+				// a request that WILL be sent unless the clock runs out.
+				n := st.requests.Add(1)
+				if cfg.TotalRequests > 0 && n > cfg.TotalRequests {
+					st.requests.Add(-1)
+					return
+				}
+				if tokens != nil {
+					select {
+					case <-runCtx.Done():
+						st.requests.Add(-1)
+						return
+					case <-tokens:
+					}
+				}
+				st.doRequest(runCtx, rng)
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := &Result{
+		Requests:     st.requests.Load(),
+		Docs:         st.docs.Load(),
+		OK:           st.ok.Load(),
+		Invalid:      st.invalid.Load(),
+		Shed:         st.shed.Load(),
+		Failed:       st.failed.Load(),
+		StatusCounts: st.statuses,
+		ByOp:         st.byOp,
+		Latency:      st.lat.Snapshot(),
+		ElapsedNs:    int64(elapsed),
+		FirstError:   st.firstErr,
+	}
+	if s := elapsed.Seconds(); s > 0 {
+		res.RPS = float64(res.Requests) / s
+		res.DocsPerSec = float64(res.Docs) / s
+	}
+	return res, nil
+}
+
+// pace feeds tokens at rate/sec in 5ms slices, carrying the fractional
+// remainder so low rates still average out exactly.
+func pace(ctx context.Context, rate float64, tokens chan<- struct{}) {
+	const tick = 5 * time.Millisecond
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	perTick := rate * tick.Seconds()
+	var carry float64
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		carry += perTick
+		for carry >= 1 {
+			carry--
+			select {
+			case tokens <- struct{}{}:
+			case <-ctx.Done():
+				return
+			default:
+				// Workers are saturated; dropping the token keeps the
+				// pacer from banking unbounded burst.
+				carry = 0
+			}
+		}
+	}
+}
+
+// doRequest issues one operation and classifies the outcome.
+func (st *state) doRequest(ctx context.Context, rng *rand.Rand) {
+	cfg := st.cfg
+	op := cfg.Mix.pick(rng.Intn(cfg.Mix.total()))
+	target := cfg.Targets[rng.Intn(len(cfg.Targets))]
+
+	var path string
+	var body []byte
+	contentType := "application/xml"
+	docsInRequest := int64(1)
+	switch op {
+	case OpValidate:
+		path, body = "/v1/validate/"+cfg.Schema, cfg.Doc
+	case OpStream:
+		path, body = "/v1/validate/"+cfg.Schema+"?stream=1", cfg.Doc
+	case OpDecode:
+		path, body = "/v1/decode/"+cfg.Schema, cfg.Doc
+	case OpEncode:
+		path, body = "/v1/encode/"+cfg.Schema, cfg.DocJSON
+		contentType = "application/json"
+	case OpBatch:
+		path = "/v1/validate-batch/" + cfg.Schema
+		body = batchBody(cfg.Doc, cfg.BatchSize)
+		contentType = "application/json"
+		docsInRequest = int64(cfg.BatchSize)
+	}
+
+	st.mu.Lock()
+	st.byOp[op]++
+	st.mu.Unlock()
+
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, target+path, bytes.NewReader(body))
+	if err != nil {
+		st.fail(op, err.Error())
+		return
+	}
+	req.Header.Set("Content-Type", contentType)
+	begin := time.Now()
+	resp, err := st.client.Do(req)
+	if err != nil {
+		// A send cut off by the run budget expiring is the harness
+		// stopping, not the server failing.
+		if ctx.Err() != nil {
+			st.requests.Add(-1)
+			return
+		}
+		st.fail(op, err.Error())
+		return
+	}
+	data, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	st.lat.Observe(time.Since(begin))
+	st.mu.Lock()
+	st.statuses[resp.StatusCode]++
+	st.mu.Unlock()
+	if rerr != nil {
+		st.fail(op, rerr.Error())
+		return
+	}
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		st.ok.Add(1)
+		st.docs.Add(docsInRequest)
+		st.invalid.Add(countInvalid(op, data))
+	case resp.StatusCode == http.StatusTooManyRequests:
+		st.shed.Add(1)
+	default:
+		st.fail(op, fmt.Sprintf("status %d: %.200s", resp.StatusCode, data))
+	}
+}
+
+func (st *state) fail(op Op, msg string) {
+	st.failed.Add(1)
+	st.mu.Lock()
+	if st.firstErr == "" {
+		st.firstErr = fmt.Sprintf("%s: %s", op, msg)
+	}
+	st.mu.Unlock()
+}
+
+// countInvalid extracts how many documents the 200 verdict judged
+// invalid: the "invalid" count for batch responses, a "valid":false
+// sniff otherwise.
+func countInvalid(op Op, body []byte) int64 {
+	if op == OpBatch {
+		var br struct {
+			Invalid int64 `json:"invalid"`
+		}
+		if json.Unmarshal(body, &br) == nil {
+			return br.Invalid
+		}
+		return 0
+	}
+	var v struct {
+		Valid *bool `json:"valid"`
+	}
+	if json.Unmarshal(body, &v) == nil && v.Valid != nil && !*v.Valid {
+		return 1
+	}
+	return 0
+}
+
+// batchBody wraps n copies of doc into a /v1/validate-batch payload.
+func batchBody(doc []byte, n int) []byte {
+	docs := make([]string, n)
+	for i := range docs {
+		docs[i] = string(doc)
+	}
+	body, err := json.Marshal(map[string][]string{"documents": docs})
+	if err != nil {
+		panic(err) // strings marshal unconditionally
+	}
+	return body
+}
+
+// primeJSON fetches the canonical-JSON form of cfg.Doc through
+// /v1/decode so encode requests have a body.
+func primeJSON(ctx context.Context, st *state) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		st.cfg.Targets[0]+"/v1/decode/"+st.cfg.Schema, bytes.NewReader(st.cfg.Doc))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/xml")
+	resp, err := st.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("decode answered %d: %.200s", resp.StatusCode, body)
+	}
+	var dr struct {
+		Valid bool            `json:"valid"`
+		Data  json.RawMessage `json:"data"`
+	}
+	if err := json.Unmarshal(body, &dr); err != nil {
+		return nil, err
+	}
+	if !dr.Valid || len(dr.Data) == 0 {
+		return nil, fmt.Errorf("document did not decode cleanly: %.200s", body)
+	}
+	return dr.Data, nil
+}

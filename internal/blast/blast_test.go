@@ -1,0 +1,209 @@
+package blast_test
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/blast"
+	"repro/internal/registry"
+	"repro/internal/schemas"
+	"repro/internal/server"
+)
+
+func startServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "po.xsd"), []byte(schemas.PurchaseOrderXSD), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reg := registry.New(dir, nil)
+	if _, err := reg.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(server.Config{Registry: reg}).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestMixedRunAgainstRealServer drives every operation kind through a
+// real serving stack and checks the accounting adds up.
+func TestMixedRunAgainstRealServer(t *testing.T) {
+	ts := startServer(t)
+	const totalReqs = 60
+	res, err := blast.Run(context.Background(), blast.Config{
+		Targets:       []string{ts.URL},
+		Schema:        "po",
+		Doc:           []byte(schemas.PurchaseOrderDoc),
+		Mix:           blast.Mix{Validate: 4, Stream: 2, Batch: 1, Decode: 2, Encode: 1},
+		Concurrency:   4,
+		TotalRequests: totalReqs,
+		BatchSize:     5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != totalReqs {
+		t.Fatalf("Requests = %d, want %d", res.Requests, totalReqs)
+	}
+	if res.Failed != 0 {
+		t.Fatalf("Failed = %d (first: %s)", res.Failed, res.FirstError)
+	}
+	if res.OK != totalReqs {
+		t.Fatalf("OK = %d, want %d", res.OK, totalReqs)
+	}
+	if res.Invalid != 0 {
+		t.Fatalf("Invalid = %d for a valid document", res.Invalid)
+	}
+	// Batches count BatchSize documents each, so Docs > Requests as
+	// soon as one batch ran; with weight 1/10 over 60 requests the odds
+	// of zero batches are negligible — but derive the bound from the
+	// recorded mix anyway.
+	wantDocs := int64(0)
+	for op, n := range res.ByOp {
+		if op == blast.OpBatch {
+			wantDocs += n * 5
+		} else {
+			wantDocs += n
+		}
+	}
+	if res.Docs != wantDocs {
+		t.Fatalf("Docs = %d, want %d from mix %v", res.Docs, wantDocs, res.ByOp)
+	}
+	if res.Latency.Count != totalReqs {
+		t.Fatalf("latency count = %d, want %d", res.Latency.Count, totalReqs)
+	}
+	if res.Latency.P50Ns <= 0 || res.Latency.P99Ns < res.Latency.P50Ns {
+		t.Fatalf("implausible latency quantiles: %+v", res.Latency)
+	}
+	if res.StatusCounts[http.StatusOK] != totalReqs {
+		t.Fatalf("status counts = %v", res.StatusCounts)
+	}
+}
+
+// TestInvalidDocumentCounted: a 200 verdict with valid:false moves
+// Invalid, not Failed — wrong answers and broken transport are
+// different alarms.
+func TestInvalidDocumentCounted(t *testing.T) {
+	ts := startServer(t)
+	bad := []byte(schemas.PurchaseOrderDoc)
+	badDoc := string(bad)
+	badDoc = badDoc[:len(badDoc)-len("</purchaseOrder>")] + "<unexpected/></purchaseOrder>"
+	res, err := blast.Run(context.Background(), blast.Config{
+		Targets:       []string{ts.URL},
+		Schema:        "po",
+		Doc:           []byte(badDoc),
+		Concurrency:   2,
+		TotalRequests: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 0 {
+		t.Fatalf("Failed = %d (first: %s)", res.Failed, res.FirstError)
+	}
+	if res.OK != 10 || res.Invalid != 10 {
+		t.Fatalf("OK = %d, Invalid = %d, want 10 and 10", res.OK, res.Invalid)
+	}
+}
+
+// TestClassification: 429 is Shed, other non-200s are Failed, and the
+// first failure is sampled.
+func TestClassification(t *testing.T) {
+	var n atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch n.Add(1) % 3 {
+		case 1:
+			w.WriteHeader(http.StatusOK)
+			w.Write([]byte(`{"valid":true}`)) //nolint:errcheck
+		case 2:
+			w.WriteHeader(http.StatusTooManyRequests)
+		default:
+			http.Error(w, "boom", http.StatusInternalServerError)
+		}
+	}))
+	defer ts.Close()
+	res, err := blast.Run(context.Background(), blast.Config{
+		Targets:       []string{ts.URL},
+		Schema:        "po",
+		Doc:           []byte("<a/>"),
+		Concurrency:   1,
+		TotalRequests: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK != 3 || res.Shed != 3 || res.Failed != 3 {
+		t.Fatalf("ok/shed/failed = %d/%d/%d, want 3/3/3", res.OK, res.Shed, res.Failed)
+	}
+	if res.FirstError == "" {
+		t.Fatal("no first error sampled")
+	}
+}
+
+// TestRatePacing: a rate-limited run must not overshoot its target by
+// more than the pacer's burst allowance.
+func TestRatePacing(t *testing.T) {
+	ts := startServer(t)
+	const rate = 200.0
+	res, err := blast.Run(context.Background(), blast.Config{
+		Targets:     []string{ts.URL},
+		Schema:      "po",
+		Doc:         []byte(schemas.PurchaseOrderDoc),
+		Rate:        rate,
+		Concurrency: 4,
+		Duration:    500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 0 {
+		t.Fatalf("Failed = %d (first: %s)", res.Failed, res.FirstError)
+	}
+	// 200/s over 0.5s is ~100 requests. Allow generous slop for CI
+	// noise, but an unthrottled run would do thousands.
+	if res.Requests < 20 || res.Requests > 150 {
+		t.Fatalf("paced run issued %d requests, want roughly 100", res.Requests)
+	}
+}
+
+// TestEncodePriming: with an encode weight and no DocJSON, Run fetches
+// the canonical JSON via /v1/decode before the workers start.
+func TestEncodePriming(t *testing.T) {
+	ts := startServer(t)
+	res, err := blast.Run(context.Background(), blast.Config{
+		Targets:       []string{ts.URL},
+		Schema:        "po",
+		Doc:           []byte(schemas.PurchaseOrderDoc),
+		Mix:           blast.Mix{Encode: 1},
+		Concurrency:   2,
+		TotalRequests: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 0 {
+		t.Fatalf("Failed = %d (first: %s)", res.Failed, res.FirstError)
+	}
+	if res.OK != 6 || res.ByOp[blast.OpEncode] != 6 {
+		t.Fatalf("ok = %d, encode ops = %d, want 6 and 6", res.OK, res.ByOp[blast.OpEncode])
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	_, err := blast.Run(context.Background(), blast.Config{
+		Targets: []string{"http://x"}, Schema: "po", Doc: []byte("<a/>"),
+	})
+	if err == nil {
+		t.Fatal("Run without a budget succeeded")
+	}
+	_, err = blast.Run(context.Background(), blast.Config{Schema: "po", Doc: []byte("<a/>"), Duration: time.Second})
+	if err == nil {
+		t.Fatal("Run without targets succeeded")
+	}
+}

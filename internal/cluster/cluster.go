@@ -1,0 +1,378 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/registry"
+)
+
+// RouteMode selects what a node does with a request for a schema it
+// does not own.
+type RouteMode int
+
+const (
+	// ModeProxy forwards the request to the owner server-side and
+	// relays the response. Clients see one address; the fleet is
+	// invisible to them.
+	ModeProxy RouteMode = iota
+	// ModeRedirect answers 307 with the owner's address in Location.
+	// Clients that follow redirects land on the owner themselves and
+	// can cache the mapping; the node never relays bodies.
+	ModeRedirect
+)
+
+func (m RouteMode) String() string {
+	if m == ModeRedirect {
+		return "redirect"
+	}
+	return "proxy"
+}
+
+// ParseMode parses "proxy" or "redirect" (the -route flag values).
+func ParseMode(s string) (RouteMode, error) {
+	switch s {
+	case "proxy":
+		return ModeProxy, nil
+	case "redirect":
+		return ModeRedirect, nil
+	}
+	return 0, fmt.Errorf("cluster: unknown route mode %q (want proxy or redirect)", s)
+}
+
+// Headers the cluster tier speaks.
+const (
+	// forwardedByHeader marks a proxied hop with the forwarder's
+	// address. A node receiving it always serves locally — one hop
+	// maximum, no loops even if two nodes' rings momentarily disagree.
+	forwardedByHeader = "X-Xsd-Forwarded-By"
+	// nodeHeader names the node that produced the response body.
+	nodeHeader = "X-Xsd-Cluster-Node"
+	// routeHeader records the routing decision on the client-facing
+	// response: "local", "proxy:<peer>", "local-fallback" or
+	// "redirect:<peer>". Diagnostic only.
+	routeHeader = "X-Xsd-Cluster-Route"
+)
+
+// Config configures a cluster Node.
+type Config struct {
+	// Self is this node's address as it appears in Peers (host:port).
+	Self string
+	// Peers is the full static fleet membership, self included. Every
+	// node must be configured with the same set: ownership is computed
+	// over this list (never over liveness), so all nodes agree on who
+	// owns what even while they disagree on who is up.
+	Peers []string
+	// Registry is the local schema registry; the node reads its
+	// generation and fingerprint for gossip and kicks its reload when a
+	// peer publishes a newer snapshot.
+	Registry *registry.Registry
+	// Metrics receives cluster counters. Required.
+	Metrics *obs.Metrics
+	// Logger receives routing and gossip events. Nil discards.
+	Logger *slog.Logger
+	// Mode selects proxy (default) or redirect routing.
+	Mode RouteMode
+	// GossipInterval is the peer-poll period. Zero means a second —
+	// convergence within a couple of seconds at a cost of one tiny GET
+	// per peer per second.
+	GossipInterval time.Duration
+	// Replicas is the ring's virtual-node count (0 = DefaultReplicas).
+	Replicas int
+	// Client performs proxy and gossip requests. Nil gets a client with
+	// a 30s timeout; gossip polls override it with a short per-request
+	// deadline either way.
+	Client *http.Client
+	// PullReload, when set, is called (from the gossip goroutine) to
+	// request a local registry reload after a peer published a snapshot
+	// we have not seen. It must not block: the server wires it to the
+	// same non-blocking kick channel SIGHUP uses. Nil calls
+	// Registry.Reload directly.
+	PullReload func()
+	// MaxProxyBody caps how many request-body bytes the proxy will
+	// buffer for replay across retry candidates (0 = 16 MiB, matching
+	// the serving tier's own body cap).
+	MaxProxyBody int64
+}
+
+// peerState is what gossip last learned about one peer.
+type peerState struct {
+	Alive       bool
+	Draining    bool
+	Generation  int64
+	Fingerprint string
+	LastSeen    time.Time
+	// lastPulled is the peer fingerprint we most recently kicked a
+	// reload for, so one unseen snapshot triggers one pull, not one per
+	// poll until the reload lands.
+	lastPulled string
+}
+
+// Node is one member of an xsdserved fleet. It wraps the local serving
+// handler with ring routing, answers /v1/cluster, and runs the gossip
+// loop that converges registry snapshots. Construct with New, mount
+// Wrap(localHandler), and run Gossip in a goroutine.
+type Node struct {
+	cfg      Config
+	ring     *Ring
+	client   *http.Client
+	log      *slog.Logger
+	maxBody  int64
+	draining atomic.Bool
+
+	mu    sync.Mutex
+	peers map[string]*peerState // keyed by address, self excluded
+}
+
+// New validates the config and builds the node. Self must be listed in
+// Peers: a node that is not part of its own ring would proxy every
+// request.
+func New(cfg Config) (*Node, error) {
+	if cfg.Registry == nil || cfg.Metrics == nil {
+		return nil, errors.New("cluster: Config.Registry and Config.Metrics are required")
+	}
+	ring, err := NewRing(cfg.Peers, cfg.Replicas)
+	if err != nil {
+		return nil, err
+	}
+	self := false
+	for _, p := range ring.Peers() {
+		if p == cfg.Self {
+			self = true
+		}
+	}
+	if !self {
+		return nil, fmt.Errorf("cluster: self %q is not in the peer list %v", cfg.Self, ring.Peers())
+	}
+	if cfg.GossipInterval <= 0 {
+		cfg.GossipInterval = time.Second
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.DiscardHandler)
+	}
+	n := &Node{
+		cfg:     cfg,
+		ring:    ring,
+		client:  cfg.Client,
+		log:     cfg.Logger,
+		maxBody: cfg.MaxProxyBody,
+		peers:   map[string]*peerState{},
+	}
+	if n.client == nil {
+		n.client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if n.maxBody <= 0 {
+		n.maxBody = 16 << 20
+	}
+	for _, p := range ring.Peers() {
+		if p != cfg.Self {
+			// Until the first poll says otherwise, assume peers are up:
+			// a cold fleet should route normally, not local-fallback.
+			n.peers[p] = &peerState{Alive: true}
+		}
+	}
+	cfg.Metrics.EnableCluster()
+	return n, nil
+}
+
+// Ring exposes the node's hash ring (for tests and status reporting).
+func (n *Node) Ring() *Ring { return n.ring }
+
+// SetDraining marks the node as draining. A draining node keeps
+// answering — shutdown correctness comes from the server's own drain —
+// but advertises the state via gossip so peers stop proxying new work
+// to it.
+func (n *Node) SetDraining(v bool) { n.draining.Store(v) }
+
+// Draining reports the drain flag.
+func (n *Node) Draining() bool { return n.draining.Load() }
+
+// routedPrefixes are the endpoints keyed by schema name in the path;
+// only these participate in ring routing. Everything else — health,
+// metrics, schema listing, SOAP (service names are not registry
+// entries) — is served locally by every node.
+var routedPrefixes = []string{
+	"/v1/validate/",
+	"/v1/validate-batch/",
+	"/v1/decode/",
+	"/v1/encode/",
+}
+
+// schemaFromPath extracts the schema segment from a routed path, or ""
+// when the path is not ring-routed.
+func schemaFromPath(path string) string {
+	for _, p := range routedPrefixes {
+		if rest, ok := strings.CutPrefix(path, p); ok {
+			if i := strings.IndexByte(rest, '/'); i >= 0 {
+				rest = rest[:i]
+			}
+			return rest
+		}
+	}
+	return ""
+}
+
+// Wrap layers ring routing over the local serving handler and mounts
+// GET /v1/cluster. Requests for schemas this node owns — and every
+// non-schema-keyed route — pass straight through to local.
+func (n *Node) Wrap(local http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/cluster", n.handleStatus)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		n.route(w, r, local)
+	})
+	return mux
+}
+
+func (n *Node) route(w http.ResponseWriter, r *http.Request, local http.Handler) {
+	w.Header().Set(nodeHeader, n.cfg.Self)
+	// A forwarded request is always served locally: the forwarder made
+	// the routing decision, and one hop is the maximum.
+	if r.Header.Get(forwardedByHeader) != "" {
+		local.ServeHTTP(w, r)
+		return
+	}
+	name := schemaFromPath(r.URL.Path)
+	if name == "" {
+		local.ServeHTTP(w, r)
+		return
+	}
+	owner := n.ring.Owner(name)
+	if owner == n.cfg.Self {
+		w.Header().Set(routeHeader, "local")
+		local.ServeHTTP(w, r)
+		return
+	}
+	// Unknown schemas are answered locally. Every node compiles every
+	// schema, so "unknown here" means "unknown everywhere": clients get
+	// the same 404 from any node without a wasted hop, and the response
+	// stays correct the moment a reload adds the schema (the next
+	// request re-routes).
+	if _, ok := n.cfg.Registry.Get(name); !ok {
+		w.Header().Set(routeHeader, "local")
+		local.ServeHTTP(w, r)
+		return
+	}
+	if n.cfg.Mode == ModeRedirect {
+		n.cfg.Metrics.Cluster.Redirects.Inc()
+		w.Header().Set(routeHeader, "redirect:"+owner)
+		w.Header().Set("Location", "http://"+owner+r.URL.RequestURI())
+		// 307 preserves method and body; Go's http.Client replays the
+		// body automatically for replayable (bytes/strings) readers.
+		w.WriteHeader(http.StatusTemporaryRedirect)
+		return
+	}
+	n.proxy(w, r, name, local)
+}
+
+// proxy forwards the request to the schema's owner, retrying down the
+// ring's successor list when a candidate is unreachable and falling
+// back to serving locally when every remote candidate is out. The body
+// is buffered once so each attempt can replay it.
+func (n *Node) proxy(w http.ResponseWriter, r *http.Request, name string, local http.Handler) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, n.maxBody+1))
+	if err != nil {
+		http.Error(w, fmt.Sprintf(`{"error":"reading request body: %v"}`, err), http.StatusBadRequest)
+		return
+	}
+	if int64(len(body)) > n.maxBody {
+		// Over the proxy buffer cap. The serving tier enforces the same
+		// limit, so answer its 413 here instead of relaying the excess.
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set(routeHeader, "local")
+		w.WriteHeader(http.StatusRequestEntityTooLarge)
+		fmt.Fprintf(w, `{"error":"request body exceeds the %d-byte limit"}`, n.maxBody)
+		return
+	}
+	attempts := 0
+	for _, peer := range n.ring.Candidates(name, 0) {
+		if peer == n.cfg.Self {
+			continue
+		}
+		if st := n.peerSnapshot(peer); !st.Alive || st.Draining {
+			continue
+		}
+		if attempts > 0 {
+			n.cfg.Metrics.Cluster.ProxyRetries.Inc()
+		}
+		attempts++
+		if n.forwardTo(w, r, peer, body) {
+			n.cfg.Metrics.Cluster.Proxied.Inc()
+			return
+		}
+		// forwardTo marked the peer down; try the next candidate.
+	}
+	// Every remote candidate is down or draining. Answer locally: every
+	// node holds every compiled schema precisely so the fleet degrades
+	// to correct-but-cold instead of unavailable.
+	n.cfg.Metrics.Cluster.ProxyLocal.Inc()
+	n.log.Warn("cluster: all candidates down, serving locally", "schema", name)
+	w.Header().Set(routeHeader, "local-fallback")
+	r2 := r.Clone(r.Context())
+	r2.Body = io.NopCloser(bytes.NewReader(body))
+	r2.ContentLength = int64(len(body))
+	local.ServeHTTP(w, r2)
+}
+
+// forwardTo relays one buffered request to peer and copies the response
+// through. A transport failure marks the peer dead (gossip revives it)
+// and reports false so the caller retries; any HTTP response — 404, 429,
+// 5xx included — is relayed as-is, because it is the answer.
+func (n *Node) forwardTo(w http.ResponseWriter, r *http.Request, peer string, body []byte) bool {
+	url := "http://" + peer + r.URL.RequestURI()
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, url, bytes.NewReader(body))
+	if err != nil {
+		return false
+	}
+	req.Header = r.Header.Clone()
+	req.Header.Set(forwardedByHeader, n.cfg.Self)
+	resp, err := n.client.Do(req)
+	if err != nil {
+		n.markDown(peer)
+		n.log.Warn("cluster: forward failed", "peer", peer, "err", err)
+		return false
+	}
+	defer resp.Body.Close()
+	h := w.Header()
+	for k, vs := range resp.Header {
+		switch k {
+		case "Connection", "Transfer-Encoding", nodeHeader:
+			continue
+		}
+		h[k] = vs
+	}
+	h.Set(nodeHeader, n.cfg.Self)
+	h.Set(routeHeader, "proxy:"+peer)
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body) //nolint:errcheck // client went away mid-copy; nothing to do
+	return true
+}
+
+// markDown records a failed forward so subsequent requests skip the
+// peer until gossip observes it answering again.
+func (n *Node) markDown(peer string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if st := n.peers[peer]; st != nil {
+		st.Alive = false
+	}
+}
+
+// peerSnapshot returns a copy of the peer's last-known state.
+func (n *Node) peerSnapshot(peer string) peerState {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if st := n.peers[peer]; st != nil {
+		return *st
+	}
+	return peerState{}
+}

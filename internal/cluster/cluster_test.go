@@ -1,0 +1,519 @@
+package cluster_test
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/obs"
+	"repro/internal/registry"
+	"repro/internal/schemas"
+	"repro/internal/server"
+)
+
+// testNode is one in-process fleet member: a real HTTP listener serving
+// the full stack (cluster routing wrapped around the serving handler
+// over a live registry).
+type testNode struct {
+	addr string
+	ts   *httptest.Server
+	reg  *registry.Registry
+	met  *obs.Metrics
+	node *cluster.Node
+}
+
+func writeSchemas(t *testing.T, dir string, names ...string) {
+	t.Helper()
+	for _, n := range names {
+		if err := os.WriteFile(filepath.Join(dir, n+".xsd"), []byte(schemas.PurchaseOrderXSD), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// startFleet boots n nodes over one schema directory. The listeners are
+// created unstarted first so every node knows the full peer address set
+// before any handler is constructed.
+func startFleet(t *testing.T, dir string, n int, mode cluster.RouteMode) []*testNode {
+	t.Helper()
+	nodes := make([]*testNode, n)
+	addrs := make([]string, n)
+	for i := range nodes {
+		ts := httptest.NewUnstartedServer(nil)
+		nodes[i] = &testNode{ts: ts, addr: ts.Listener.Addr().String()}
+		addrs[i] = nodes[i].addr
+	}
+	for _, tn := range nodes {
+		tn.reg = registry.New(dir, nil)
+		if _, err := tn.reg.Reload(); err != nil {
+			t.Fatal(err)
+		}
+		tn.met = &obs.Metrics{}
+		srv := server.New(server.Config{Registry: tn.reg, Metrics: tn.met})
+		node, err := cluster.New(cluster.Config{
+			Self:     tn.addr,
+			Peers:    addrs,
+			Registry: tn.reg,
+			Metrics:  tn.met,
+			Mode:     mode,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tn.node = node
+		tn.ts.Config.Handler = node.Wrap(srv.Handler())
+		tn.ts.Start()
+		t.Cleanup(tn.ts.Close)
+	}
+	return nodes
+}
+
+// splitByOwner returns the node owning name and the others.
+func splitByOwner(nodes []*testNode, name string) (owner *testNode, rest []*testNode) {
+	ownerAddr := nodes[0].node.Ring().Owner(name)
+	for _, tn := range nodes {
+		if tn.addr == ownerAddr {
+			owner = tn
+		} else {
+			rest = append(rest, tn)
+		}
+	}
+	return owner, rest
+}
+
+func postXML(t *testing.T, url, doc string) (int, http.Header, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/xml", strings.NewReader(doc))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, data
+}
+
+func validVerdict(t *testing.T, body []byte) {
+	t.Helper()
+	var v struct {
+		Valid bool `json:"valid"`
+	}
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatalf("verdict is not JSON: %v\n%s", err, body)
+	}
+	if !v.Valid {
+		t.Fatalf("document judged invalid: %s", body)
+	}
+}
+
+// TestProxyAnyNodeAnswers is the tentpole contract: a request sent to
+// ANY node returns the correct verdict, with non-owners forwarding to
+// the owner transparently.
+func TestProxyAnyNodeAnswers(t *testing.T) {
+	dir := t.TempDir()
+	writeSchemas(t, dir, "po")
+	nodes := startFleet(t, dir, 3, cluster.ModeProxy)
+	owner, rest := splitByOwner(nodes, "po")
+
+	code, hdr, body := postXML(t, owner.ts.URL+"/v1/validate/po", schemas.PurchaseOrderDoc)
+	if code != http.StatusOK {
+		t.Fatalf("owner answered %d: %s", code, body)
+	}
+	validVerdict(t, body)
+	if got := hdr.Get("X-Xsd-Cluster-Route"); got != "local" {
+		t.Fatalf("owner route = %q, want local", got)
+	}
+
+	for _, tn := range rest {
+		code, hdr, body := postXML(t, tn.ts.URL+"/v1/validate/po", schemas.PurchaseOrderDoc)
+		if code != http.StatusOK {
+			t.Fatalf("node %s answered %d: %s", tn.addr, code, body)
+		}
+		validVerdict(t, body)
+		if got := hdr.Get("X-Xsd-Cluster-Route"); got != "proxy:"+owner.addr {
+			t.Fatalf("node %s route = %q, want proxy:%s", tn.addr, got, owner.addr)
+		}
+		if tn.met.Cluster.Proxied.Load() == 0 {
+			t.Fatalf("node %s forwarded but Proxied counter is 0", tn.addr)
+		}
+	}
+}
+
+// TestUnknownSchema404Parity: a schema no node serves is 404 from every
+// node, answered locally — "unknown here" means "unknown everywhere",
+// so no node wastes a hop asking a peer.
+func TestUnknownSchema404Parity(t *testing.T) {
+	dir := t.TempDir()
+	writeSchemas(t, dir, "po")
+	nodes := startFleet(t, dir, 3, cluster.ModeProxy)
+	for _, tn := range nodes {
+		code, hdr, body := postXML(t, tn.ts.URL+"/v1/validate/nosuch", schemas.PurchaseOrderDoc)
+		if code != http.StatusNotFound {
+			t.Fatalf("node %s answered %d for unknown schema: %s", tn.addr, code, body)
+		}
+		if got := hdr.Get("X-Xsd-Cluster-Route"); got != "local" {
+			t.Fatalf("node %s route = %q for unknown schema, want local", tn.addr, got)
+		}
+		if tn.met.Cluster.Proxied.Load() != 0 {
+			t.Fatalf("node %s proxied an unknown-schema request", tn.addr)
+		}
+	}
+}
+
+// TestOwnerDownProxyRetries: with the owner hard-down, a non-owner
+// retries the ring successor and still produces a verdict; the second
+// request skips the known-dead owner without another retry.
+func TestOwnerDownProxyRetries(t *testing.T) {
+	dir := t.TempDir()
+	writeSchemas(t, dir, "po")
+	nodes := startFleet(t, dir, 3, cluster.ModeProxy)
+	owner, rest := splitByOwner(nodes, "po")
+	owner.ts.Close()
+
+	asker := rest[0]
+	code, hdr, body := postXML(t, asker.ts.URL+"/v1/validate/po", schemas.PurchaseOrderDoc)
+	if code != http.StatusOK {
+		t.Fatalf("answered %d with owner down: %s", code, body)
+	}
+	validVerdict(t, body)
+	route := hdr.Get("X-Xsd-Cluster-Route")
+	if route == "proxy:"+owner.addr {
+		t.Fatalf("request routed to the dead owner")
+	}
+	if !strings.HasPrefix(route, "proxy:") && route != "local-fallback" {
+		t.Fatalf("route = %q, want a successor proxy or local-fallback", route)
+	}
+	retries := asker.met.Cluster.ProxyRetries.Load()
+	if retries == 0 {
+		t.Fatal("owner was down but ProxyRetries is 0")
+	}
+
+	// Second request: the owner is now marked dead, so the successor is
+	// tried first — no additional retry.
+	code, _, body = postXML(t, asker.ts.URL+"/v1/validate/po", schemas.PurchaseOrderDoc)
+	if code != http.StatusOK {
+		t.Fatalf("second request answered %d: %s", code, body)
+	}
+	validVerdict(t, body)
+	if got := asker.met.Cluster.ProxyRetries.Load(); got != retries {
+		t.Fatalf("ProxyRetries moved %d -> %d on a request that should skip the dead owner", retries, got)
+	}
+}
+
+// TestAllPeersDownLocalFallback: a node whose every remote candidate is
+// gone serves the request itself — degraded to cold, never unavailable.
+func TestAllPeersDownLocalFallback(t *testing.T) {
+	dir := t.TempDir()
+	writeSchemas(t, dir, "po")
+	nodes := startFleet(t, dir, 3, cluster.ModeProxy)
+	owner, rest := splitByOwner(nodes, "po")
+
+	survivor := rest[0]
+	owner.ts.Close()
+	rest[1].ts.Close()
+
+	code, hdr, body := postXML(t, survivor.ts.URL+"/v1/validate/po", schemas.PurchaseOrderDoc)
+	if code != http.StatusOK {
+		t.Fatalf("survivor answered %d: %s", code, body)
+	}
+	validVerdict(t, body)
+	if got := hdr.Get("X-Xsd-Cluster-Route"); got != "local-fallback" {
+		t.Fatalf("route = %q, want local-fallback", got)
+	}
+	if survivor.met.Cluster.ProxyLocal.Load() == 0 {
+		t.Fatal("ProxyLocal counter is 0 after a local fallback")
+	}
+}
+
+// TestDrainingPeerSkipped: once gossip reports the owner draining, new
+// forwards go to the successor even though the owner still answers.
+func TestDrainingPeerSkipped(t *testing.T) {
+	dir := t.TempDir()
+	writeSchemas(t, dir, "po")
+	nodes := startFleet(t, dir, 3, cluster.ModeProxy)
+	owner, rest := splitByOwner(nodes, "po")
+	owner.node.SetDraining(true)
+
+	asker := rest[0]
+	asker.node.PollOnce(context.Background())
+
+	code, hdr, body := postXML(t, asker.ts.URL+"/v1/validate/po", schemas.PurchaseOrderDoc)
+	if code != http.StatusOK {
+		t.Fatalf("answered %d with owner draining: %s", code, body)
+	}
+	validVerdict(t, body)
+	route := hdr.Get("X-Xsd-Cluster-Route")
+	if route == "proxy:"+owner.addr {
+		t.Fatal("request proxied to a draining owner")
+	}
+}
+
+// TestForwardedRequestServedLocally: the loop-prevention header forces
+// local serving even on a node that does not own the schema.
+func TestForwardedRequestServedLocally(t *testing.T) {
+	dir := t.TempDir()
+	writeSchemas(t, dir, "po")
+	nodes := startFleet(t, dir, 3, cluster.ModeProxy)
+	_, rest := splitByOwner(nodes, "po")
+
+	tn := rest[0]
+	req, err := http.NewRequest(http.MethodPost, tn.ts.URL+"/v1/validate/po", strings.NewReader(schemas.PurchaseOrderDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Xsd-Forwarded-By", "somebody:1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body) //nolint:errcheck
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("forwarded request answered %d: %s", resp.StatusCode, body)
+	}
+	validVerdict(t, body)
+	if got := resp.Header.Get("X-Xsd-Cluster-Node"); got != tn.addr {
+		t.Fatalf("forwarded request served by %q, want the receiving node %s", got, tn.addr)
+	}
+	if tn.met.Cluster.Proxied.Load() != 0 {
+		t.Fatal("forwarded request was proxied again (loop)")
+	}
+}
+
+// TestRedirectMode: non-owners answer 307 with the owner in Location;
+// following it manually lands on the owner and yields the verdict.
+func TestRedirectMode(t *testing.T) {
+	dir := t.TempDir()
+	writeSchemas(t, dir, "po")
+	nodes := startFleet(t, dir, 3, cluster.ModeRedirect)
+	owner, rest := splitByOwner(nodes, "po")
+
+	noFollow := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+	resp, err := noFollow.Post(rest[0].ts.URL+"/v1/validate/po", "application/xml", strings.NewReader(schemas.PurchaseOrderDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTemporaryRedirect {
+		t.Fatalf("non-owner answered %d in redirect mode, want 307", resp.StatusCode)
+	}
+	loc := resp.Header.Get("Location")
+	if loc != "http://"+owner.addr+"/v1/validate/po" {
+		t.Fatalf("Location = %q, want the owner %s", loc, owner.addr)
+	}
+	if rest[0].met.Cluster.Redirects.Load() == 0 {
+		t.Fatal("Redirects counter is 0 after a 307")
+	}
+
+	// A stock client follows the 307 (replaying the body) end to end.
+	code, hdr, body := postXML(t, rest[0].ts.URL+"/v1/validate/po", schemas.PurchaseOrderDoc)
+	if code != http.StatusOK {
+		t.Fatalf("followed redirect answered %d: %s", code, body)
+	}
+	validVerdict(t, body)
+	if got := hdr.Get("X-Xsd-Cluster-Node"); got != owner.addr {
+		t.Fatalf("redirect landed on %q, want owner %s", got, owner.addr)
+	}
+}
+
+// TestBatchEndpointRoutes: /v1/validate-batch is schema-keyed and rides
+// the same ring.
+func TestBatchEndpointRoutes(t *testing.T) {
+	dir := t.TempDir()
+	writeSchemas(t, dir, "po")
+	nodes := startFleet(t, dir, 3, cluster.ModeProxy)
+	owner, rest := splitByOwner(nodes, "po")
+
+	breq, err := json.Marshal(map[string][]string{
+		"documents": {schemas.PurchaseOrderDoc, "<not-xml", schemas.PurchaseOrderDoc},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(rest[0].ts.URL+"/v1/validate-batch/po", "application/json", strings.NewReader(string(breq)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body) //nolint:errcheck
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch answered %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Xsd-Cluster-Route"); got != "proxy:"+owner.addr {
+		t.Fatalf("batch route = %q, want proxy:%s", got, owner.addr)
+	}
+	var br struct {
+		Count   int `json:"count"`
+		Valid   int `json:"valid"`
+		Invalid int `json:"invalid"`
+	}
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatalf("batch response not JSON: %v\n%s", err, body)
+	}
+	if br.Count != 3 || br.Valid != 2 || br.Invalid != 1 {
+		t.Fatalf("batch verdicts = %+v, want count 3, valid 2, invalid 1", br)
+	}
+}
+
+// TestGossipConvergence: one node reloads a changed schema directory;
+// gossip pulls the others to the same generation and fingerprint with
+// divergence settling back to zero.
+func TestGossipConvergence(t *testing.T) {
+	dir := t.TempDir()
+	writeSchemas(t, dir, "po")
+	nodes := startFleet(t, dir, 3, cluster.ModeProxy)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for _, tn := range nodes {
+		tn := tn
+		go func() {
+			// Tight interval: the test wants convergence in milliseconds.
+			for ctx.Err() == nil {
+				tn.node.PollOnce(ctx)
+				time.Sleep(20 * time.Millisecond)
+			}
+		}()
+	}
+
+	// Everyone starts converged: same dir, same fingerprint, gen 1.
+	waitFor(t, "initial convergence", func() bool {
+		return converged(nodes) && nodes[0].reg.Generation() == 1
+	})
+
+	// Change the schema content (size change guarantees detection) and
+	// SIGHUP-equivalent reload on node 0 only.
+	v2 := strings.Replace(schemas.PurchaseOrderXSD,
+		`name="comment"`, `name="comment" id="v2"`, 1)
+	if v2 == schemas.PurchaseOrderXSD {
+		t.Fatal("schema rewrite did not change anything")
+	}
+	if err := os.WriteFile(filepath.Join(dir, "po.xsd"), []byte(v2), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nodes[0].reg.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	if nodes[0].reg.Generation() != 2 {
+		t.Fatalf("node 0 generation = %d after a real change, want 2", nodes[0].reg.Generation())
+	}
+
+	waitFor(t, "post-change convergence", func() bool {
+		if !converged(nodes) {
+			return false
+		}
+		for _, tn := range nodes {
+			if tn.reg.Generation() != 2 {
+				return false
+			}
+		}
+		return true
+	})
+	for _, tn := range nodes[1:] {
+		if tn.met.Cluster.PullReloads.Load() == 0 {
+			t.Errorf("node %s converged without recording a pull reload", tn.addr)
+		}
+	}
+	// The gauge is recomputed per sweep from what peers last REPORTED,
+	// so it settles one poll after the registries themselves converge.
+	waitFor(t, "divergence gauges to settle", func() bool {
+		for _, tn := range nodes {
+			if tn.met.Cluster.Divergence.Load() != 0 {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+func converged(nodes []*testNode) bool {
+	fp := nodes[0].reg.Fingerprint()
+	for _, tn := range nodes[1:] {
+		if tn.reg.Fingerprint() != fp {
+			return false
+		}
+	}
+	return true
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestClusterStatus: /v1/cluster reports identity, ownership and the
+// peer table; the fleet's owned sets partition the schema list.
+func TestClusterStatus(t *testing.T) {
+	dir := t.TempDir()
+	all := []string{"invoice", "po", "shipping", "stock"}
+	writeSchemas(t, dir, all...)
+	nodes := startFleet(t, dir, 3, cluster.ModeProxy)
+	for _, tn := range nodes {
+		tn.node.PollOnce(context.Background())
+	}
+
+	ownedBy := map[string]string{}
+	for _, tn := range nodes {
+		resp, err := http.Get(tn.ts.URL + "/v1/cluster")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st cluster.Status
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Self != tn.addr {
+			t.Fatalf("status self = %q, want %s", st.Self, tn.addr)
+		}
+		if st.Mode != "proxy" {
+			t.Fatalf("status mode = %q, want proxy", st.Mode)
+		}
+		if st.Schemas != len(all) {
+			t.Fatalf("status schemas = %d, want %d", st.Schemas, len(all))
+		}
+		if len(st.Peers) != 2 {
+			t.Fatalf("status lists %d peers, want 2", len(st.Peers))
+		}
+		for _, p := range st.Peers {
+			if !p.Alive {
+				t.Fatalf("node %s reports peer %s dead in a healthy fleet", tn.addr, p.Addr)
+			}
+		}
+		if st.Divergence != 0 {
+			t.Fatalf("node %s reports divergence %d in a converged fleet", tn.addr, st.Divergence)
+		}
+		for _, name := range st.Owned {
+			if prev, dup := ownedBy[name]; dup {
+				t.Fatalf("schema %q owned by both %s and %s", name, prev, tn.addr)
+			}
+			ownedBy[name] = tn.addr
+		}
+	}
+	for _, name := range all {
+		if ownedBy[name] == "" {
+			t.Fatalf("schema %q owned by nobody: %v", name, ownedBy)
+		}
+	}
+}

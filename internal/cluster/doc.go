@@ -1,0 +1,32 @@
+// Package cluster turns a set of xsdserved nodes into a schema-sharded
+// fleet with no coordinator and no shared state beyond the schema
+// directory itself.
+//
+// The design exploits what the rest of this repo already guarantees.
+// Every node compiles every schema (cold start is parallel and cheap,
+// PR 4), so any node can answer any request correctly — sharding is
+// purely a cache-locality play. The expensive per-schema state is the
+// lazily built warm state: compiled content-model DFAs, lazy-DFA edges,
+// binder plans. Routing each schema's traffic to one owner concentrates
+// that warmth instead of rebuilding it N times, while the "anyone can
+// answer" property remains the failure-mode escape hatch: if the owner
+// and every successor are down, the receiving node serves the request
+// itself (correct, merely colder).
+//
+// Ownership comes from a consistent-hash ring (Ring) computed over the
+// full static peer list. Liveness never changes ownership — it only
+// changes which candidate actually serves — so all nodes agree on the
+// routing table by construction, with no membership protocol.
+//
+// Convergence is the one genuinely distributed concern: after a schema
+// directory change, every node must end up serving the same compiled
+// snapshot. The registry provides two primitives (PR 10): a generation
+// that identifies a content state (no-op reloads do not advance it) and
+// a content fingerprint that is equal across nodes iff they compiled
+// the same file states. The gossip loop (Node.Gossip) polls peers'
+// /v1/cluster documents and kicks a local reload when a peer publishes
+// a fingerprint this node has not seen; the divergence gauge reports
+// how many peers still differ. There is no push, no leader and no
+// quorum — the schema directory is the single source of truth and
+// gossip merely propagates "it changed".
+package cluster

@@ -1,0 +1,224 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Status is the payload of GET /v1/cluster: this node's identity and
+// registry state plus its last-known view of every peer. It is both the
+// operator's fleet dashboard and the gossip protocol itself — nodes
+// converge by polling each other's Status, so the wire format and the
+// human format are the same document.
+type Status struct {
+	Self        string       `json:"self"`
+	Mode        string       `json:"mode"`
+	Draining    bool         `json:"draining"`
+	Generation  int64        `json:"generation"`
+	Fingerprint string       `json:"fingerprint"`
+	Schemas     int          `json:"schemas"`
+	Owned       []string     `json:"owned"`
+	Peers       []PeerStatus `json:"peers"`
+	// Divergence counts peers whose last-reported fingerprint differs
+	// from ours (never-seen peers count as divergent). 0 means the
+	// fleet, as far as this node can see, serves identical snapshots.
+	Divergence int64 `json:"divergence"`
+}
+
+// PeerStatus is one peer as last observed by the gossip loop.
+type PeerStatus struct {
+	Addr        string `json:"addr"`
+	Alive       bool   `json:"alive"`
+	Draining    bool   `json:"draining,omitempty"`
+	Generation  int64  `json:"generation"`
+	Fingerprint string `json:"fingerprint"`
+	LastSeenMs  int64  `json:"last_seen_ms,omitempty"` // ms since last successful poll
+}
+
+// status assembles the current Status document.
+func (n *Node) status() *Status {
+	reg := n.cfg.Registry
+	st := &Status{
+		Self:        n.cfg.Self,
+		Mode:        n.cfg.Mode.String(),
+		Draining:    n.Draining(),
+		Generation:  reg.Generation(),
+		Fingerprint: reg.Fingerprint(),
+	}
+	entries := reg.List()
+	st.Schemas = len(entries)
+	for _, e := range entries {
+		if n.ring.Owner(e.Name) == n.cfg.Self {
+			st.Owned = append(st.Owned, e.Name)
+		}
+	}
+	now := time.Now()
+	n.mu.Lock()
+	for _, addr := range n.ring.Peers() {
+		ps := n.peers[addr]
+		if ps == nil {
+			continue // self
+		}
+		p := PeerStatus{
+			Addr:        addr,
+			Alive:       ps.Alive,
+			Draining:    ps.Draining,
+			Generation:  ps.Generation,
+			Fingerprint: ps.Fingerprint,
+		}
+		if !ps.LastSeen.IsZero() {
+			p.LastSeenMs = now.Sub(ps.LastSeen).Milliseconds()
+		}
+		if ps.Fingerprint != st.Fingerprint {
+			st.Divergence++
+		}
+		st.Peers = append(st.Peers, p)
+	}
+	n.mu.Unlock()
+	return st
+}
+
+// handleStatus serves GET /v1/cluster.
+func (n *Node) handleStatus(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(nodeHeader, n.cfg.Self)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(n.status()) //nolint:errcheck // client went away; nothing to do
+}
+
+// Gossip polls every peer's /v1/cluster on the configured interval
+// until ctx is cancelled, updating liveness, drain flags and snapshot
+// identity, and kicking a local reload whenever a peer publishes a
+// snapshot this node has not seen. Convergence is pull-only and
+// unsynchronized: there is no leader and no broadcast, just every node
+// noticing "someone serves different bytes than me" and re-reading the
+// shared schema directory. For a fleet over one directory tree that is
+// enough — the directory is the authority, gossip only spreads the news
+// that it changed.
+func (n *Node) Gossip(ctx context.Context) {
+	t := time.NewTicker(n.cfg.GossipInterval)
+	defer t.Stop()
+	for {
+		n.PollOnce(ctx)
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// PollOnce runs one synchronous gossip sweep: poll every peer, fold in
+// what they report, update the gauges. Gossip calls it on a ticker;
+// tests and drain sequences call it directly when they need the local
+// view current NOW rather than within one interval.
+func (n *Node) PollOnce(ctx context.Context) { n.pollPeers(ctx) }
+
+// pollPeers sweeps every peer once, concurrently (one slow peer must
+// not stretch the sweep for the rest), then recomputes the divergence
+// and liveness gauges.
+func (n *Node) pollPeers(ctx context.Context) {
+	peers := make([]string, 0, len(n.peers))
+	n.mu.Lock()
+	for addr := range n.peers {
+		peers = append(peers, addr)
+	}
+	n.mu.Unlock()
+
+	var wg sync.WaitGroup
+	for _, addr := range peers {
+		wg.Add(1)
+		go func(addr string) {
+			defer wg.Done()
+			n.pollPeer(ctx, addr)
+		}(addr)
+	}
+	wg.Wait()
+
+	local := n.cfg.Registry.Fingerprint()
+	var alive, divergent int64
+	n.mu.Lock()
+	for _, ps := range n.peers {
+		if ps.Alive {
+			alive++
+		}
+		if ps.Fingerprint != local {
+			divergent++
+		}
+	}
+	n.mu.Unlock()
+	n.cfg.Metrics.Cluster.PeersAlive.Set(alive)
+	n.cfg.Metrics.Cluster.Divergence.Set(divergent)
+}
+
+// gossipTimeout bounds one status poll. Status documents are a few KB
+// served from atomics; a peer that cannot answer in two seconds is down
+// for routing purposes.
+const gossipTimeout = 2 * time.Second
+
+// pollPeer fetches one peer's status and folds it into the local view.
+func (n *Node) pollPeer(ctx context.Context, addr string) {
+	n.cfg.Metrics.Cluster.GossipPolls.Inc()
+	rctx, cancel := context.WithTimeout(ctx, gossipTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodGet, "http://"+addr+"/v1/cluster", nil)
+	if err != nil {
+		return
+	}
+	resp, err := n.client.Do(req)
+	if err == nil && resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		err = fmt.Errorf("status %d", resp.StatusCode)
+	}
+	if err != nil {
+		n.cfg.Metrics.Cluster.GossipErrors.Inc()
+		n.markDown(addr)
+		return
+	}
+	var st Status
+	derr := json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if derr != nil {
+		n.cfg.Metrics.Cluster.GossipErrors.Inc()
+		n.markDown(addr)
+		return
+	}
+
+	var pull bool
+	local := n.cfg.Registry.Fingerprint()
+	n.mu.Lock()
+	if ps := n.peers[addr]; ps != nil {
+		ps.Alive = true
+		ps.Draining = st.Draining
+		ps.Generation = st.Generation
+		ps.Fingerprint = st.Fingerprint
+		ps.LastSeen = time.Now()
+		// Pull rule: the peer serves a snapshot we don't — and one we
+		// haven't already kicked a reload for. The second condition
+		// makes the pull edge-triggered: a reload is requested once per
+		// unseen remote snapshot, not once per poll while the (async)
+		// reload is still in flight. If the reload lands us on the same
+		// fingerprint, converged; if not (disjoint schema dirs), we
+		// don't spin — only the NEXT remote snapshot triggers again.
+		if st.Fingerprint != "" && st.Fingerprint != local && ps.lastPulled != st.Fingerprint {
+			ps.lastPulled = st.Fingerprint
+			pull = true
+		}
+	}
+	n.mu.Unlock()
+	if pull {
+		n.cfg.Metrics.Cluster.PullReloads.Inc()
+		n.log.Info("cluster: peer published new snapshot, reloading",
+			"peer", addr, "peer_gen", st.Generation, "peer_fingerprint", st.Fingerprint)
+		if n.cfg.PullReload != nil {
+			n.cfg.PullReload()
+		} else {
+			n.cfg.Registry.Reload() //nolint:errcheck // surfaced via registry Errors and OnReload
+		}
+	}
+}

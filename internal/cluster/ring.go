@@ -1,0 +1,152 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Ring is a consistent-hash ring over the fleet's peer addresses. Every
+// peer is placed at Replicas pseudo-random points on a 64-bit circle;
+// a schema name is owned by the peer whose first point follows the
+// name's hash clockwise. The two properties the cluster is built on:
+//
+//   - Determinism: two nodes constructing a Ring from the same peer set
+//     (any order) agree on every owner, with no coordination. Routing
+//     needs no consensus because the ring IS the consensus.
+//   - Minimal movement: removing a peer reassigns only the schemas that
+//     peer owned — everyone else's cache working set survives the
+//     rebalance untouched.
+//
+// A Ring is immutable after construction and safe for concurrent use.
+type Ring struct {
+	replicas int
+	points   []ringPoint // sorted by hash
+	peers    []string    // sorted, deduplicated
+}
+
+type ringPoint struct {
+	hash uint64
+	peer string
+}
+
+// DefaultReplicas is the virtual-node count per peer. 64 points per
+// peer keeps the expected ownership imbalance in a small fleet within a
+// few percent while construction stays microseconds.
+const DefaultReplicas = 64
+
+// NewRing builds a ring over peers (duplicates ignored). replicas <= 0
+// selects DefaultReplicas. An empty peer set is rejected: a ring that
+// owns nothing answers nothing.
+func NewRing(peers []string, replicas int) (*Ring, error) {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	uniq := make([]string, 0, len(peers))
+	seen := make(map[string]bool, len(peers))
+	for _, p := range peers {
+		if p == "" || seen[p] {
+			continue
+		}
+		seen[p] = true
+		uniq = append(uniq, p)
+	}
+	if len(uniq) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one peer")
+	}
+	sort.Strings(uniq)
+	r := &Ring{replicas: replicas, peers: uniq}
+	r.points = make([]ringPoint, 0, len(uniq)*replicas)
+	for _, p := range uniq {
+		for i := 0; i < replicas; i++ {
+			r.points = append(r.points, ringPoint{hash: hashKey(fmt.Sprintf("%s#%d", p, i)), peer: p})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// A full-width hash collision between different peers is
+		// vanishingly rare; break the tie deterministically anyway so
+		// every node sorts identically.
+		return r.points[i].peer < r.points[j].peer
+	})
+	return r, nil
+}
+
+// hashKey is 64-bit FNV-1a through a splitmix64 finalizer. FNV alone
+// diffuses poorly on short, similar keys (vnode labels differ in a few
+// trailing bytes, and raw FNV placed one of three peers on 10% of the
+// circle); the finalizer avalanches every input bit across the word.
+// Not cryptographic, but uniform enough for placement and — critically —
+// stable across processes, architectures and Go versions, unlike
+// hash/maphash.
+func hashKey(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s)) //nolint:errcheck // fnv never fails
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Peers returns the ring's peer set, sorted.
+func (r *Ring) Peers() []string { return r.peers }
+
+// Owner returns the peer that owns key.
+func (r *Ring) Owner(key string) string {
+	return r.points[r.firstPoint(key)].peer
+}
+
+// firstPoint locates the first ring point at or after key's hash,
+// wrapping at the top of the circle.
+func (r *Ring) firstPoint(key string) int {
+	h := hashKey(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}
+
+// Candidates returns up to max distinct peers for key in ring order:
+// the owner first, then each successor. This is the proxy's retry
+// sequence — when the owner is down or draining, the next candidate
+// inherits the key's traffic, which is exactly the peer that would own
+// the key if the owner were removed from the ring (so retry routing and
+// rebalance routing agree).
+func (r *Ring) Candidates(key string, max int) []string {
+	if max <= 0 || max > len(r.peers) {
+		max = len(r.peers)
+	}
+	out := make([]string, 0, max)
+	seen := make(map[string]bool, max)
+	for i, n := r.firstPoint(key), len(r.points); len(out) < max && n > 0; n-- {
+		p := r.points[i].peer
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+		i++
+		if i == len(r.points) {
+			i = 0
+		}
+	}
+	return out
+}
+
+// Without returns a new ring with peer removed. The returned ring
+// preserves every other peer's points, which is what makes the
+// minimal-movement property hold.
+func (r *Ring) Without(peer string) (*Ring, error) {
+	rest := make([]string, 0, len(r.peers))
+	for _, p := range r.peers {
+		if p != peer {
+			rest = append(rest, p)
+		}
+	}
+	return NewRing(rest, r.replicas)
+}

@@ -1,0 +1,127 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("schema-%03d", i)
+	}
+	return out
+}
+
+func TestRingDeterministicAcrossPeerOrder(t *testing.T) {
+	peers := []string{"10.0.0.1:8080", "10.0.0.2:8080", "10.0.0.3:8080"}
+	shuffled := []string{"10.0.0.3:8080", "10.0.0.1:8080", "10.0.0.2:8080"}
+	a, err := NewRing(peers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing(shuffled, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys(500) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("owner of %q differs across peer orderings: %q vs %q", k, a.Owner(k), b.Owner(k))
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	peers := []string{"a:1", "b:1", "c:1"}
+	r, err := NewRing(peers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, k := range keys(3000) {
+		counts[r.Owner(k)]++
+	}
+	for _, p := range peers {
+		if counts[p] == 0 {
+			t.Fatalf("peer %s owns nothing: %v", p, counts)
+		}
+		// Perfect balance is 1000 each; 64 vnodes should keep every
+		// peer within a factor of two of fair share.
+		if counts[p] < 500 || counts[p] > 2000 {
+			t.Errorf("peer %s owns %d of 3000 keys, outside [500, 2000]: %v", p, counts[p], counts)
+		}
+	}
+}
+
+func TestRingCandidates(t *testing.T) {
+	r, err := NewRing([]string{"a:1", "b:1", "c:1", "d:1"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys(100) {
+		cands := r.Candidates(k, 0)
+		if len(cands) != 4 {
+			t.Fatalf("Candidates(%q, 0) = %v, want all 4 peers", k, cands)
+		}
+		if cands[0] != r.Owner(k) {
+			t.Fatalf("Candidates(%q)[0] = %q, Owner = %q", k, cands[0], r.Owner(k))
+		}
+		seen := map[string]bool{}
+		for _, c := range cands {
+			if seen[c] {
+				t.Fatalf("Candidates(%q) repeats %q: %v", k, c, cands)
+			}
+			seen[c] = true
+		}
+		if got := r.Candidates(k, 2); len(got) != 2 || got[0] != cands[0] || got[1] != cands[1] {
+			t.Fatalf("Candidates(%q, 2) = %v, want prefix of %v", k, got, cands)
+		}
+	}
+}
+
+// TestRingRebalanceMinimalMovement is the property the retry order
+// depends on: removing a peer moves ONLY the keys that peer owned, and
+// each moved key lands on what was its first successor — so proxy
+// failover (try successors) and permanent removal (rebuild ring without
+// the peer) route identically.
+func TestRingRebalanceMinimalMovement(t *testing.T) {
+	peers := []string{"a:1", "b:1", "c:1", "d:1"}
+	r1, err := NewRing(peers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const removed = "c:1"
+	r2, err := r1.Without(removed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r2.Peers(); len(got) != 3 {
+		t.Fatalf("Without(%q).Peers() = %v", removed, got)
+	}
+	moved := 0
+	for _, k := range keys(1000) {
+		before, after := r1.Owner(k), r2.Owner(k)
+		if before != removed {
+			if after != before {
+				t.Fatalf("key %q moved %q -> %q though %q was not its owner", k, before, after, removed)
+			}
+			continue
+		}
+		moved++
+		if succ := r1.Candidates(k, 2)[1]; after != succ {
+			t.Fatalf("key %q reassigned to %q, want first successor %q", k, after, succ)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("removed peer owned no keys; test proves nothing")
+	}
+}
+
+func TestRingRejectsEmpty(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("NewRing(nil) succeeded, want error")
+	}
+	if _, err := NewRing([]string{"", ""}, 0); err == nil {
+		t.Fatal("NewRing with only empty peers succeeded, want error")
+	}
+}

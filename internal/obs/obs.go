@@ -33,6 +33,10 @@ func (g *Gauge) Inc() int64 { return g.v.Add(1) }
 // Dec lowers the gauge by one.
 func (g *Gauge) Dec() { g.v.Add(-1) }
 
+// Set replaces the level, for gauges recomputed from scratch each sweep
+// (e.g. peers alive) rather than tracked incrementally.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
 // Load returns the current level.
 func (g *Gauge) Load() int64 { return g.v.Load() }
 
@@ -178,7 +182,17 @@ type Metrics struct {
 	// produce (one observation per recompiled schema that replaced —
 	// or was gated from replacing — a previous version).
 	Compat CompatCounts
+
+	// Cluster meters cross-node routing and gossip. Call EnableCluster
+	// once at startup when the process joins a fleet; until then the
+	// bundle is omitted from snapshots.
+	Cluster        ClusterCounts
+	clusterEnabled atomic.Bool
 }
+
+// EnableCluster marks the process as clustered, which adds the Cluster
+// bundle to every subsequent Snapshot.
+func (m *Metrics) EnableCluster() { m.clusterEnabled.Store(true) }
 
 // CompatCounts tallies schema-evolution classifications by level, plus
 // the versions a compatibility gate refused to publish. Levels are
@@ -216,6 +230,38 @@ type CompatSnapshot struct {
 	Full     int64 `json:"full"`
 	None     int64 `json:"none"`
 	Gated    int64 `json:"gated"`
+}
+
+// ClusterCounts meters the cluster tier: schema-sharded request routing
+// (proxy hops, retries after a dead owner, redirects) and the gossip
+// loop that converges registry snapshots across the fleet. Like every
+// other bundle in this package the fields are independently atomic. The
+// counters live on Metrics unconditionally but are exported in the
+// snapshot only once the process has marked itself clustered (a
+// single-node /metrics stays unchanged).
+type ClusterCounts struct {
+	Proxied      Counter // requests forwarded to their ring owner
+	ProxyRetries Counter // forwards retried on a ring successor after a dead/draining candidate
+	ProxyLocal   Counter // forwards answered locally because every candidate was down
+	Redirects    Counter // 307s pointing the client at the owner
+	GossipPolls  Counter // peer status polls attempted
+	GossipErrors Counter // polls that failed (peer down or bad response)
+	PullReloads  Counter // local reloads kicked because a peer published a newer snapshot
+	Divergence   Gauge   // peers whose registry fingerprint differs from ours (0 = converged)
+	PeersAlive   Gauge   // peers that answered their most recent poll
+}
+
+// ClusterSnapshot is the exported view of ClusterCounts.
+type ClusterSnapshot struct {
+	Proxied      int64 `json:"proxied"`
+	ProxyRetries int64 `json:"proxy_retries"`
+	ProxyLocal   int64 `json:"proxy_local"`
+	Redirects    int64 `json:"redirects"`
+	GossipPolls  int64 `json:"gossip_polls"`
+	GossipErrors int64 `json:"gossip_errors"`
+	PullReloads  int64 `json:"pull_reloads"`
+	Divergence   int64 `json:"divergence"`
+	PeersAlive   int64 `json:"peers_alive"`
 }
 
 type seriesKey struct{ schema, endpoint string }
@@ -258,6 +304,7 @@ type Snapshot struct {
 	ReloadErrors int64            `json:"reload_errors"`
 	InFlight     int64            `json:"in_flight"`
 	Compat       CompatSnapshot   `json:"compat"`
+	Cluster      *ClusterSnapshot `json:"cluster,omitempty"`
 	Registry     *RegistryInfo    `json:"registry,omitempty"`
 	Series       []SeriesSnapshot `json:"series"`
 }
@@ -276,6 +323,19 @@ func (m *Metrics) Snapshot() *Snapshot {
 			None:     m.Compat.None.Load(),
 			Gated:    m.Compat.Gated.Load(),
 		},
+	}
+	if m.clusterEnabled.Load() {
+		snap.Cluster = &ClusterSnapshot{
+			Proxied:      m.Cluster.Proxied.Load(),
+			ProxyRetries: m.Cluster.ProxyRetries.Load(),
+			ProxyLocal:   m.Cluster.ProxyLocal.Load(),
+			Redirects:    m.Cluster.Redirects.Load(),
+			GossipPolls:  m.Cluster.GossipPolls.Load(),
+			GossipErrors: m.Cluster.GossipErrors.Load(),
+			PullReloads:  m.Cluster.PullReloads.Load(),
+			Divergence:   m.Cluster.Divergence.Load(),
+			PeersAlive:   m.Cluster.PeersAlive.Load(),
+		}
 	}
 	m.series.Range(func(_, v any) bool {
 		s := v.(*Series)

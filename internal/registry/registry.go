@@ -2,12 +2,15 @@ package registry
 
 import (
 	"context"
+	"crypto/sha256"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"os"
 	"path/filepath"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -15,6 +18,7 @@ import (
 
 	"repro/internal/bind"
 	"repro/internal/compat"
+	"repro/internal/dom"
 	"repro/internal/validator"
 	"repro/internal/xsd"
 )
@@ -106,6 +110,12 @@ type snapshot struct {
 	entries map[string]*Entry
 	names   []string          // sorted keys of entries
 	errs    map[string]string // name -> last load error (entry may still serve stale)
+	// fingerprint identifies the published content state: a hash over
+	// every entry's file closure (paths, sizes, mtimes) and the pending
+	// load errors. Two nodes serving the same schema directory publish
+	// the same fingerprint, which is what cluster gossip compares to
+	// decide whether the fleet has converged.
+	fingerprint string
 }
 
 var emptySnapshot = &snapshot{entries: map[string]*Entry{}, errs: map[string]string{}}
@@ -155,6 +165,13 @@ type Registry struct {
 	// schemas. Zero (the default) means GOMAXPROCS; 1 compiles serially.
 	// Exists for benchmarks that price the parallelism itself.
 	Workers int
+
+	// DisableSharedParse turns off the content-hash keyed schema-document
+	// parse cache a Reload normally shares across the schemas it
+	// recompiles (fifty dependents of one library then re-parse it fifty
+	// times, the pre-sharing behavior). Exists for benchmarks that price
+	// the sharing itself.
+	DisableSharedParse bool
 }
 
 // New creates a registry over dir. The validator options are applied to
@@ -200,18 +217,65 @@ func (r *Registry) Errors() map[string]string {
 }
 
 // Generation returns the published snapshot's generation, which
-// increments on every Reload (including no-op ones). Tests and the
-// integration harness use it to await a swap.
+// increments on every Reload that changed what is served (entries
+// added, replaced or removed, or the pending-error set shifting). A
+// no-op reload republishes the same generation, so the number
+// identifies a content state: one node SIGHUPed into picking up a new
+// schema version moves one generation ahead of its peers, and the
+// cluster's gossip loop pulls the others forward until the fleet
+// reports the same generation again. Tests use it to await a swap.
 func (r *Registry) Generation() int64 { return r.cur.Load().gen }
+
+// Fingerprint returns a hash identifying the published content state:
+// every entry's dependency closure (canonical paths, sizes, mtimes)
+// plus the pending load errors. Two registries over the same schema
+// directory that have observed the same file states report the same
+// fingerprint regardless of how many reloads each has run, which makes
+// it the cluster's convergence check (generations say how far a node
+// has moved; fingerprints say whether two nodes serve the same thing).
+func (r *Registry) Fingerprint() string { return r.cur.Load().fingerprint }
 
 // reloadCache deduplicates filesystem work within one Reload: every file
 // is statted at most once (change detection over closures shares
-// dependencies) and read at most once (many schemas importing one common
-// file cost one read, not one per dependent).
+// dependencies), read at most once (many schemas importing one common
+// file cost one read, not one per dependent), and parsed to a DOM at
+// most once per distinct content (the parse cache is keyed by a content
+// hash, so the same bytes reached through different paths — or by fifty
+// dependents of one shared library — cost one dom.Parse per reload).
+// The cache dies with the reload pass; nothing is shared across reloads.
 type reloadCache struct {
 	mu    sync.Mutex
 	stats map[string]statResult
 	reads map[string]readResult
+	doms  map[[sha256.Size]byte]domResult
+}
+
+type domResult struct {
+	doc *dom.Document
+	err error
+}
+
+// parseDoc is installed as ParseOptions.ParseDoc for every schema
+// compiled in this reload pass. Cached documents are shared between the
+// parallel compile workers; that is safe because the xsd parser treats
+// schema DOMs as read-only and never Releases them (each parser keeps
+// its own component maps keyed by element pointer).
+func (c *reloadCache) parseDoc(src []byte) (*dom.Document, error) {
+	key := sha256.Sum256(src)
+	c.mu.Lock()
+	if r, ok := c.doms[key]; ok {
+		c.mu.Unlock()
+		return r.doc, r.err
+	}
+	c.mu.Unlock()
+	// Parse outside the lock: one slow parse must not serialize the
+	// whole compile pool. A racing duplicate parse of the same content
+	// is harmless — last write wins, both documents are valid.
+	doc, err := dom.Parse(src)
+	c.mu.Lock()
+	c.doms[key] = domResult{doc, err}
+	c.mu.Unlock()
+	return doc, err
 }
 
 type statResult struct {
@@ -226,7 +290,11 @@ type readResult struct {
 }
 
 func newReloadCache() *reloadCache {
-	return &reloadCache{stats: map[string]statResult{}, reads: map[string]readResult{}}
+	return &reloadCache{
+		stats: map[string]statResult{},
+		reads: map[string]readResult{},
+		doms:  map[[sha256.Size]byte]domResult{},
+	}
 }
 
 func (c *reloadCache) stat(path string) (time.Time, int64, error) {
@@ -410,6 +478,15 @@ func (r *Registry) Reload() (changed int, err error) {
 		next.names = append(next.names, k)
 	}
 	sort.Strings(next.names)
+	next.fingerprint = fingerprint(next)
+
+	// A reload that changed nothing — same entries, same pending errors —
+	// republishes the old generation: the generation identifies a content
+	// state, not a reload count, so a fleet of nodes polling the same
+	// unchanged directory stays on one number instead of drifting apart.
+	if changed == 0 && sameErrors(old.errs, next.errs) {
+		next.gen = old.gen
+	}
 
 	r.cur.Store(next)
 	err = errors.Join(errs...)
@@ -417,6 +494,50 @@ func (r *Registry) Reload() (changed int, err error) {
 		r.OnReload(next.gen, changed, err)
 	}
 	return changed, err
+}
+
+// sameErrors reports whether two pending-error maps are equal.
+func sameErrors(a, b map[string]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// fingerprint hashes the snapshot's content identity: every entry's file
+// closure state plus the pending errors, in sorted order. Versions and
+// generations are deliberately excluded — they count a node's own
+// observations, so they differ between a node booted yesterday and one
+// booted this morning even when both serve identical bytes.
+func fingerprint(s *snapshot) string {
+	h := fnv.New64a()
+	for _, name := range s.names {
+		e := s.entries[name]
+		h.Write([]byte(name)) //nolint:errcheck // fnv never fails
+		h.Write([]byte{0})    //nolint:errcheck
+		for _, fs := range e.Files {
+			h.Write([]byte(fs.Path))                                      //nolint:errcheck
+			h.Write([]byte(strconv.FormatInt(fs.Size, 10)))               //nolint:errcheck
+			h.Write([]byte(strconv.FormatInt(fs.ModTime.UnixNano(), 10))) //nolint:errcheck
+			h.Write([]byte{0})                                            //nolint:errcheck
+		}
+	}
+	errNames := make([]string, 0, len(s.errs))
+	for k := range s.errs {
+		errNames = append(errNames, k)
+	}
+	sort.Strings(errNames)
+	for _, k := range errNames {
+		h.Write([]byte(k))         //nolint:errcheck
+		h.Write([]byte(s.errs[k])) //nolint:errcheck
+		h.Write([]byte{0})         //nolint:errcheck
+	}
+	return strconv.FormatUint(h.Sum64(), 16)
 }
 
 // keepStale carries a previously-good entry into the next snapshot when
@@ -436,7 +557,11 @@ func (r *Registry) load(key, path string, prev *Entry, cache *reloadCache, catal
 	res := xsd.NewDirResolver(r.dir)
 	res.ReadFile = cache.readFile
 	res.Catalog = catalog
-	schema, err := xsd.ParseFile(path, &xsd.ParseOptions{Resolver: res})
+	popts := &xsd.ParseOptions{Resolver: res}
+	if !r.DisableSharedParse {
+		popts.ParseDoc = cache.parseDoc
+	}
+	schema, err := xsd.ParseFile(path, popts)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,193 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/schemas"
+)
+
+func postBatch(t *testing.T, url string, docs []string) (int, batchResponse, []byte) {
+	t.Helper()
+	body, err := json.Marshal(batchRequest{Documents: docs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var br batchResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(raw, &br); err != nil {
+			t.Fatalf("batch response not JSON: %v\n%s", err, raw)
+		}
+	}
+	return resp.StatusCode, br, raw
+}
+
+func TestValidateBatch(t *testing.T) {
+	m := &obs.Metrics{}
+	ts, _ := newTestServer(t, Config{Metrics: m})
+	url := ts.URL + "/v1/validate-batch/po"
+
+	invalid := strings.Replace(schemas.PurchaseOrderDoc, "<quantity>1</quantity>", "<quantity>9999</quantity>", 1)
+	code, br, raw := postBatch(t, url, []string{
+		schemas.PurchaseOrderDoc, // valid
+		invalid,                  // schema-invalid
+		"<broken",                // malformed
+		schemas.PurchaseOrderDoc, // valid
+	})
+	if code != http.StatusOK {
+		t.Fatalf("batch answered %d: %s", code, raw)
+	}
+	if br.Count != 4 || br.Valid != 2 || br.Invalid != 2 {
+		t.Fatalf("count/valid/invalid = %d/%d/%d, want 4/2/2", br.Count, br.Valid, br.Invalid)
+	}
+	if br.Schema != "po" || br.SchemaVersion != 1 {
+		t.Fatalf("schema identity = %s v%d", br.Schema, br.SchemaVersion)
+	}
+	// Verdicts are index-aligned with the request.
+	wantValid := []bool{true, false, false, true}
+	for i, r := range br.Results {
+		if r.Valid != wantValid[i] {
+			t.Fatalf("results[%d].valid = %v, want %v (%+v)", i, r.Valid, wantValid[i], br.Results)
+		}
+	}
+	// The malformed document's verdict carries its parse error, same
+	// contract as /v1/validate.
+	if len(br.Results[2].Violations) == 0 || br.Results[2].Violations[0].Path != "/" {
+		t.Fatalf("malformed doc verdict = %+v, want a parse violation at /", br.Results[2])
+	}
+	// Invalid meters documents: one batch with two bad docs moves the
+	// series by 2, and the whole batch is one request.
+	series := m.Series("po", "batch")
+	if got := series.Invalid.Load(); got != 2 {
+		t.Fatalf("batch series Invalid = %d, want 2", got)
+	}
+	if got := series.Requests.Load(); got != 1 {
+		t.Fatalf("batch series Requests = %d, want 1", got)
+	}
+}
+
+func TestValidateBatchRequestErrors(t *testing.T) {
+	ts, _ := newTestServer(t, Config{MaxBatchDocs: 4})
+
+	code, _, _ := postBatch(t, ts.URL+"/v1/validate-batch/nosuch", []string{schemas.PurchaseOrderDoc})
+	if code != http.StatusNotFound {
+		t.Fatalf("unknown schema answered %d, want 404", code)
+	}
+	code, _, _ = postBatch(t, ts.URL+"/v1/validate-batch/po", nil)
+	if code != http.StatusBadRequest {
+		t.Fatalf("empty batch answered %d, want 400", code)
+	}
+	docs := make([]string, 5)
+	for i := range docs {
+		docs[i] = schemas.PurchaseOrderDoc
+	}
+	code, _, _ = postBatch(t, ts.URL+"/v1/validate-batch/po", docs)
+	if code != http.StatusBadRequest {
+		t.Fatalf("over-limit batch answered %d, want 400", code)
+	}
+	resp, err := http.Post(ts.URL+"/v1/validate-batch/po", "application/json", strings.NewReader("not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("non-JSON batch answered %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestDrainingHealthz(t *testing.T) {
+	ts, s := newTestServer(t, Config{})
+
+	get := func() (int, healthResponse, string) {
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var hr healthResponse
+		if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, hr, resp.Header.Get("Draining")
+	}
+
+	code, hr, _ := get()
+	if code != http.StatusOK || hr.Status != "ok" || hr.Draining {
+		t.Fatalf("healthy node: %d %+v", code, hr)
+	}
+
+	s.SetDraining(true)
+	code, hr, hdr := get()
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz answered %d, want 503", code)
+	}
+	if hr.Status != "draining" || !hr.Draining || hdr != "true" {
+		t.Fatalf("draining healthz = %+v (Draining header %q)", hr, hdr)
+	}
+	// Draining refuses NEW health checks, not work: validation still
+	// answers, because in-flight and already-routed requests must
+	// complete during the drain notice.
+	code, vr := postDoc(t, ts.URL+"/v1/validate/po", schemas.PurchaseOrderDoc)
+	if code != http.StatusOK || !vr.Valid {
+		t.Fatalf("validate during drain = %d valid=%v", code, vr.Valid)
+	}
+
+	s.SetDraining(false)
+	if code, hr, _ := get(); code != http.StatusOK || hr.Draining {
+		t.Fatalf("undrained healthz = %d %+v", code, hr)
+	}
+}
+
+func TestBufferPoolEquivalence(t *testing.T) {
+	pooled, _ := newTestServer(t, Config{})
+	direct, _ := newTestServer(t, Config{DisableBufferPool: true})
+
+	read := func(ts string) (string, http.Header) {
+		resp, err := http.Post(ts+"/v1/validate/po", "application/xml", strings.NewReader(schemas.PurchaseOrderDoc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header
+	}
+	pb, ph := read(pooled.URL)
+	db, _ := read(direct.URL)
+	// elapsed_ns differs run to run; zero it before comparing.
+	norm := func(s string) string {
+		var v map[string]any
+		if err := json.Unmarshal([]byte(s), &v); err != nil {
+			t.Fatal(err)
+		}
+		delete(v, "elapsed_ns")
+		out, _ := json.Marshal(v) //nolint:errcheck
+		return string(out)
+	}
+	if norm(pb) != norm(db) {
+		t.Fatalf("pooled and direct encodings differ:\n%s\n%s", pb, db)
+	}
+	// The pooled path pre-sizes the body, so the response carries an
+	// exact Content-Length instead of chunked framing.
+	if cl := ph.Get("Content-Length"); cl == "" {
+		t.Fatal("pooled response has no Content-Length")
+	} else if want := fmt.Sprint(len(pb)); cl != want {
+		t.Fatalf("Content-Length = %s, body is %s bytes", cl, want)
+	}
+}

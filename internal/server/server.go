@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -9,6 +10,9 @@ import (
 	"log/slog"
 	"net/http"
 	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dom"
@@ -41,22 +45,37 @@ type Config struct {
 	// RequestTimeout is the per-request validation deadline. Zero means
 	// 30 seconds.
 	RequestTimeout time.Duration
+	// MaxBatchDocs caps how many documents one /v1/validate-batch request
+	// may carry. Zero means 256. The batch endpoint amortizes admission
+	// and shedding over a document set, so the cap is what keeps one
+	// request from monopolizing a concurrency slot indefinitely.
+	MaxBatchDocs int
+	// DisableBufferPool turns off the pooled response-encoding buffers and
+	// encodes verdict JSON straight to the connection (the pre-pooling
+	// behavior). Exists for benchmarks that price the pooling itself.
+	DisableBufferPool bool
 }
 
 // Server is the HTTP validation service: request routing, body caps,
 // deadlines, load shedding and metrics around the registry's validators.
 // Create one with New and mount Handler on an http.Server.
 type Server struct {
-	reg     *registry.Registry
-	metrics *obs.Metrics
-	log     *slog.Logger
-	maxBody int64
-	timeout time.Duration
-	sem     chan struct{}
-	mux     *http.ServeMux
+	reg       *registry.Registry
+	metrics   *obs.Metrics
+	log       *slog.Logger
+	maxBody   int64
+	timeout   time.Duration
+	maxBatch  int
+	noBufPool bool
+	sem       chan struct{}
+	mux       *http.ServeMux
 	// soapSvcs routes /v1/soap/{service}; populated by RegisterSOAP
 	// before serving starts, read-only afterwards.
 	soapSvcs map[string]*soap.Service
+	// draining flips when the process has been told to shut down:
+	// /healthz answers 503 with Draining: true so load balancers and
+	// cluster peers stop routing here before the listener closes.
+	draining atomic.Bool
 }
 
 // New assembles the service from cfg.
@@ -80,17 +99,24 @@ func New(cfg Config) *Server {
 	if timeout <= 0 {
 		timeout = 30 * time.Second
 	}
+	maxBatch := cfg.MaxBatchDocs
+	if maxBatch <= 0 {
+		maxBatch = 256
+	}
 	s := &Server{
-		reg:      cfg.Registry,
-		metrics:  m,
-		log:      cfg.Logger,
-		maxBody:  maxBody,
-		timeout:  timeout,
-		sem:      make(chan struct{}, maxConc),
-		mux:      http.NewServeMux(),
-		soapSvcs: map[string]*soap.Service{},
+		reg:       cfg.Registry,
+		metrics:   m,
+		log:       cfg.Logger,
+		maxBody:   maxBody,
+		timeout:   timeout,
+		maxBatch:  maxBatch,
+		noBufPool: cfg.DisableBufferPool,
+		sem:       make(chan struct{}, maxConc),
+		mux:       http.NewServeMux(),
+		soapSvcs:  map[string]*soap.Service{},
 	}
 	s.mux.HandleFunc("POST /v1/validate/{schema}", s.handleValidate)
+	s.mux.HandleFunc("POST /v1/validate-batch/{schema}", s.handleValidateBatch)
 	s.mux.HandleFunc("POST /v1/decode/{schema}", s.handleDecode)
 	s.mux.HandleFunc("POST /v1/encode/{schema}", s.handleEncode)
 	s.mux.HandleFunc("GET /v1/schemas", s.handleSchemas)
@@ -165,10 +191,41 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
+// respBuffers pools the scratch buffers responses are encoded into
+// before they hit the wire, so the serving hot path stops paying one
+// buffer allocation (and a chunked-encoding response) per request.
+var respBuffers = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// maxPooledBuffer is the largest buffer returned to the pool; a rare
+// huge verdict (thousands of violations) must not pin its memory there.
+const maxPooledBuffer = 1 << 20
+
+// writeJSON encodes v through a pooled buffer, which also yields an
+// exact Content-Length (single-write responses, no chunked framing).
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	if s.noBufPool {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		json.NewEncoder(w).Encode(v) //nolint:errcheck // client gone; nothing to do
+		return
+	}
+	buf := respBuffers.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		// Our own response structs cannot fail to encode; if one ever
+		// does, a 500 beats a half-written body.
+		respBuffers.Put(buf)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(v) //nolint:errcheck // client gone; nothing to do
+	w.Write(buf.Bytes()) //nolint:errcheck // client gone; nothing to do
+	if buf.Cap() <= maxPooledBuffer {
+		respBuffers.Put(buf)
+	}
 }
 
 // outcome is what the worker goroutine reports back to the handler.
@@ -196,7 +253,7 @@ func (s *Server) withWorker(w http.ResponseWriter, r *http.Request, series *obs.
 	default:
 		series.Shed.Inc()
 		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "server at concurrency limit, retry later"})
+		s.writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "server at concurrency limit, retry later"})
 		return outcome{}, false
 	}
 	s.metrics.InFlight.Inc()
@@ -255,7 +312,7 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		// No metrics series for unknown names: the series key space must
 		// stay bounded by the registry, not by what clients probe for.
-		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("unknown schema %q", name)})
+		s.writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("unknown schema %q", name)})
 		return
 	}
 	mode := "dom"
@@ -275,7 +332,7 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 	}
 	if out.code != 0 {
 		series.Errors.Inc()
-		writeJSON(w, out.code, errorResponse{Error: out.errMsg})
+		s.writeJSON(w, out.code, errorResponse{Error: out.errMsg})
 		return
 	}
 	series.Requests.Inc()
@@ -293,7 +350,7 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 	for _, v := range out.res.Violations {
 		resp.Violations = append(resp.Violations, violationJSON{Path: v.Path, Msg: v.Msg})
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // capTracker notes whether a read failed because http.MaxBytesReader
@@ -387,7 +444,7 @@ func (s *Server) handleDecode(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("schema")
 	entry, ok := s.reg.Get(name)
 	if !ok {
-		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("unknown schema %q", name)})
+		s.writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("unknown schema %q", name)})
 		return
 	}
 	mode := "decode-dom"
@@ -404,7 +461,7 @@ func (s *Server) handleDecode(w http.ResponseWriter, r *http.Request) {
 	}
 	if out.code != 0 {
 		series.Errors.Inc()
-		writeJSON(w, out.code, errorResponse{Error: out.errMsg})
+		s.writeJSON(w, out.code, errorResponse{Error: out.errMsg})
 		return
 	}
 	series.Requests.Inc()
@@ -423,7 +480,7 @@ func (s *Server) handleDecode(w http.ResponseWriter, r *http.Request) {
 	for _, v := range out.res.Violations {
 		resp.Violations = append(resp.Violations, violationJSON{Path: v.Path, Msg: v.Msg})
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // runDecode produces a verdict and, when valid, the canonical JSON.
@@ -475,7 +532,7 @@ func (s *Server) handleEncode(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("schema")
 	entry, ok := s.reg.Get(name)
 	if !ok {
-		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("unknown schema %q", name)})
+		s.writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("unknown schema %q", name)})
 		return
 	}
 	series := s.metrics.Series(name, "encode")
@@ -488,7 +545,7 @@ func (s *Server) handleEncode(w http.ResponseWriter, r *http.Request) {
 	}
 	if out.code != 0 {
 		series.Errors.Inc()
-		writeJSON(w, out.code, errorResponse{Error: out.errMsg})
+		s.writeJSON(w, out.code, errorResponse{Error: out.errMsg})
 		return
 	}
 	series.Requests.Inc()
@@ -560,7 +617,7 @@ func (s *Server) handleSchemas(w http.ResponseWriter, _ *http.Request) {
 	if errs := s.reg.Errors(); len(errs) > 0 {
 		resp.LoadErrors = errs
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // compatResponse is the payload of GET /v1/schemas/{schema}/compat: the
@@ -588,7 +645,7 @@ func (s *Server) handleCompat(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("schema")
 	entry, ok := s.reg.Get(name)
 	if !ok {
-		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("unknown schema %q", name)})
+		s.writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("unknown schema %q", name)})
 		return
 	}
 	resp := compatResponse{
@@ -605,25 +662,43 @@ func (s *Server) handleCompat(w http.ResponseWriter, r *http.Request) {
 		resp.BackwardBreaks = entry.Compat.BackwardBreaks
 		resp.ForwardBreaks = entry.Compat.ForwardBreaks
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 type healthResponse struct {
-	Status  string `json:"status"`
-	Schemas int    `json:"schemas"`
+	Status   string `json:"status"`
+	Schemas  int    `json:"schemas"`
+	Draining bool   `json:"draining,omitempty"`
 }
+
+// SetDraining flips the drain announcement: while set, /healthz answers
+// 503 with a "Draining: true" header so load balancers and cluster
+// peers stop routing new work here, while every other endpoint keeps
+// serving — the graceful-shutdown sequence announces first, then stops
+// the listener, so requests in flight when the announcement lands still
+// finish normally.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// Draining reports whether the drain announcement is active.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // handleHealthz reports liveness plus a degraded flag when the registry
 // serves nothing (an empty or unreadable schema directory): a load
 // balancer should stop routing to an instance that can't validate
-// anything.
+// anything. A draining process answers 503 with Draining: true — the
+// same contract, announced before connections close instead of after.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	n := len(s.reg.List())
-	if n == 0 {
-		writeJSON(w, http.StatusServiceUnavailable, healthResponse{Status: "no schemas loaded", Schemas: 0})
+	if s.draining.Load() {
+		w.Header().Set("Draining", "true")
+		s.writeJSON(w, http.StatusServiceUnavailable, healthResponse{Status: "draining", Schemas: n, Draining: true})
 		return
 	}
-	writeJSON(w, http.StatusOK, healthResponse{Status: "ok", Schemas: n})
+	if n == 0 {
+		s.writeJSON(w, http.StatusServiceUnavailable, healthResponse{Status: "no schemas loaded", Schemas: 0})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, healthResponse{Status: "ok", Schemas: n})
 }
 
 // handleMetrics exports the metrics snapshot enriched with the registry's

@@ -29,7 +29,7 @@ func (s *Server) handleSOAPWSDL(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("service")
 	svc, ok := s.soapSvcs[name]
 	if !ok {
-		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("unknown SOAP service %q", name)})
+		s.writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("unknown SOAP service %q", name)})
 		return
 	}
 	w.Header().Set("Content-Type", "text/xml; charset=utf-8")
@@ -52,7 +52,7 @@ func (s *Server) handleSOAP(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("service")
 	svc, ok := s.soapSvcs[name]
 	if !ok {
-		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("unknown SOAP service %q", name)})
+		s.writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("unknown SOAP service %q", name)})
 		return
 	}
 	series := s.metrics.Series("soap:"+name, "service")
@@ -79,7 +79,7 @@ func (s *Server) handleSOAP(w http.ResponseWriter, r *http.Request) {
 	}
 	if out.code != 0 {
 		series.Errors.Inc()
-		writeJSON(w, out.code, errorResponse{Error: out.errMsg})
+		s.writeJSON(w, out.code, errorResponse{Error: out.errMsg})
 		return
 	}
 	// Per-operation series: requests that never resolved to an operation

@@ -40,6 +40,25 @@ type ParseOptions struct {
 	Resolver Resolver
 	// SkipUPACheck disables the Unique Particle Attribution check.
 	SkipUPACheck bool
+	// ParseDoc, when set, supplies the DOM for every schema document the
+	// parse touches (the root and every include/import/redefine target)
+	// in place of dom.Parse. A registry reload installs a content-hash
+	// keyed cache here, so fifty schemas importing one shared library
+	// parse its bytes once per reload instead of once per dependent.
+	//
+	// Documents returned here may be shared between concurrent parses:
+	// the parser only reads them, and the supplier must neither mutate
+	// nor Release a document while any parse that received it is alive.
+	ParseDoc func(src []byte) (*dom.Document, error)
+}
+
+// parseDoc builds the DOM for one schema document through the ParseDoc
+// hook when the options carry one.
+func (o *ParseOptions) parseDoc(src []byte) (*dom.Document, error) {
+	if o.ParseDoc != nil {
+		return o.ParseDoc(src)
+	}
+	return dom.Parse(src)
 }
 
 // resolver returns the effective Resolver (the Loader adapted, if that is
@@ -67,7 +86,7 @@ func Parse(src []byte, opts *ParseOptions) (*Schema, error) {
 // the source did not come from a resolver) and resolves the full component
 // graph reachable from it.
 func parseRoot(src []byte, o ParseOptions, docKey string) (*Schema, error) {
-	doc, err := dom.Parse(src)
+	doc, err := o.parseDoc(src)
 	if err != nil {
 		return nil, fmt.Errorf("xsd: %w", err)
 	}
@@ -326,7 +345,7 @@ func (p *parser) loadRef(el *dom.Element, tns, docKey string, kind refKind) (boo
 	if ref == "" {
 		ref = "namespace " + tns
 	}
-	doc, err := dom.Parse(src)
+	doc, err := p.opts.parseDoc(src)
 	if err != nil {
 		return false, errAt(el, "parsing %q: %v", ref, err)
 	}

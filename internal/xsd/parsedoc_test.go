@@ -1,0 +1,51 @@
+package xsd
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/dom"
+)
+
+// TestParseDocHook: ParseOptions.ParseDoc replaces dom.Parse for the
+// root document AND every referenced document, which is the seam the
+// registry's per-reload DOM cache plugs into. The hook must see each
+// file exactly once per ParseFile call (reference dedup happens above
+// it) and the resulting schema must be fully composed.
+func TestParseDocHook(t *testing.T) {
+	dir := t.TempDir()
+	writeTree(t, dir, map[string]string{
+		"lib/common.xsd": commonTypes,
+		"order.xsd": `<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema" targetNamespace="urn:order"
+            xmlns:c="urn:common">
+  <xsd:import namespace="urn:common" schemaLocation="lib/common.xsd"/>
+  <xsd:element name="order">
+    <xsd:complexType>
+      <xsd:sequence>
+        <xsd:element name="shipTo" type="c:Address"/>
+      </xsd:sequence>
+    </xsd:complexType>
+  </xsd:element>
+</xsd:schema>`,
+	})
+
+	calls := 0
+	opts := &ParseOptions{
+		Resolver: NewDirResolver(dir),
+		ParseDoc: func(src []byte) (*dom.Document, error) {
+			calls++
+			return dom.Parse(src)
+		},
+	}
+	s, err := ParseFile(filepath.Join(dir, "order.xsd"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Fatalf("ParseDoc called %d times, want 2 (root + import)", calls)
+	}
+	if _, ok := s.LookupType(QName{Space: "urn:common", Local: "Address"}); !ok {
+		t.Error("imported type Address missing when parsing through the hook")
+	}
+}
